@@ -1,0 +1,46 @@
+//! Criterion benchmarks of whole-machine simulations: how long it takes the
+//! simulator to run a representative workload on the MISP machine, the SMP
+//! baseline and a single sequencer.  These are the building blocks every
+//! table/figure harness composes, so their cost determines how quickly the
+//! full evaluation regenerates.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use misp_core::MispTopology;
+use misp_os::TimerConfig;
+use misp_sim::SimConfig;
+use misp_types::Cycles;
+use misp_workloads::{catalog, runner};
+
+fn small_config() -> SimConfig {
+    SimConfig {
+        timer: TimerConfig::new(Cycles::new(3_000_000), 10),
+        ..SimConfig::default()
+    }
+}
+
+fn bench_machines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_simulation");
+    group.sample_size(10);
+
+    for name in ["dense_mvm", "sparse_mvm", "galgel"] {
+        let workload = catalog::by_name(name).expect("workload exists");
+        group.bench_with_input(BenchmarkId::new("misp_1x8", name), &workload, |b, w| {
+            let topo = MispTopology::uniprocessor(7).unwrap();
+            b.iter(|| {
+                black_box(runner::run_on_misp(w, &topo, small_config(), 8).unwrap().total_cycles)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("smp_8", name), &workload, |b, w| {
+            b.iter(|| {
+                black_box(runner::run_on_smp(w, 8, small_config(), 8).unwrap().total_cycles)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("serial_1p", name), &workload, |b, w| {
+            b.iter(|| black_box(runner::run_serial(w, small_config(), 8).unwrap().total_cycles));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_machines);
+criterion_main!(benches);

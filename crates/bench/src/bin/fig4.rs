@@ -1,0 +1,80 @@
+//! Figure 4 — MISP performance: speedup over single-sequencer execution for
+//! MISP (1 OMS + 7 AMS) and an 8-core SMP, across all 16 workloads.
+//!
+//! Regenerate with `cargo run --release -p misp-bench --bin fig4`.
+
+use misp_bench::{experiment_config, format_table, speedup, write_json, SEQUENCERS, WORKERS};
+use misp_core::MispTopology;
+use misp_workloads::{catalog, runner};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    workload: String,
+    suite: String,
+    serial_cycles: u64,
+    misp_cycles: u64,
+    smp_cycles: u64,
+    misp_speedup: f64,
+    smp_speedup: f64,
+    misp_vs_smp_percent: f64,
+}
+
+fn main() {
+    let config = experiment_config();
+    let topology = MispTopology::uniprocessor(SEQUENCERS - 1).expect("valid topology");
+    let mut rows = Vec::new();
+
+    for workload in catalog::all() {
+        let serial = runner::run_serial(&workload, config, WORKERS).expect("serial run");
+        let misp =
+            runner::run_on_misp(&workload, &topology, config, WORKERS).expect("MISP run");
+        let smp = runner::run_on_smp(&workload, SEQUENCERS, config, WORKERS).expect("SMP run");
+        let misp_speedup = speedup(serial.total_cycles, misp.total_cycles);
+        let smp_speedup = speedup(serial.total_cycles, smp.total_cycles);
+        rows.push(Row {
+            workload: workload.name().to_string(),
+            suite: workload.suite().label().to_string(),
+            serial_cycles: serial.total_cycles.as_u64(),
+            misp_cycles: misp.total_cycles.as_u64(),
+            smp_cycles: smp.total_cycles.as_u64(),
+            misp_speedup,
+            smp_speedup,
+            misp_vs_smp_percent: (misp_speedup / smp_speedup - 1.0) * 100.0,
+        });
+    }
+
+    println!("Figure 4 - MISP Performance: 1 OMS + 7 AMS (speedup vs. 1P performance)");
+    println!();
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.suite.clone(),
+                format!("{:.2}", r.misp_speedup),
+                format!("{:.2}", r.smp_speedup),
+                format!("{:+.2}%", r.misp_vs_smp_percent),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["workload", "suite", "MISP speedup", "SMP speedup", "MISP vs SMP"],
+            &table_rows
+        )
+    );
+
+    let rms: Vec<&Row> = rows.iter().filter(|r| r.suite == "RMS").collect();
+    let spec: Vec<&Row> = rows.iter().filter(|r| r.suite == "SPEComp").collect();
+    let avg = |rs: &[&Row]| -> f64 {
+        rs.iter().map(|r| r.misp_vs_smp_percent).sum::<f64>() / rs.len().max(1) as f64
+    };
+    println!("RMS workloads:     MISP runs {:+.2}% vs SMP on average (paper: -1.5%)", avg(&rms));
+    println!("SPEComp workloads: MISP runs {:+.2}% vs SMP on average (paper: +1.9%)", avg(&spec));
+
+    if let Some(path) = write_json("fig4", &rows) {
+        println!("\nresults written to {}", path.display());
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 5 — Sensitivity to signal cost: the overhead each signal-latency
+//! design point (500, 1000, 5000 cycles) adds relative to an ideal zero-cost
+//! signaling implementation.
+//!
+//! Two methods are reported: (a) *measured* — the workload is re-simulated at
+//! each signal cost and compared against the ideal-signal run, and (b)
+//! *analytic* — the paper's Equations 1–3 applied to the serializing-event
+//! counts, which is how the paper itself derives Figure 5.
+//!
+//! Regenerate with `cargo run --release -p misp-bench --bin fig5`.
+
+use misp_bench::{config_with_signal, format_table, write_json, SEQUENCERS, WORKERS};
+use misp_core::{MispTopology, OverheadModel};
+use misp_types::SignalCost;
+use misp_workloads::{catalog, runner};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    workload: String,
+    measured_500: f64,
+    measured_1000: f64,
+    measured_5000: f64,
+    analytic_500: f64,
+    analytic_1000: f64,
+    analytic_5000: f64,
+}
+
+fn main() {
+    let topology = MispTopology::uniprocessor(SEQUENCERS - 1).expect("valid topology");
+    let mut rows = Vec::new();
+
+    for workload in catalog::all() {
+        let ideal = runner::run_on_misp(
+            &workload,
+            &topology,
+            config_with_signal(SignalCost::Ideal),
+            WORKERS,
+        )
+        .expect("ideal run");
+        let ideal_cycles = ideal.total_cycles;
+        // Events that serialize: OMS-originated events and AMS proxy events.
+        let oms_events = ideal.stats.oms_events.total();
+        let ams_events = ideal.stats.ams_events.total();
+
+        let mut measured = [0.0f64; 3];
+        let mut analytic = [0.0f64; 3];
+        for (i, cost) in SignalCost::figure5_points().iter().enumerate() {
+            let run = runner::run_on_misp(
+                &workload,
+                &topology,
+                config_with_signal(*cost),
+                WORKERS,
+            )
+            .expect("signal-cost run");
+            measured[i] = (run.total_cycles.as_f64() / ideal_cycles.as_f64() - 1.0) * 100.0;
+            let model =
+                OverheadModel::new(misp_types::CostModel::builder().signal(*cost).build());
+            analytic[i] = model.overhead_fraction(oms_events, ams_events, ideal_cycles) * 100.0;
+        }
+
+        rows.push(Row {
+            workload: workload.name().to_string(),
+            measured_500: measured[0],
+            measured_1000: measured[1],
+            measured_5000: measured[2],
+            analytic_500: analytic[0],
+            analytic_1000: analytic[1],
+            analytic_5000: analytic[2],
+        });
+    }
+
+    println!("Figure 5 - Sensitivity to Signal Cost (% overhead over ideal zero-cost signaling)");
+    println!();
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                format!("{:.3}%", r.measured_500),
+                format!("{:.3}%", r.measured_1000),
+                format!("{:.3}%", r.measured_5000),
+                format!("{:.3}%", r.analytic_5000),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["workload", "500 cyc", "1000 cyc", "5000 cyc", "5000 cyc (Eq. 1-3)"],
+            &table_rows
+        )
+    );
+
+    let avg_5000: f64 = rows.iter().map(|r| r.measured_5000).sum::<f64>() / rows.len() as f64;
+    let worst = rows
+        .iter()
+        .max_by(|a, b| a.measured_5000.total_cmp(&b.measured_5000))
+        .expect("non-empty");
+    println!(
+        "5000-cycle signaling costs {avg_5000:.2}% on average and {:.2}% in the worst case ({}) \
+         (paper: 0.15% average, 0.65% worst case)",
+        worst.measured_5000, worst.workload
+    );
+
+    if let Some(path) = write_json("fig5", &rows) {
+        println!("\nresults written to {}", path.display());
+    }
+}

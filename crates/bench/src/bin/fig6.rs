@@ -1,0 +1,84 @@
+//! Figure 6 — MISP MP configurations: the machine partitionings evaluated in
+//! the multiprocessor study (4×2, 2×4, 1×8 and the uneven 1×4+4), validated
+//! structurally and printed.
+//!
+//! Regenerate with `cargo run --release -p misp-bench --bin fig6`.
+
+use misp_bench::{format_table, write_json};
+use misp_core::MispTopology;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    configuration: String,
+    description: String,
+    processors: usize,
+    total_sequencers: usize,
+    oms_count: usize,
+    ams_count: usize,
+    per_processor_ams: Vec<usize>,
+}
+
+fn describe(name: &str, topo: &MispTopology) -> Row {
+    Row {
+        configuration: name.to_string(),
+        description: topo.describe(),
+        processors: topo.processors().len(),
+        total_sequencers: topo.total_sequencers(),
+        oms_count: topo.all_oms().len(),
+        ams_count: topo.total_ams(),
+        per_processor_ams: topo.processors().iter().map(|p| p.ams().len()).collect(),
+    }
+}
+
+fn main() {
+    let configs = vec![
+        ("4x2", MispTopology::config_4x2()),
+        ("2x4", MispTopology::config_2x4()),
+        ("1x8", MispTopology::config_1x8()),
+        ("1x4+4", MispTopology::config_uneven(3, 4)),
+        ("1x7+1", MispTopology::config_uneven(6, 1)),
+        ("1x6+2", MispTopology::config_uneven(5, 2)),
+        ("1x5+3", MispTopology::config_uneven(4, 3)),
+    ];
+
+    let rows: Vec<Row> = configs.iter().map(|(n, t)| describe(n, t)).collect();
+
+    // Structural invariants the figure depicts: every configuration uses the
+    // same eight sequencers, and the OS sees exactly the OMSs.
+    for (name, topo) in &configs {
+        assert_eq!(topo.total_sequencers(), 8, "{name} must use 8 sequencers");
+        assert_eq!(
+            topo.all_oms().len() + topo.total_ams(),
+            8,
+            "{name} partitions OMSs and AMSs exactly"
+        );
+    }
+
+    println!("Figure 6 - MISP MP Configurations (8 sequencers partitioned into MISP processors)");
+    println!();
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.configuration.clone(),
+                r.description.clone(),
+                r.processors.to_string(),
+                r.oms_count.to_string(),
+                r.ams_count.to_string(),
+                format!("{:?}", r.per_processor_ams),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["config", "shape", "MISP processors", "OS-visible CPUs", "AMSs", "AMS per processor"],
+            &table_rows
+        )
+    );
+
+    if let Some(path) = write_json("fig6", &rows) {
+        println!("results written to {}", path.display());
+    }
+}

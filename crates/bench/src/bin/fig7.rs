@@ -1,0 +1,161 @@
+//! Figure 7 — MISP MP performance: throughput of the shredded RayTracer as
+//! single-threaded competitor processes are added to the system, across MISP
+//! MP configurations, the SMP baseline and the "ideal" partitioning.
+//!
+//! Every series is normalized to the unloaded 1×8 configuration, so the
+//! figure reads as "what fraction of the machine's dedicated-RayTracer
+//! throughput remains at this load".
+//!
+//! Regenerate with `cargo run --release -p misp-bench --bin fig7`.
+
+use misp_bench::{experiment_config, format_table, write_json};
+use misp_core::{MispMachine, MispTopology};
+use misp_isa::ProgramLibrary;
+use misp_sim::SimConfig;
+use misp_smp::SmpMachine;
+use misp_types::Cycles;
+use misp_workloads::{catalog, competitor};
+use serde::Serialize;
+
+/// RayTracer is decomposed into many more shreds than sequencers so the work
+/// queue can balance load when some sequencers run slower (the paper's
+/// RayTracer is a task-queue renderer).
+const RAYTRACER_SHREDS: usize = 64;
+/// Competitor processes run long enough to outlast the measured RayTracer.
+const COMPETITOR_CYCLES: u64 = 12_000_000_000;
+const MAX_LOAD: usize = 4;
+
+fn raytracer_on_misp(topology: &MispTopology, competitors: usize, config: SimConfig) -> Cycles {
+    let workload = catalog::by_name("RayTracer").expect("catalog contains RayTracer");
+    let mut library = ProgramLibrary::new();
+    let scheduler = workload.build(&mut library, RAYTRACER_SHREDS);
+    let competitor_programs: Vec<_> = (0..competitors)
+        .map(|i| competitor::competitor_program(&mut library, i, COMPETITOR_CYCLES))
+        .collect();
+
+    let mut machine = MispMachine::new(topology.clone(), config, library);
+    let ray = machine.add_process("RayTracer", Box::new(scheduler), Some(0));
+    for proc_idx in 1..topology.processors().len() {
+        // The shredded application spans every MISP processor with one OS
+        // thread each, except in the uneven configurations where the extra
+        // processors are plain single-sequencer CPUs reserved for other work.
+        if !topology.processors()[proc_idx].ams().is_empty() {
+            machine.add_thread(ray, Some(proc_idx));
+        }
+    }
+    for program in competitor_programs {
+        machine.add_process(
+            "competitor",
+            Box::new(competitor::competitor_runtime(program)),
+            None,
+        );
+    }
+    machine.set_measured(vec![ray]);
+    machine.run().expect("MISP MP run").total_cycles
+}
+
+fn raytracer_on_smp(cores: usize, competitors: usize, config: SimConfig) -> Cycles {
+    let workload = catalog::by_name("RayTracer").expect("catalog contains RayTracer");
+    let mut library = ProgramLibrary::new();
+    let scheduler = workload.build(&mut library, RAYTRACER_SHREDS);
+    let competitor_programs: Vec<_> = (0..competitors)
+        .map(|i| competitor::competitor_program(&mut library, i, COMPETITOR_CYCLES))
+        .collect();
+
+    let mut machine = SmpMachine::new(cores, config, library);
+    let ray = machine.add_process("RayTracer", Box::new(scheduler), Some(0));
+    for core in 1..cores {
+        machine.add_thread(ray, Some(core));
+    }
+    for program in competitor_programs {
+        machine.add_process(
+            "competitor",
+            Box::new(competitor::competitor_runtime(program)),
+            None,
+        );
+    }
+    machine.set_measured(vec![ray]);
+    machine.run().expect("SMP run").total_cycles
+}
+
+#[derive(Debug, Serialize)]
+struct Series {
+    configuration: String,
+    /// Normalized throughput at load 0, 1, 2, 3, 4.
+    speedup_vs_unloaded: Vec<f64>,
+}
+
+fn main() {
+    let config = experiment_config();
+    let baseline = raytracer_on_misp(&MispTopology::config_1x8(), 0, config);
+    println!(
+        "Figure 7 - MISP MP Performance (RayTracer, normalized to the unloaded 1x8 run: {} cycles)",
+        baseline.as_u64()
+    );
+    println!();
+
+    let mut series = Vec::new();
+
+    // Ideal: at load k the machine is repartitioned so the k competitors each
+    // get a dedicated single-sequencer processor.
+    let ideal: Vec<f64> = (0..=MAX_LOAD)
+        .map(|load| {
+            let topo = MispTopology::config_uneven(7 - load, load);
+            baseline.as_f64() / raytracer_on_misp(&topo, load, config).as_f64()
+        })
+        .collect();
+    series.push(Series {
+        configuration: "ideal".to_string(),
+        speedup_vs_unloaded: ideal,
+    });
+
+    let smp: Vec<f64> = (0..=MAX_LOAD)
+        .map(|load| baseline.as_f64() / raytracer_on_smp(8, load, config).as_f64())
+        .collect();
+    series.push(Series {
+        configuration: "smp".to_string(),
+        speedup_vs_unloaded: smp,
+    });
+
+    let fixed_configs = vec![
+        ("4x2", MispTopology::config_4x2()),
+        ("2x4", MispTopology::config_2x4()),
+        ("1x8", MispTopology::config_1x8()),
+        ("1x7+1", MispTopology::config_uneven(6, 1)),
+        ("1x6+2", MispTopology::config_uneven(5, 2)),
+        ("1x5+3", MispTopology::config_uneven(4, 3)),
+        ("1x4+4", MispTopology::config_uneven(3, 4)),
+    ];
+    for (name, topo) in fixed_configs {
+        let values: Vec<f64> = (0..=MAX_LOAD)
+            .map(|load| baseline.as_f64() / raytracer_on_misp(&topo, load, config).as_f64())
+            .collect();
+        series.push(Series {
+            configuration: name.to_string(),
+            speedup_vs_unloaded: values,
+        });
+    }
+
+    let table_rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.configuration.clone()];
+            row.extend(s.speedup_vs_unloaded.iter().map(|v| format!("{v:.3}")));
+            row
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["config", "load 0", "load 1", "load 2", "load 3", "load 4"],
+            &table_rows
+        )
+    );
+    println!("expected shape (paper): 1x8 degrades nearly linearly; adding MISP processors");
+    println!("(4x2, 2x4) improves scaling; the ideal partitioning tracks (8-load)/8; SMP");
+    println!("degrades most gracefully because the OS balances threads across all cores.");
+
+    if let Some(path) = write_json("fig7", &series) {
+        println!("\nresults written to {}", path.display());
+    }
+}

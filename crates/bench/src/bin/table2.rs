@@ -1,0 +1,96 @@
+//! Table 2 — Applications ported to the MISP architecture.
+//!
+//! The paper reports human porting effort in days, which cannot be
+//! re-measured; what *can* be reproduced is the mechanism that made the effort
+//! small: ShredLib's thread-to-shred API mapping.  For each Table 2
+//! application this harness analyses the threading-API surface the application
+//! uses and reports how much of it the compatibility layer translates
+//! mechanically (include one header and recompile) versus how much needs
+//! structural attention — which is exactly the distinction the paper draws
+//! (only the Open Dynamics Engine required restructuring).
+//!
+//! Regenerate with `cargo run --release -p misp-bench --bin table2`.
+
+use misp_bench::{format_table, write_json};
+use misp_workloads::catalog;
+use serde::Serialize;
+use shredlib::compat;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    application: String,
+    description: String,
+    api_calls_analysed: usize,
+    mechanical: usize,
+    structural: usize,
+    unmapped: usize,
+    mechanical_percent: f64,
+    paper_effort_days: f64,
+    paper_structural_changes: bool,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for app in catalog::table2_applications() {
+        let report = compat::coverage(app.functions.iter().copied());
+        rows.push(Row {
+            application: app.name.to_string(),
+            description: app.description.to_string(),
+            api_calls_analysed: report.total(),
+            mechanical: report.mechanical.len(),
+            structural: report.structural.len(),
+            unmapped: report.unmapped.len(),
+            mechanical_percent: report.mechanical_fraction() * 100.0,
+            paper_effort_days: app.paper_days,
+            paper_structural_changes: app.structural_changes,
+        });
+    }
+
+    println!("Table 2 - Applications Ported to the MISP Architecture");
+    println!("(porting-days cannot be re-measured; the reproduced quantity is the coverage of");
+    println!(" each application's threading-API surface by ShredLib's thread-to-shred mapping)");
+    println!();
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.application.clone(),
+                r.api_calls_analysed.to_string(),
+                r.mechanical.to_string(),
+                r.structural.to_string(),
+                format!("{:.0}%", r.mechanical_percent),
+                format!("{}", r.paper_effort_days),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "application",
+                "API calls",
+                "mechanical",
+                "needs attention",
+                "mechanical %",
+                "paper days"
+            ],
+            &table_rows
+        )
+    );
+
+    // The correlation the paper's Table 2 demonstrates: applications whose API
+    // surface maps mechanically ported in days or less; the one structural
+    // port (Open Dynamics Engine) is the one whose API surface includes calls
+    // the mapping flags as needing attention.
+    let flagged: Vec<&Row> = rows.iter().filter(|r| r.structural > 0).collect();
+    println!(
+        "{} of {} applications have API uses flagged as non-mechanical; the paper reports \
+         structural changes for exactly one application (Open Dynamics Engine).",
+        flagged.len(),
+        rows.len()
+    );
+
+    if let Some(path) = write_json("table2", &rows) {
+        println!("\nresults written to {}", path.display());
+    }
+}

@@ -1,0 +1,144 @@
+//! Shared infrastructure for the experiment harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the MISP
+//! paper (see DESIGN.md's experiment index).  This library provides the
+//! common pieces: the experiment configuration, text-table formatting, and
+//! JSON result emission into the repository's `results/` directory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use misp_os::TimerConfig;
+use misp_sim::SimConfig;
+use misp_types::{CostModel, Cycles, SignalCost};
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Number of hardware contexts in the paper's evaluation machine.
+pub const SEQUENCERS: usize = 8;
+
+/// Number of worker shreds used by the Figure 4 / Table 1 / Figure 5 runs
+/// (one per hardware context, as the OpenMP runtime would configure).
+pub const WORKERS: usize = 8;
+
+/// The simulation configuration shared by all experiments: the paper's
+/// 5000-cycle microcode signal estimate and a 1 ms (at 3 GHz) timer tick.
+#[must_use]
+pub fn experiment_config() -> SimConfig {
+    SimConfig {
+        costs: CostModel::default(),
+        timer: TimerConfig::new(Cycles::new(3_000_000), 10),
+        ..SimConfig::default()
+    }
+}
+
+/// The experiment configuration with a specific signal cost (Figure 5 sweep).
+#[must_use]
+pub fn config_with_signal(signal: SignalCost) -> SimConfig {
+    let base = experiment_config();
+    base.with_costs(CostModel::builder().signal(signal).build())
+}
+
+/// Formats a text table with a header row, column alignment and a separator.
+#[must_use]
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
+        .collect();
+    out.push_str(&header_line.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `value` as pretty JSON to `results/<name>.json` (relative to the
+/// workspace root if run from there, otherwise the current directory) and
+/// returns the path written.  Failures are reported but not fatal — the
+/// textual output on stdout is the primary artifact.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    let dir = PathBuf::from("results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: could not write {}: {e}", path.display());
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("warning: could not serialize {name}: {e}");
+            None
+        }
+    }
+}
+
+/// Computes a speedup ratio, guarding against a zero denominator.
+#[must_use]
+pub fn speedup(reference: Cycles, measured: Cycles) -> f64 {
+    if measured.is_zero() {
+        0.0
+    } else {
+        reference.as_f64() / measured.as_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_config_uses_paper_signal_estimate() {
+        let c = experiment_config();
+        assert_eq!(c.costs.signal_cycles(), Cycles::new(5_000));
+        let ideal = config_with_signal(SignalCost::Ideal);
+        assert_eq!(ideal.costs.signal_cycles(), Cycles::ZERO);
+        assert_eq!(ideal.timer, c.timer);
+    }
+
+    #[test]
+    fn table_formatting_aligns_columns() {
+        let t = format_table(
+            &["name", "value"],
+            &[
+                vec!["a".to_string(), "1".to_string()],
+                vec!["longer-name".to_string(), "2.5".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a "));
+        assert!(lines[3].starts_with("longer-name"));
+    }
+
+    #[test]
+    fn speedup_handles_zero() {
+        assert_eq!(speedup(Cycles::new(100), Cycles::ZERO), 0.0);
+        assert!((speedup(Cycles::new(100), Cycles::new(50)) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,166 @@
+//! The analytic overhead model of Section 5.1 (Equations 1–3).
+
+use misp_types::{CostModel, Cycles};
+
+/// The paper's analytic model of MISP synchrony overhead.
+///
+/// Section 5.1 expresses the three overhead categories in terms of the
+/// inter-sequencer `signal` latency and the privileged service time `priv`:
+///
+/// * Equation 1 — serialization across an OMS ring transition:
+///   `serialize = 2 × signal + priv`
+/// * Equation 2 — overhead incurred by a shred requiring proxy execution:
+///   `proxy_egress = 3 × signal`
+/// * Equation 3 — overhead incurred by the OMS to handle the proxy request:
+///   `proxy_ingress = signal + serialize`
+///
+/// Figure 5 applies these equations to the serializing-event counts of
+/// Table 1 to compute the extra time each signal-cost design point adds over
+/// an ideal (zero-cost) implementation; [`OverheadModel::signal_overhead`] and
+/// [`OverheadModel::overhead_fraction`] perform that computation.
+///
+/// # Examples
+///
+/// ```
+/// use misp_core::OverheadModel;
+/// use misp_types::{CostModel, Cycles, SignalCost};
+///
+/// let model = OverheadModel::new(CostModel::default()); // 5000-cycle signal
+/// assert_eq!(model.serialize(Cycles::new(8_000)), Cycles::new(18_000));
+/// assert_eq!(model.proxy_egress(), Cycles::new(15_000));
+/// assert_eq!(model.proxy_ingress(Cycles::new(8_000)), Cycles::new(23_000));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadModel {
+    costs: CostModel,
+}
+
+impl OverheadModel {
+    /// Creates the model from a cost model (only the signal latency is used by
+    /// the equations; `priv` is supplied per call).
+    #[must_use]
+    pub fn new(costs: CostModel) -> Self {
+        OverheadModel { costs }
+    }
+
+    /// The signal latency used by the model.
+    #[must_use]
+    pub fn signal(&self) -> Cycles {
+        self.costs.signal_cycles()
+    }
+
+    /// Equation 1: serialization overhead across an OMS ring transition with
+    /// privileged service time `priv_time`.
+    #[must_use]
+    pub fn serialize(&self, priv_time: Cycles) -> Cycles {
+        self.signal() * 2 + priv_time
+    }
+
+    /// Equation 2: overhead incurred by a shred whose AMS requests proxy
+    /// execution (excludes the privileged service itself, which an SMP system
+    /// would also pay).
+    #[must_use]
+    pub fn proxy_egress(&self) -> Cycles {
+        self.signal() * 3
+    }
+
+    /// Equation 3: overhead incurred by the OMS to handle a proxy request
+    /// with privileged service time `priv_time`.
+    #[must_use]
+    pub fn proxy_ingress(&self, priv_time: Cycles) -> Cycles {
+        self.signal() + self.serialize(priv_time)
+    }
+
+    /// The signal-induced overhead (the part that disappears under an ideal
+    /// zero-cost signal implementation) accumulated over a run with
+    /// `oms_events` serializing events originating on OMSs and `ams_events`
+    /// proxy-execution events originating on AMSs.
+    ///
+    /// Per Section 5.3's methodology, OMS-originated events contribute the
+    /// signal part of Equation 1 (`2 × signal`) and AMS-originated events the
+    /// signal part of Equation 2 plus the extra OMS signal of Equation 3
+    /// (`3 × signal`).
+    #[must_use]
+    pub fn signal_overhead(&self, oms_events: u64, ams_events: u64) -> Cycles {
+        self.signal() * (2 * oms_events) + self.signal() * (3 * ams_events)
+    }
+
+    /// The overhead of this signal-cost design point relative to an ideal
+    /// zero-cost implementation, as a fraction of `ideal_runtime` — the
+    /// quantity plotted in Figure 5.
+    #[must_use]
+    pub fn overhead_fraction(
+        &self,
+        oms_events: u64,
+        ams_events: u64,
+        ideal_runtime: Cycles,
+    ) -> f64 {
+        if ideal_runtime.is_zero() {
+            return 0.0;
+        }
+        self.signal_overhead(oms_events, ams_events).as_f64() / ideal_runtime.as_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use misp_types::SignalCost;
+
+    fn model(signal: SignalCost) -> OverheadModel {
+        OverheadModel::new(CostModel::builder().signal(signal).build())
+    }
+
+    #[test]
+    fn equations_match_paper_with_5000_cycle_signal() {
+        let m = model(SignalCost::Microcode5000);
+        let priv_time = Cycles::new(10_000);
+        assert_eq!(m.serialize(priv_time), Cycles::new(20_000));
+        assert_eq!(m.proxy_egress(), Cycles::new(15_000));
+        assert_eq!(m.proxy_ingress(priv_time), Cycles::new(25_000));
+        assert_eq!(m.signal(), Cycles::new(5_000));
+    }
+
+    #[test]
+    fn ideal_signal_has_zero_signal_overhead() {
+        let m = model(SignalCost::Ideal);
+        assert_eq!(m.serialize(Cycles::new(123)), Cycles::new(123));
+        assert_eq!(m.proxy_egress(), Cycles::ZERO);
+        assert_eq!(m.signal_overhead(1_000, 1_000), Cycles::ZERO);
+        assert_eq!(m.overhead_fraction(1_000, 1_000, Cycles::new(1_000_000)), 0.0);
+    }
+
+    #[test]
+    fn signal_overhead_scales_linearly_with_events() {
+        let m = model(SignalCost::Aggressive500);
+        assert_eq!(m.signal_overhead(10, 0), Cycles::new(10_000));
+        assert_eq!(m.signal_overhead(0, 10), Cycles::new(15_000));
+        assert_eq!(m.signal_overhead(10, 10), Cycles::new(25_000));
+    }
+
+    #[test]
+    fn overhead_fraction_is_small_for_realistic_counts() {
+        // Representative of kmeans in Table 1: ~293 OMS events, 2 AMS events
+        // over a multi-second run (here scaled to 5e9 cycles).
+        let m = model(SignalCost::Microcode5000);
+        let frac = m.overhead_fraction(293, 2, Cycles::new(5_000_000_000));
+        assert!(frac < 0.01, "overhead should be well under 1%, got {frac}");
+        assert!(frac > 0.0);
+    }
+
+    #[test]
+    fn overhead_fraction_handles_zero_runtime() {
+        let m = model(SignalCost::Microcode5000);
+        assert_eq!(m.overhead_fraction(10, 10, Cycles::ZERO), 0.0);
+    }
+
+    #[test]
+    fn larger_signal_costs_give_larger_overheads() {
+        let runtime = Cycles::new(1_000_000_000);
+        let f500 = model(SignalCost::Aggressive500).overhead_fraction(1000, 500, runtime);
+        let f1000 = model(SignalCost::Aggressive1000).overhead_fraction(1000, 500, runtime);
+        let f5000 = model(SignalCost::Microcode5000).overhead_fraction(1000, 500, runtime);
+        assert!(f500 < f1000 && f1000 < f5000);
+        assert!((f1000 / f500 - 2.0).abs() < 1e-9, "overhead is linear in signal cost");
+    }
+}

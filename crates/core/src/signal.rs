@@ -1,0 +1,250 @@
+//! The inter-sequencer signaling fabric.
+//!
+//! The `SIGNAL` instruction (Section 2.4) is the user-level dual of the
+//! inter-processor interrupt: it delivers a shred continuation to a
+//! destination sequencer within the same MISP processor.  The fabric also
+//! carries the architecture's internal signals: the suspend/resume broadcasts
+//! used to serialize AMSs across OMS ring transitions, and the proxy-execution
+//! request/completion pairs.
+
+use misp_types::{CostModel, Cycles, SequencerId};
+use serde::{Deserialize, Serialize};
+
+/// The purpose of an inter-sequencer signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignalKind {
+    /// A user-level `SIGNAL` carrying a shred continuation.
+    ShredStart,
+    /// Suspend broadcast sent by the OMS before it executes in Ring 0.
+    Suspend,
+    /// Resume broadcast sent when the OMS returns to Ring 3.
+    Resume,
+    /// Proxy-execution request sent from a faulting AMS to its OMS.
+    ProxyRequest,
+    /// Proxy-execution completion: the OMS hands the restored context back to
+    /// the AMS.
+    ProxyComplete,
+}
+
+/// A record of one signal sent over the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalRecord {
+    /// The sending sequencer.
+    pub from: SequencerId,
+    /// The destination sequencer.
+    pub to: SequencerId,
+    /// The purpose of the signal.
+    pub kind: SignalKind,
+    /// When the signal was sent.
+    pub sent_at: Cycles,
+    /// When the signal arrives at the destination.
+    pub arrives_at: Cycles,
+}
+
+/// The signaling fabric of one MISP machine.
+///
+/// The fabric charges the configured signal latency to every delivery and
+/// keeps per-kind counters (plus an optional bounded history) so experiments
+/// can verify how many signals each mechanism generated.
+///
+/// # Examples
+///
+/// ```
+/// use misp_core::{SignalFabric, SignalKind};
+/// use misp_types::{CostModel, Cycles, SequencerId};
+///
+/// let mut fabric = SignalFabric::new(CostModel::default());
+/// let arrival = fabric.send(
+///     SequencerId::new(1),
+///     SequencerId::new(0),
+///     SignalKind::ProxyRequest,
+///     Cycles::new(1_000),
+/// );
+/// assert_eq!(arrival, Cycles::new(6_000)); // 5000-cycle microcode signal
+/// assert_eq!(fabric.count(SignalKind::ProxyRequest), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SignalFabric {
+    costs: CostModel,
+    counts: [(SignalKind, u64); 5],
+    history: Vec<SignalRecord>,
+    keep_history: bool,
+    history_cap: usize,
+}
+
+impl SignalFabric {
+    /// Creates a fabric with the given cost model and history recording
+    /// disabled.
+    #[must_use]
+    pub fn new(costs: CostModel) -> Self {
+        SignalFabric {
+            costs,
+            counts: [
+                (SignalKind::ShredStart, 0),
+                (SignalKind::Suspend, 0),
+                (SignalKind::Resume, 0),
+                (SignalKind::ProxyRequest, 0),
+                (SignalKind::ProxyComplete, 0),
+            ],
+            history: Vec::new(),
+            keep_history: false,
+            history_cap: 10_000,
+        }
+    }
+
+    /// Enables recording of individual signal records (bounded).
+    pub fn enable_history(&mut self) {
+        self.keep_history = true;
+    }
+
+    /// The signal latency charged per delivery.
+    #[must_use]
+    pub fn latency(&self) -> Cycles {
+        self.costs.signal_cycles()
+    }
+
+    /// Sends a signal at `now`, returning its arrival time at the
+    /// destination.
+    pub fn send(
+        &mut self,
+        from: SequencerId,
+        to: SequencerId,
+        kind: SignalKind,
+        now: Cycles,
+    ) -> Cycles {
+        let arrives_at = now + self.latency();
+        for (k, c) in &mut self.counts {
+            if *k == kind {
+                *c += 1;
+            }
+        }
+        if self.keep_history && self.history.len() < self.history_cap {
+            self.history.push(SignalRecord {
+                from,
+                to,
+                kind,
+                sent_at: now,
+                arrives_at,
+            });
+        }
+        arrives_at
+    }
+
+    /// Broadcasts a signal from `from` to every sequencer in `targets`,
+    /// returning the common arrival time.  The paper assumes all AMSs can be
+    /// signaled simultaneously (Section 5.1), so a broadcast costs one signal
+    /// latency regardless of fan-out.
+    pub fn broadcast(
+        &mut self,
+        from: SequencerId,
+        targets: &[SequencerId],
+        kind: SignalKind,
+        now: Cycles,
+    ) -> Cycles {
+        let mut arrival = now + self.latency();
+        for &t in targets {
+            arrival = self.send(from, t, kind, now);
+        }
+        arrival
+    }
+
+    /// Number of signals sent with the given kind.
+    #[must_use]
+    pub fn count(&self, kind: SignalKind) -> u64 {
+        self.counts
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Total signals sent across all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|(_, c)| *c).sum()
+    }
+
+    /// The recorded signal history (empty unless enabled).
+    #[must_use]
+    pub fn history(&self) -> &[SignalRecord] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use misp_types::SignalCost;
+
+    #[test]
+    fn send_charges_latency_and_counts() {
+        let costs = CostModel::builder().signal(SignalCost::Aggressive500).build();
+        let mut f = SignalFabric::new(costs);
+        let arrival = f.send(
+            SequencerId::new(0),
+            SequencerId::new(1),
+            SignalKind::Suspend,
+            Cycles::new(100),
+        );
+        assert_eq!(arrival, Cycles::new(600));
+        assert_eq!(f.count(SignalKind::Suspend), 1);
+        assert_eq!(f.count(SignalKind::Resume), 0);
+        assert_eq!(f.total(), 1);
+        assert_eq!(f.latency(), Cycles::new(500));
+    }
+
+    #[test]
+    fn broadcast_counts_every_target_but_costs_one_latency() {
+        let mut f = SignalFabric::new(CostModel::default());
+        let targets: Vec<SequencerId> = (1..8).map(SequencerId::new).collect();
+        let arrival = f.broadcast(SequencerId::new(0), &targets, SignalKind::Suspend, Cycles::ZERO);
+        assert_eq!(arrival, Cycles::new(5_000), "simultaneous broadcast");
+        assert_eq!(f.count(SignalKind::Suspend), 7);
+    }
+
+    #[test]
+    fn broadcast_to_no_targets_still_returns_latency() {
+        let mut f = SignalFabric::new(CostModel::default());
+        let arrival = f.broadcast(SequencerId::new(0), &[], SignalKind::Resume, Cycles::new(10));
+        assert_eq!(arrival, Cycles::new(5_010));
+        assert_eq!(f.count(SignalKind::Resume), 0);
+    }
+
+    #[test]
+    fn history_is_opt_in_and_records_endpoints() {
+        let mut f = SignalFabric::new(CostModel::default());
+        f.send(
+            SequencerId::new(2),
+            SequencerId::new(0),
+            SignalKind::ProxyRequest,
+            Cycles::new(7),
+        );
+        assert!(f.history().is_empty());
+        f.enable_history();
+        f.send(
+            SequencerId::new(2),
+            SequencerId::new(0),
+            SignalKind::ProxyRequest,
+            Cycles::new(9),
+        );
+        assert_eq!(f.history().len(), 1);
+        let r = f.history()[0];
+        assert_eq!(r.from, SequencerId::new(2));
+        assert_eq!(r.to, SequencerId::new(0));
+        assert_eq!(r.sent_at, Cycles::new(9));
+        assert_eq!(r.arrives_at, Cycles::new(5_009));
+    }
+
+    #[test]
+    fn ideal_signal_cost_is_free() {
+        let costs = CostModel::builder().signal(SignalCost::Ideal).build();
+        let mut f = SignalFabric::new(costs);
+        let arrival = f.send(
+            SequencerId::new(0),
+            SequencerId::new(1),
+            SignalKind::ShredStart,
+            Cycles::new(42),
+        );
+        assert_eq!(arrival, Cycles::new(42));
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-process address spaces and page residency.
+
+use misp_types::PageId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Residency state of a virtual page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageState {
+    /// The page has never been touched; the next access raises a compulsory
+    /// page fault.
+    Untouched,
+    /// The page is resident in physical memory; accesses proceed without OS
+    /// involvement (aside from possible TLB misses).
+    Resident,
+}
+
+/// A process's virtual address space: the page table plus residency metadata.
+///
+/// The model is intentionally simple — the paper's evaluation only depends on
+/// *when* a page fault occurs (first touch) and *which sequencer* touches the
+/// page first, because that determines whether the fault is handled locally on
+/// the OMS or via proxy execution from an AMS.
+///
+/// # Examples
+///
+/// ```
+/// use misp_mem::AddressSpace;
+/// use misp_types::{PageId, VirtAddr};
+///
+/// let mut space = AddressSpace::new();
+/// assert!(!space.is_resident(PageId::new(4)));
+/// let faulted = space.touch(VirtAddr::new(4 * 4096).page());
+/// assert!(faulted, "first touch is a compulsory fault");
+/// assert!(!space.touch(PageId::new(4)), "second touch hits");
+/// assert_eq!(space.resident_pages(), 1);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressSpace {
+    pages: HashMap<PageId, PageState>,
+    compulsory_faults: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space with no resident pages.
+    #[must_use]
+    pub fn new() -> Self {
+        AddressSpace::default()
+    }
+
+    /// Returns `true` if `page` is resident.
+    #[must_use]
+    pub fn is_resident(&self, page: PageId) -> bool {
+        matches!(self.pages.get(&page), Some(PageState::Resident))
+    }
+
+    /// Touches `page`: returns `true` if the touch raised a compulsory page
+    /// fault (i.e. the page was not yet resident), after which the page is
+    /// resident.
+    pub fn touch(&mut self, page: PageId) -> bool {
+        let entry = self.pages.entry(page).or_insert(PageState::Untouched);
+        if *entry == PageState::Resident {
+            false
+        } else {
+            *entry = PageState::Resident;
+            self.compulsory_faults += 1;
+            true
+        }
+    }
+
+    /// Pre-faults `page` without counting it as a compulsory fault *event*
+    /// observed during parallel execution.  This models the OMS probing each
+    /// page in the serial region before starting shreds (the optimization
+    /// suggested in Section 5.3); the fault still happens, but on the OMS
+    /// during serial execution where it does not serialize any AMS.
+    pub fn pretouch(&mut self, page: PageId) {
+        self.pages.insert(page, PageState::Resident);
+    }
+
+    /// Evicts `page` from physical memory (used by failure-injection tests and
+    /// by workloads that model working sets larger than memory).
+    pub fn evict(&mut self, page: PageId) {
+        self.pages.remove(&page);
+    }
+
+    /// Number of currently resident pages.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages
+            .values()
+            .filter(|s| **s == PageState::Resident)
+            .count()
+    }
+
+    /// Total number of compulsory faults taken by this address space since
+    /// creation (pre-touched pages excluded).
+    #[must_use]
+    pub fn compulsory_faults(&self) -> u64 {
+        self.compulsory_faults
+    }
+
+    /// Iterates over the resident pages in arbitrary order.
+    pub fn iter_resident(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.pages
+            .iter()
+            .filter(|(_, s)| **s == PageState::Resident)
+            .map(|(p, _)| *p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_faults_second_does_not() {
+        let mut s = AddressSpace::new();
+        let p = PageId::new(10);
+        assert!(s.touch(p));
+        assert!(!s.touch(p));
+        assert_eq!(s.compulsory_faults(), 1);
+        assert!(s.is_resident(p));
+    }
+
+    #[test]
+    fn pretouch_makes_resident_without_fault_count() {
+        let mut s = AddressSpace::new();
+        let p = PageId::new(3);
+        s.pretouch(p);
+        assert!(s.is_resident(p));
+        assert!(!s.touch(p));
+        assert_eq!(s.compulsory_faults(), 0);
+    }
+
+    #[test]
+    fn evict_forces_refault() {
+        let mut s = AddressSpace::new();
+        let p = PageId::new(7);
+        assert!(s.touch(p));
+        s.evict(p);
+        assert!(!s.is_resident(p));
+        assert!(s.touch(p));
+        assert_eq!(s.compulsory_faults(), 2);
+    }
+
+    #[test]
+    fn resident_page_accounting() {
+        let mut s = AddressSpace::new();
+        for i in 0..5 {
+            s.touch(PageId::new(i));
+        }
+        assert_eq!(s.resident_pages(), 5);
+        let mut pages: Vec<u64> = s.iter_resident().map(|p| p.number()).collect();
+        pages.sort_unstable();
+        assert_eq!(pages, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn distinct_pages_fault_independently() {
+        let mut s = AddressSpace::new();
+        assert!(s.touch(PageId::new(1)));
+        assert!(s.touch(PageId::new(2)));
+        assert_eq!(s.compulsory_faults(), 2);
+    }
+}

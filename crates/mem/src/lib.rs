@@ -1,0 +1,58 @@
+//! Virtual-memory substrate for the MISP simulator.
+//!
+//! Section 2.3 of the MISP paper requires all sequencers of a MISP processor
+//! to share one virtual address space, synchronized on the Ring 0 control
+//! registers (CR3) whenever the OS-managed sequencer leaves Ring 0.  Table 1
+//! of the evaluation shows that compulsory page faults dominate the
+//! serializing events, and Section 5.3 points out that most of them could be
+//! eliminated by pre-touching pages.
+//!
+//! This crate provides everything the simulator needs to reproduce that
+//! behaviour:
+//!
+//! * [`AddressSpace`] — a per-process page table tracking which pages are
+//!   resident; the first touch of a page is a *compulsory* page fault.
+//! * [`Tlb`] — a per-sequencer translation look-aside buffer with LRU
+//!   replacement, flushed on CR3 writes, with misses serviced by the hardware
+//!   page walker (no OS involvement, exactly as the paper describes).
+//! * [`MemorySystem`] — the per-machine aggregation of address spaces and
+//!   per-sequencer TLBs, including CR3 tracking and TLB-shootdown bookkeeping.
+//! * [`WorkingSet`] / [`AccessPattern`] — helpers used by workload generators
+//!   to lay out realistic page footprints.
+//!
+//! # Examples
+//!
+//! ```
+//! use misp_mem::{MemorySystem, MemoryOutcome};
+//! use misp_types::{ProcessId, SequencerId, VirtAddr};
+//!
+//! let mut mem = MemorySystem::new(4, 64);
+//! let pid = ProcessId::new(0);
+//! mem.register_process(pid);
+//! let seq = SequencerId::new(1);
+//! mem.bind_sequencer(seq, pid);
+//!
+//! // First touch of a page: compulsory page fault.
+//! let outcome = mem.access(seq, VirtAddr::new(0x10_0000));
+//! assert!(outcome.page_fault);
+//! // Second touch: the page is resident and now cached in the TLB.
+//! let outcome = mem.access(seq, VirtAddr::new(0x10_0008));
+//! assert!(!outcome.page_fault);
+//! assert!(outcome.tlb_hit);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod address_space;
+mod pattern;
+mod system;
+mod tlb;
+mod working_set;
+
+pub use address_space::{AddressSpace, PageState};
+pub use pattern::AccessPattern;
+pub use system::{MemoryOutcome, MemorySystem};
+pub use tlb::{Tlb, TlbStats};
+pub use working_set::WorkingSet;

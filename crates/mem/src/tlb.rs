@@ -1,0 +1,219 @@
+//! Per-sequencer translation look-aside buffers.
+
+use misp_types::PageId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Hit/miss/flush counters for one TLB.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Number of lookups that hit.
+    pub hits: u64,
+    /// Number of lookups that missed (serviced by the hardware page walker).
+    pub misses: u64,
+    /// Number of full flushes (CR3 writes and explicit shootdowns).
+    pub flushes: u64,
+}
+
+impl TlbStats {
+    /// Hit rate in the range `[0, 1]`; zero when no lookups have occurred.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A per-sequencer TLB with true-LRU replacement.
+///
+/// The paper notes (Section 2.3) that in modern IA-32 implementations a write
+/// to CR3 purges the sequencer's TLB, and that TLB misses are handled
+/// independently by each sequencer's hardware page walker without OS
+/// involvement — so a TLB miss is *not* a serializing event.  The TLB exists
+/// in the model so the memory system can charge the page-walk latency and so
+/// CR3/TLB-shootdown behaviour is observable in tests.
+///
+/// # Examples
+///
+/// ```
+/// use misp_mem::Tlb;
+/// use misp_types::PageId;
+///
+/// let mut tlb = Tlb::new(2);
+/// assert!(!tlb.lookup_insert(PageId::new(1))); // miss
+/// assert!(tlb.lookup_insert(PageId::new(1)));  // hit
+/// assert!(!tlb.lookup_insert(PageId::new(2))); // miss
+/// assert!(!tlb.lookup_insert(PageId::new(3))); // miss, evicts page 1 (LRU)
+/// assert!(!tlb.lookup_insert(PageId::new(1))); // miss again
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tlb {
+    capacity: usize,
+    /// Most-recently-used entry is at the back.
+    entries: VecDeque<PageId>,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-entry TLB would make every access
+    /// a miss and is never a meaningful configuration.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be non-zero");
+        Tlb {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Maximum number of entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of cached translations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the TLB caches no translations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `page`; on a miss, inserts it (evicting the LRU entry if
+    /// full).  Returns `true` on a hit.
+    pub fn lookup_insert(&mut self, page: PageId) -> bool {
+        if let Some(pos) = self.entries.iter().position(|p| *p == page) {
+            // Move to MRU position.
+            self.entries.remove(pos);
+            self.entries.push_back(page);
+            self.stats.hits += 1;
+            true
+        } else {
+            if self.entries.len() == self.capacity {
+                self.entries.pop_front();
+            }
+            self.entries.push_back(page);
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Returns `true` if `page` is currently cached, without affecting LRU
+    /// order or statistics.
+    #[must_use]
+    pub fn contains(&self, page: PageId) -> bool {
+        self.entries.iter().any(|p| *p == page)
+    }
+
+    /// Flushes the entire TLB, as a CR3 write or TLB shootdown IPI does.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.stats.flushes += 1;
+    }
+
+    /// Invalidates a single page translation (e.g. `INVLPG`), if present.
+    pub fn invalidate(&mut self, page: PageId) {
+        if let Some(pos) = self.entries.iter().position(|p| *p == page) {
+            self.entries.remove(pos);
+        }
+    }
+
+    /// Hit/miss/flush statistics accumulated since creation.
+    #[must_use]
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let _ = Tlb::new(0);
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut tlb = Tlb::new(4);
+        assert!(!tlb.lookup_insert(PageId::new(1)));
+        assert!(tlb.lookup_insert(PageId::new(1)));
+        assert_eq!(tlb.stats().hits, 1);
+        assert_eq!(tlb.stats().misses, 1);
+        assert!((tlb.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_rate_with_no_lookups_is_zero() {
+        let tlb = Tlb::new(4);
+        assert_eq!(tlb.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut tlb = Tlb::new(2);
+        tlb.lookup_insert(PageId::new(1));
+        tlb.lookup_insert(PageId::new(2));
+        // Touch 1 so that 2 becomes LRU.
+        tlb.lookup_insert(PageId::new(1));
+        tlb.lookup_insert(PageId::new(3)); // evicts 2
+        assert!(tlb.contains(PageId::new(1)));
+        assert!(!tlb.contains(PageId::new(2)));
+        assert!(tlb.contains(PageId::new(3)));
+        assert_eq!(tlb.len(), 2);
+    }
+
+    #[test]
+    fn flush_clears_and_counts() {
+        let mut tlb = Tlb::new(4);
+        tlb.lookup_insert(PageId::new(1));
+        tlb.lookup_insert(PageId::new(2));
+        tlb.flush();
+        assert!(tlb.is_empty());
+        assert_eq!(tlb.stats().flushes, 1);
+        assert!(!tlb.lookup_insert(PageId::new(1)), "post-flush lookup misses");
+    }
+
+    #[test]
+    fn invalidate_single_entry() {
+        let mut tlb = Tlb::new(4);
+        tlb.lookup_insert(PageId::new(1));
+        tlb.lookup_insert(PageId::new(2));
+        tlb.invalidate(PageId::new(1));
+        assert!(!tlb.contains(PageId::new(1)));
+        assert!(tlb.contains(PageId::new(2)));
+        // Invalidating an absent page is a no-op.
+        tlb.invalidate(PageId::new(99));
+        assert_eq!(tlb.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut tlb = Tlb::new(3);
+        for i in 0..10 {
+            tlb.lookup_insert(PageId::new(i));
+        }
+        assert_eq!(tlb.len(), 3);
+        assert_eq!(tlb.capacity(), 3);
+        // The three most recent pages remain.
+        assert!(tlb.contains(PageId::new(7)));
+        assert!(tlb.contains(PageId::new(8)));
+        assert!(tlb.contains(PageId::new(9)));
+    }
+}

@@ -1,0 +1,164 @@
+//! The shared work queue of the gang scheduler.
+
+use misp_types::ShredId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The order in which ready shreds are dispatched from the work queue.
+///
+/// The paper notes that ShredLib implements several different shred-scheduling
+/// algorithms and can be customized per application (Section 4.2); the
+/// simulator exposes the queue disciplines that matter for the evaluated
+/// workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// First-in first-out: shreds run in creation order (the Figure 3
+    /// example).
+    Fifo,
+    /// Last-in first-out: most recently created shreds run first (better
+    /// locality for recursive divide-and-conquer work).
+    Lifo,
+}
+
+impl Default for SchedulingPolicy {
+    fn default() -> Self {
+        SchedulingPolicy::Fifo
+    }
+}
+
+/// The mutex-protected shared work queue holding ready shred continuations.
+///
+/// In the real runtime the queue holds `<EIP, ESP>` pairs; in the simulator a
+/// ready shred is identified by its [`ShredId`] (its continuation lives in the
+/// engine's shred table).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct WorkQueue {
+    ready: VecDeque<ShredId>,
+    policy: SchedulingPolicy,
+    total_enqueued: u64,
+    max_depth: usize,
+}
+
+impl WorkQueue {
+    /// Creates an empty queue with the given policy.
+    #[must_use]
+    pub fn new(policy: SchedulingPolicy) -> Self {
+        WorkQueue {
+            ready: VecDeque::new(),
+            policy,
+            total_enqueued: 0,
+            max_depth: 0,
+        }
+    }
+
+    /// The scheduling policy.
+    #[must_use]
+    pub fn policy(&self) -> SchedulingPolicy {
+        self.policy
+    }
+
+    /// Adds a ready shred to the queue.
+    pub fn push(&mut self, shred: ShredId) {
+        self.ready.push_back(shred);
+        self.total_enqueued += 1;
+        self.max_depth = self.max_depth.max(self.ready.len());
+    }
+
+    /// Removes and returns the next shred to run according to the policy.
+    pub fn pop(&mut self) -> Option<ShredId> {
+        match self.policy {
+            SchedulingPolicy::Fifo => self.ready.pop_front(),
+            SchedulingPolicy::Lifo => self.ready.pop_back(),
+        }
+    }
+
+    /// Number of shreds currently waiting.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Returns `true` when no shreds are waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ready.is_empty()
+    }
+
+    /// Removes a specific shred from the queue (used when a shred is started
+    /// directly via `SIGNAL` rather than through the queue).  Returns `true`
+    /// if it was present.
+    pub fn remove(&mut self, shred: ShredId) -> bool {
+        if let Some(pos) = self.ready.iter().position(|s| *s == shred) {
+            self.ready.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total number of shreds ever enqueued.
+    #[must_use]
+    pub fn total_enqueued(&self) -> u64 {
+        self.total_enqueued
+    }
+
+    /// The maximum queue depth observed.
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> ShredId {
+        ShredId::new(i)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = WorkQueue::new(SchedulingPolicy::Fifo);
+        for i in 0..3 {
+            q.push(s(i));
+        }
+        assert_eq!(q.pop(), Some(s(0)));
+        assert_eq!(q.pop(), Some(s(1)));
+        assert_eq!(q.pop(), Some(s(2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn lifo_order() {
+        let mut q = WorkQueue::new(SchedulingPolicy::Lifo);
+        for i in 0..3 {
+            q.push(s(i));
+        }
+        assert_eq!(q.pop(), Some(s(2)));
+        assert_eq!(q.pop(), Some(s(1)));
+        assert_eq!(q.pop(), Some(s(0)));
+    }
+
+    #[test]
+    fn statistics_and_remove() {
+        let mut q = WorkQueue::new(SchedulingPolicy::Fifo);
+        q.push(s(0));
+        q.push(s(1));
+        q.push(s(2));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.max_depth(), 3);
+        assert!(q.remove(s(1)));
+        assert!(!q.remove(s(1)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_enqueued(), 3);
+        assert!(!q.is_empty());
+        assert_eq!(q.policy(), SchedulingPolicy::Fifo);
+    }
+
+    #[test]
+    fn default_policy_is_fifo() {
+        assert_eq!(SchedulingPolicy::default(), SchedulingPolicy::Fifo);
+        assert_eq!(WorkQueue::default().policy(), SchedulingPolicy::Fifo);
+    }
+}

@@ -1,0 +1,584 @@
+//! Shred synchronization objects.
+//!
+//! ShredLib implements the POSIX-style synchronization suite over shared
+//! memory (Section 4.2): mutexes, counting semaphores, condition variables,
+//! events and barriers.  The objects here are *descriptions of waiting
+//! relationships*, not host-level locks — blocking a shred means parking it
+//! until another shred's operation readies it again, at which point the gang
+//! scheduler puts it back on the work queue.
+
+use misp_types::{LockId, MispError, Result, ShredId};
+use std::collections::{HashMap, VecDeque};
+
+/// The outcome of a synchronization operation.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SyncOutcome {
+    /// `true` if the calling shred must block.
+    pub block: bool,
+    /// Shreds that became ready as a result of the operation.
+    pub wake: Vec<ShredId>,
+}
+
+impl SyncOutcome {
+    fn proceed() -> Self {
+        SyncOutcome::default()
+    }
+
+    fn blocked() -> Self {
+        SyncOutcome {
+            block: true,
+            wake: Vec::new(),
+        }
+    }
+
+    fn waking(wake: Vec<ShredId>) -> Self {
+        SyncOutcome { block: false, wake }
+    }
+}
+
+/// One synchronization object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncObject {
+    /// A mutual-exclusion lock.
+    Mutex {
+        /// The shred currently holding the mutex.
+        holder: Option<ShredId>,
+        /// Shreds waiting to acquire it, in arrival order.
+        waiters: VecDeque<ShredId>,
+    },
+    /// A counting semaphore.
+    Semaphore {
+        /// Current count.
+        count: u64,
+        /// Shreds waiting for the count to become positive.
+        waiters: VecDeque<ShredId>,
+    },
+    /// A condition variable; each waiter remembers the mutex it released.
+    CondVar {
+        /// Waiting shreds and the mutex each must re-acquire when woken.
+        waiters: VecDeque<(ShredId, LockId)>,
+    },
+    /// A manual-reset event.
+    Event {
+        /// Whether the event is signaled.
+        signaled: bool,
+        /// Shreds waiting for the event to become signaled.
+        waiters: VecDeque<ShredId>,
+    },
+    /// A barrier for a fixed number of participants.
+    Barrier {
+        /// Number of participants required to release the barrier.
+        parties: usize,
+        /// Shreds that have arrived and are waiting.
+        arrived: Vec<ShredId>,
+        /// Number of times the barrier has been released (generation count).
+        generations: u64,
+    },
+}
+
+/// The table of all synchronization objects of one process.
+#[derive(Debug, Default, Clone)]
+pub struct SyncTable {
+    objects: HashMap<LockId, SyncObject>,
+    contention_events: u64,
+}
+
+impl SyncTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        SyncTable::default()
+    }
+
+    /// Pre-registers a barrier for `parties` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn create_barrier(&mut self, id: LockId, parties: usize) {
+        assert!(parties > 0, "a barrier needs at least one participant");
+        self.objects.insert(
+            id,
+            SyncObject::Barrier {
+                parties,
+                arrived: Vec::new(),
+                generations: 0,
+            },
+        );
+    }
+
+    /// Pre-registers a counting semaphore with the given initial count.
+    pub fn create_semaphore(&mut self, id: LockId, initial: u64) {
+        self.objects.insert(
+            id,
+            SyncObject::Semaphore {
+                count: initial,
+                waiters: VecDeque::new(),
+            },
+        );
+    }
+
+    /// Pre-registers an event object.
+    pub fn create_event(&mut self, id: LockId, signaled: bool) {
+        self.objects.insert(
+            id,
+            SyncObject::Event {
+                signaled,
+                waiters: VecDeque::new(),
+            },
+        );
+    }
+
+    /// Number of times a shred had to block because an object was contended.
+    #[must_use]
+    pub fn contention_events(&self) -> u64 {
+        self.contention_events
+    }
+
+    /// The object registered under `id`, if any (primarily for tests and
+    /// introspection).
+    #[must_use]
+    pub fn get(&self, id: LockId) -> Option<&SyncObject> {
+        self.objects.get(&id)
+    }
+
+    fn mutex_entry(&mut self, id: LockId) -> &mut SyncObject {
+        self.objects.entry(id).or_insert(SyncObject::Mutex {
+            holder: None,
+            waiters: VecDeque::new(),
+        })
+    }
+
+    /// Acquires mutex `id` for `shred`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::SynchronizationMisuse`] if `id` names an object of
+    /// a different type or the shred already holds the mutex.
+    pub fn mutex_lock(&mut self, id: LockId, shred: ShredId) -> Result<SyncOutcome> {
+        match self.mutex_entry(id) {
+            SyncObject::Mutex { holder, waiters } => match holder {
+                None => {
+                    *holder = Some(shred);
+                    Ok(SyncOutcome::proceed())
+                }
+                Some(h) if *h == shred => Err(MispError::SynchronizationMisuse(format!(
+                    "shred {shred} attempted to re-acquire mutex {id} it already holds"
+                ))),
+                Some(_) => {
+                    waiters.push_back(shred);
+                    self.contention_events += 1;
+                    Ok(SyncOutcome::blocked())
+                }
+            },
+            _ => Err(MispError::SynchronizationMisuse(format!(
+                "{id} is not a mutex"
+            ))),
+        }
+    }
+
+    /// Releases mutex `id`, which must be held by `shred`.  If another shred
+    /// is waiting, ownership transfers to it and it is woken.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::SynchronizationMisuse`] if the mutex is not held
+    /// by `shred` or `id` is not a mutex.
+    pub fn mutex_unlock(&mut self, id: LockId, shred: ShredId) -> Result<SyncOutcome> {
+        match self.objects.get_mut(&id) {
+            Some(SyncObject::Mutex { holder, waiters }) => {
+                if *holder != Some(shred) {
+                    return Err(MispError::SynchronizationMisuse(format!(
+                        "shred {shred} released mutex {id} it does not hold"
+                    )));
+                }
+                if let Some(next) = waiters.pop_front() {
+                    *holder = Some(next);
+                    Ok(SyncOutcome::waking(vec![next]))
+                } else {
+                    *holder = None;
+                    Ok(SyncOutcome::proceed())
+                }
+            }
+            _ => Err(MispError::SynchronizationMisuse(format!(
+                "{id} is not a mutex"
+            ))),
+        }
+    }
+
+    /// Decrements semaphore `id`, blocking `shred` while the count is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::SynchronizationMisuse`] if `id` is not a
+    /// semaphore.
+    pub fn sem_wait(&mut self, id: LockId, shred: ShredId) -> Result<SyncOutcome> {
+        let entry = self.objects.entry(id).or_insert(SyncObject::Semaphore {
+            count: 0,
+            waiters: VecDeque::new(),
+        });
+        match entry {
+            SyncObject::Semaphore { count, waiters } => {
+                if *count > 0 {
+                    *count -= 1;
+                    Ok(SyncOutcome::proceed())
+                } else {
+                    waiters.push_back(shred);
+                    self.contention_events += 1;
+                    Ok(SyncOutcome::blocked())
+                }
+            }
+            _ => Err(MispError::SynchronizationMisuse(format!(
+                "{id} is not a semaphore"
+            ))),
+        }
+    }
+
+    /// Increments semaphore `id`, waking one waiter if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::SynchronizationMisuse`] if `id` is not a
+    /// semaphore.
+    pub fn sem_post(&mut self, id: LockId) -> Result<SyncOutcome> {
+        let entry = self.objects.entry(id).or_insert(SyncObject::Semaphore {
+            count: 0,
+            waiters: VecDeque::new(),
+        });
+        match entry {
+            SyncObject::Semaphore { count, waiters } => {
+                if let Some(next) = waiters.pop_front() {
+                    Ok(SyncOutcome::waking(vec![next]))
+                } else {
+                    *count += 1;
+                    Ok(SyncOutcome::proceed())
+                }
+            }
+            _ => Err(MispError::SynchronizationMisuse(format!(
+                "{id} is not a semaphore"
+            ))),
+        }
+    }
+
+    /// Atomically releases `mutex` and waits on condition variable `cond`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::SynchronizationMisuse`] if the mutex is not held
+    /// by `shred` or either identifier names an object of the wrong type.
+    pub fn cond_wait(&mut self, cond: LockId, mutex: LockId, shred: ShredId) -> Result<SyncOutcome> {
+        // Release the mutex first; this may wake a mutex waiter.
+        let release = self.mutex_unlock(mutex, shred)?;
+        let entry = self.objects.entry(cond).or_insert(SyncObject::CondVar {
+            waiters: VecDeque::new(),
+        });
+        match entry {
+            SyncObject::CondVar { waiters } => {
+                waiters.push_back((shred, mutex));
+                self.contention_events += 1;
+                Ok(SyncOutcome {
+                    block: true,
+                    wake: release.wake,
+                })
+            }
+            _ => Err(MispError::SynchronizationMisuse(format!(
+                "{cond} is not a condition variable"
+            ))),
+        }
+    }
+
+    /// Wakes one waiter of condition variable `cond`.  The woken shred
+    /// re-acquires its mutex before becoming ready; if the mutex is held it
+    /// joins that mutex's wait queue instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::SynchronizationMisuse`] if `cond` is not a
+    /// condition variable.
+    pub fn cond_signal(&mut self, cond: LockId) -> Result<SyncOutcome> {
+        self.cond_wake(cond, false)
+    }
+
+    /// Wakes all waiters of condition variable `cond`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::SynchronizationMisuse`] if `cond` is not a
+    /// condition variable.
+    pub fn cond_broadcast(&mut self, cond: LockId) -> Result<SyncOutcome> {
+        self.cond_wake(cond, true)
+    }
+
+    fn cond_wake(&mut self, cond: LockId, all: bool) -> Result<SyncOutcome> {
+        let woken: Vec<(ShredId, LockId)> = match self.objects.get_mut(&cond) {
+            Some(SyncObject::CondVar { waiters }) => {
+                if all {
+                    waiters.drain(..).collect()
+                } else {
+                    waiters.pop_front().into_iter().collect()
+                }
+            }
+            None => Vec::new(), // signaling a never-waited condvar is a no-op
+            Some(_) => {
+                return Err(MispError::SynchronizationMisuse(format!(
+                    "{cond} is not a condition variable"
+                )))
+            }
+        };
+        let mut ready = Vec::new();
+        for (shred, mutex) in woken {
+            match self.mutex_entry(mutex) {
+                SyncObject::Mutex { holder, waiters } => match holder {
+                    None => {
+                        *holder = Some(shred);
+                        ready.push(shred);
+                    }
+                    Some(_) => waiters.push_back(shred),
+                },
+                _ => {
+                    return Err(MispError::SynchronizationMisuse(format!(
+                        "{mutex} is not a mutex"
+                    )))
+                }
+            }
+        }
+        Ok(SyncOutcome::waking(ready))
+    }
+
+    /// Arrives at barrier `id`.  The last arriving shred releases everyone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::SynchronizationMisuse`] if the barrier was not
+    /// created with [`SyncTable::create_barrier`] or `id` is not a barrier.
+    pub fn barrier_wait(&mut self, id: LockId, shred: ShredId) -> Result<SyncOutcome> {
+        match self.objects.get_mut(&id) {
+            Some(SyncObject::Barrier {
+                parties,
+                arrived,
+                generations,
+            }) => {
+                if arrived.len() + 1 == *parties {
+                    let wake = std::mem::take(arrived);
+                    *generations += 1;
+                    Ok(SyncOutcome::waking(wake))
+                } else {
+                    arrived.push(shred);
+                    self.contention_events += 1;
+                    Ok(SyncOutcome::blocked())
+                }
+            }
+            Some(_) => Err(MispError::SynchronizationMisuse(format!(
+                "{id} is not a barrier"
+            ))),
+            None => Err(MispError::SynchronizationMisuse(format!(
+                "barrier {id} was never created"
+            ))),
+        }
+    }
+
+    /// Waits for event `id` to become signaled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::SynchronizationMisuse`] if `id` is not an event.
+    pub fn event_wait(&mut self, id: LockId, shred: ShredId) -> Result<SyncOutcome> {
+        let entry = self.objects.entry(id).or_insert(SyncObject::Event {
+            signaled: false,
+            waiters: VecDeque::new(),
+        });
+        match entry {
+            SyncObject::Event { signaled, waiters } => {
+                if *signaled {
+                    Ok(SyncOutcome::proceed())
+                } else {
+                    waiters.push_back(shred);
+                    self.contention_events += 1;
+                    Ok(SyncOutcome::blocked())
+                }
+            }
+            _ => Err(MispError::SynchronizationMisuse(format!(
+                "{id} is not an event"
+            ))),
+        }
+    }
+
+    /// Signals event `id`, waking every waiter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::SynchronizationMisuse`] if `id` is not an event.
+    pub fn event_set(&mut self, id: LockId) -> Result<SyncOutcome> {
+        let entry = self.objects.entry(id).or_insert(SyncObject::Event {
+            signaled: false,
+            waiters: VecDeque::new(),
+        });
+        match entry {
+            SyncObject::Event { signaled, waiters } => {
+                *signaled = true;
+                Ok(SyncOutcome::waking(waiters.drain(..).collect()))
+            }
+            _ => Err(MispError::SynchronizationMisuse(format!(
+                "{id} is not an event"
+            ))),
+        }
+    }
+
+    /// Resets event `id` to the non-signaled state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MispError::SynchronizationMisuse`] if `id` is not an event.
+    pub fn event_reset(&mut self, id: LockId) -> Result<SyncOutcome> {
+        match self.objects.get_mut(&id) {
+            Some(SyncObject::Event { signaled, .. }) => {
+                *signaled = false;
+                Ok(SyncOutcome::proceed())
+            }
+            None => Ok(SyncOutcome::proceed()),
+            Some(_) => Err(MispError::SynchronizationMisuse(format!(
+                "{id} is not an event"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LockId {
+        LockId::new(i)
+    }
+    fn s(i: u32) -> ShredId {
+        ShredId::new(i)
+    }
+
+    #[test]
+    fn uncontended_mutex_proceeds() {
+        let mut t = SyncTable::new();
+        let out = t.mutex_lock(l(0), s(0)).unwrap();
+        assert!(!out.block);
+        let out = t.mutex_unlock(l(0), s(0)).unwrap();
+        assert!(out.wake.is_empty());
+        assert_eq!(t.contention_events(), 0);
+    }
+
+    #[test]
+    fn contended_mutex_blocks_and_transfers_ownership() {
+        let mut t = SyncTable::new();
+        assert!(!t.mutex_lock(l(0), s(0)).unwrap().block);
+        assert!(t.mutex_lock(l(0), s(1)).unwrap().block);
+        assert!(t.mutex_lock(l(0), s(2)).unwrap().block);
+        // Unlock hands the mutex to the first waiter.
+        let out = t.mutex_unlock(l(0), s(0)).unwrap();
+        assert_eq!(out.wake, vec![s(1)]);
+        // s1 now holds it; s1 unlocking wakes s2.
+        let out = t.mutex_unlock(l(0), s(1)).unwrap();
+        assert_eq!(out.wake, vec![s(2)]);
+        assert_eq!(t.contention_events(), 2);
+    }
+
+    #[test]
+    fn mutex_misuse_is_detected() {
+        let mut t = SyncTable::new();
+        t.mutex_lock(l(0), s(0)).unwrap();
+        assert!(t.mutex_lock(l(0), s(0)).is_err(), "recursive lock");
+        assert!(t.mutex_unlock(l(0), s(1)).is_err(), "unlock by non-holder");
+        t.create_semaphore(l(1), 0);
+        assert!(t.mutex_lock(l(1), s(0)).is_err(), "type confusion");
+    }
+
+    #[test]
+    fn semaphore_counts_and_wakes() {
+        let mut t = SyncTable::new();
+        t.create_semaphore(l(0), 1);
+        assert!(!t.sem_wait(l(0), s(0)).unwrap().block);
+        assert!(t.sem_wait(l(0), s(1)).unwrap().block);
+        let out = t.sem_post(l(0)).unwrap();
+        assert_eq!(out.wake, vec![s(1)]);
+        // Post with no waiters increments the count.
+        t.sem_post(l(0)).unwrap();
+        assert!(!t.sem_wait(l(0), s(2)).unwrap().block);
+    }
+
+    #[test]
+    fn condvar_wait_releases_mutex_and_signal_reacquires() {
+        let mut t = SyncTable::new();
+        let m = l(0);
+        let c = l(1);
+        t.mutex_lock(m, s(0)).unwrap();
+        t.mutex_lock(m, s(1)).unwrap(); // s1 waits for the mutex
+        let out = t.cond_wait(c, m, s(0)).unwrap();
+        assert!(out.block);
+        assert_eq!(out.wake, vec![s(1)], "releasing the mutex wakes its waiter");
+        // Signal: s0 must re-acquire the mutex, which s1 still holds, so no
+        // one becomes ready yet.
+        let out = t.cond_signal(c).unwrap();
+        assert!(out.wake.is_empty());
+        // When s1 unlocks, s0 gets the mutex and becomes ready.
+        let out = t.mutex_unlock(m, s(1)).unwrap();
+        assert_eq!(out.wake, vec![s(0)]);
+    }
+
+    #[test]
+    fn cond_broadcast_wakes_all_eventually() {
+        let mut t = SyncTable::new();
+        let m = l(0);
+        let c = l(1);
+        for i in 0..3 {
+            t.mutex_lock(m, s(i)).unwrap();
+            if i == 0 {
+                t.cond_wait(c, m, s(0)).unwrap();
+            }
+        }
+        // s0 waits on c; s1 holds the mutex; s2 waits for the mutex.
+        t.cond_wait(c, m, s(1)).unwrap(); // s1 releases, s2 acquires
+        let out = t.cond_broadcast(c).unwrap();
+        // Mutex is held by s2, so the broadcast readies no one immediately.
+        assert!(out.wake.is_empty());
+        let out = t.mutex_unlock(m, s(2)).unwrap();
+        assert_eq!(out.wake.len(), 1);
+        // Signaling an unknown condvar is a harmless no-op.
+        assert!(t.cond_signal(l(9)).unwrap().wake.is_empty());
+    }
+
+    #[test]
+    fn barrier_releases_when_full() {
+        let mut t = SyncTable::new();
+        t.create_barrier(l(0), 3);
+        assert!(t.barrier_wait(l(0), s(0)).unwrap().block);
+        assert!(t.barrier_wait(l(0), s(1)).unwrap().block);
+        let out = t.barrier_wait(l(0), s(2)).unwrap();
+        assert!(!out.block, "last arrival proceeds");
+        assert_eq!(out.wake, vec![s(0), s(1)]);
+        // The barrier resets for the next generation.
+        assert!(t.barrier_wait(l(0), s(0)).unwrap().block);
+    }
+
+    #[test]
+    fn barrier_must_be_created() {
+        let mut t = SyncTable::new();
+        assert!(t.barrier_wait(l(5), s(0)).is_err());
+    }
+
+    #[test]
+    fn events_are_manual_reset() {
+        let mut t = SyncTable::new();
+        assert!(t.event_wait(l(0), s(0)).unwrap().block);
+        assert!(t.event_wait(l(0), s(1)).unwrap().block);
+        let out = t.event_set(l(0)).unwrap();
+        assert_eq!(out.wake, vec![s(0), s(1)]);
+        // Once signaled, waits pass through.
+        assert!(!t.event_wait(l(0), s(2)).unwrap().block);
+        t.event_reset(l(0)).unwrap();
+        assert!(t.event_wait(l(0), s(3)).unwrap().block);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_party_barrier_panics() {
+        let mut t = SyncTable::new();
+        t.create_barrier(l(0), 0);
+    }
+}

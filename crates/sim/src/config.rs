@@ -1,0 +1,85 @@
+//! Simulation configuration.
+
+use misp_os::TimerConfig;
+use misp_types::{CostModel, Cycles};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The architectural cost model (signal latency, OS service times, …).
+    pub costs: CostModel,
+    /// Timer-interrupt configuration for OS-visible CPUs.
+    pub timer: TimerConfig,
+    /// Per-sequencer TLB capacity, in entries.
+    pub tlb_capacity: usize,
+    /// Base cost of a memory access that hits the TLB.
+    pub access_cost: Cycles,
+    /// Hard limit on simulated time; exceeding it aborts the run with
+    /// [`misp_types::MispError::CycleBudgetExhausted`].
+    pub cycle_budget: Cycles,
+    /// Whether to retain fine-grained event-log records.
+    pub fine_log: bool,
+}
+
+impl SimConfig {
+    /// Returns a configuration identical to `self` but with a different cost
+    /// model — convenient for signal-cost sweeps (Figure 5).
+    #[must_use]
+    pub fn with_costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Returns a configuration identical to `self` but with a different timer.
+    #[must_use]
+    pub fn with_timer(mut self, timer: TimerConfig) -> Self {
+        self.timer = timer;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            costs: CostModel::default(),
+            timer: TimerConfig::default(),
+            tlb_capacity: 64,
+            access_cost: Cycles::new(2),
+            cycle_budget: Cycles::new(50_000_000_000),
+            fine_log: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use misp_types::SignalCost;
+
+    #[test]
+    fn default_is_reasonable() {
+        let c = SimConfig::default();
+        assert!(c.tlb_capacity > 0);
+        assert!(!c.access_cost.is_zero());
+        assert!(c.cycle_budget > Cycles::new(1_000_000));
+        assert!(!c.fine_log);
+    }
+
+    #[test]
+    fn with_costs_replaces_only_costs() {
+        let base = SimConfig::default();
+        let new_costs = CostModel::builder().signal(SignalCost::Ideal).build();
+        let modified = base.with_costs(new_costs);
+        assert_eq!(modified.costs.signal, SignalCost::Ideal);
+        assert_eq!(modified.tlb_capacity, base.tlb_capacity);
+        assert_eq!(modified.timer, base.timer);
+    }
+
+    #[test]
+    fn with_timer_replaces_timer() {
+        let base = SimConfig::default();
+        let t = TimerConfig::new(Cycles::new(10), 2);
+        assert_eq!(base.with_timer(t).timer, t);
+    }
+}

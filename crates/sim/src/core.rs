@@ -1,0 +1,552 @@
+//! The engine core: all mutable simulation state shared with platforms and
+//! runtimes.
+
+use crate::{Event, EventLog, EventQueue, LogKind, SequencerState, ShredExecState, ShredPool, SimConfig, SimStats};
+use misp_isa::{ProgramLibrary, ProgramRef};
+use misp_mem::MemorySystem;
+use misp_os::Kernel;
+use misp_types::{CostModel, Cycles, OsThreadId, ProcessId, SequencerId, ShredId};
+use std::sync::Arc;
+
+/// The execution context of an OS thread saved across a context switch: which
+/// shred it was running on the CPU and how much of that shred's in-flight
+/// operation remained.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SavedContext {
+    /// The shred that was installed on the CPU, if any.
+    pub current_shred: Option<ShredId>,
+    /// Remaining cycles of the interrupted operation.
+    pub remaining: Cycles,
+}
+
+/// All simulation state except the platform and the runtimes.
+///
+/// Platforms and runtimes receive `&mut EngineCore` so they can inspect and
+/// manipulate sequencers, shreds, memory, the kernel, statistics and the event
+/// queue without borrowing conflicts against themselves.
+#[derive(Debug)]
+pub struct EngineCore {
+    config: SimConfig,
+    now: Cycles,
+    queue: EventQueue,
+    sequencers: Vec<SequencerState>,
+    shreds: ShredPool,
+    memory: MemorySystem,
+    kernel: Kernel,
+    stats: SimStats,
+    log: EventLog,
+    programs: Vec<Arc<misp_isa::ShredProgram>>,
+}
+
+impl EngineCore {
+    /// Creates the core for a machine with `sequencer_count` sequencers.
+    #[must_use]
+    pub fn new(config: SimConfig, sequencer_count: usize, library: ProgramLibrary) -> Self {
+        let mut log = EventLog::new(config.fine_log);
+        log.set_cap(EventLog::DEFAULT_CAP);
+        EngineCore {
+            config,
+            now: Cycles::ZERO,
+            queue: EventQueue::new(),
+            sequencers: (0..sequencer_count)
+                .map(|i| SequencerState::new(SequencerId::new(i as u32)))
+                .collect(),
+            shreds: ShredPool::new(),
+            memory: MemorySystem::new(sequencer_count, config.tlb_capacity),
+            kernel: Kernel::new(config.costs),
+            stats: SimStats::new(sequencer_count),
+            log,
+            programs: library.iter().map(|(_, p)| Arc::new(p.clone())).collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The simulation configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The architectural cost model.
+    #[must_use]
+    pub fn costs(&self) -> &CostModel {
+        &self.config.costs
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    pub(crate) fn set_now(&mut self, now: Cycles) {
+        self.now = now;
+    }
+
+    /// Number of sequencers in the machine.
+    #[must_use]
+    pub fn sequencer_count(&self) -> usize {
+        self.sequencers.len()
+    }
+
+    /// The state of sequencer `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    #[must_use]
+    pub fn sequencer(&self, seq: SequencerId) -> &SequencerState {
+        &self.sequencers[seq.as_usize()]
+    }
+
+    /// Mutable access to sequencer `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    pub fn sequencer_mut(&mut self, seq: SequencerId) -> &mut SequencerState {
+        &mut self.sequencers[seq.as_usize()]
+    }
+
+    /// The shred pool.
+    #[must_use]
+    pub fn shreds(&self) -> &ShredPool {
+        &self.shreds
+    }
+
+    /// A shred by identifier.
+    #[must_use]
+    pub fn shred(&self, id: ShredId) -> Option<&ShredExecState> {
+        self.shreds.get(id)
+    }
+
+    /// Mutable access to a shred.
+    pub fn shred_mut(&mut self, id: ShredId) -> Option<&mut ShredExecState> {
+        self.shreds.get_mut(id)
+    }
+
+    /// The memory system.
+    #[must_use]
+    pub fn memory(&self) -> &MemorySystem {
+        &self.memory
+    }
+
+    /// Mutable access to the memory system.
+    pub fn memory_mut(&mut self) -> &mut MemorySystem {
+        &mut self.memory
+    }
+
+    /// The OS kernel model.
+    #[must_use]
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Mutable access to the OS kernel model.
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// Simulation statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Mutable access to the statistics.
+    pub fn stats_mut(&mut self) -> &mut SimStats {
+        &mut self.stats
+    }
+
+    /// The event log.
+    #[must_use]
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Records an event in the log.
+    pub fn log_event(&mut self, seq: SequencerId, kind: LogKind, detail: impl Into<String>) {
+        let now = self.now;
+        self.log.record(now, seq, kind, detail);
+    }
+
+    /// The program referenced by `r`, if it exists in the library.
+    #[must_use]
+    pub fn program(&self, r: ProgramRef) -> Option<&Arc<misp_isa::ShredProgram>> {
+        self.programs.get(r.as_usize())
+    }
+
+    /// Number of programs in the library.
+    #[must_use]
+    pub fn program_count(&self) -> usize {
+        self.programs.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Shred management
+    // ------------------------------------------------------------------
+
+    /// Creates a new shred for `process`, owned by `thread`, running the
+    /// program referenced by `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` is not in the library.
+    pub fn create_shred(
+        &mut self,
+        process: ProcessId,
+        thread: OsThreadId,
+        program: ProgramRef,
+        now: Cycles,
+    ) -> ShredId {
+        let prog = Arc::clone(
+            self.programs
+                .get(program.as_usize())
+                .expect("program reference must be valid"),
+        );
+        let id = self.shreds.create(process, thread, prog, now);
+        self.log.record(now, SequencerId::new(0), LogKind::ShredStart, format!("created {id}"));
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Event scheduling
+    // ------------------------------------------------------------------
+
+    #[cfg(test)]
+    pub(crate) fn queue_mut(&mut self) -> &mut EventQueue {
+        &mut self.queue
+    }
+
+    pub(crate) fn pop_event(&mut self) -> Option<crate::ScheduledEvent> {
+        self.queue.pop()
+    }
+
+    /// Schedules the next `SeqReady` for `seq` at absolute time `at`,
+    /// invalidating any previously scheduled event for that sequencer.
+    pub fn schedule_ready(&mut self, seq: SequencerId, at: Cycles) {
+        let generation = self.sequencers[seq.as_usize()].bump_generation();
+        self.sequencers[seq.as_usize()].set_pending(Some(at));
+        self.queue.push(at, Event::SeqReady { seq, generation });
+    }
+
+    /// Schedules a timer tick for the OS-visible CPU `cpu` at `at`.
+    pub fn schedule_timer(&mut self, cpu: SequencerId, at: Cycles, tick: u64) {
+        self.queue.push(at, Event::TimerTick { cpu, tick });
+    }
+
+    /// Wakes `seq` at time `now` if it is idle (no shred installed, not
+    /// suspended): the sequencer will ask its runtime for work.
+    pub fn wake(&mut self, seq: SequencerId, now: Cycles) {
+        if self.sequencers[seq.as_usize()].is_idle() {
+            self.schedule_ready(seq, now);
+        }
+    }
+
+    /// Wakes every idle sequencer currently bound to `thread`.
+    pub fn wake_thread_sequencers(&mut self, thread: OsThreadId, now: Cycles) {
+        let ids: Vec<SequencerId> = self
+            .sequencers
+            .iter()
+            .filter(|s| s.bound_thread() == Some(thread) && s.is_idle())
+            .map(SequencerState::id)
+            .collect();
+        for id in ids {
+            self.schedule_ready(id, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Suspension / stall primitives used by platforms
+    // ------------------------------------------------------------------
+
+    /// Suspends `seq` indefinitely at `now`, capturing the remainder of its
+    /// in-flight operation.  A later call to [`EngineCore::resume`] restarts
+    /// it.  Any timed stall window currently open on the sequencer is
+    /// subsumed: pending stall-end events will be ignored.
+    pub fn suspend(&mut self, seq: SequencerId, now: Cycles) {
+        let s = &mut self.sequencers[seq.as_usize()];
+        if !s.is_suspended() {
+            s.suspend(now);
+            self.log.record(now, seq, LogKind::Suspend, "");
+        }
+        self.sequencers[seq.as_usize()].set_stall_end(None);
+    }
+
+    /// Resumes a suspended sequencer at time `at`, scheduling the completion
+    /// of its interrupted operation (if any) or a work request.
+    pub fn resume(&mut self, seq: SequencerId, at: Cycles) {
+        let s = &mut self.sequencers[seq.as_usize()];
+        if let Some(remaining) = s.clear_suspension() {
+            let resume_at = at + remaining;
+            self.log.record(at, seq, LogKind::Resume, "");
+            self.schedule_ready(seq, resume_at);
+        }
+    }
+
+    /// Stalls `seq` over the window `[now, until]`: the sequencer performs no
+    /// work during the window and its in-flight operation is pushed out by the
+    /// window's length.  Overlapping stall windows are merged: issuing a stall
+    /// that ends later than the current one extends it, and the lost cycles
+    /// are accounted only once.  A stall issued while the sequencer is
+    /// indefinitely suspended is ignored (the indefinite suspension already
+    /// covers it).
+    pub fn stall(&mut self, seq: SequencerId, now: Cycles, until: Cycles) {
+        if until <= now {
+            return;
+        }
+        let s = &mut self.sequencers[seq.as_usize()];
+        if s.is_suspended() {
+            match s.stall_end() {
+                // Indefinitely suspended: the owner resumes it explicitly.
+                None => {}
+                Some(end) if until > end => {
+                    let extra = until - end;
+                    s.add_stalled(extra);
+                    s.set_stall_end(Some(until));
+                    self.stats.suspension_cycles += extra;
+                    self.queue.push(until, Event::StallEnd { seq });
+                }
+                Some(_) => {} // fully covered by the existing window
+            }
+            return;
+        }
+        s.suspend(now);
+        s.set_stall_end(Some(until));
+        let lost = until - now;
+        s.add_stalled(lost);
+        self.stats.suspension_cycles += lost;
+        self.log.record(now, seq, LogKind::Suspend, "timed stall");
+        self.queue.push(until, Event::StallEnd { seq });
+    }
+
+    /// Handles the end of a timed stall window (called by the engine loop).
+    /// Returns `true` if the sequencer was actually resumed.
+    pub(crate) fn handle_stall_end(&mut self, seq: SequencerId, now: Cycles) -> bool {
+        let s = &self.sequencers[seq.as_usize()];
+        match (s.is_suspended(), s.stall_end()) {
+            (true, Some(end)) if end <= now => {
+                self.resume(seq, now);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Captures and clears the execution context of the OS thread currently
+    /// installed on `seq` (used by platforms when the OS preempts a thread).
+    ///
+    /// If the sequencer is suspended at the time of the save, the remaining
+    /// work captured at suspension is transferred into the saved context and
+    /// the suspension is cleared (the context now owns that state).
+    pub fn save_context(&mut self, seq: SequencerId, now: Cycles) -> SavedContext {
+        let s = &mut self.sequencers[seq.as_usize()];
+        let remaining = if s.is_suspended() {
+            s.clear_suspension().unwrap_or(Cycles::ZERO)
+        } else {
+            match s.pending_at() {
+                Some(at) => at.saturating_sub(now),
+                None => Cycles::ZERO,
+            }
+        };
+        let ctx = SavedContext {
+            current_shred: s.current_shred(),
+            remaining,
+        };
+        s.set_current_shred(None);
+        s.set_pending(None);
+        s.bump_generation();
+        ctx
+    }
+
+    /// Installs a previously saved execution context on `seq`, scheduling its
+    /// continuation at `at` (plus any remaining in-flight work).
+    pub fn restore_context(&mut self, seq: SequencerId, ctx: SavedContext, at: Cycles) {
+        let s = &mut self.sequencers[seq.as_usize()];
+        s.set_current_shred(ctx.current_shred);
+        let resume_at = at + ctx.remaining;
+        self.schedule_ready(seq, resume_at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use misp_isa::ProgramBuilder;
+
+    fn core_with(programs: usize, sequencers: usize) -> EngineCore {
+        let mut lib = ProgramLibrary::new();
+        for i in 0..programs {
+            lib.insert(
+                ProgramBuilder::new(format!("p{i}"))
+                    .compute(Cycles::new(100))
+                    .build(),
+            );
+        }
+        EngineCore::new(SimConfig::default(), sequencers, lib)
+    }
+
+    #[test]
+    fn construction_sizes() {
+        let core = core_with(2, 4);
+        assert_eq!(core.sequencer_count(), 4);
+        assert_eq!(core.program_count(), 2);
+        assert_eq!(core.memory().sequencer_count(), 4);
+        assert!(core.shreds().is_empty());
+        assert_eq!(core.now(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn create_shred_resolves_program() {
+        let mut core = core_with(1, 1);
+        let pid = core.kernel_mut().spawn_process("p");
+        let tid = core.kernel_mut().spawn_thread(pid);
+        let id = core.create_shred(pid, tid, ProgramRef::new(0), Cycles::ZERO);
+        assert_eq!(core.shred(id).unwrap().program_name(), "p0");
+        assert_eq!(core.shred(id).unwrap().process(), pid);
+    }
+
+    #[test]
+    #[should_panic(expected = "program reference must be valid")]
+    fn create_shred_with_bad_ref_panics() {
+        let mut core = core_with(1, 1);
+        let pid = core.kernel_mut().spawn_process("p");
+        let tid = core.kernel_mut().spawn_thread(pid);
+        let _ = core.create_shred(pid, tid, ProgramRef::new(7), Cycles::ZERO);
+    }
+
+    #[test]
+    fn schedule_ready_invalidates_older_events() {
+        let mut core = core_with(1, 1);
+        let seq = SequencerId::new(0);
+        core.schedule_ready(seq, Cycles::new(10));
+        let gen1 = core.sequencer(seq).generation();
+        core.schedule_ready(seq, Cycles::new(20));
+        let gen2 = core.sequencer(seq).generation();
+        assert!(gen2 > gen1);
+        // Two events are in the queue but only the later one carries gen2.
+        let first = core.pop_event().unwrap();
+        let second = core.pop_event().unwrap();
+        match (first.event, second.event) {
+            (
+                Event::SeqReady { generation: g1, .. },
+                Event::SeqReady { generation: g2, .. },
+            ) => {
+                assert_eq!(g1, gen1);
+                assert_eq!(g2, gen2);
+            }
+            other => panic!("unexpected events {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wake_only_affects_idle_sequencers() {
+        let mut core = core_with(1, 2);
+        let s0 = SequencerId::new(0);
+        let s1 = SequencerId::new(1);
+        // Give s1 a shred so it is not idle.
+        let pid = core.kernel_mut().spawn_process("p");
+        let tid = core.kernel_mut().spawn_thread(pid);
+        let shred = core.create_shred(pid, tid, ProgramRef::new(0), Cycles::ZERO);
+        core.sequencer_mut(s1).set_current_shred(Some(shred));
+        core.wake(s0, Cycles::new(5));
+        core.wake(s1, Cycles::new(5));
+        assert_eq!(core.queue_mut().len(), 1, "only the idle sequencer is woken");
+    }
+
+    #[test]
+    fn wake_thread_sequencers_filters_by_binding() {
+        let mut core = core_with(1, 3);
+        let t = OsThreadId::new(0);
+        core.sequencer_mut(SequencerId::new(0)).set_bound_thread(Some(t));
+        core.sequencer_mut(SequencerId::new(1)).set_bound_thread(Some(OsThreadId::new(1)));
+        core.wake_thread_sequencers(t, Cycles::ZERO);
+        assert_eq!(core.queue_mut().len(), 1);
+    }
+
+    #[test]
+    fn stall_accumulates_statistics_and_reschedules() {
+        let mut core = core_with(1, 1);
+        let seq = SequencerId::new(0);
+        // Pretend an op completes at t=100.
+        core.schedule_ready(seq, Cycles::new(100));
+        core.stall(seq, Cycles::new(40), Cycles::new(90));
+        assert_eq!(core.sequencer(seq).stalled(), Cycles::new(50));
+        assert_eq!(core.stats().suspension_cycles, Cycles::new(50));
+        assert!(core.sequencer(seq).is_suspended());
+        assert_eq!(core.sequencer(seq).stall_end(), Some(Cycles::new(90)));
+        // Processing the stall end resumes the sequencer and re-schedules the
+        // interrupted completion at 90 + (100 - 40) = 150.
+        assert!(core.handle_stall_end(seq, Cycles::new(90)));
+        assert!(!core.sequencer(seq).is_suspended());
+        assert_eq!(core.sequencer(seq).pending_at(), Some(Cycles::new(150)));
+    }
+
+    #[test]
+    fn overlapping_stalls_extend_without_double_counting() {
+        let mut core = core_with(1, 1);
+        let seq = SequencerId::new(0);
+        core.schedule_ready(seq, Cycles::new(1_000));
+        core.stall(seq, Cycles::new(100), Cycles::new(200));
+        // A longer overlapping window extends the stall by only the extra part.
+        core.stall(seq, Cycles::new(150), Cycles::new(300));
+        // A shorter overlapping window changes nothing.
+        core.stall(seq, Cycles::new(160), Cycles::new(250));
+        assert_eq!(core.sequencer(seq).stalled(), Cycles::new(200));
+        assert_eq!(core.sequencer(seq).stall_end(), Some(Cycles::new(300)));
+        // The first stall-end event (at 200) must not resume the sequencer.
+        assert!(!core.handle_stall_end(seq, Cycles::new(200)));
+        assert!(core.sequencer(seq).is_suspended());
+        assert!(core.handle_stall_end(seq, Cycles::new(300)));
+        // Remaining work was captured at the first suspension (1000 - 100).
+        assert_eq!(core.sequencer(seq).pending_at(), Some(Cycles::new(1_200)));
+    }
+
+    #[test]
+    fn stall_with_zero_window_is_noop() {
+        let mut core = core_with(1, 1);
+        let seq = SequencerId::new(0);
+        core.stall(seq, Cycles::new(10), Cycles::new(10));
+        assert_eq!(core.sequencer(seq).stalled(), Cycles::ZERO);
+        assert!(!core.sequencer(seq).is_suspended());
+    }
+
+    #[test]
+    fn nested_stall_keeps_first_suspension() {
+        let mut core = core_with(1, 1);
+        let seq = SequencerId::new(0);
+        core.suspend(seq, Cycles::new(10));
+        // A stall while already suspended must not resume the sequencer.
+        core.stall(seq, Cycles::new(20), Cycles::new(30));
+        assert!(core.sequencer(seq).is_suspended());
+    }
+
+    #[test]
+    fn save_and_restore_context_round_trips() {
+        let mut core = core_with(1, 1);
+        let seq = SequencerId::new(0);
+        let pid = core.kernel_mut().spawn_process("p");
+        let tid = core.kernel_mut().spawn_thread(pid);
+        let shred = core.create_shred(pid, tid, ProgramRef::new(0), Cycles::ZERO);
+        core.sequencer_mut(seq).set_current_shred(Some(shred));
+        core.schedule_ready(seq, Cycles::new(100));
+        let ctx = core.save_context(seq, Cycles::new(30));
+        assert_eq!(ctx.current_shred, Some(shred));
+        assert_eq!(ctx.remaining, Cycles::new(70));
+        assert_eq!(core.sequencer(seq).current_shred(), None);
+        core.restore_context(seq, ctx, Cycles::new(500));
+        assert_eq!(core.sequencer(seq).current_shred(), Some(shred));
+        assert_eq!(core.sequencer(seq).pending_at(), Some(Cycles::new(570)));
+    }
+
+    #[test]
+    fn log_event_records_with_current_time() {
+        let mut core = core_with(1, 1);
+        core.set_now(Cycles::new(77));
+        core.log_event(SequencerId::new(0), LogKind::RingEnter, "syscall");
+        assert_eq!(core.log().count(LogKind::RingEnter), 1);
+    }
+}

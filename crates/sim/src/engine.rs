@@ -1,0 +1,400 @@
+//! The simulation engine and its main loop.
+
+use crate::core::EngineCore;
+use crate::{Event, LogKind, Platform, Runtime, RuntimeOutcome, ShredStatus, SimConfig, SimStats};
+use misp_isa::{Op, ProgramLibrary};
+use misp_os::OsEventKind;
+use misp_types::{Cycles, MispError, OsThreadId, ProcessId, Result, SequencerId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The outcome of a completed simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// The time at which the last measured process completed.
+    pub total_cycles: Cycles,
+    /// Completion time of each measured process (also available inside
+    /// `stats`).
+    pub completions: BTreeMap<u32, Cycles>,
+    /// Full statistics for the run.
+    pub stats: SimStats,
+}
+
+impl SimReport {
+    /// Completion time of `process`, if it was measured.
+    #[must_use]
+    pub fn completion_of(&self, process: ProcessId) -> Option<Cycles> {
+        self.completions.get(&process.index()).copied()
+    }
+}
+
+/// The discrete-event simulation engine.
+///
+/// An engine combines an [`EngineCore`] (all machine state), a [`Platform`]
+/// (the architecture: MISP or SMP) and one [`Runtime`] per simulated process
+/// (the user-level scheduler).  See the crate-level documentation for an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct Engine<P: Platform> {
+    core: EngineCore,
+    platform: P,
+    runtimes: BTreeMap<u32, Box<dyn Runtime>>,
+    measured: Vec<ProcessId>,
+}
+
+impl<P: Platform> Engine<P> {
+    /// Creates an engine for a machine with `sequencer_count` sequencers.
+    #[must_use]
+    pub fn new(
+        config: SimConfig,
+        sequencer_count: usize,
+        library: ProgramLibrary,
+        platform: P,
+    ) -> Self {
+        Engine {
+            core: EngineCore::new(config, sequencer_count, library),
+            platform,
+            runtimes: BTreeMap::new(),
+            measured: Vec::new(),
+        }
+    }
+
+    /// The engine core (machine state).
+    #[must_use]
+    pub fn core(&self) -> &EngineCore {
+        &self.core
+    }
+
+    /// Mutable access to the engine core, used while assembling a machine
+    /// (spawning processes, registering address spaces, …).
+    pub fn core_mut(&mut self) -> &mut EngineCore {
+        &mut self.core
+    }
+
+    /// The platform.
+    #[must_use]
+    pub fn platform(&self) -> &P {
+        &self.platform
+    }
+
+    /// Mutable access to the platform.
+    pub fn platform_mut(&mut self) -> &mut P {
+        &mut self.platform
+    }
+
+    /// Attaches the user-level runtime serving `process`.
+    pub fn add_runtime(&mut self, process: ProcessId, runtime: Box<dyn Runtime>) {
+        self.runtimes.insert(process.index(), runtime);
+    }
+
+    /// Restricts the completion criterion to the given processes.  By default
+    /// every process with a runtime is measured and the run ends when all of
+    /// them finish.
+    pub fn set_measured(&mut self, processes: Vec<ProcessId>) {
+        self.measured = processes;
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`MispError::CycleBudgetExhausted`] if the configured budget elapses
+    ///   before every measured process finishes.
+    /// * [`MispError::Deadlock`] if the event queue drains while measured
+    ///   work remains.
+    /// * [`MispError::InvalidConfiguration`] if no runtime was attached.
+    pub fn run(&mut self) -> Result<SimReport> {
+        if self.runtimes.is_empty() {
+            return Err(MispError::InvalidConfiguration(
+                "no runtime attached to the engine".to_string(),
+            ));
+        }
+        self.platform.init(&mut self.core);
+
+        // Start every OS thread of every process that has a runtime, in
+        // process/thread creation order for determinism.
+        let mut startups: Vec<(u32, OsThreadId)> = Vec::new();
+        for (&pid_idx, _) in &self.runtimes {
+            let pid = ProcessId::new(pid_idx);
+            if let Some(process) = self.core.kernel().process(pid) {
+                for &tid in process.threads() {
+                    startups.push((pid_idx, tid));
+                }
+            }
+        }
+        for (pid_idx, tid) in startups {
+            if let Some(rt) = self.runtimes.get_mut(&pid_idx) {
+                rt.on_thread_start(&mut self.core, tid, Cycles::ZERO);
+            }
+        }
+
+        let measured: Vec<ProcessId> = if self.measured.is_empty() {
+            self.runtimes.keys().map(|&i| ProcessId::new(i)).collect()
+        } else {
+            self.measured.clone()
+        };
+        let mut remaining: BTreeSet<u32> = measured.iter().map(|p| p.index()).collect();
+
+        // A process whose work is already complete at startup (e.g. an empty
+        // workload) must not hang the loop.
+        remaining.retain(|&pid_idx| {
+            let rt = &self.runtimes[&pid_idx];
+            if rt.is_finished(&self.core) {
+                self.core
+                    .stats_mut()
+                    .record_completion(ProcessId::new(pid_idx), Cycles::ZERO);
+                false
+            } else {
+                true
+            }
+        });
+
+        let budget = self.core.config().cycle_budget;
+        while let Some(ev) = self.core.pop_event() {
+            if ev.time > budget {
+                return Err(MispError::CycleBudgetExhausted {
+                    budget: budget.as_u64(),
+                });
+            }
+            self.core.set_now(ev.time);
+            let mut check_completion = false;
+            match ev.event {
+                Event::SeqReady { seq, generation } => {
+                    if generation != self.core.sequencer(seq).generation() {
+                        continue; // stale event
+                    }
+                    self.core.sequencer_mut(seq).set_pending(None);
+                    if self.core.sequencer(seq).is_suspended() {
+                        continue; // will be resumed explicitly by the platform
+                    }
+                    check_completion = self.step_sequencer(seq, ev.time)?;
+                }
+                Event::TimerTick { cpu, tick } => {
+                    self.platform.on_timer_tick(&mut self.core, cpu, tick, ev.time);
+                }
+                Event::StallEnd { seq } => {
+                    self.core.handle_stall_end(seq, ev.time);
+                }
+            }
+
+            if check_completion && !remaining.is_empty() {
+                let finished: Vec<u32> = remaining
+                    .iter()
+                    .copied()
+                    .filter(|pid_idx| self.runtimes[pid_idx].is_finished(&self.core))
+                    .collect();
+                for pid_idx in finished {
+                    self.core
+                        .stats_mut()
+                        .record_completion(ProcessId::new(pid_idx), ev.time);
+                    remaining.remove(&pid_idx);
+                }
+                if remaining.is_empty() {
+                    return Ok(self.report(&measured));
+                }
+            }
+
+            if remaining.is_empty() {
+                return Ok(self.report(&measured));
+            }
+        }
+
+        if remaining.is_empty() {
+            Ok(self.report(&measured))
+        } else {
+            Err(MispError::Deadlock {
+                detail: format!(
+                    "event queue drained with {} measured process(es) incomplete",
+                    remaining.len()
+                ),
+            })
+        }
+    }
+
+    fn report(&mut self, measured: &[ProcessId]) -> SimReport {
+        // Fold per-sequencer counters into the statistics snapshot.
+        for i in 0..self.core.sequencer_count() {
+            let seq = self.core.sequencer(SequencerId::new(i as u32));
+            let util = crate::SeqUtilization {
+                busy: seq.busy(),
+                stalled: seq.stalled(),
+                ops: seq.ops_executed(),
+            };
+            self.core.stats_mut().per_sequencer[i] = util;
+        }
+        let stats = self.core.stats().clone();
+        let completions: BTreeMap<u32, Cycles> = measured
+            .iter()
+            .filter_map(|p| stats.completion_of(*p).map(|c| (p.index(), c)))
+            .collect();
+        let total_cycles = completions.values().copied().max().unwrap_or(Cycles::ZERO);
+        SimReport {
+            total_cycles,
+            completions,
+            stats,
+        }
+    }
+
+    /// Executes the next step for `seq`.  Returns `true` if a shred finished
+    /// (so the caller should re-check process completion).
+    fn step_sequencer(&mut self, seq: SequencerId, now: Cycles) -> Result<bool> {
+        let Some(thread) = self.core.sequencer(seq).bound_thread() else {
+            return Ok(false); // unbound sequencer: nothing to do
+        };
+        let Some(pid) = self.core.kernel().thread(thread).map(|t| t.process()) else {
+            return Ok(false);
+        };
+        let costs = *self.core.costs();
+        let access_cost = self.core.config().access_cost;
+
+        // Install a shred if none is running.
+        let mut install_cost = Cycles::ZERO;
+        if self.core.sequencer(seq).current_shred().is_none() {
+            let Some(runtime) = self.runtimes.get_mut(&pid.index()) else {
+                return Ok(false);
+            };
+            match runtime.next_shred(&mut self.core, seq, thread, now) {
+                Some(shred) => {
+                    self.core.sequencer_mut(seq).set_current_shred(Some(shred));
+                    if let Some(s) = self.core.shred_mut(shred) {
+                        s.set_status(ShredStatus::Running);
+                    }
+                    self.core
+                        .log_event(seq, LogKind::ShredStart, format!("{shred} installed"));
+                    install_cost = costs.shred_context_switch;
+                }
+                None => return Ok(false), // stays idle; a wake will retry
+            }
+        }
+        let shred_id = self
+            .core
+            .sequencer(seq)
+            .current_shred()
+            .expect("just installed");
+
+        let op = self
+            .core
+            .shred_mut(shred_id)
+            .expect("installed shred exists")
+            .cursor_mut()
+            .next_op();
+        self.core.sequencer_mut(seq).count_op();
+
+        let mut shred_finished = false;
+        match op {
+            Op::Compute(c) => {
+                self.core.sequencer_mut(seq).add_busy(c);
+                self.core.schedule_ready(seq, now + install_cost + c);
+            }
+            Op::Touch { addr, .. } => {
+                let outcome = self.core.memory_mut().access(seq, addr);
+                let mut cost = access_cost;
+                if !outcome.tlb_hit {
+                    cost += costs.tlb_walk;
+                }
+                self.core.sequencer_mut(seq).add_busy(cost);
+                let ready_at = if outcome.page_fault {
+                    let resume =
+                        self.platform
+                            .on_priv_event(&mut self.core, seq, OsEventKind::PageFault, now);
+                    resume + cost
+                } else {
+                    now + install_cost + cost
+                };
+                self.core.schedule_ready(seq, ready_at);
+            }
+            Op::Syscall(_) => {
+                let resume =
+                    self.platform
+                        .on_priv_event(&mut self.core, seq, OsEventKind::Syscall, now);
+                self.core.schedule_ready(seq, resume + install_cost);
+            }
+            Op::Signal {
+                target,
+                continuation,
+            } => {
+                self.core.stats_mut().signals_sent += 1;
+                self.core
+                    .log_event(seq, LogKind::SignalSent, format!("to {target}"));
+                let resume =
+                    self.platform
+                        .on_signal(&mut self.core, seq, target, &continuation, now);
+                self.core.schedule_ready(seq, resume + install_cost);
+            }
+            Op::RegisterHandler => {
+                let resume = self
+                    .platform
+                    .on_register_handler(&mut self.core, seq, now);
+                self.core.schedule_ready(seq, resume + install_cost);
+            }
+            Op::Runtime(rop) => {
+                let runtime = self
+                    .runtimes
+                    .get_mut(&pid.index())
+                    .expect("runtime exists for running shred");
+                let outcome =
+                    runtime.on_runtime_op(&mut self.core, seq, shred_id, &rop, now);
+                match outcome {
+                    RuntimeOutcome::Continue { cost } => {
+                        self.core.sequencer_mut(seq).add_busy(cost);
+                        self.core
+                            .schedule_ready(seq, now + install_cost + cost);
+                    }
+                    RuntimeOutcome::Block { cost } => {
+                        if let Some(s) = self.core.shred_mut(shred_id) {
+                            if s.status() == ShredStatus::Running {
+                                s.set_status(ShredStatus::Blocked);
+                            }
+                        }
+                        self.core.sequencer_mut(seq).set_current_shred(None);
+                        self.core.schedule_ready(
+                            seq,
+                            now + install_cost + cost + costs.shred_context_switch,
+                        );
+                    }
+                    RuntimeOutcome::Yield { cost } => {
+                        if let Some(s) = self.core.shred_mut(shred_id) {
+                            if s.status() == ShredStatus::Running {
+                                s.set_status(ShredStatus::Ready);
+                            }
+                        }
+                        self.core.sequencer_mut(seq).set_current_shred(None);
+                        self.core.schedule_ready(
+                            seq,
+                            now + install_cost + cost + costs.shred_context_switch,
+                        );
+                    }
+                    RuntimeOutcome::Exit { cost } => {
+                        if let Some(s) = self.core.shred_mut(shred_id) {
+                            s.finish(now);
+                        }
+                        self.core
+                            .log_event(seq, LogKind::ShredEnd, format!("{shred_id} exited"));
+                        self.core.sequencer_mut(seq).set_current_shred(None);
+                        self.core.schedule_ready(
+                            seq,
+                            now + install_cost + cost + costs.shred_context_switch,
+                        );
+                        shred_finished = true;
+                    }
+                }
+            }
+            Op::Halt => {
+                let runtime = self
+                    .runtimes
+                    .get_mut(&pid.index())
+                    .expect("runtime exists for running shred");
+                runtime.on_shred_halt(&mut self.core, seq, shred_id, now);
+                if let Some(s) = self.core.shred_mut(shred_id) {
+                    s.finish(now);
+                }
+                self.core
+                    .log_event(seq, LogKind::ShredEnd, format!("{shred_id} halted"));
+                self.core.sequencer_mut(seq).set_current_shred(None);
+                self.core
+                    .schedule_ready(seq, now + costs.shred_context_switch);
+                shred_finished = true;
+            }
+        }
+        Ok(shred_finished)
+    }
+}

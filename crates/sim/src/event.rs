@@ -1,0 +1,176 @@
+//! The discrete-event queue.
+
+use misp_types::{Cycles, SequencerId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event processed by the engine's main loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// The sequencer finished its current operation (or was woken) and is
+    /// ready to proceed.  `generation` guards against stale events: the
+    /// sequencer ignores events whose generation does not match its own.
+    SeqReady {
+        /// The sequencer concerned.
+        seq: SequencerId,
+        /// Generation counter captured when the event was scheduled.
+        generation: u64,
+    },
+    /// A timer interrupt fires on the OS-visible CPU whose sequencer is
+    /// `cpu`.  `tick` is the 1-based tick number on that CPU.
+    TimerTick {
+        /// The sequencer acting as the OS-visible CPU.
+        cpu: SequencerId,
+        /// The 1-based tick number.
+        tick: u64,
+    },
+    /// The end of a timed stall window for `seq`.  The engine resumes the
+    /// sequencer if (and only if) its stall window has actually elapsed; stale
+    /// resume events from superseded, shorter windows are ignored.
+    StallEnd {
+        /// The stalled sequencer.
+        seq: SequencerId,
+    },
+}
+
+/// An event tagged with its scheduled time and a monotonic tie-breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledEvent {
+    /// Absolute simulation time at which the event fires.
+    pub time: Cycles,
+    /// Monotonic sequence number assigned at insertion; earlier insertions
+    /// fire first among events with equal time, making the simulation
+    /// deterministic.
+    pub seqno: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so that BinaryHeap (a max-heap) pops the earliest event.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seqno.cmp(&self.seqno))
+    }
+}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Ties in time are broken by insertion order, so runs are reproducible
+/// regardless of heap internals.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seqno: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn push(&mut self, time: Cycles, event: Event) {
+        let seqno = self.next_seqno;
+        self.next_seqno += 1;
+        self.heap.push(ScheduledEvent { time, seqno, event });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop()
+    }
+
+    /// Peeks at the earliest event without removing it.
+    #[must_use]
+    pub fn peek(&self) -> Option<&ScheduledEvent> {
+        self.heap.peek()
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ready(seq: u32) -> Event {
+        Event::SeqReady {
+            seq: SequencerId::new(seq),
+            generation: 0,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(30), ready(3));
+        q.push(Cycles::new(10), ready(1));
+        q.push(Cycles::new(20), ready(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.time.as_u64())).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(Cycles::new(100), ready(i));
+        }
+        let order: Vec<Event> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(
+            order,
+            (0..5).map(ready).collect::<Vec<Event>>(),
+            "equal-time events must pop in insertion order"
+        );
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Cycles::new(5), ready(0));
+        q.push(Cycles::new(1), ready(1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek().unwrap().time, Cycles::new(1));
+        assert_eq!(q.len(), 2, "peek does not remove");
+        q.pop();
+        q.pop();
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn timer_and_ready_interleave_correctly() {
+        let mut q = EventQueue::new();
+        q.push(
+            Cycles::new(50),
+            Event::TimerTick {
+                cpu: SequencerId::new(0),
+                tick: 1,
+            },
+        );
+        q.push(Cycles::new(25), ready(2));
+        assert!(matches!(q.pop().unwrap().event, Event::SeqReady { .. }));
+        assert!(matches!(q.pop().unwrap().event, Event::TimerTick { .. }));
+    }
+}

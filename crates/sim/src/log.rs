@@ -1,0 +1,197 @@
+//! Coarse- and fine-grained event logging.
+//!
+//! The paper's prototype firmware provides two logging levels (Section 4.1):
+//! coarse-grained total counts of ring transitions per sequencer, and
+//! fine-grained time-stamped records of individual events.  [`EventLog`]
+//! reproduces both so that experiments and tests can introspect exactly what
+//! the simulated platform did.
+
+use core::fmt;
+use misp_types::{Cycles, SequencerId};
+use serde::Serialize;
+
+/// The kind of a logged event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[non_exhaustive]
+pub enum LogKind {
+    /// A sequencer entered Ring 0.
+    RingEnter,
+    /// A sequencer returned to Ring 3.
+    RingExit,
+    /// An AMS issued a proxy-execution request.
+    ProxyRequest,
+    /// An OMS began servicing a proxy request.
+    ProxyStart,
+    /// An OMS finished servicing a proxy request.
+    ProxyDone,
+    /// A sequencer was suspended by the platform.
+    Suspend,
+    /// A sequencer resumed execution.
+    Resume,
+    /// A shred started running on a sequencer.
+    ShredStart,
+    /// A shred finished.
+    ShredEnd,
+    /// The OS switched threads on an OS-visible CPU.
+    ContextSwitch,
+    /// A user-level `SIGNAL` was sent.
+    SignalSent,
+    /// A timer interrupt fired.
+    TimerTick,
+}
+
+/// One fine-grained log record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct LogRecord {
+    /// Simulation time of the event.
+    pub time: Cycles,
+    /// The sequencer concerned.
+    pub seq: SequencerId,
+    /// The event kind.
+    pub kind: LogKind,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+impl fmt::Display for LogRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12}] {} {:?} {}",
+            self.time.as_u64(),
+            self.seq,
+            self.kind,
+            self.detail
+        )
+    }
+}
+
+/// The simulation event log.
+///
+/// Coarse counts are always collected; fine-grained records are only kept when
+/// enabled (they can grow large) and are capped to protect memory.
+#[derive(Debug, Clone, Serialize)]
+pub struct EventLog {
+    fine_enabled: bool,
+    cap: usize,
+    records: Vec<LogRecord>,
+    dropped: u64,
+    counts: std::collections::HashMap<LogKind, u64>,
+}
+
+impl EventLog {
+    /// Default cap on the number of fine-grained records retained.
+    pub const DEFAULT_CAP: usize = 100_000;
+
+    /// Creates a log.  `fine_enabled` controls whether individual records are
+    /// retained.
+    #[must_use]
+    pub fn new(fine_enabled: bool) -> Self {
+        EventLog {
+            fine_enabled,
+            cap: Self::DEFAULT_CAP,
+            records: Vec::new(),
+            dropped: 0,
+            counts: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Overrides the fine-grained record cap.
+    pub fn set_cap(&mut self, cap: usize) {
+        self.cap = cap;
+    }
+
+    /// Records an event.
+    pub fn record(
+        &mut self,
+        time: Cycles,
+        seq: SequencerId,
+        kind: LogKind,
+        detail: impl Into<String>,
+    ) {
+        *self.counts.entry(kind).or_insert(0) += 1;
+        if self.fine_enabled {
+            if self.records.len() < self.cap {
+                self.records.push(LogRecord {
+                    time,
+                    seq,
+                    kind,
+                    detail: detail.into(),
+                });
+            } else {
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// The coarse count for `kind`.
+    #[must_use]
+    pub fn count(&self, kind: LogKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// The retained fine-grained records, in insertion (time) order.
+    #[must_use]
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Number of fine-grained records dropped because the cap was reached.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Returns `true` when fine-grained recording is enabled.
+    #[must_use]
+    pub fn fine_enabled(&self) -> bool {
+        self.fine_enabled
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_counts_always_collected() {
+        let mut log = EventLog::new(false);
+        log.record(Cycles::new(1), SequencerId::new(0), LogKind::RingEnter, "");
+        log.record(Cycles::new(2), SequencerId::new(0), LogKind::RingEnter, "");
+        log.record(Cycles::new(3), SequencerId::new(1), LogKind::ProxyRequest, "pf");
+        assert_eq!(log.count(LogKind::RingEnter), 2);
+        assert_eq!(log.count(LogKind::ProxyRequest), 1);
+        assert_eq!(log.count(LogKind::Resume), 0);
+        assert!(log.records().is_empty(), "fine disabled keeps no records");
+    }
+
+    #[test]
+    fn fine_records_retained_when_enabled() {
+        let mut log = EventLog::new(true);
+        log.record(Cycles::new(5), SequencerId::new(2), LogKind::Suspend, "by OMS");
+        assert_eq!(log.records().len(), 1);
+        let r = &log.records()[0];
+        assert_eq!(r.time, Cycles::new(5));
+        assert_eq!(r.kind, LogKind::Suspend);
+        assert!(r.to_string().contains("SEQ2"));
+        assert!(log.fine_enabled());
+    }
+
+    #[test]
+    fn cap_limits_fine_records() {
+        let mut log = EventLog::new(true);
+        log.set_cap(3);
+        for i in 0..5 {
+            log.record(Cycles::new(i), SequencerId::new(0), LogKind::TimerTick, "");
+        }
+        assert_eq!(log.records().len(), 3);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.count(LogKind::TimerTick), 5, "coarse counts unaffected by cap");
+    }
+}

@@ -1,0 +1,62 @@
+//! The platform (machine architecture) extension trait.
+
+use crate::core::EngineCore;
+use misp_isa::Continuation;
+use misp_os::OsEventKind;
+use misp_types::{Cycles, SequencerId};
+
+/// The architecture-specific half of the simulator.
+///
+/// A platform decides what a privileged event costs and which sequencers it
+/// affects.  The MISP machine (in `misp-core`) implements the paper's
+/// semantics — serialization of AMSs across OMS ring transitions and proxy
+/// execution of AMS faults — while the SMP baseline (in `misp-smp`) services
+/// every event locally on the faulting core.
+pub trait Platform: std::fmt::Debug {
+    /// One-time setup, called before any event is processed.  Platforms bind
+    /// OS threads to sequencers, bind sequencers to processes in the memory
+    /// system, and schedule the first timer tick for every OS-visible CPU.
+    fn init(&mut self, core: &mut EngineCore);
+
+    /// `seq` raised a synchronous privileged event (`Syscall` or `PageFault`)
+    /// at `now`.  The platform applies any stalls to other sequencers and
+    /// returns the absolute time at which `seq` itself may continue.
+    fn on_priv_event(
+        &mut self,
+        core: &mut EngineCore,
+        seq: SequencerId,
+        kind: OsEventKind,
+        now: Cycles,
+    ) -> Cycles;
+
+    /// A timer interrupt fired on the OS-visible CPU whose sequencer is
+    /// `cpu`.  The platform handles the tick (serialization, scheduling,
+    /// context switches) and schedules the next tick.
+    fn on_timer_tick(&mut self, core: &mut EngineCore, cpu: SequencerId, tick: u64, now: Cycles);
+
+    /// `from` executed the MISP `SIGNAL` instruction targeting `target` with
+    /// the given continuation.  Returns the time at which `from` may continue.
+    ///
+    /// The default implementation ignores the signal (platforms without
+    /// user-level signaling, such as the SMP baseline) and lets the sender
+    /// continue immediately.
+    fn on_signal(
+        &mut self,
+        core: &mut EngineCore,
+        from: SequencerId,
+        target: SequencerId,
+        continuation: &Continuation,
+        now: Cycles,
+    ) -> Cycles {
+        let _ = (core, target, continuation, from);
+        now
+    }
+
+    /// `seq` registered an asynchronous handler via the YIELD-CONDITIONAL
+    /// trigger/response mechanism.  Returns the time at which `seq` may
+    /// continue.  The default charges nothing.
+    fn on_register_handler(&mut self, core: &mut EngineCore, seq: SequencerId, now: Cycles) -> Cycles {
+        let _ = (core, seq);
+        now
+    }
+}

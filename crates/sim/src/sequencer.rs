@@ -1,0 +1,275 @@
+//! Per-sequencer execution state.
+
+use misp_types::{Cycles, OsThreadId, SequencerId, ShredId};
+
+/// The execution state of one simulated sequencer.
+///
+/// A sequencer is either *idle* (no shred installed), *running* (a shred is
+/// installed and a completion event is pending), or *suspended* (execution
+/// paused by the platform — e.g. an AMS suspended while its OMS executes in
+/// Ring 0, or a thread context-switched away).  Suspension is orthogonal to
+/// having a shred installed: a suspended sequencer remembers how much of its
+/// in-flight operation remained so it can be resumed precisely.
+#[derive(Debug, Clone)]
+pub struct SequencerState {
+    id: SequencerId,
+    /// The shred currently installed on this sequencer, if any.
+    current_shred: Option<ShredId>,
+    /// The OS thread whose context this sequencer is currently serving.
+    bound_thread: Option<OsThreadId>,
+    suspended: bool,
+    /// Remaining cycles of the in-flight operation captured at suspension.
+    remaining: Cycles,
+    /// End of the current timed stall window, if the suspension is timed.
+    /// `None` while suspended means the suspension is indefinite (e.g. the
+    /// owning thread was context-switched away) and must be cleared explicitly.
+    stall_end: Option<Cycles>,
+    /// Generation counter: stale `SeqReady` events are ignored.
+    generation: u64,
+    /// Absolute time of the currently pending completion event, if running.
+    pending_at: Option<Cycles>,
+    // --- statistics ---
+    busy: Cycles,
+    stalled: Cycles,
+    ops_executed: u64,
+}
+
+impl SequencerState {
+    /// Creates an idle sequencer.
+    #[must_use]
+    pub fn new(id: SequencerId) -> Self {
+        SequencerState {
+            id,
+            current_shred: None,
+            bound_thread: None,
+            suspended: false,
+            remaining: Cycles::ZERO,
+            stall_end: None,
+            generation: 0,
+            pending_at: None,
+            busy: Cycles::ZERO,
+            stalled: Cycles::ZERO,
+            ops_executed: 0,
+        }
+    }
+
+    /// The sequencer identifier.
+    #[must_use]
+    pub fn id(&self) -> SequencerId {
+        self.id
+    }
+
+    /// The shred currently installed, if any.
+    #[must_use]
+    pub fn current_shred(&self) -> Option<ShredId> {
+        self.current_shred
+    }
+
+    /// Installs or clears the current shred.
+    pub fn set_current_shred(&mut self, shred: Option<ShredId>) {
+        self.current_shred = shred;
+    }
+
+    /// The OS thread bound to this sequencer, if any.
+    #[must_use]
+    pub fn bound_thread(&self) -> Option<OsThreadId> {
+        self.bound_thread
+    }
+
+    /// Binds (or unbinds) the OS thread served by this sequencer.
+    pub fn set_bound_thread(&mut self, thread: Option<OsThreadId>) {
+        self.bound_thread = thread;
+    }
+
+    /// Returns `true` while the sequencer is suspended by the platform.
+    #[must_use]
+    pub fn is_suspended(&self) -> bool {
+        self.suspended
+    }
+
+    /// Returns `true` when the sequencer has no shred installed and is not
+    /// suspended (i.e. it can accept work immediately).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        !self.suspended && self.current_shred.is_none()
+    }
+
+    /// The current generation (for validating `SeqReady` events).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Invalidates any outstanding `SeqReady` event and returns the new
+    /// generation to use for the next scheduled event.
+    pub fn bump_generation(&mut self) -> u64 {
+        self.generation += 1;
+        self.generation
+    }
+
+    /// Records that a completion event was scheduled at `at`.
+    pub fn set_pending(&mut self, at: Option<Cycles>) {
+        self.pending_at = at;
+    }
+
+    /// The absolute time of the pending completion event, if any.
+    #[must_use]
+    pub fn pending_at(&self) -> Option<Cycles> {
+        self.pending_at
+    }
+
+    /// Marks the sequencer suspended at time `now`, capturing the remaining
+    /// portion of its in-flight operation.  Idempotent: re-suspending keeps
+    /// the first capture.
+    pub fn suspend(&mut self, now: Cycles) {
+        if self.suspended {
+            return;
+        }
+        self.suspended = true;
+        self.remaining = match self.pending_at {
+            Some(at) => at.saturating_sub(now),
+            None => Cycles::ZERO,
+        };
+        self.pending_at = None;
+        self.bump_generation();
+    }
+
+    /// Clears the suspension, returning the captured remaining work so the
+    /// caller can schedule the continuation.  Returns `None` if the sequencer
+    /// was not suspended.
+    pub fn clear_suspension(&mut self) -> Option<Cycles> {
+        if !self.suspended {
+            return None;
+        }
+        self.suspended = false;
+        self.stall_end = None;
+        let r = self.remaining;
+        self.remaining = Cycles::ZERO;
+        Some(r)
+    }
+
+    /// The end of the current timed stall window, if any.
+    #[must_use]
+    pub fn stall_end(&self) -> Option<Cycles> {
+        self.stall_end
+    }
+
+    /// Sets (or clears) the timed stall window end.
+    pub fn set_stall_end(&mut self, end: Option<Cycles>) {
+        self.stall_end = end;
+    }
+
+    /// Adds `cycles` of useful execution to the busy counter.
+    pub fn add_busy(&mut self, cycles: Cycles) {
+        self.busy += cycles;
+    }
+
+    /// Adds `cycles` of platform-imposed stall to the stall counter.
+    pub fn add_stalled(&mut self, cycles: Cycles) {
+        self.stalled += cycles;
+    }
+
+    /// Increments the executed-operation counter.
+    pub fn count_op(&mut self) {
+        self.ops_executed += 1;
+    }
+
+    /// Cycles spent doing useful work.
+    #[must_use]
+    pub fn busy(&self) -> Cycles {
+        self.busy
+    }
+
+    /// Cycles lost to platform-imposed stalls (serialization, proxy waits,
+    /// context-switch suspension).
+    #[must_use]
+    pub fn stalled(&self) -> Cycles {
+        self.stalled
+    }
+
+    /// Number of operations executed.
+    #[must_use]
+    pub fn ops_executed(&self) -> u64 {
+        self.ops_executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sequencer_is_idle() {
+        let s = SequencerState::new(SequencerId::new(2));
+        assert_eq!(s.id(), SequencerId::new(2));
+        assert!(s.is_idle());
+        assert!(!s.is_suspended());
+        assert_eq!(s.current_shred(), None);
+        assert_eq!(s.bound_thread(), None);
+        assert_eq!(s.generation(), 0);
+    }
+
+    #[test]
+    fn installing_a_shred_clears_idle() {
+        let mut s = SequencerState::new(SequencerId::new(0));
+        s.set_current_shred(Some(ShredId::new(5)));
+        assert!(!s.is_idle());
+        assert_eq!(s.current_shred(), Some(ShredId::new(5)));
+        s.set_current_shred(None);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn suspend_captures_remaining_work() {
+        let mut s = SequencerState::new(SequencerId::new(0));
+        s.set_current_shred(Some(ShredId::new(1)));
+        s.set_pending(Some(Cycles::new(1_000)));
+        let gen_before = s.generation();
+        s.suspend(Cycles::new(400));
+        assert!(s.is_suspended());
+        assert!(s.generation() > gen_before, "suspension invalidates events");
+        assert_eq!(s.pending_at(), None);
+        assert_eq!(s.clear_suspension(), Some(Cycles::new(600)));
+        assert!(!s.is_suspended());
+    }
+
+    #[test]
+    fn suspend_is_idempotent() {
+        let mut s = SequencerState::new(SequencerId::new(0));
+        s.set_pending(Some(Cycles::new(100)));
+        s.suspend(Cycles::new(40));
+        // Second suspension later must not overwrite the first capture.
+        s.suspend(Cycles::new(90));
+        assert_eq!(s.clear_suspension(), Some(Cycles::new(60)));
+    }
+
+    #[test]
+    fn suspend_without_pending_captures_zero() {
+        let mut s = SequencerState::new(SequencerId::new(0));
+        s.suspend(Cycles::new(10));
+        assert_eq!(s.clear_suspension(), Some(Cycles::ZERO));
+        assert_eq!(s.clear_suspension(), None, "already cleared");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = SequencerState::new(SequencerId::new(0));
+        s.add_busy(Cycles::new(10));
+        s.add_busy(Cycles::new(5));
+        s.add_stalled(Cycles::new(3));
+        s.count_op();
+        s.count_op();
+        assert_eq!(s.busy(), Cycles::new(15));
+        assert_eq!(s.stalled(), Cycles::new(3));
+        assert_eq!(s.ops_executed(), 2);
+    }
+
+    #[test]
+    fn thread_binding() {
+        let mut s = SequencerState::new(SequencerId::new(0));
+        s.set_bound_thread(Some(OsThreadId::new(4)));
+        assert_eq!(s.bound_thread(), Some(OsThreadId::new(4)));
+        s.set_bound_thread(None);
+        assert_eq!(s.bound_thread(), None);
+    }
+}

@@ -1,0 +1,129 @@
+//! Simulation statistics.
+
+use misp_os::{OsEventCounts, OsEventKind};
+use misp_types::{Cycles, ProcessId, SequencerId};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Per-sequencer utilization summary.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SeqUtilization {
+    /// Cycles spent executing operations.
+    pub busy: Cycles,
+    /// Cycles lost to platform-imposed stalls (serialization, proxy waits,
+    /// context-switch suspension).
+    pub stalled: Cycles,
+    /// Operations executed.
+    pub ops: u64,
+}
+
+/// Machine-wide statistics accumulated over a simulation run.
+///
+/// The split between OMS-originated and AMS-originated events mirrors the
+/// column structure of the paper's Table 1; the overhead counters feed the
+/// analytic model used for Figure 5.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct SimStats {
+    /// Privileged events that originated on an OS-managed sequencer (or, in
+    /// the SMP baseline, on any core).
+    pub oms_events: OsEventCounts,
+    /// Privileged events that originated on an application-managed sequencer
+    /// and therefore required proxy execution.
+    pub ams_events: OsEventCounts,
+    /// Number of proxy-execution episodes performed by OMSs.
+    pub proxy_executions: u64,
+    /// Number of serialization episodes (OMS Ring 0 entries that suspended
+    /// AMSs).
+    pub serializations: u64,
+    /// Number of OS thread context switches.
+    pub context_switches: u64,
+    /// Number of user-level `SIGNAL` instructions executed.
+    pub signals_sent: u64,
+    /// Total cycles of AMS execution lost to suspension, summed over AMSs.
+    pub suspension_cycles: Cycles,
+    /// Completion time of each measured process.
+    pub process_completion: HashMap<u32, Cycles>,
+    /// Per-sequencer utilization, indexed by sequencer.
+    pub per_sequencer: Vec<SeqUtilization>,
+    /// Per-sequencer privileged-event counts, indexed by sequencer.
+    pub per_sequencer_events: Vec<OsEventCounts>,
+}
+
+impl SimStats {
+    /// Creates statistics for a machine with `sequencers` sequencers.
+    #[must_use]
+    pub fn new(sequencers: usize) -> Self {
+        SimStats {
+            per_sequencer: vec![SeqUtilization::default(); sequencers],
+            per_sequencer_events: vec![OsEventCounts::default(); sequencers],
+            ..SimStats::default()
+        }
+    }
+
+    /// Records a privileged event originating on `seq`.
+    ///
+    /// `from_oms` selects whether the event lands in the OMS or AMS columns of
+    /// the Table 1 accounting.
+    pub fn record_event(&mut self, seq: SequencerId, kind: OsEventKind, from_oms: bool) {
+        if from_oms {
+            self.oms_events.record(kind);
+        } else {
+            self.ams_events.record(kind);
+        }
+        if let Some(counts) = self.per_sequencer_events.get_mut(seq.as_usize()) {
+            counts.record(kind);
+        }
+    }
+
+    /// Records the completion time of a measured process (keeps the earliest
+    /// recorded value).
+    pub fn record_completion(&mut self, process: ProcessId, at: Cycles) {
+        self.process_completion.entry(process.index()).or_insert(at);
+    }
+
+    /// The completion time of `process`, if it finished.
+    #[must_use]
+    pub fn completion_of(&self, process: ProcessId) -> Option<Cycles> {
+        self.process_completion.get(&process.index()).copied()
+    }
+
+    /// Total serializing events (OMS + AMS), the quantity Table 1 itemizes.
+    #[must_use]
+    pub fn total_serializing_events(&self) -> u64 {
+        self.oms_events.total() + self.ams_events.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_event_splits_oms_and_ams() {
+        let mut s = SimStats::new(4);
+        s.record_event(SequencerId::new(0), OsEventKind::Syscall, true);
+        s.record_event(SequencerId::new(1), OsEventKind::PageFault, false);
+        s.record_event(SequencerId::new(1), OsEventKind::PageFault, false);
+        assert_eq!(s.oms_events.syscalls, 1);
+        assert_eq!(s.ams_events.page_faults, 2);
+        assert_eq!(s.per_sequencer_events[1].page_faults, 2);
+        assert_eq!(s.total_serializing_events(), 3);
+    }
+
+    #[test]
+    fn completion_keeps_first_value() {
+        let mut s = SimStats::new(1);
+        let p = ProcessId::new(3);
+        assert_eq!(s.completion_of(p), None);
+        s.record_completion(p, Cycles::new(100));
+        s.record_completion(p, Cycles::new(200));
+        assert_eq!(s.completion_of(p), Some(Cycles::new(100)));
+    }
+
+    #[test]
+    fn out_of_range_sequencer_does_not_panic() {
+        let mut s = SimStats::new(1);
+        s.record_event(SequencerId::new(9), OsEventKind::Timer, true);
+        assert_eq!(s.oms_events.timer, 1);
+    }
+}

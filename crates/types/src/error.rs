@@ -1,0 +1,144 @@
+//! The workspace-wide error type.
+
+use crate::{MispProcessorId, SequencerId, ShredId};
+use core::fmt;
+
+/// Convenience alias for `Result<T, MispError>`.
+pub type Result<T> = core::result::Result<T, MispError>;
+
+/// Errors raised by the MISP architecture model and its runtime.
+///
+/// Variants map to architecturally meaningful failure conditions (e.g. a
+/// `SIGNAL` naming a sequencer outside the current MISP processor) rather than
+/// to implementation details, so they remain stable as the simulator evolves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MispError {
+    /// A `SIGNAL` or other sequencer-aware operation named a sequencer that
+    /// does not exist in the current MISP processor.
+    UnknownSequencer(SequencerId),
+    /// An operation named a MISP processor that does not exist in the machine.
+    UnknownProcessor(MispProcessorId),
+    /// An operation named a shred the runtime does not know about.
+    UnknownShred(ShredId),
+    /// An operation that only the OS-managed sequencer may perform (e.g. a
+    /// Ring 0 transition) was attempted on an application-managed sequencer
+    /// without proxy execution.
+    PrivilegeViolation {
+        /// The offending sequencer.
+        sequencer: SequencerId,
+        /// Description of the attempted operation.
+        operation: &'static str,
+    },
+    /// A machine or processor configuration was structurally invalid (e.g. a
+    /// MISP processor with zero sequencers, or more OMSs than sequencers).
+    InvalidConfiguration(String),
+    /// A workload definition was internally inconsistent (e.g. a shred joins
+    /// on a shred that is never created).
+    InvalidWorkload(String),
+    /// The runtime attempted an operation on a synchronization object in an
+    /// invalid state (e.g. unlocking a mutex it does not hold).
+    SynchronizationMisuse(String),
+    /// The simulation exceeded its configured cycle budget without all shreds
+    /// completing — usually a deadlock in the simulated program.
+    CycleBudgetExhausted {
+        /// The configured budget, in cycles.
+        budget: u64,
+    },
+    /// The simulated program deadlocked: no sequencer can make progress and no
+    /// future event is pending.
+    Deadlock {
+        /// Human-readable description of the blocked entities.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MispError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MispError::UnknownSequencer(sid) => {
+                write!(f, "unknown sequencer {sid}")
+            }
+            MispError::UnknownProcessor(pid) => {
+                write!(f, "unknown MISP processor {pid}")
+            }
+            MispError::UnknownShred(sid) => write!(f, "unknown shred {sid}"),
+            MispError::PrivilegeViolation {
+                sequencer,
+                operation,
+            } => write!(
+                f,
+                "privilege violation: {operation} attempted on application-managed sequencer {sequencer}"
+            ),
+            MispError::InvalidConfiguration(msg) => {
+                write!(f, "invalid machine configuration: {msg}")
+            }
+            MispError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            MispError::SynchronizationMisuse(msg) => {
+                write!(f, "synchronization misuse: {msg}")
+            }
+            MispError::CycleBudgetExhausted { budget } => {
+                write!(f, "cycle budget of {budget} cycles exhausted before completion")
+            }
+            MispError::Deadlock { detail } => write!(f, "simulated program deadlocked: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for MispError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(MispError, &str)> = vec![
+            (
+                MispError::UnknownSequencer(SequencerId::new(3)),
+                "unknown sequencer SEQ3",
+            ),
+            (
+                MispError::UnknownProcessor(MispProcessorId::new(1)),
+                "unknown MISP processor MISP1",
+            ),
+            (MispError::UnknownShred(ShredId::new(9)), "unknown shred SHR9"),
+            (
+                MispError::CycleBudgetExhausted { budget: 10 },
+                "cycle budget of 10 cycles exhausted before completion",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn privilege_violation_names_the_sequencer() {
+        let err = MispError::PrivilegeViolation {
+            sequencer: SequencerId::new(2),
+            operation: "ring 0 entry",
+        };
+        assert!(err.to_string().contains("SEQ2"));
+        assert!(err.to_string().contains("ring 0 entry"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<MispError>();
+    }
+
+    #[test]
+    fn result_alias_works() {
+        fn might_fail(ok: bool) -> Result<u32> {
+            if ok {
+                Ok(1)
+            } else {
+                Err(MispError::InvalidConfiguration("empty".to_string()))
+            }
+        }
+        assert_eq!(might_fail(true).unwrap(), 1);
+        assert!(might_fail(false).is_err());
+    }
+}

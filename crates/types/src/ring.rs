@@ -1,0 +1,113 @@
+//! IA-32 privilege rings and ring transitions.
+//!
+//! The paper's key overhead comes from Ring 3 → Ring 0 transitions on the
+//! OS-managed sequencer: every such transition forces all application-managed
+//! sequencers in the same MISP processor to suspend until the OMS returns to
+//! Ring 3 (Section 2.3 of the paper).
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// An IA-32 privilege level relevant to MISP.
+///
+/// The paper only distinguishes the privileged kernel level (Ring 0) and the
+/// user level (Ring 3); Rings 1 and 2 are unused by mainstream operating
+/// systems and are omitted from the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Ring {
+    /// Kernel privilege level: OS services, interrupt handlers, page-fault
+    /// handling.  Only the OS-managed sequencer may execute at Ring 0.
+    Ring0,
+    /// User privilege level.  Application-managed sequencers execute only the
+    /// Ring 3 subset of the ISA.
+    Ring3,
+}
+
+impl Ring {
+    /// Returns `true` for the user privilege level (Ring 3).
+    #[inline]
+    #[must_use]
+    pub const fn is_user(self) -> bool {
+        matches!(self, Ring::Ring3)
+    }
+
+    /// Returns `true` for the kernel privilege level (Ring 0).
+    #[inline]
+    #[must_use]
+    pub const fn is_kernel(self) -> bool {
+        matches!(self, Ring::Ring0)
+    }
+}
+
+impl Default for Ring {
+    fn default() -> Self {
+        Ring::Ring3
+    }
+}
+
+impl fmt::Display for Ring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ring::Ring0 => write!(f, "ring 0"),
+            Ring::Ring3 => write!(f, "ring 3"),
+        }
+    }
+}
+
+/// A privilege-level transition observed on a sequencer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RingTransition {
+    /// Entry into the kernel (Ring 3 → Ring 0): a trap, fault or interrupt.
+    Enter,
+    /// Return to user code (Ring 0 → Ring 3): `IRET`/`SYSEXIT`.
+    Exit,
+}
+
+impl RingTransition {
+    /// The privilege level in effect after the transition completes.
+    #[inline]
+    #[must_use]
+    pub const fn target_ring(self) -> Ring {
+        match self {
+            RingTransition::Enter => Ring::Ring0,
+            RingTransition::Exit => Ring::Ring3,
+        }
+    }
+}
+
+impl fmt::Display for RingTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingTransition::Enter => write!(f, "ring 3 -> ring 0"),
+            RingTransition::Exit => write!(f, "ring 0 -> ring 3"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_predicates() {
+        assert!(Ring::Ring3.is_user());
+        assert!(!Ring::Ring3.is_kernel());
+        assert!(Ring::Ring0.is_kernel());
+        assert!(!Ring::Ring0.is_user());
+        assert_eq!(Ring::default(), Ring::Ring3);
+    }
+
+    #[test]
+    fn transition_targets() {
+        assert_eq!(RingTransition::Enter.target_ring(), Ring::Ring0);
+        assert_eq!(RingTransition::Exit.target_ring(), Ring::Ring3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ring::Ring0.to_string(), "ring 0");
+        assert_eq!(Ring::Ring3.to_string(), "ring 3");
+        assert_eq!(RingTransition::Enter.to_string(), "ring 3 -> ring 0");
+        assert_eq!(RingTransition::Exit.to_string(), "ring 0 -> ring 3");
+    }
+}

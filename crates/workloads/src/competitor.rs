@@ -1,0 +1,94 @@
+//! Single-threaded "competitor" processes for the multi-programming
+//! experiments.
+//!
+//! Figure 7 of the paper loads the system with non-shredded, single-threaded
+//! processes alongside the shredded RayTracer and measures how RayTracer's
+//! throughput degrades under each MISP MP configuration.  A competitor is a
+//! plain compute-bound program run by a [`SingleShredRuntime`]: it never
+//! creates shreds, so any AMSs attached to the OMS it runs on sit idle while
+//! it holds the CPU — exactly the effect the experiment studies.
+
+use misp_isa::{ProgramBuilder, ProgramLibrary, ProgramRef};
+use misp_sim::SingleShredRuntime;
+use misp_types::{Cycles, VirtAddr};
+
+/// Base address of competitor working sets (distinct from the shredded
+/// application's ranges so page faults are attributed correctly).
+const COMPETITOR_BASE: u64 = 0x9000_0000;
+
+/// Builds a single-threaded competitor program of roughly `total_cycles`
+/// cycles of compute (with a small working set touched at startup) and returns
+/// its program reference.
+pub fn competitor_program(
+    library: &mut ProgramLibrary,
+    index: usize,
+    total_cycles: u64,
+) -> ProgramRef {
+    let pages = 8u64;
+    let base = VirtAddr::new(COMPETITOR_BASE + index as u64 * pages * misp_types::PAGE_SIZE);
+    let chunks = 100u64;
+    let chunk = (total_cycles / chunks).max(1);
+    library.insert(
+        ProgramBuilder::new(format!("competitor{index}"))
+            .touch_pages(base, pages)
+            .repeat(chunks, |b| b.compute(Cycles::new(chunk)))
+            .build(),
+    )
+}
+
+/// Builds the runtime for a competitor process created with
+/// [`competitor_program`].
+#[must_use]
+pub fn competitor_runtime(program: ProgramRef) -> SingleShredRuntime {
+    SingleShredRuntime::new(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use misp_isa::Op;
+
+    #[test]
+    fn program_has_expected_shape() {
+        let mut lib = ProgramLibrary::new();
+        let r = competitor_program(&mut lib, 0, 1_000_000);
+        let program = lib.get(r).unwrap();
+        let ops: Vec<Op> = program.iter_flat().collect();
+        let compute: u64 = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Compute(c) => Some(c.as_u64()),
+                _ => None,
+            })
+            .sum();
+        assert!(compute >= 1_000_000);
+        let touches = ops.iter().filter(|o| matches!(o, Op::Touch { .. })).count();
+        assert_eq!(touches, 8);
+    }
+
+    #[test]
+    fn distinct_indices_use_distinct_pages() {
+        let mut lib = ProgramLibrary::new();
+        let a = competitor_program(&mut lib, 0, 1_000);
+        let b = competitor_program(&mut lib, 1, 1_000);
+        let pages = |r: ProgramRef| -> std::collections::BTreeSet<u64> {
+            lib.get(r)
+                .unwrap()
+                .iter_flat()
+                .filter_map(|o| match o {
+                    Op::Touch { addr, .. } => Some(addr.page().number()),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert!(pages(a).is_disjoint(&pages(b)));
+    }
+
+    #[test]
+    fn runtime_is_constructible() {
+        let mut lib = ProgramLibrary::new();
+        let r = competitor_program(&mut lib, 0, 10);
+        let rt = competitor_runtime(r);
+        assert!(rt.shreds().is_empty());
+    }
+}

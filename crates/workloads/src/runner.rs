@@ -1,0 +1,182 @@
+//! Helpers that run a workload on the MISP machine, the SMP baseline, or a
+//! single sequencer.
+
+use crate::Workload;
+use misp_core::{MispMachine, MispTopology};
+use misp_isa::ProgramLibrary;
+use misp_sim::{SimConfig, SimReport};
+use misp_smp::SmpMachine;
+use misp_types::Result;
+
+/// Runs `workload` on a MISP machine with the given topology.
+///
+/// The shredded application gets one OS thread per MISP processor (as in the
+/// paper's MP experiments) and `workers` worker shreds drawn from the shared
+/// work queue.
+///
+/// # Errors
+///
+/// Propagates simulation errors (budget exhaustion, deadlock).
+pub fn run_on_misp(
+    workload: &Workload,
+    topology: &MispTopology,
+    config: SimConfig,
+    workers: usize,
+) -> Result<SimReport> {
+    let mut library = ProgramLibrary::new();
+    let scheduler = workload.build(&mut library, workers);
+    let mut machine = MispMachine::new(topology.clone(), config, library);
+    let pid = machine.add_process(workload.name(), Box::new(scheduler), Some(0));
+    for proc_idx in 1..topology.processors().len() {
+        machine.add_thread(pid, Some(proc_idx));
+    }
+    machine.run()
+}
+
+/// Runs `workload` on a MISP machine with the page pre-touch optimization of
+/// Section 5.3 enabled (the main shred probes every worker page during the
+/// serial region).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_on_misp_with_pretouch(
+    workload: &Workload,
+    topology: &MispTopology,
+    config: SimConfig,
+    workers: usize,
+) -> Result<SimReport> {
+    let mut library = ProgramLibrary::new();
+    let scheduler = workload.build_with_pretouch(&mut library, workers);
+    let mut machine = MispMachine::new(topology.clone(), config, library);
+    let pid = machine.add_process(workload.name(), Box::new(scheduler), Some(0));
+    for proc_idx in 1..topology.processors().len() {
+        machine.add_thread(pid, Some(proc_idx));
+    }
+    machine.run()
+}
+
+/// Runs `workload` on the SMP baseline with `cores` cores.  The application
+/// gets one OS thread per core, mirroring how an OpenMP runtime would span an
+/// SMP machine.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_on_smp(
+    workload: &Workload,
+    cores: usize,
+    config: SimConfig,
+    workers: usize,
+) -> Result<SimReport> {
+    let mut library = ProgramLibrary::new();
+    let scheduler = workload.build(&mut library, workers);
+    let mut machine = SmpMachine::new(cores, config, library);
+    let pid = machine.add_process(workload.name(), Box::new(scheduler), Some(0));
+    for core in 1..cores {
+        machine.add_thread(pid, Some(core));
+    }
+    machine.run()
+}
+
+/// Runs `workload` on a single sequencer (the "1P" baseline Figure 4 divides
+/// by).  The same `workers`-way shredded program is used; everything simply
+/// time-multiplexes on one sequencer.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_serial(workload: &Workload, config: SimConfig, workers: usize) -> Result<SimReport> {
+    run_on_misp(
+        workload,
+        &MispTopology::uniprocessor(0).expect("single-sequencer topology is valid"),
+        config,
+        workers,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use misp_os::TimerConfig;
+
+    fn quick_config() -> SimConfig {
+        SimConfig {
+            timer: TimerConfig::new(misp_types::Cycles::new(3_000_000), 10),
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn dense_mvm_speeds_up_on_misp_and_smp() {
+        let w = catalog::by_name("dense_mvm").unwrap();
+        let serial = run_serial(&w, quick_config(), 8).unwrap();
+        let misp = run_on_misp(
+            &w,
+            &MispTopology::uniprocessor(7).unwrap(),
+            quick_config(),
+            8,
+        )
+        .unwrap();
+        let smp = run_on_smp(&w, 8, quick_config(), 8).unwrap();
+        let misp_speedup = serial.total_cycles.as_f64() / misp.total_cycles.as_f64();
+        let smp_speedup = serial.total_cycles.as_f64() / smp.total_cycles.as_f64();
+        assert!(misp_speedup > 4.5, "MISP speedup {misp_speedup:.2}");
+        assert!(smp_speedup > 4.5, "SMP speedup {smp_speedup:.2}");
+        let relative = (misp_speedup - smp_speedup).abs() / smp_speedup;
+        assert!(
+            relative < 0.10,
+            "MISP and SMP should be within a few percent, got {relative:.3}"
+        );
+    }
+
+    #[test]
+    fn worker_page_faults_become_proxy_events_on_misp() {
+        let w = catalog::by_name("sparse_mvm_sym").unwrap();
+        let report = run_on_misp(
+            &w,
+            &MispTopology::uniprocessor(7).unwrap(),
+            quick_config(),
+            8,
+        )
+        .unwrap();
+        assert!(
+            report.stats.ams_events.page_faults > 0,
+            "workers on AMSs must fault via proxy execution"
+        );
+        assert_eq!(report.stats.ams_events.syscalls, 0);
+        assert!(report.stats.oms_events.page_faults > 0);
+        // On the SMP baseline the same workload has no proxy executions.
+        let smp = run_on_smp(&w, 8, quick_config(), 8).unwrap();
+        assert_eq!(smp.stats.proxy_executions, 0);
+    }
+
+    #[test]
+    fn pretouch_eliminates_ams_page_faults() {
+        let w = catalog::by_name("sparse_mvm").unwrap();
+        let base = run_on_misp(
+            &w,
+            &MispTopology::uniprocessor(7).unwrap(),
+            quick_config(),
+            8,
+        )
+        .unwrap();
+        let pretouch = run_on_misp_with_pretouch(
+            &w,
+            &MispTopology::uniprocessor(7).unwrap(),
+            quick_config(),
+            8,
+        )
+        .unwrap();
+        assert!(base.stats.ams_events.page_faults > 0);
+        assert_eq!(
+            pretouch.stats.ams_events.page_faults, 0,
+            "pre-touching moves every fault into the serial region"
+        );
+        assert!(
+            pretouch.stats.oms_events.page_faults > base.stats.oms_events.page_faults,
+            "the faults move to the OMS rather than disappearing"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Multi-programming on MISP multiprocessors (the Figure 7 scenario in
+//! miniature): the shredded RayTracer shares the machine with a
+//! single-threaded competitor process under three different partitionings of
+//! the same eight sequencers.
+//!
+//! Run with `cargo run --release --example raytracer_multiprogramming`.
+
+use misp::core::{MispMachine, MispTopology};
+use misp::isa::ProgramLibrary;
+use misp::sim::SimConfig;
+use misp::types::Cycles;
+use misp::workloads::{catalog, competitor};
+
+/// Runs RayTracer (decomposed into 32 task shreds) on `topology` with
+/// `competitors` single-threaded processes competing for the OS-visible CPUs,
+/// and returns RayTracer's completion time.
+fn run(topology: &MispTopology, competitors: usize) -> Cycles {
+    let raytracer = catalog::by_name("RayTracer").expect("RayTracer is in the catalog");
+    let mut library = ProgramLibrary::new();
+    let scheduler = raytracer.build(&mut library, 32);
+    let competitor_programs: Vec<_> = (0..competitors)
+        .map(|i| competitor::competitor_program(&mut library, i, 12_000_000_000))
+        .collect();
+
+    let mut machine = MispMachine::new(topology.clone(), SimConfig::default(), library);
+    let ray = machine.add_process("RayTracer", Box::new(scheduler), Some(0));
+    for proc_idx in 1..topology.processors().len() {
+        if !topology.processors()[proc_idx].ams().is_empty() {
+            machine.add_thread(ray, Some(proc_idx));
+        }
+    }
+    for program in competitor_programs {
+        machine.add_process(
+            "competitor",
+            Box::new(competitor::competitor_runtime(program)),
+            None,
+        );
+    }
+    machine.set_measured(vec![ray]);
+    machine.run().expect("simulation completes").total_cycles
+}
+
+fn main() {
+    let configs = [
+        ("1x8   (one MISP processor, 7 AMSs)", MispTopology::config_1x8()),
+        ("2x4   (two MISP processors)", MispTopology::config_2x4()),
+        (
+            "1x4+4 (one 4-sequencer MISP processor + 4 plain CPUs)",
+            MispTopology::config_uneven(3, 4),
+        ),
+    ];
+
+    println!("RayTracer throughput while one single-threaded process competes for CPU time");
+    println!("(all configurations partition the same 8 sequencers)\n");
+    for (name, topology) in &configs {
+        let unloaded = run(topology, 0);
+        let loaded = run(topology, 1);
+        println!("configuration {name}");
+        println!("  unloaded: {:>13} cycles", unloaded.as_u64());
+        println!(
+            "  loaded  : {:>13} cycles   ({:.1}% of unloaded throughput retained)",
+            loaded.as_u64(),
+            100.0 * unloaded.as_f64() / loaded.as_f64()
+        );
+    }
+    println!();
+    println!("With a single MISP processor (1x8) the competitor time-shares the only");
+    println!("OS-visible CPU, idling all seven AMSs half the time.  Splitting the machine");
+    println!("into more MISP processors (2x4) localizes the damage, and reserving plain");
+    println!("single-sequencer CPUs for non-shredded work (1x4+4) removes it entirely —");
+    println!("exactly the trade-off the paper's Figure 7 explores.");
+}

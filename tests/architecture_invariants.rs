@@ -1,0 +1,164 @@
+//! Cross-crate integration tests: the architectural invariants the MISP paper
+//! relies on, checked end-to-end through the facade crate.
+
+use misp::core::{MispTopology, OverheadModel};
+use misp::mem::AccessPattern;
+use misp::os::TimerConfig;
+use misp::sim::SimConfig;
+use misp::types::{CostModel, Cycles, SignalCost};
+use misp::workloads::{runner, Suite, Workload, WorkloadParams};
+
+/// A small, fast workload used by most tests below.
+fn small_workload() -> Workload {
+    Workload::new(
+        "itest",
+        Suite::Rms,
+        WorkloadParams {
+            total_work: 400_000_000,
+            serial_fraction: 0.05,
+            main_pages: 20,
+            worker_pages: 12,
+            chunks_per_worker: 20,
+            main_syscalls: 3,
+            worker_syscalls: 0,
+            access_pattern: AccessPattern::Shuffled { seed: 3 },
+            lock_contention: false,
+        },
+    )
+}
+
+fn config() -> SimConfig {
+    SimConfig {
+        timer: TimerConfig::new(Cycles::new(3_000_000), 10),
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn misp_tracks_smp_within_a_few_percent() {
+    let w = small_workload();
+    let topo = MispTopology::uniprocessor(7).unwrap();
+    let serial = runner::run_serial(&w, config(), 8).unwrap();
+    let misp = runner::run_on_misp(&w, &topo, config(), 8).unwrap();
+    let smp = runner::run_on_smp(&w, 8, config(), 8).unwrap();
+
+    let misp_speedup = serial.total_cycles.as_f64() / misp.total_cycles.as_f64();
+    let smp_speedup = serial.total_cycles.as_f64() / smp.total_cycles.as_f64();
+    assert!(misp_speedup > 5.0, "MISP speedup {misp_speedup:.2}");
+    assert!(smp_speedup > 5.0, "SMP speedup {smp_speedup:.2}");
+    let gap = (misp_speedup - smp_speedup).abs() / smp_speedup;
+    assert!(
+        gap < 0.05,
+        "MISP and SMP must stay within a few percent (paper Figure 4); gap = {:.1}%",
+        gap * 100.0
+    );
+}
+
+#[test]
+fn ams_faults_are_exactly_the_proxy_executions() {
+    let w = small_workload();
+    let topo = MispTopology::uniprocessor(7).unwrap();
+    let report = runner::run_on_misp(&w, &topo, config(), 8).unwrap();
+    assert_eq!(
+        report.stats.proxy_executions,
+        report.stats.ams_events.total(),
+        "every AMS-originated privileged event must be handled by proxy execution"
+    );
+    assert!(report.stats.ams_events.page_faults > 0);
+    // The SMP baseline never uses proxy execution.
+    let smp = runner::run_on_smp(&w, 8, config(), 8).unwrap();
+    assert_eq!(smp.stats.proxy_executions, 0);
+    assert_eq!(smp.stats.ams_events.total(), 0);
+    assert_eq!(smp.stats.serializations, 0);
+}
+
+#[test]
+fn page_faults_are_compulsory_only() {
+    // Total page faults (OMS + AMS) must equal the number of distinct pages
+    // touched: main pages + per-worker pages (first touch faults exactly once
+    // regardless of which sequencer touches it).
+    let w = small_workload();
+    let topo = MispTopology::uniprocessor(7).unwrap();
+    let report = runner::run_on_misp(&w, &topo, config(), 8).unwrap();
+    let expected = w.params().main_pages + w.params().worker_pages * 8;
+    let measured = report.stats.oms_events.page_faults + report.stats.ams_events.page_faults;
+    assert_eq!(measured, expected);
+}
+
+#[test]
+fn simulation_is_deterministic_across_runs() {
+    let w = small_workload();
+    let topo = MispTopology::uniprocessor(7).unwrap();
+    let a = runner::run_on_misp(&w, &topo, config(), 8).unwrap();
+    let b = runner::run_on_misp(&w, &topo, config(), 8).unwrap();
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.stats.oms_events, b.stats.oms_events);
+    assert_eq!(a.stats.ams_events, b.stats.ams_events);
+    assert_eq!(a.stats.proxy_executions, b.stats.proxy_executions);
+    assert_eq!(a.stats.suspension_cycles, b.stats.suspension_cycles);
+}
+
+#[test]
+fn signal_cost_sweep_is_monotone_and_small() {
+    let w = small_workload();
+    let topo = MispTopology::uniprocessor(7).unwrap();
+    let run = |signal: SignalCost| {
+        let cfg = config().with_costs(CostModel::builder().signal(signal).build());
+        runner::run_on_misp(&w, &topo, cfg, 8).unwrap().total_cycles
+    };
+    let ideal = run(SignalCost::Ideal);
+    let c500 = run(SignalCost::Aggressive500);
+    let c1000 = run(SignalCost::Aggressive1000);
+    let c5000 = run(SignalCost::Microcode5000);
+    assert!(ideal <= c500 && c500 <= c1000 && c1000 <= c5000);
+    let overhead = c5000.as_f64() / ideal.as_f64() - 1.0;
+    assert!(
+        overhead < 0.03,
+        "5000-cycle signaling should cost at most a few percent, got {:.2}%",
+        overhead * 100.0
+    );
+    // The analytic model (Equations 1-3) bounds the measured overhead from
+    // above for this fault profile (it assumes no overlap between windows).
+    let baseline = runner::run_on_misp(&w, &topo, config().with_costs(CostModel::builder().signal(SignalCost::Ideal).build()), 8).unwrap();
+    let model = OverheadModel::new(CostModel::default());
+    let analytic = model.signal_overhead(
+        baseline.stats.oms_events.total(),
+        baseline.stats.ams_events.total(),
+    );
+    assert!(
+        (c5000 - ideal).as_u64() <= analytic.as_u64() * 3,
+        "measured overhead should be of the same order as the analytic bound"
+    );
+}
+
+#[test]
+fn speedup_never_exceeds_sequencer_count() {
+    let w = small_workload();
+    for ams in [0usize, 1, 3, 7] {
+        let topo = MispTopology::uniprocessor(ams).unwrap();
+        let serial = runner::run_serial(&w, config(), 8).unwrap();
+        let parallel = runner::run_on_misp(&w, &topo, config(), 8).unwrap();
+        let speedup = serial.total_cycles.as_f64() / parallel.total_cycles.as_f64();
+        assert!(
+            speedup <= (ams + 1) as f64 + 0.01,
+            "speedup {speedup:.2} exceeds {} sequencers",
+            ams + 1
+        );
+        if ams > 0 {
+            assert!(speedup > 1.0, "adding AMSs must help ({ams} AMSs: {speedup:.2})");
+        }
+    }
+}
+
+#[test]
+fn pretouch_moves_faults_from_ams_to_oms() {
+    let w = small_workload();
+    let topo = MispTopology::uniprocessor(7).unwrap();
+    let base = runner::run_on_misp(&w, &topo, config(), 8).unwrap();
+    let pre = runner::run_on_misp_with_pretouch(&w, &topo, config(), 8).unwrap();
+    assert!(base.stats.ams_events.page_faults > 0);
+    assert_eq!(pre.stats.ams_events.page_faults, 0);
+    let total_base = base.stats.oms_events.page_faults + base.stats.ams_events.page_faults;
+    let total_pre = pre.stats.oms_events.page_faults;
+    assert_eq!(total_base, total_pre, "pre-touching must not change the fault total");
+}

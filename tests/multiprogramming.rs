@@ -1,0 +1,150 @@
+//! Integration tests for the multiprocessor / multi-programming behaviour the
+//! paper evaluates in Section 5.4 (Figure 7).
+
+use misp::core::{MispMachine, MispTopology};
+use misp::isa::ProgramLibrary;
+use misp::mem::AccessPattern;
+use misp::sim::SimConfig;
+use misp::smp::SmpMachine;
+use misp::types::Cycles;
+use misp::workloads::{competitor, Suite, Workload, WorkloadParams};
+
+fn task_queue_workload() -> Workload {
+    Workload::new(
+        "queue-app",
+        Suite::Rms,
+        WorkloadParams {
+            total_work: 1_600_000_000,
+            serial_fraction: 0.02,
+            main_pages: 10,
+            worker_pages: 4,
+            chunks_per_worker: 10,
+            main_syscalls: 0,
+            worker_syscalls: 0,
+            access_pattern: AccessPattern::Sequential,
+            lock_contention: false,
+        },
+    )
+}
+
+/// Runs the shredded application on `topology` with `competitors`
+/// single-threaded processes, returning its completion time.
+fn run_misp(topology: &MispTopology, competitors: usize) -> Cycles {
+    let w = task_queue_workload();
+    let mut library = ProgramLibrary::new();
+    // Many small shreds so the work queue can balance around slow sequencers.
+    let scheduler = w.build(&mut library, 64);
+    let programs: Vec<_> = (0..competitors)
+        .map(|i| competitor::competitor_program(&mut library, i, 4_000_000_000))
+        .collect();
+    let mut machine = MispMachine::new(topology.clone(), SimConfig::default(), library);
+    let app = machine.add_process("app", Box::new(scheduler), Some(0));
+    for proc_idx in 1..topology.processors().len() {
+        if !topology.processors()[proc_idx].ams().is_empty() {
+            machine.add_thread(app, Some(proc_idx));
+        }
+    }
+    for p in programs {
+        machine.add_process("bg", Box::new(competitor::competitor_runtime(p)), None);
+    }
+    machine.set_measured(vec![app]);
+    machine.run().unwrap().total_cycles
+}
+
+fn run_smp(cores: usize, competitors: usize) -> Cycles {
+    let w = task_queue_workload();
+    let mut library = ProgramLibrary::new();
+    let scheduler = w.build(&mut library, 64);
+    let programs: Vec<_> = (0..competitors)
+        .map(|i| competitor::competitor_program(&mut library, i, 4_000_000_000))
+        .collect();
+    let mut machine = SmpMachine::new(cores, SimConfig::default(), library);
+    let app = machine.add_process("app", Box::new(scheduler), Some(0));
+    for core in 1..cores {
+        machine.add_thread(app, Some(core));
+    }
+    for p in programs {
+        machine.add_process("bg", Box::new(competitor::competitor_runtime(p)), None);
+    }
+    machine.set_measured(vec![app]);
+    machine.run().unwrap().total_cycles
+}
+
+#[test]
+fn single_misp_processor_loses_half_its_throughput_to_one_competitor() {
+    let topo = MispTopology::config_1x8();
+    let unloaded = run_misp(&topo, 0);
+    let loaded = run_misp(&topo, 1);
+    let retained = unloaded.as_f64() / loaded.as_f64();
+    assert!(
+        (0.40..=0.62).contains(&retained),
+        "1x8 should retain roughly half its throughput with one competitor \
+         sharing the only OS-visible CPU, got {retained:.2}"
+    );
+}
+
+#[test]
+fn more_misp_processors_degrade_more_gracefully() {
+    let loss = |topology: &MispTopology| {
+        let unloaded = run_misp(topology, 0);
+        let loaded = run_misp(topology, 1);
+        unloaded.as_f64() / loaded.as_f64()
+    };
+    let one = loss(&MispTopology::config_1x8());
+    let two = loss(&MispTopology::config_2x4());
+    let four = loss(&MispTopology::config_4x2());
+    assert!(
+        two > one + 0.05 && four > two + 0.03,
+        "retained throughput must improve with more MISP processors: 1x8={one:.2}, 2x4={two:.2}, 4x2={four:.2}"
+    );
+}
+
+#[test]
+fn dedicated_single_sequencer_cpus_insulate_the_shredded_app() {
+    // 1x4+4: the competitor lands on an empty single-sequencer processor, so
+    // the shredded application keeps its whole MISP processor.
+    let topo = MispTopology::config_uneven(3, 4);
+    let unloaded = run_misp(&topo, 0);
+    let loaded = run_misp(&topo, 1);
+    let retained = unloaded.as_f64() / loaded.as_f64();
+    assert!(
+        retained > 0.97,
+        "an uneven configuration should fully insulate the shredded app, got {retained:.2}"
+    );
+}
+
+#[test]
+fn smp_degrades_most_gracefully_under_load() {
+    let unloaded = run_smp(8, 0);
+    let loaded = run_smp(8, 1);
+    let retained = unloaded.as_f64() / loaded.as_f64();
+    assert!(
+        retained > 0.75,
+        "the SMP work-queue application should lose only a fraction of one core, got {retained:.2}"
+    );
+    // And SMP under load beats the single MISP processor under load.
+    let misp_retained =
+        run_misp(&MispTopology::config_1x8(), 0).as_f64() / run_misp(&MispTopology::config_1x8(), 1).as_f64();
+    assert!(retained > misp_retained);
+}
+
+#[test]
+fn context_switches_save_and_restore_ams_state() {
+    // With a competitor sharing the OMS, the shredded app's AMS state is
+    // repeatedly saved and restored; the run must still complete with the
+    // correct fault accounting (no lost or duplicated work).
+    let topo = MispTopology::config_1x8();
+    let w = task_queue_workload();
+    let mut library = ProgramLibrary::new();
+    let scheduler = w.build(&mut library, 64);
+    let bg = competitor::competitor_program(&mut library, 0, 4_000_000_000);
+    let mut machine = MispMachine::new(topo, SimConfig::default(), library);
+    let app = machine.add_process("app", Box::new(scheduler), Some(0));
+    machine.add_process("bg", Box::new(competitor::competitor_runtime(bg)), Some(0));
+    machine.set_measured(vec![app]);
+    let report = machine.run().unwrap();
+    assert!(report.stats.context_switches > 10, "time slicing must occur");
+    let faults = report.stats.oms_events.page_faults + report.stats.ams_events.page_faults;
+    // 10 main pages + 64 workers x 4 pages + 8 competitor pages.
+    assert_eq!(faults, 10 + 64 * 4 + 8);
+}

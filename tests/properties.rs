@@ -1,0 +1,116 @@
+//! Property-based integration tests: invariants that must hold for *any*
+//! workload shape, checked with proptest over randomized parameters.
+
+use misp::core::{MispTopology, RingPolicy};
+use misp::core::MispMachine;
+use misp::isa::ProgramLibrary;
+use misp::mem::AccessPattern;
+use misp::os::TimerConfig;
+use misp::sim::SimConfig;
+use misp::types::{CostModel, Cycles, SignalCost};
+use misp::workloads::{runner, Suite, Workload, WorkloadParams};
+use proptest::prelude::*;
+
+fn arbitrary_params() -> impl Strategy<Value = WorkloadParams> {
+    (
+        50_000_000u64..400_000_000,
+        0.0f64..0.3,
+        0u64..64,
+        0u64..16,
+        1u64..16,
+        0u64..6,
+        prop_oneof![
+            Just(AccessPattern::Sequential),
+            (1u64..8).prop_map(|stride| AccessPattern::Strided { stride }),
+            any::<u64>().prop_map(|seed| AccessPattern::Shuffled { seed }),
+        ],
+        any::<bool>(),
+    )
+        .prop_map(
+            |(total_work, serial_fraction, main_pages, worker_pages, chunks, syscalls, pattern, contention)| {
+                WorkloadParams {
+                    total_work,
+                    serial_fraction,
+                    main_pages,
+                    worker_pages,
+                    chunks_per_worker: chunks,
+                    main_syscalls: syscalls,
+                    worker_syscalls: 0,
+                    access_pattern: pattern,
+                    lock_contention: contention,
+                }
+            },
+        )
+}
+
+fn quick_config() -> SimConfig {
+    SimConfig {
+        timer: TimerConfig::new(Cycles::new(3_000_000), 10),
+        ..SimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any workload completes on MISP, is deterministic, and never beats the
+    /// ideal linear speedup over its own serial run.
+    #[test]
+    fn random_workloads_complete_deterministically(params in arbitrary_params()) {
+        let w = Workload::new("prop", Suite::Rms, params);
+        let topo = MispTopology::uniprocessor(3).unwrap();
+        let a = runner::run_on_misp(&w, &topo, quick_config(), 4).unwrap();
+        let b = runner::run_on_misp(&w, &topo, quick_config(), 4).unwrap();
+        prop_assert_eq!(a.total_cycles, b.total_cycles);
+        prop_assert_eq!(a.stats.total_serializing_events(), b.stats.total_serializing_events());
+
+        let serial = runner::run_serial(&w, quick_config(), 4).unwrap();
+        prop_assert!(serial.total_cycles >= a.total_cycles.saturating_sub(Cycles::new(1_000)) || serial.total_cycles >= a.total_cycles,
+            "parallel must not exceed serial by more than rounding");
+        let speedup = serial.total_cycles.as_f64() / a.total_cycles.as_f64();
+        prop_assert!(speedup <= 4.05, "speedup {} exceeds sequencer count", speedup);
+    }
+
+    /// The total number of page faults equals the number of distinct pages
+    /// touched, independent of machine and access pattern.
+    #[test]
+    fn fault_count_is_exactly_the_working_set(params in arbitrary_params()) {
+        let w = Workload::new("prop", Suite::Rms, params);
+        let topo = MispTopology::uniprocessor(3).unwrap();
+        let report = runner::run_on_misp(&w, &topo, quick_config(), 4).unwrap();
+        let expected = params.main_pages + params.worker_pages * 4;
+        let measured = report.stats.oms_events.page_faults + report.stats.ams_events.page_faults;
+        prop_assert_eq!(measured, expected);
+        let smp = runner::run_on_smp(&w, 4, quick_config(), 4).unwrap();
+        let smp_faults = smp.stats.oms_events.page_faults + smp.stats.ams_events.page_faults;
+        prop_assert_eq!(smp_faults, expected);
+    }
+
+    /// Cheaper signaling never makes a workload slower, and the speculative
+    /// ring policy never loses to the suspend-all policy.
+    #[test]
+    fn overheads_are_monotone(params in arbitrary_params()) {
+        let w = Workload::new("prop", Suite::Rms, params);
+        let topo = MispTopology::uniprocessor(3).unwrap();
+        let with_signal = |signal: SignalCost| {
+            let cfg = quick_config().with_costs(CostModel::builder().signal(signal).build());
+            runner::run_on_misp(&w, &topo, cfg, 4).unwrap().total_cycles
+        };
+        let ideal = with_signal(SignalCost::Ideal);
+        let microcode = with_signal(SignalCost::Microcode5000);
+        prop_assert!(ideal <= microcode);
+
+        // Ring-policy ablation: speculative pass-through can only help.
+        let run_policy = |policy: RingPolicy| {
+            let mut library = ProgramLibrary::new();
+            let scheduler = w.build(&mut library, 4);
+            let mut machine = MispMachine::new(topo.clone(), quick_config(), library);
+            machine.engine_mut().platform_mut().set_policy(policy);
+            machine.add_process("prop", Box::new(scheduler), Some(0));
+            machine.run().unwrap().total_cycles
+        };
+        let suspend_all = run_policy(RingPolicy::SuspendAll);
+        let speculative = run_policy(RingPolicy::Speculative);
+        prop_assert!(speculative <= suspend_all);
+    }
+}
