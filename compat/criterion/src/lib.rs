@@ -1,0 +1,259 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmarking surface this workspace's `harness = false`
+//! bench targets use: `criterion_group!`/`criterion_main!`, `Criterion`,
+//! `BenchmarkId`, benchmark groups with `bench_with_input`, `Bencher::iter`
+//! and `black_box`.
+//!
+//! Measurement is a simple wall-clock mean over a fixed time budget — there
+//! is no statistical analysis, warm-up modeling or HTML report.  Passing
+//! `--test` (as `cargo bench -- --test` does) runs every benchmark body
+//! exactly once, which is what CI's bench smoke job relies on.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered through `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a benchmarked parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    measure_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            measure_budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver configured from the process arguments; recognizes the
+    /// `--test` flag `cargo bench -- --test` forwards and ignores the rest
+    /// (e.g. the `--bench` cargo appends for `harness = false` targets).
+    #[must_use]
+    pub fn configured_from_args() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+            ..Criterion::default()
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            measure_budget: self.measure_budget,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            _ if self.test_mode => println!("test {id} ... ok"),
+            Some(mean) => println!("{id:<50} time: {}", format_duration(mean)),
+            None => println!("{id:<50} (no measurement)"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-budgeted here.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Runs an unparameterized benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Drives the timed routine of one benchmark.
+pub struct Bencher {
+    test_mode: bool,
+    measure_budget: Duration,
+    report: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, or runs it exactly once in `--test` mode.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: also provides a first cost estimate.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let first = warmup_start.elapsed().max(Duration::from_nanos(1));
+
+        let target_iters = (self.measure_budget.as_nanos() / first.as_nanos()).clamp(1, 100_000);
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.report = Some(elapsed / u32::try_from(target_iters).unwrap_or(u32::MAX));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns/iter")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs/iter", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms/iter", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s/iter", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::configured_from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_id_formats_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("misp_1x8", "galgel").to_string(),
+            "misp_1x8/galgel"
+        );
+    }
+
+    #[test]
+    fn bencher_runs_routine() {
+        let mut c = Criterion {
+            test_mode: false,
+            measure_budget: Duration::from_millis(1),
+        };
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs >= 2);
+    }
+
+    #[test]
+    fn test_mode_runs_exactly_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            measure_budget: Duration::from_millis(1),
+        };
+        let mut group_runs = 0u32;
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .bench_with_input(BenchmarkId::new("f", 1), &3u32, |b, input| {
+                b.iter(|| {
+                    group_runs += 1;
+                    black_box(*input)
+                })
+            });
+        group.finish();
+        assert_eq!(group_runs, 1);
+    }
+}

@@ -1,0 +1,510 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The container this workspace builds in has no access to a crate registry,
+//! so this crate (together with its siblings `serde_derive` and `serde_json`
+//! under `compat/`) provides exactly the serialization surface the MISP
+//! workspace uses: the `Serialize`/`Deserialize` traits, derive macros for
+//! plain structs and enums, and a JSON value tree.
+//!
+//! Design notes and deliberate deviations from real serde:
+//!
+//! - Serialization goes through an owned [`value::Value`] tree instead of
+//!   serde's visitor architecture.  `Serialize::to_value` /
+//!   `Deserialize::from_value` replace `serialize`/`deserialize`.
+//! - Maps serialize as arrays of `[key, value]` pairs, which round-trips any
+//!   serializable key type without the string-key restriction.
+//! - Externally-tagged enum representation matches serde's default: unit
+//!   variants as `"Name"`, newtype variants as `{"Name": value}`, tuple
+//!   variants as `{"Name": [..]}` and struct variants as `{"Name": {..}}`.
+//! - Newtype structs serialize transparently (serde's default), which also
+//!   covers every `#[serde(transparent)]` use in this workspace.
+//!
+//! To switch to real serde, point the `serde`, `serde_json` and the dev-only
+//! `proptest`/`criterion` entries of `[workspace.dependencies]` at crates.io.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub mod value;
+
+pub use value::{Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error produced by serialization or deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom<T: fmt::Display>(message: T) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into the serde-compatible value tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the serde-compatible value tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`].
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Support items used by the generated code of `serde_derive`.  Not part of
+/// the public API surface mirrored from real serde.
+pub mod __private {
+    use super::{Error, Value};
+
+    /// Looks up a required field of an object value.
+    pub fn field<'a>(value: &'a Value, key: &str) -> Result<&'a Value, Error> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::custom(format!("missing field `{key}`"))),
+            other => Err(Error::custom(format!(
+                "expected object with field `{key}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Checks that an array value has exactly `len` elements and returns them.
+    pub fn tuple(value: &Value, len: usize) -> Result<&[Value], Error> {
+        match value {
+            Value::Array(items) if items.len() == len => Ok(items),
+            Value::Array(items) => Err(Error::custom(format!(
+                "expected array of length {len}, found length {}",
+                items.len()
+            ))),
+            other => Err(Error::custom(format!(
+                "expected array of length {len}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::UInt(u64::from(*self)))
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_u64()?;
+                <$ty>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::UInt(*self as u64))
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let n = value.as_u64()?;
+        usize::try_from(n).map_err(|_| Error::custom(format!("{n} out of range for usize")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v < 0 {
+                    Value::Number(Number::Int(v))
+                } else {
+                    Value::Number(Number::UInt(v as u64))
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_i64()?;
+                <$ty>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let n = value.as_i64()?;
+        isize::try_from(n).map_err(|_| Error::custom(format!("{n} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.as_f64()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::custom(format!(
+                "expected char, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Rc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+fn seq_to_value<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>) -> Value {
+    Value::Array(items.map(Serialize::to_value).collect())
+}
+
+fn value_to_seq<T: Deserialize>(value: &Value) -> Result<Vec<T>, Error> {
+    match value {
+        Value::Array(items) => items.iter().map(T::from_value).collect(),
+        other => Err(Error::custom(format!(
+            "expected array, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value_to_seq::<T>(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}, found length {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value_to_seq(value)
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value_to_seq(value)
+            .map(Vec::into_iter)
+            .map(VecDeque::from_iter)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value_to_seq(value)
+            .map(Vec::into_iter)
+            .map(BTreeSet::from_iter)
+    }
+}
+
+impl<T: Serialize, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: BuildHasher + Default> Deserialize for HashSet<T, S> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value_to_seq(value)
+            .map(Vec::into_iter)
+            .map(HashSet::from_iter)
+    }
+}
+
+fn map_to_value<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    Value::Array(
+        entries
+            .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+            .collect(),
+    )
+}
+
+fn value_to_map<K: Deserialize, V: Deserialize>(value: &Value) -> Result<Vec<(K, V)>, Error> {
+    match value {
+        Value::Array(items) => items
+            .iter()
+            .map(|item| {
+                let pair = __private::tuple(item, 2)?;
+                Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+            })
+            .collect(),
+        other => Err(Error::custom(format!(
+            "expected array of [key, value] pairs, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value_to_map(value)
+            .map(Vec::into_iter)
+            .map(BTreeMap::from_iter)
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value_to_map(value)
+            .map(Vec::into_iter)
+            .map(HashMap::from_iter)
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error::custom(format!(
+                "expected null, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:literal => $($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = __private::tuple(value, $len)?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => A: 0);
+impl_tuple!(2 => A: 0, B: 1);
+impl_tuple!(3 => A: 0, B: 1, C: 2);
+impl_tuple!(4 => A: 0, B: 1, C: 2, D: 3);
+impl_tuple!(5 => A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple!(6 => A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple!(7 => A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_tuple!(8 => A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);

@@ -1,0 +1,442 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes the MISP workspace actually contains: non-generic structs (named,
+//! tuple and unit) and non-generic enums whose variants are unit, tuple or
+//! struct-like.  `#[serde(...)]` attributes are accepted and ignored — the
+//! only one the workspace uses is `#[serde(transparent)]` on newtype
+//! structs, and newtype structs already serialize transparently here (as in
+//! real serde).
+//!
+//! The input token stream is parsed by hand (no `syn`/`quote` in an offline
+//! container) and the generated impl is produced as a string, then reparsed
+//! by the compiler.  Unsupported shapes (generic types, unions) produce a
+//! `compile_error!` naming the limitation rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Fields of a struct or enum variant.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    let code = match parse(input) {
+        Ok(parsed) => gen(&parsed),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive stand-in: generic type `{name}` is not supported"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Input {
+                name,
+                body: Body::Struct(fields),
+            })
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())?
+                }
+                other => return Err(format!("unexpected enum body: {other:?}")),
+            };
+            Ok(Input {
+                name,
+                body: Body::Enum(body),
+            })
+        }
+        other => Err(format!(
+            "serde_derive stand-in: `{other}` items are not supported"
+        )),
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `field: Type, ...` returning field names.  Types are skipped by
+/// scanning to the next comma that is not nested inside angle brackets.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Advances past a type, stopping after the field-separating comma (or at
+/// end of stream).  Tracks `<`/`>` nesting so commas inside generics don't
+/// terminate the scan.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    let mut trailing_comma = false;
+    for token in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+
+const HEADER: &str =
+    "#[automatically_derived]\n#[allow(warnings, clippy::all, clippy::pedantic)]\n";
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(fields) => ser_struct_body(name, fields),
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(variant, fields)| ser_variant_arm(name, variant, fields))
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "{HEADER}impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::value::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let items: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))",
+                        f
+                    )
+                })
+                .collect();
+            let _ = name;
+            format!("::serde::value::Value::Object(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn ser_variant_arm(name: &str, variant: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "{name}::{variant} => ::serde::value::Value::String({variant:?}.to_string()),\n"
+        ),
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let inner = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "{name}::{variant}({}) => ::serde::value::Value::Object(vec![({variant:?}.to_string(), {inner})]),\n",
+                binds.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let items: Vec<String> = names
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))"))
+                .collect();
+            format!(
+                "{name}::{variant} {{ {} }} => ::serde::value::Value::Object(vec![({variant:?}.to_string(), ::serde::value::Value::Object(vec![{}]))]),\n",
+                names.join(", "),
+                items.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(fields) => de_struct_body(name, fields),
+        Body::Enum(variants) => de_enum_body(name, variants),
+    };
+    format!(
+        "{HEADER}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::value::Value) -> ::core::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn de_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("{{ let _ = __value; Ok({name}) }}"),
+        Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__value)?))"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __items = ::serde::__private::tuple(__value, {n})?; Ok({name}({})) }}",
+                items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let items: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::__private::field(__value, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", items.join(", "))
+        }
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|(_, fields)| matches!(fields, Fields::Unit))
+        .map(|(variant, _)| format!("{variant:?} => Ok({name}::{variant}),\n"))
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter(|(_, fields)| !matches!(fields, Fields::Unit))
+        .map(|(variant, fields)| de_variant_arm(name, variant, fields))
+        .collect();
+    format!(
+        "match __value {{\n\
+         ::serde::value::Value::String(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+         }},\n\
+         ::serde::value::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+         let (__tag, __inner) = &__fields[0];\n\
+         match __tag.as_str() {{\n\
+         {tagged_arms}\
+         __other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+         }}\n\
+         }},\n\
+         __other => Err(::serde::Error::custom(format!(\"expected {name} variant, found {{}}\", __other.kind()))),\n\
+         }}"
+    )
+}
+
+fn de_variant_arm(name: &str, variant: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => unreachable!("unit variants handled in the string arm"),
+        Fields::Tuple(1) => format!(
+            "{variant:?} => Ok({name}::{variant}(::serde::Deserialize::from_value(__inner)?)),\n"
+        ),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "{variant:?} => {{ let __items = ::serde::__private::tuple(__inner, {n})?; Ok({name}::{variant}({})) }},\n",
+                items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let items: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::__private::field(__inner, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "{variant:?} => Ok({name}::{variant} {{ {} }}),\n",
+                items.join(", ")
+            )
+        }
+    }
+}

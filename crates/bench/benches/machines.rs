@@ -27,16 +27,30 @@ fn bench_machines(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("misp_1x8", name), &workload, |b, w| {
             let topo = MispTopology::uniprocessor(7).unwrap();
             b.iter(|| {
-                black_box(runner::run_on_misp(w, &topo, small_config(), 8).unwrap().total_cycles)
+                black_box(
+                    runner::run_on_misp(w, &topo, small_config(), 8)
+                        .unwrap()
+                        .total_cycles,
+                )
             });
         });
         group.bench_with_input(BenchmarkId::new("smp_8", name), &workload, |b, w| {
             b.iter(|| {
-                black_box(runner::run_on_smp(w, 8, small_config(), 8).unwrap().total_cycles)
+                black_box(
+                    runner::run_on_smp(w, 8, small_config(), 8)
+                        .unwrap()
+                        .total_cycles,
+                )
             });
         });
         group.bench_with_input(BenchmarkId::new("serial_1p", name), &workload, |b, w| {
-            b.iter(|| black_box(runner::run_serial(w, small_config(), 8).unwrap().total_cycles));
+            b.iter(|| {
+                black_box(
+                    runner::run_serial(w, small_config(), 8)
+                        .unwrap()
+                        .total_cycles,
+                )
+            });
         });
     }
     group.finish();

@@ -63,12 +63,16 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["workload", "suspend-all (cycles)", "speculative (cycles)", "speculative gain"],
+            &[
+                "workload",
+                "suspend-all (cycles)",
+                "speculative (cycles)",
+                "speculative gain"
+            ],
             &table_rows
         )
     );
-    let avg: f64 =
-        rows.iter().map(|r| r.speculative_gain_percent).sum::<f64>() / rows.len() as f64;
+    let avg: f64 = rows.iter().map(|r| r.speculative_gain_percent).sum::<f64>() / rows.len() as f64;
     println!(
         "average gain from the speculative design: {avg:.3}% — consistent with the paper's \
          conclusion that the simple suspend-all policy is sufficient."

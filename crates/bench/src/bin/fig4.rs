@@ -27,8 +27,7 @@ fn main() {
 
     for workload in catalog::all() {
         let serial = runner::run_serial(&workload, config, WORKERS).expect("serial run");
-        let misp =
-            runner::run_on_misp(&workload, &topology, config, WORKERS).expect("MISP run");
+        let misp = runner::run_on_misp(&workload, &topology, config, WORKERS).expect("MISP run");
         let smp = runner::run_on_smp(&workload, SEQUENCERS, config, WORKERS).expect("SMP run");
         let misp_speedup = speedup(serial.total_cycles, misp.total_cycles);
         let smp_speedup = speedup(serial.total_cycles, smp.total_cycles);
@@ -61,7 +60,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["workload", "suite", "MISP speedup", "SMP speedup", "MISP vs SMP"],
+            &[
+                "workload",
+                "suite",
+                "MISP speedup",
+                "SMP speedup",
+                "MISP vs SMP"
+            ],
             &table_rows
         )
     );
@@ -71,8 +76,14 @@ fn main() {
     let avg = |rs: &[&Row]| -> f64 {
         rs.iter().map(|r| r.misp_vs_smp_percent).sum::<f64>() / rs.len().max(1) as f64
     };
-    println!("RMS workloads:     MISP runs {:+.2}% vs SMP on average (paper: -1.5%)", avg(&rms));
-    println!("SPEComp workloads: MISP runs {:+.2}% vs SMP on average (paper: +1.9%)", avg(&spec));
+    println!(
+        "RMS workloads:     MISP runs {:+.2}% vs SMP on average (paper: -1.5%)",
+        avg(&rms)
+    );
+    println!(
+        "SPEComp workloads: MISP runs {:+.2}% vs SMP on average (paper: +1.9%)",
+        avg(&spec)
+    );
 
     if let Some(path) = write_json("fig4", &rows) {
         println!("\nresults written to {}", path.display());

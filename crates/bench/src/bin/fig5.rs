@@ -46,16 +46,10 @@ fn main() {
         let mut measured = [0.0f64; 3];
         let mut analytic = [0.0f64; 3];
         for (i, cost) in SignalCost::figure5_points().iter().enumerate() {
-            let run = runner::run_on_misp(
-                &workload,
-                &topology,
-                config_with_signal(*cost),
-                WORKERS,
-            )
-            .expect("signal-cost run");
+            let run = runner::run_on_misp(&workload, &topology, config_with_signal(*cost), WORKERS)
+                .expect("signal-cost run");
             measured[i] = (run.total_cycles.as_f64() / ideal_cycles.as_f64() - 1.0) * 100.0;
-            let model =
-                OverheadModel::new(misp_types::CostModel::builder().signal(*cost).build());
+            let model = OverheadModel::new(misp_types::CostModel::builder().signal(*cost).build());
             analytic[i] = model.overhead_fraction(oms_events, ams_events, ideal_cycles) * 100.0;
         }
 
@@ -87,7 +81,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["workload", "500 cyc", "1000 cyc", "5000 cyc", "5000 cyc (Eq. 1-3)"],
+            &[
+                "workload",
+                "500 cyc",
+                "1000 cyc",
+                "5000 cyc",
+                "5000 cyc (Eq. 1-3)"
+            ],
             &table_rows
         )
     );

@@ -73,7 +73,14 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["config", "shape", "MISP processors", "OS-visible CPUs", "AMSs", "AMS per processor"],
+            &[
+                "config",
+                "shape",
+                "MISP processors",
+                "OS-visible CPUs",
+                "AMSs",
+                "AMS per processor"
+            ],
             &table_rows
         )
     );

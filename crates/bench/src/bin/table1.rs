@@ -30,8 +30,7 @@ fn main() {
     let mut rows = Vec::new();
 
     for workload in catalog::all() {
-        let report =
-            runner::run_on_misp(&workload, &topology, config, WORKERS).expect("MISP run");
+        let report = runner::run_on_misp(&workload, &topology, config, WORKERS).expect("MISP run");
         let s = &report.stats;
         rows.push(Row {
             workload: workload.name().to_string(),

@@ -132,7 +132,9 @@ mod tests {
     #[test]
     fn compute_only_process_completes_on_oms() {
         let (lib, main) = one_program_library(
-            ProgramBuilder::new("main").compute(Cycles::new(100_000)).build(),
+            ProgramBuilder::new("main")
+                .compute(Cycles::new(100_000))
+                .build(),
         );
         let topo = MispTopology::uniprocessor(3).unwrap();
         let mut machine = MispMachine::new(topo, quiet_config(), lib);
@@ -178,7 +180,11 @@ mod tests {
     #[test]
     fn two_processes_on_different_processors_run_concurrently() {
         let mut lib = ProgramLibrary::new();
-        let p = lib.insert(ProgramBuilder::new("w").compute(Cycles::new(200_000)).build());
+        let p = lib.insert(
+            ProgramBuilder::new("w")
+                .compute(Cycles::new(200_000))
+                .build(),
+        );
         let topo = MispTopology::uniform(2, 1).unwrap();
         let mut machine = MispMachine::new(topo, quiet_config(), lib);
         machine.add_process("a", Box::new(SingleShredRuntime::new(p)), Some(0));
@@ -192,7 +198,11 @@ mod tests {
     #[test]
     fn two_processes_sharing_one_oms_timeshare() {
         let mut lib = ProgramLibrary::new();
-        let p = lib.insert(ProgramBuilder::new("w").compute(Cycles::new(30_000_000)).build());
+        let p = lib.insert(
+            ProgramBuilder::new("w")
+                .compute(Cycles::new(30_000_000))
+                .build(),
+        );
         let topo = MispTopology::uniprocessor(0).unwrap();
         // Timer enabled so the scheduler can alternate the two threads.
         let config = SimConfig::default();

@@ -127,7 +127,10 @@ mod tests {
         assert_eq!(m.serialize(Cycles::new(123)), Cycles::new(123));
         assert_eq!(m.proxy_egress(), Cycles::ZERO);
         assert_eq!(m.signal_overhead(1_000, 1_000), Cycles::ZERO);
-        assert_eq!(m.overhead_fraction(1_000, 1_000, Cycles::new(1_000_000)), 0.0);
+        assert_eq!(
+            m.overhead_fraction(1_000, 1_000, Cycles::new(1_000_000)),
+            0.0
+        );
     }
 
     #[test]
@@ -161,6 +164,9 @@ mod tests {
         let f1000 = model(SignalCost::Aggressive1000).overhead_fraction(1000, 500, runtime);
         let f5000 = model(SignalCost::Microcode5000).overhead_fraction(1000, 500, runtime);
         assert!(f500 < f1000 && f1000 < f5000);
-        assert!((f1000 / f500 - 2.0).abs() < 1e-9, "overhead is linear in signal cost");
+        assert!(
+            (f1000 / f500 - 2.0).abs() < 1e-9,
+            "overhead is linear in signal cost"
+        );
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::{MispTopology, SignalFabric, SignalKind, TriggerKind, TriggerResponseRegistry};
 use misp_isa::Continuation;
-use misp_os::{OsEventKind, SystemScheduler, PlacementPolicy};
+use misp_os::{OsEventKind, PlacementPolicy, SystemScheduler};
 use misp_sim::{EngineCore, LogKind, Platform, SavedContext, ShredStatus};
 use misp_types::{Cycles, OsThreadId, SequencerId};
 use serde::{Deserialize, Serialize};
@@ -11,22 +11,17 @@ use std::collections::HashMap;
 
 /// How the machine treats AMSs while an OMS executes in Ring 0
 /// (Section 2.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RingPolicy {
     /// The paper's prototype policy: suspend every AMS of the processor when
     /// its OMS enters Ring 0 and resume them after it returns to Ring 3.
+    #[default]
     SuspendAll,
     /// The "more aggressive microarchitecture" the paper sketches: AMSs
     /// continue speculatively through the OMS's Ring 0 episode and their work
     /// is retired because the control registers were not modified.  Modeled as
     /// zero AMS stall; used by the ring-transition ablation.
     Speculative,
-}
-
-impl Default for RingPolicy {
-    fn default() -> Self {
-        RingPolicy::SuspendAll
-    }
 }
 
 /// Saved execution contexts of one OS thread across a context switch: the OMS
@@ -182,7 +177,12 @@ impl MispPlatform {
             .collect();
         if let Some(fabric) = self.fabric.as_mut() {
             fabric.broadcast(oms, &targets, SignalKind::Suspend, now);
-            fabric.broadcast(oms, &targets, SignalKind::Resume, window_end.saturating_sub(signal));
+            fabric.broadcast(
+                oms,
+                &targets,
+                SignalKind::Resume,
+                window_end.saturating_sub(signal),
+            );
         }
         for ams in targets {
             core.stall(ams, now, window_end);
@@ -227,7 +227,13 @@ impl MispPlatform {
 
     /// Saves the execution contexts of `thread` (currently installed on
     /// processor `proc_idx`).
-    fn evict_thread(&mut self, core: &mut EngineCore, proc_idx: usize, thread: OsThreadId, now: Cycles) {
+    fn evict_thread(
+        &mut self,
+        core: &mut EngineCore,
+        proc_idx: usize,
+        thread: OsThreadId,
+        now: Cycles,
+    ) {
         let processor = self.topology.processors()[proc_idx].clone();
         let oms_ctx = core.save_context(processor.oms(), now);
         let ams_ctx: Vec<SavedContext> = processor
@@ -349,7 +355,12 @@ impl Platform for MispPlatform {
             self.oms_busy_until[proc_idx] = oms_done;
 
             let fabric = self.fabric.as_mut().expect("platform initialized");
-            fabric.send(oms, seq, SignalKind::ProxyComplete, oms_done.saturating_sub(signal));
+            fabric.send(
+                oms,
+                seq,
+                SignalKind::ProxyComplete,
+                oms_done.saturating_sub(signal),
+            );
             core.log_event(oms, LogKind::ProxyDone, kind.to_string());
             // The faulting shred resumes once its context has been handed back
             // (Equation 2 plus the privileged service time).
@@ -414,7 +425,11 @@ impl Platform for MispPlatform {
     ) -> Cycles {
         let from_proc = self.processor_index(from);
         let Some(target_proc) = self.topology.processor_index_of(target) else {
-            core.log_event(from, LogKind::SignalSent, format!("invalid target {target}"));
+            core.log_event(
+                from,
+                LogKind::SignalSent,
+                format!("invalid target {target}"),
+            );
             return now;
         };
         if from_proc != target_proc {
@@ -427,11 +442,12 @@ impl Platform for MispPlatform {
             );
             return now;
         }
-        let arrival = self
-            .fabric
-            .as_mut()
-            .expect("platform initialized")
-            .send(from, target, SignalKind::ShredStart, now);
+        let arrival = self.fabric.as_mut().expect("platform initialized").send(
+            from,
+            target,
+            SignalKind::ShredStart,
+            now,
+        );
         let Some(thread) = core.sequencer(from).bound_thread() else {
             return now;
         };

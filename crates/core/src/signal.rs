@@ -178,7 +178,9 @@ mod tests {
 
     #[test]
     fn send_charges_latency_and_counts() {
-        let costs = CostModel::builder().signal(SignalCost::Aggressive500).build();
+        let costs = CostModel::builder()
+            .signal(SignalCost::Aggressive500)
+            .build();
         let mut f = SignalFabric::new(costs);
         let arrival = f.send(
             SequencerId::new(0),
@@ -197,7 +199,12 @@ mod tests {
     fn broadcast_counts_every_target_but_costs_one_latency() {
         let mut f = SignalFabric::new(CostModel::default());
         let targets: Vec<SequencerId> = (1..8).map(SequencerId::new).collect();
-        let arrival = f.broadcast(SequencerId::new(0), &targets, SignalKind::Suspend, Cycles::ZERO);
+        let arrival = f.broadcast(
+            SequencerId::new(0),
+            &targets,
+            SignalKind::Suspend,
+            Cycles::ZERO,
+        );
         assert_eq!(arrival, Cycles::new(5_000), "simultaneous broadcast");
         assert_eq!(f.count(SignalKind::Suspend), 7);
     }
@@ -205,7 +212,12 @@ mod tests {
     #[test]
     fn broadcast_to_no_targets_still_returns_latency() {
         let mut f = SignalFabric::new(CostModel::default());
-        let arrival = f.broadcast(SequencerId::new(0), &[], SignalKind::Resume, Cycles::new(10));
+        let arrival = f.broadcast(
+            SequencerId::new(0),
+            &[],
+            SignalKind::Resume,
+            Cycles::new(10),
+        );
         assert_eq!(arrival, Cycles::new(5_010));
         assert_eq!(f.count(SignalKind::Resume), 0);
     }

@@ -82,14 +82,11 @@ impl MispTopology {
         let mut next_seq = 0u32;
         for (i, &ams_count) in ams_counts.iter().enumerate() {
             let oms = SequencerId::new(next_seq);
-            next_seq += 1;
-            let ams: Vec<SequencerId> = (0..ams_count)
-                .map(|_| {
-                    let s = SequencerId::new(next_seq);
-                    next_seq += 1;
-                    s
-                })
+            let first_ams = next_seq + 1;
+            let ams: Vec<SequencerId> = (first_ams..first_ams + ams_count as u32)
+                .map(SequencerId::new)
                 .collect();
+            next_seq = first_ams + ams_count as u32;
             processors.push(MispProcessor {
                 id: MispProcessorId::new(i as u32),
                 oms,
@@ -152,7 +149,7 @@ impl MispTopology {
     #[must_use]
     pub fn config_uneven(ams: usize, singles: usize) -> Self {
         let mut counts = vec![ams];
-        counts.extend(std::iter::repeat(0).take(singles));
+        counts.extend(std::iter::repeat_n(0, singles));
         Self::uneven(&counts).expect("static configuration is valid")
     }
 
@@ -232,7 +229,11 @@ mod tests {
         assert_eq!(p.oms(), SequencerId::new(0));
         assert_eq!(
             p.ams(),
-            &[SequencerId::new(1), SequencerId::new(2), SequencerId::new(3)]
+            &[
+                SequencerId::new(1),
+                SequencerId::new(2),
+                SequencerId::new(3)
+            ]
         );
         assert_eq!(p.sequencers().len(), 4);
         assert!(p.contains(SequencerId::new(2)));
@@ -283,7 +284,10 @@ mod tests {
         assert!(t.is_ams(SequencerId::new(3)));
         assert!(!t.is_oms(SequencerId::new(9)));
         assert_eq!(t.processor_index_of(SequencerId::new(3)), Some(1));
-        assert_eq!(t.processor_of(SequencerId::new(3)).unwrap().id(), MispProcessorId::new(1));
+        assert_eq!(
+            t.processor_of(SequencerId::new(3)).unwrap().id(),
+            MispProcessorId::new(1)
+        );
         assert_eq!(t.processor_index_of(SequencerId::new(9)), None);
         assert_eq!(t.all_oms(), vec![SequencerId::new(0), SequencerId::new(2)]);
     }

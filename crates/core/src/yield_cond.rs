@@ -104,7 +104,11 @@ mod tests {
     fn invoke_without_registration_returns_none() {
         let mut r = TriggerResponseRegistry::new(Cycles::new(100));
         assert_eq!(
-            r.invoke(SequencerId::new(0), TriggerKind::IngressSignal, Cycles::ZERO),
+            r.invoke(
+                SequencerId::new(0),
+                TriggerKind::IngressSignal,
+                Cycles::ZERO
+            ),
             None
         );
         assert_eq!(r.invocations(), 0);

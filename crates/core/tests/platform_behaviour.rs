@@ -3,7 +3,7 @@
 //! ablation, measured through small, fully-controlled machines.
 
 use misp_core::{MispMachine, MispTopology, RingPolicy, SignalKind};
-use misp_isa::{Continuation, Op, ProgramBuilder, ProgramLibrary, ProgramRef, SyscallKind};
+use misp_isa::{Continuation, Op, ProgramBuilder, ProgramLibrary, SyscallKind};
 use misp_os::TimerConfig;
 use misp_sim::{SimConfig, SimReport, SingleShredRuntime};
 use misp_types::{CostModel, Cycles, SequencerId, SignalCost, VirtAddr};
@@ -49,11 +49,7 @@ fn run_with_signalled_shreds(
     let topology = MispTopology::uniprocessor(ams_count).unwrap();
     let mut machine = MispMachine::new(topology, exact_config(), library);
     machine.engine_mut().platform_mut().set_policy(policy);
-    machine.add_process(
-        "test",
-        Box::new(SingleShredRuntime::new(main_ref)),
-        Some(0),
-    );
+    machine.add_process("test", Box::new(SingleShredRuntime::new(main_ref)), Some(0));
     machine.run().unwrap()
 }
 
@@ -135,8 +131,7 @@ fn speculative_ring_policy_eliminates_bystander_stalls() {
     let computer = ProgramBuilder::new("computer")
         .compute(Cycles::new(30_000_000))
         .build();
-    let report =
-        run_with_signalled_shreds(2, vec![toucher, computer], RingPolicy::Speculative);
+    let report = run_with_signalled_shreds(2, vec![toucher, computer], RingPolicy::Speculative);
     // Proxy execution still happens (the AMS cannot run Ring 0 code), but the
     // bystander AMS is never suspended and no serialization is recorded.
     assert_eq!(report.stats.proxy_executions, 1);
@@ -146,13 +141,18 @@ fn speculative_ring_policy_eliminates_bystander_stalls() {
 
 #[test]
 fn signal_starts_shreds_and_fabric_counts_every_message() {
-    let a = ProgramBuilder::new("a").compute(Cycles::new(1_000_000)).build();
+    let a = ProgramBuilder::new("a")
+        .compute(Cycles::new(1_000_000))
+        .build();
     let b = ProgramBuilder::new("b")
         .load(VirtAddr::new(0x7200_0000))
         .compute(Cycles::new(1_000_000))
         .build();
     let report = run_with_signalled_shreds(2, vec![a, b], RingPolicy::SuspendAll);
-    assert_eq!(report.stats.signals_sent, 2, "two user-level SIGNALs issued");
+    assert_eq!(
+        report.stats.signals_sent, 2,
+        "two user-level SIGNALs issued"
+    );
     // Both signalled shreds ran to completion on their AMSs.
     assert!(report.stats.per_sequencer[1].busy >= Cycles::new(1_000_000));
     assert!(report.stats.per_sequencer[2].busy >= Cycles::new(1_000_000));
@@ -191,7 +191,9 @@ fn fabric_records_proxy_and_shred_start_traffic() {
 
 #[test]
 fn cross_processor_signal_is_dropped() {
-    let worker = ProgramBuilder::new("worker").compute(Cycles::new(1_000)).build();
+    let worker = ProgramBuilder::new("worker")
+        .compute(Cycles::new(1_000))
+        .build();
     let mut library = ProgramLibrary::new();
     let worker_ref = library.insert(worker);
     // Sequencer 2 is the OMS of the *second* MISP processor: an invalid SID
@@ -209,7 +211,10 @@ fn cross_processor_signal_is_dropped() {
     let mut machine = MispMachine::new(topology, exact_config(), library);
     machine.add_process("test", Box::new(SingleShredRuntime::new(main)), Some(0));
     let report = machine.run().unwrap();
-    assert_eq!(report.stats.signals_sent, 1, "the SIGNAL instruction executed");
+    assert_eq!(
+        report.stats.signals_sent, 1,
+        "the SIGNAL instruction executed"
+    );
     // ...but no shred was created or run anywhere else.
     assert_eq!(machine.engine().core().shreds().len(), 1);
     assert_eq!(report.stats.per_sequencer[2].busy, Cycles::ZERO);
@@ -310,8 +315,7 @@ fn larger_signal_costs_stretch_every_window_proportionally() {
             timer: TimerConfig::disabled(),
             ..SimConfig::default()
         };
-        let mut machine =
-            MispMachine::new(MispTopology::uniprocessor(2).unwrap(), config, library);
+        let mut machine = MispMachine::new(MispTopology::uniprocessor(2).unwrap(), config, library);
         machine.add_process("test", Box::new(SingleShredRuntime::new(main)), Some(0));
         machine.run().unwrap()
     };
@@ -343,7 +347,9 @@ fn mp_machine_isolates_ring_transitions_to_their_own_processor() {
                 target: SequencerId::new(1),
                 continuation: Continuation::for_program(noisy_worker),
             })
-            .repeat(50, |b| b.compute(Cycles::new(10_000)).syscall(SyscallKind::Io))
+            .repeat(50, |b| {
+                b.compute(Cycles::new(10_000)).syscall(SyscallKind::Io)
+            })
             .build(),
     );
     let quiet_worker = library.insert(

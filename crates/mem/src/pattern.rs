@@ -9,10 +9,11 @@ use serde::{Deserialize, Serialize};
 /// The patterns mirror the memory behaviour of the paper's benchmark classes:
 /// dense kernels stream sequentially, sparse kernels make strided/indirect
 /// accesses, and RayTracer-style applications touch pages irregularly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AccessPattern {
     /// Visit every page in ascending order (dense matrix kernels, swim,
     /// applu).
+    #[default]
     Sequential,
     /// Visit every `stride`-th page, wrapping around until all pages are
     /// visited (transposed/symmetric sparse kernels).
@@ -77,12 +78,6 @@ impl AccessPattern {
                 indices.into_iter().map(|i| set.page_addr(i)).collect()
             }
         }
-    }
-}
-
-impl Default for AccessPattern {
-    fn default() -> Self {
-        AccessPattern::Sequential
     }
 }
 

@@ -119,7 +119,8 @@ impl MemorySystem {
     /// must bind sequencers before letting shreds touch memory.
     pub fn access(&mut self, sequencer: SequencerId, addr: VirtAddr) -> MemoryOutcome {
         let idx = sequencer.as_usize();
-        let pid = self.cr3[idx].expect("sequencer must be bound to a process before accessing memory");
+        let pid =
+            self.cr3[idx].expect("sequencer must be bound to a process before accessing memory");
         let page = addr.page();
         let tlb_hit = self.tlbs[idx].lookup_insert(page);
         let space = self
@@ -295,7 +296,10 @@ mod tests {
         assert!(mem.would_fault(pid, addr));
         mem.access(SequencerId::new(0), addr);
         assert!(!mem.would_fault(pid, addr));
-        assert!(mem.would_fault(ProcessId::new(42), addr), "unknown process always faults");
+        assert!(
+            mem.would_fault(ProcessId::new(42), addr),
+            "unknown process always faults"
+        );
     }
 
     #[test]

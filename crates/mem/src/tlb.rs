@@ -187,7 +187,10 @@ mod tests {
         tlb.flush();
         assert!(tlb.is_empty());
         assert_eq!(tlb.stats().flushes, 1);
-        assert!(!tlb.lookup_insert(PageId::new(1)), "post-flush lookup misses");
+        assert!(
+            !tlb.lookup_insert(PageId::new(1)),
+            "post-flush lookup misses"
+        );
     }
 
     #[test]

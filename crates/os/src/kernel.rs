@@ -100,9 +100,10 @@ impl Kernel {
     ///
     /// Returns [`MispError::InvalidConfiguration`] if the thread is unknown.
     pub fn set_thread_state(&mut self, tid: OsThreadId, state: ThreadState) -> Result<()> {
-        let thread = self.threads.get_mut(&tid).ok_or_else(|| {
-            MispError::InvalidConfiguration(format!("unknown thread {tid}"))
-        })?;
+        let thread = self
+            .threads
+            .get_mut(&tid)
+            .ok_or_else(|| MispError::InvalidConfiguration(format!("unknown thread {tid}")))?;
         thread.set_state(state);
         Ok(())
     }

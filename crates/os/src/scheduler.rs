@@ -6,10 +6,11 @@ use std::collections::VecDeque;
 
 /// How newly-created threads are placed onto CPUs by the
 /// [`SystemScheduler`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PlacementPolicy {
     /// Assign each new thread to the CPU with the fewest threads (ties broken
     /// by lowest CPU index).  This is the default OS behaviour.
+    #[default]
     LeastLoaded,
     /// Assign threads to CPUs round-robin in creation order.
     RoundRobin,
@@ -17,12 +18,6 @@ pub enum PlacementPolicy {
     /// panics.  Used for the "ideal" configurations of Figure 7, where
     /// non-shredded applications are pinned to OMSs that have no AMSs.
     Pinned,
-}
-
-impl Default for PlacementPolicy {
-    fn default() -> Self {
-        PlacementPolicy::LeastLoaded
-    }
 }
 
 /// The run queue of a single OS-visible CPU, scheduled round-robin.
@@ -48,7 +43,10 @@ impl CpuScheduler {
     /// Panics if `quantum_ticks` is zero.
     #[must_use]
     pub fn new(quantum_ticks: u64) -> Self {
-        assert!(quantum_ticks > 0, "scheduling quantum must be at least one tick");
+        assert!(
+            quantum_ticks > 0,
+            "scheduling quantum must be at least one tick"
+        );
         CpuScheduler {
             ready: VecDeque::new(),
             running: None,
@@ -166,7 +164,9 @@ impl SystemScheduler {
     pub fn new(cpu_count: usize, quantum_ticks: u64, policy: PlacementPolicy) -> Self {
         assert!(cpu_count > 0, "a machine needs at least one OS-visible CPU");
         SystemScheduler {
-            cpus: (0..cpu_count).map(|_| CpuScheduler::new(quantum_ticks)).collect(),
+            cpus: (0..cpu_count)
+                .map(|_| CpuScheduler::new(quantum_ticks))
+                .collect(),
             policy,
             next_round_robin: 0,
         }
@@ -224,9 +224,9 @@ impl SystemScheduler {
                 self.next_round_robin += 1;
                 cpu
             }
-            PlacementPolicy::Pinned =>
-
-                panic!("automatic placement is disabled under the pinned policy"),
+            PlacementPolicy::Pinned => {
+                panic!("automatic placement is disabled under the pinned policy")
+            }
         };
         self.cpus[cpu].enqueue(tid);
         cpu
@@ -297,7 +297,11 @@ mod tests {
         s.dispatch();
         assert_eq!(s.on_tick(), None);
         assert_eq!(s.on_tick(), None);
-        assert_eq!(s.on_tick(), Some((t(0), t(1))), "third tick expires the quantum");
+        assert_eq!(
+            s.on_tick(),
+            Some((t(0), t(1))),
+            "third tick expires the quantum"
+        );
     }
 
     #[test]

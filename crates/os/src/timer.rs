@@ -84,7 +84,7 @@ impl TimerConfig {
     pub fn is_other_interrupt_tick(&self, tick_number: u64) -> bool {
         self.other_interrupt_period != 0
             && tick_number != 0
-            && tick_number % self.other_interrupt_period == 0
+            && tick_number.is_multiple_of(self.other_interrupt_period)
     }
 }
 

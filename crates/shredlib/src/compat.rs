@@ -49,61 +49,326 @@ pub struct MappingEntry {
 /// The static thread-to-shred mapping table.
 static MAPPINGS: &[MappingEntry] = &[
     // --- POSIX Threads -----------------------------------------------------
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_create", shredlib: "shred_create", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_join", shredlib: "shred_join", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_exit", shredlib: "shred_exit", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_self", shredlib: "shred_self", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_yield", shredlib: "shred_yield", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "sched_yield", shredlib: "shred_yield", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_mutex_init", shredlib: "shred_mutex_init", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_mutex_lock", shredlib: "shred_mutex_lock", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_mutex_trylock", shredlib: "shred_mutex_trylock", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_mutex_unlock", shredlib: "shred_mutex_unlock", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_mutex_destroy", shredlib: "shred_mutex_destroy", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_cond_init", shredlib: "shred_cond_init", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_cond_wait", shredlib: "shred_cond_wait", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_cond_signal", shredlib: "shred_cond_signal", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_cond_broadcast", shredlib: "shred_cond_broadcast", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_barrier_init", shredlib: "shred_barrier_init", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_barrier_wait", shredlib: "shred_barrier_wait", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_key_create", shredlib: "shred_local_alloc", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_setspecific", shredlib: "shred_local_set", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_getspecific", shredlib: "shred_local_get", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "sem_init", shredlib: "shred_sem_init", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "sem_wait", shredlib: "shred_sem_wait", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "sem_post", shredlib: "shred_sem_post", mechanical: true },
-    MappingEntry { api: LegacyApi::Pthreads, legacy: "pthread_attr_setaffinity_np", shredlib: "shred_affinity_hint", mechanical: false },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_create",
+        shredlib: "shred_create",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_join",
+        shredlib: "shred_join",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_exit",
+        shredlib: "shred_exit",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_self",
+        shredlib: "shred_self",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_yield",
+        shredlib: "shred_yield",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "sched_yield",
+        shredlib: "shred_yield",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_mutex_init",
+        shredlib: "shred_mutex_init",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_mutex_lock",
+        shredlib: "shred_mutex_lock",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_mutex_trylock",
+        shredlib: "shred_mutex_trylock",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_mutex_unlock",
+        shredlib: "shred_mutex_unlock",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_mutex_destroy",
+        shredlib: "shred_mutex_destroy",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_cond_init",
+        shredlib: "shred_cond_init",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_cond_wait",
+        shredlib: "shred_cond_wait",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_cond_signal",
+        shredlib: "shred_cond_signal",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_cond_broadcast",
+        shredlib: "shred_cond_broadcast",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_barrier_init",
+        shredlib: "shred_barrier_init",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_barrier_wait",
+        shredlib: "shred_barrier_wait",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_key_create",
+        shredlib: "shred_local_alloc",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_setspecific",
+        shredlib: "shred_local_set",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_getspecific",
+        shredlib: "shred_local_get",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "sem_init",
+        shredlib: "shred_sem_init",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "sem_wait",
+        shredlib: "shred_sem_wait",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "sem_post",
+        shredlib: "shred_sem_post",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Pthreads,
+        legacy: "pthread_attr_setaffinity_np",
+        shredlib: "shred_affinity_hint",
+        mechanical: false,
+    },
     // --- Win32 Threads -----------------------------------------------------
-    MappingEntry { api: LegacyApi::Win32, legacy: "CreateThread", shredlib: "shred_create", mechanical: true },
-    MappingEntry { api: LegacyApi::Win32, legacy: "_beginthreadex", shredlib: "shred_create", mechanical: true },
-    MappingEntry { api: LegacyApi::Win32, legacy: "ExitThread", shredlib: "shred_exit", mechanical: true },
-    MappingEntry { api: LegacyApi::Win32, legacy: "WaitForSingleObject", shredlib: "shred_join / shred_event_wait", mechanical: true },
-    MappingEntry { api: LegacyApi::Win32, legacy: "WaitForMultipleObjects", shredlib: "shred_join_all", mechanical: true },
-    MappingEntry { api: LegacyApi::Win32, legacy: "InitializeCriticalSection", shredlib: "shred_mutex_init", mechanical: true },
-    MappingEntry { api: LegacyApi::Win32, legacy: "EnterCriticalSection", shredlib: "shred_mutex_lock", mechanical: true },
-    MappingEntry { api: LegacyApi::Win32, legacy: "TryEnterCriticalSection", shredlib: "shred_mutex_trylock", mechanical: true },
-    MappingEntry { api: LegacyApi::Win32, legacy: "LeaveCriticalSection", shredlib: "shred_mutex_unlock", mechanical: true },
-    MappingEntry { api: LegacyApi::Win32, legacy: "CreateSemaphore", shredlib: "shred_sem_init", mechanical: true },
-    MappingEntry { api: LegacyApi::Win32, legacy: "ReleaseSemaphore", shredlib: "shred_sem_post", mechanical: true },
-    MappingEntry { api: LegacyApi::Win32, legacy: "CreateEvent", shredlib: "shred_event_init", mechanical: true },
-    MappingEntry { api: LegacyApi::Win32, legacy: "SetEvent", shredlib: "shred_event_set", mechanical: true },
-    MappingEntry { api: LegacyApi::Win32, legacy: "ResetEvent", shredlib: "shred_event_reset", mechanical: true },
-    MappingEntry { api: LegacyApi::Win32, legacy: "TlsAlloc", shredlib: "shred_local_alloc", mechanical: true },
-    MappingEntry { api: LegacyApi::Win32, legacy: "TlsSetValue", shredlib: "shred_local_set", mechanical: true },
-    MappingEntry { api: LegacyApi::Win32, legacy: "TlsGetValue", shredlib: "shred_local_get", mechanical: true },
-    MappingEntry { api: LegacyApi::Win32, legacy: "Sleep", shredlib: "shred_yield (loop)", mechanical: false },
-    MappingEntry { api: LegacyApi::Win32, legacy: "SetThreadPriority", shredlib: "scheduler policy hint", mechanical: false },
-    MappingEntry { api: LegacyApi::Win32, legacy: "GetMessage", shredlib: "native OS thread required", mechanical: false },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "CreateThread",
+        shredlib: "shred_create",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "_beginthreadex",
+        shredlib: "shred_create",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "ExitThread",
+        shredlib: "shred_exit",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "WaitForSingleObject",
+        shredlib: "shred_join / shred_event_wait",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "WaitForMultipleObjects",
+        shredlib: "shred_join_all",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "InitializeCriticalSection",
+        shredlib: "shred_mutex_init",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "EnterCriticalSection",
+        shredlib: "shred_mutex_lock",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "TryEnterCriticalSection",
+        shredlib: "shred_mutex_trylock",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "LeaveCriticalSection",
+        shredlib: "shred_mutex_unlock",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "CreateSemaphore",
+        shredlib: "shred_sem_init",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "ReleaseSemaphore",
+        shredlib: "shred_sem_post",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "CreateEvent",
+        shredlib: "shred_event_init",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "SetEvent",
+        shredlib: "shred_event_set",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "ResetEvent",
+        shredlib: "shred_event_reset",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "TlsAlloc",
+        shredlib: "shred_local_alloc",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "TlsSetValue",
+        shredlib: "shred_local_set",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "TlsGetValue",
+        shredlib: "shred_local_get",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "Sleep",
+        shredlib: "shred_yield (loop)",
+        mechanical: false,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "SetThreadPriority",
+        shredlib: "scheduler policy hint",
+        mechanical: false,
+    },
+    MappingEntry {
+        api: LegacyApi::Win32,
+        legacy: "GetMessage",
+        shredlib: "native OS thread required",
+        mechanical: false,
+    },
     // --- OpenMP ------------------------------------------------------------
-    MappingEntry { api: LegacyApi::OpenMp, legacy: "__kmp_fork_call", shredlib: "shred_create (per team member)", mechanical: true },
-    MappingEntry { api: LegacyApi::OpenMp, legacy: "__kmp_join_call", shredlib: "shred_barrier_wait", mechanical: true },
-    MappingEntry { api: LegacyApi::OpenMp, legacy: "omp_get_thread_num", shredlib: "shred_self", mechanical: true },
-    MappingEntry { api: LegacyApi::OpenMp, legacy: "omp_get_num_threads", shredlib: "sequencer_count", mechanical: true },
-    MappingEntry { api: LegacyApi::OpenMp, legacy: "omp_set_lock", shredlib: "shred_mutex_lock", mechanical: true },
-    MappingEntry { api: LegacyApi::OpenMp, legacy: "omp_unset_lock", shredlib: "shred_mutex_unlock", mechanical: true },
-    MappingEntry { api: LegacyApi::OpenMp, legacy: "#pragma omp parallel", shredlib: "shredded team region", mechanical: true },
-    MappingEntry { api: LegacyApi::OpenMp, legacy: "#pragma omp critical", shredlib: "shred_mutex pair", mechanical: true },
-    MappingEntry { api: LegacyApi::OpenMp, legacy: "#pragma omp barrier", shredlib: "shred_barrier_wait", mechanical: true },
+    MappingEntry {
+        api: LegacyApi::OpenMp,
+        legacy: "__kmp_fork_call",
+        shredlib: "shred_create (per team member)",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::OpenMp,
+        legacy: "__kmp_join_call",
+        shredlib: "shred_barrier_wait",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::OpenMp,
+        legacy: "omp_get_thread_num",
+        shredlib: "shred_self",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::OpenMp,
+        legacy: "omp_get_num_threads",
+        shredlib: "sequencer_count",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::OpenMp,
+        legacy: "omp_set_lock",
+        shredlib: "shred_mutex_lock",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::OpenMp,
+        legacy: "omp_unset_lock",
+        shredlib: "shred_mutex_unlock",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::OpenMp,
+        legacy: "#pragma omp parallel",
+        shredlib: "shredded team region",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::OpenMp,
+        legacy: "#pragma omp critical",
+        shredlib: "shred_mutex pair",
+        mechanical: true,
+    },
+    MappingEntry {
+        api: LegacyApi::OpenMp,
+        legacy: "#pragma omp barrier",
+        shredlib: "shred_barrier_wait",
+        mechanical: true,
+    },
 ];
 
 /// Coverage of one application's legacy API usage by the ShredLib mapping.

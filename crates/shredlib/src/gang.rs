@@ -282,18 +282,12 @@ impl Runtime for GangScheduler {
                     RuntimeOutcome::Block { cost: lock_cost }
                 }
             }
-            RuntimeOp::MutexLock(id) => self.apply_sync(
-                core,
-                now,
-                lock_cost,
-                |sync| sync.mutex_lock(*id, shred),
-            ),
-            RuntimeOp::MutexUnlock(id) => self.apply_sync(
-                core,
-                now,
-                lock_cost,
-                |sync| sync.mutex_unlock(*id, shred),
-            ),
+            RuntimeOp::MutexLock(id) => {
+                self.apply_sync(core, now, lock_cost, |sync| sync.mutex_lock(*id, shred))
+            }
+            RuntimeOp::MutexUnlock(id) => {
+                self.apply_sync(core, now, lock_cost, |sync| sync.mutex_unlock(*id, shred))
+            }
             RuntimeOp::SemWait(id) => {
                 self.apply_sync(core, now, lock_cost, |sync| sync.sem_wait(*id, shred))
             }

@@ -10,20 +10,15 @@ use std::collections::VecDeque;
 /// algorithms and can be customized per application (Section 4.2); the
 /// simulator exposes the queue disciplines that matter for the evaluated
 /// workloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SchedulingPolicy {
     /// First-in first-out: shreds run in creation order (the Figure 3
     /// example).
+    #[default]
     Fifo,
     /// Last-in first-out: most recently created shreds run first (better
     /// locality for recursive divide-and-conquer work).
     Lifo,
-}
-
-impl Default for SchedulingPolicy {
-    fn default() -> Self {
-        SchedulingPolicy::Fifo
-    }
 }
 
 /// The mutex-protected shared work queue holding ready shred continuations.

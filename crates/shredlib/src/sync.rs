@@ -266,7 +266,12 @@ impl SyncTable {
     ///
     /// Returns [`MispError::SynchronizationMisuse`] if the mutex is not held
     /// by `shred` or either identifier names an object of the wrong type.
-    pub fn cond_wait(&mut self, cond: LockId, mutex: LockId, shred: ShredId) -> Result<SyncOutcome> {
+    pub fn cond_wait(
+        &mut self,
+        cond: LockId,
+        mutex: LockId,
+        shred: ShredId,
+    ) -> Result<SyncOutcome> {
         // Release the mutex first; this may wake a mutex waiter.
         let release = self.mutex_unlock(mutex, shred)?;
         let entry = self.objects.entry(cond).or_insert(SyncObject::CondVar {

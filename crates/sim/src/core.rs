@@ -1,7 +1,10 @@
 //! The engine core: all mutable simulation state shared with platforms and
 //! runtimes.
 
-use crate::{Event, EventLog, EventQueue, LogKind, SequencerState, ShredExecState, ShredPool, SimConfig, SimStats};
+use crate::{
+    Event, EventLog, EventQueue, LogKind, SequencerState, ShredExecState, ShredPool, SimConfig,
+    SimStats,
+};
 use misp_isa::{ProgramLibrary, ProgramRef};
 use misp_mem::MemorySystem;
 use misp_os::Kernel;
@@ -208,7 +211,12 @@ impl EngineCore {
                 .expect("program reference must be valid"),
         );
         let id = self.shreds.create(process, thread, prog, now);
-        self.log.record(now, SequencerId::new(0), LogKind::ShredStart, format!("created {id}"));
+        self.log.record(
+            now,
+            SequencerId::new(0),
+            LogKind::ShredStart,
+            format!("created {id}"),
+        );
         id
     }
 
@@ -431,10 +439,7 @@ mod tests {
         let first = core.pop_event().unwrap();
         let second = core.pop_event().unwrap();
         match (first.event, second.event) {
-            (
-                Event::SeqReady { generation: g1, .. },
-                Event::SeqReady { generation: g2, .. },
-            ) => {
+            (Event::SeqReady { generation: g1, .. }, Event::SeqReady { generation: g2, .. }) => {
                 assert_eq!(g1, gen1);
                 assert_eq!(g2, gen2);
             }
@@ -454,15 +459,21 @@ mod tests {
         core.sequencer_mut(s1).set_current_shred(Some(shred));
         core.wake(s0, Cycles::new(5));
         core.wake(s1, Cycles::new(5));
-        assert_eq!(core.queue_mut().len(), 1, "only the idle sequencer is woken");
+        assert_eq!(
+            core.queue_mut().len(),
+            1,
+            "only the idle sequencer is woken"
+        );
     }
 
     #[test]
     fn wake_thread_sequencers_filters_by_binding() {
         let mut core = core_with(1, 3);
         let t = OsThreadId::new(0);
-        core.sequencer_mut(SequencerId::new(0)).set_bound_thread(Some(t));
-        core.sequencer_mut(SequencerId::new(1)).set_bound_thread(Some(OsThreadId::new(1)));
+        core.sequencer_mut(SequencerId::new(0))
+            .set_bound_thread(Some(t));
+        core.sequencer_mut(SequencerId::new(1))
+            .set_bound_thread(Some(OsThreadId::new(1)));
         core.wake_thread_sequencers(t, Cycles::ZERO);
         assert_eq!(core.queue_mut().len(), 1);
     }

@@ -113,7 +113,7 @@ impl<P: Platform> Engine<P> {
         // Start every OS thread of every process that has a runtime, in
         // process/thread creation order for determinism.
         let mut startups: Vec<(u32, OsThreadId)> = Vec::new();
-        for (&pid_idx, _) in &self.runtimes {
+        for &pid_idx in self.runtimes.keys() {
             let pid = ProcessId::new(pid_idx);
             if let Some(process) = self.core.kernel().process(pid) {
                 for &tid in process.threads() {
@@ -169,7 +169,8 @@ impl<P: Platform> Engine<P> {
                     check_completion = self.step_sequencer(seq, ev.time)?;
                 }
                 Event::TimerTick { cpu, tick } => {
-                    self.platform.on_timer_tick(&mut self.core, cpu, tick, ev.time);
+                    self.platform
+                        .on_timer_tick(&mut self.core, cpu, tick, ev.time);
                 }
                 Event::StallEnd { seq } => {
                     self.core.handle_stall_end(seq, ev.time);
@@ -293,9 +294,12 @@ impl<P: Platform> Engine<P> {
                 }
                 self.core.sequencer_mut(seq).add_busy(cost);
                 let ready_at = if outcome.page_fault {
-                    let resume =
-                        self.platform
-                            .on_priv_event(&mut self.core, seq, OsEventKind::PageFault, now);
+                    let resume = self.platform.on_priv_event(
+                        &mut self.core,
+                        seq,
+                        OsEventKind::PageFault,
+                        now,
+                    );
                     resume + cost
                 } else {
                     now + install_cost + cost
@@ -321,9 +325,7 @@ impl<P: Platform> Engine<P> {
                 self.core.schedule_ready(seq, resume + install_cost);
             }
             Op::RegisterHandler => {
-                let resume = self
-                    .platform
-                    .on_register_handler(&mut self.core, seq, now);
+                let resume = self.platform.on_register_handler(&mut self.core, seq, now);
                 self.core.schedule_ready(seq, resume + install_cost);
             }
             Op::Runtime(rop) => {
@@ -331,13 +333,11 @@ impl<P: Platform> Engine<P> {
                     .runtimes
                     .get_mut(&pid.index())
                     .expect("runtime exists for running shred");
-                let outcome =
-                    runtime.on_runtime_op(&mut self.core, seq, shred_id, &rop, now);
+                let outcome = runtime.on_runtime_op(&mut self.core, seq, shred_id, &rop, now);
                 match outcome {
                     RuntimeOutcome::Continue { cost } => {
                         self.core.sequencer_mut(seq).add_busy(cost);
-                        self.core
-                            .schedule_ready(seq, now + install_cost + cost);
+                        self.core.schedule_ready(seq, now + install_cost + cost);
                     }
                     RuntimeOutcome::Block { cost } => {
                         if let Some(s) = self.core.shred_mut(shred_id) {

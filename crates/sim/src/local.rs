@@ -132,7 +132,10 @@ mod tests {
         let mut engine = Engine::new(config, 1, lib, LocalPlatform::new(1));
         let pid = engine.core_mut().kernel_mut().spawn_process("p");
         let tid = engine.core_mut().kernel_mut().spawn_thread(pid);
-        engine.add_runtime(pid, Box::new(SingleShredRuntime::new(misp_isa::ProgramRef::new(0))));
+        engine.add_runtime(
+            pid,
+            Box::new(SingleShredRuntime::new(misp_isa::ProgramRef::new(0))),
+        );
         engine.platform_mut().pin_thread(tid, 0);
         let report = engine.run().unwrap();
         // 10k compute plus small scheduling overheads.
@@ -157,11 +160,17 @@ mod tests {
         let mut engine = Engine::new(config, 1, lib, LocalPlatform::new(1));
         let pid = engine.core_mut().kernel_mut().spawn_process("p");
         let tid = engine.core_mut().kernel_mut().spawn_thread(pid);
-        engine.add_runtime(pid, Box::new(SingleShredRuntime::new(misp_isa::ProgramRef::new(0))));
+        engine.add_runtime(
+            pid,
+            Box::new(SingleShredRuntime::new(misp_isa::ProgramRef::new(0))),
+        );
         engine.platform_mut().pin_thread(tid, 0);
         let report = engine.run().unwrap();
         assert_eq!(report.stats.oms_events.syscalls, 1);
-        assert_eq!(report.stats.oms_events.page_faults, 1, "only the first touch faults");
+        assert_eq!(
+            report.stats.oms_events.page_faults, 1,
+            "only the first touch faults"
+        );
         let min_expected = 100 + costs.syscall_service.as_u64() + costs.page_fault_service.as_u64();
         assert!(report.total_cycles.as_u64() >= min_expected);
     }
@@ -178,7 +187,10 @@ mod tests {
         let mut engine = Engine::new(config, 1, lib, LocalPlatform::new(1));
         let pid = engine.core_mut().kernel_mut().spawn_process("p");
         let tid = engine.core_mut().kernel_mut().spawn_thread(pid);
-        engine.add_runtime(pid, Box::new(SingleShredRuntime::new(misp_isa::ProgramRef::new(0))));
+        engine.add_runtime(
+            pid,
+            Box::new(SingleShredRuntime::new(misp_isa::ProgramRef::new(0))),
+        );
         engine.platform_mut().pin_thread(tid, 0);
         let report = engine.run().unwrap();
         // 10M cycles of compute at one tick per 1M cycles: roughly 10 ticks.
@@ -199,7 +211,10 @@ mod tests {
         let pid = engine.core_mut().kernel_mut().spawn_process("p");
         let t0 = engine.core_mut().kernel_mut().spawn_thread(pid);
         let t1 = engine.core_mut().kernel_mut().spawn_thread(pid);
-        engine.add_runtime(pid, Box::new(SingleShredRuntime::new(misp_isa::ProgramRef::new(0))));
+        engine.add_runtime(
+            pid,
+            Box::new(SingleShredRuntime::new(misp_isa::ProgramRef::new(0))),
+        );
         engine.platform_mut().pin_thread(t0, 0);
         engine.platform_mut().pin_thread(t1, 1);
         let report = engine.run().unwrap();
@@ -238,6 +253,9 @@ mod tests {
         let lib = ProgramLibrary::new();
         let mut engine = Engine::new(SimConfig::default(), 1, lib, LocalPlatform::new(1));
         let err = engine.run().unwrap_err();
-        assert!(matches!(err, misp_types::MispError::InvalidConfiguration(_)));
+        assert!(matches!(
+            err,
+            misp_types::MispError::InvalidConfiguration(_)
+        ));
     }
 }

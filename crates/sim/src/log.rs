@@ -164,7 +164,12 @@ mod tests {
         let mut log = EventLog::new(false);
         log.record(Cycles::new(1), SequencerId::new(0), LogKind::RingEnter, "");
         log.record(Cycles::new(2), SequencerId::new(0), LogKind::RingEnter, "");
-        log.record(Cycles::new(3), SequencerId::new(1), LogKind::ProxyRequest, "pf");
+        log.record(
+            Cycles::new(3),
+            SequencerId::new(1),
+            LogKind::ProxyRequest,
+            "pf",
+        );
         assert_eq!(log.count(LogKind::RingEnter), 2);
         assert_eq!(log.count(LogKind::ProxyRequest), 1);
         assert_eq!(log.count(LogKind::Resume), 0);
@@ -174,7 +179,12 @@ mod tests {
     #[test]
     fn fine_records_retained_when_enabled() {
         let mut log = EventLog::new(true);
-        log.record(Cycles::new(5), SequencerId::new(2), LogKind::Suspend, "by OMS");
+        log.record(
+            Cycles::new(5),
+            SequencerId::new(2),
+            LogKind::Suspend,
+            "by OMS",
+        );
         assert_eq!(log.records().len(), 1);
         let r = &log.records()[0];
         assert_eq!(r.time, Cycles::new(5));
@@ -192,6 +202,10 @@ mod tests {
         }
         assert_eq!(log.records().len(), 3);
         assert_eq!(log.dropped(), 2);
-        assert_eq!(log.count(LogKind::TimerTick), 5, "coarse counts unaffected by cap");
+        assert_eq!(
+            log.count(LogKind::TimerTick),
+            5,
+            "coarse counts unaffected by cap"
+        );
     }
 }

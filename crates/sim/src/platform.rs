@@ -55,7 +55,12 @@ pub trait Platform: std::fmt::Debug {
     /// `seq` registered an asynchronous handler via the YIELD-CONDITIONAL
     /// trigger/response mechanism.  Returns the time at which `seq` may
     /// continue.  The default charges nothing.
-    fn on_register_handler(&mut self, core: &mut EngineCore, seq: SequencerId, now: Cycles) -> Cycles {
+    fn on_register_handler(
+        &mut self,
+        core: &mut EngineCore,
+        seq: SequencerId,
+        now: Cycles,
+    ) -> Cycles {
         let _ = (core, seq);
         now
     }

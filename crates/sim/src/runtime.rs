@@ -68,7 +68,13 @@ pub trait Runtime: std::fmt::Debug {
     ) -> RuntimeOutcome;
 
     /// A shred's program reached its end (implicit `Halt`).
-    fn on_shred_halt(&mut self, core: &mut EngineCore, seq: SequencerId, shred: ShredId, now: Cycles);
+    fn on_shred_halt(
+        &mut self,
+        core: &mut EngineCore,
+        seq: SequencerId,
+        shred: ShredId,
+        now: Cycles,
+    );
 
     /// Returns `true` when all work of this runtime's process is complete.
     fn is_finished(&self, core: &EngineCore) -> bool;

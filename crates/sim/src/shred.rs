@@ -235,7 +235,10 @@ mod tests {
         pool.get_mut(a).unwrap().finish(Cycles::new(1));
         assert!(pool.process_done(p0));
         assert!(!pool.process_done(p1));
-        assert!(pool.process_done(ProcessId::new(9)), "no shreds counts as done");
+        assert!(
+            pool.process_done(ProcessId::new(9)),
+            "no shreds counts as done"
+        );
         assert_eq!(pool.count_by_status(p0, ShredStatus::Done), 1);
         assert_eq!(pool.count_by_status(p1, ShredStatus::Ready), 1);
     }

@@ -101,7 +101,11 @@ mod tests {
     #[test]
     fn two_threads_on_two_cores_run_concurrently() {
         let mut lib = ProgramLibrary::new();
-        let w = lib.insert(ProgramBuilder::new("w").compute(Cycles::new(100_000)).build());
+        let w = lib.insert(
+            ProgramBuilder::new("w")
+                .compute(Cycles::new(100_000))
+                .build(),
+        );
         let mut machine = SmpMachine::new(2, quiet_config(), lib);
         let pid = machine.add_process("app", Box::new(SingleShredRuntime::new(w)), Some(0));
         machine.add_thread(pid, Some(1));
@@ -119,7 +123,11 @@ mod tests {
                 .syscall(SyscallKind::Io)
                 .build(),
         );
-        let clean = lib.insert(ProgramBuilder::new("clean").compute(Cycles::new(400_000)).build());
+        let clean = lib.insert(
+            ProgramBuilder::new("clean")
+                .compute(Cycles::new(400_000))
+                .build(),
+        );
         let mut machine = SmpMachine::new(2, quiet_config(), lib);
         machine.add_process("faulty", Box::new(SingleShredRuntime::new(faulty)), Some(0));
         machine.add_process("clean", Box::new(SingleShredRuntime::new(clean)), Some(1));
@@ -137,7 +145,11 @@ mod tests {
     #[test]
     fn timesharing_on_one_core_slows_the_measured_process() {
         let mut lib = ProgramLibrary::new();
-        let w = lib.insert(ProgramBuilder::new("w").compute(Cycles::new(30_000_000)).build());
+        let w = lib.insert(
+            ProgramBuilder::new("w")
+                .compute(Cycles::new(30_000_000))
+                .build(),
+        );
         let mut machine = SmpMachine::new(1, SimConfig::default(), lib);
         let a = machine.add_process("a", Box::new(SingleShredRuntime::new(w)), Some(0));
         machine.add_process("b", Box::new(SingleShredRuntime::new(w)), Some(0));

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// The paper considers four design points (Figure 5): an ideal zero-cost
 /// hardware implementation, aggressive hardware at 500 and 1000 cycles, and a
 /// conservative microcode-based implementation at 5000 cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SignalCost {
     /// Ideal hardware: signaling is free (the Figure 5 baseline).
     Ideal,
@@ -25,6 +25,7 @@ pub enum SignalCost {
     Aggressive1000,
     /// Conservative microcode-based implementation: 5000 cycles (the default
     /// assumed throughout the paper's evaluation).
+    #[default]
     Microcode5000,
     /// An arbitrary signal cost, for sensitivity sweeps beyond the paper's
     /// design points.
@@ -53,12 +54,6 @@ impl SignalCost {
             SignalCost::Aggressive1000,
             SignalCost::Microcode5000,
         ]
-    }
-}
-
-impl Default for SignalCost {
-    fn default() -> Self {
-        SignalCost::Microcode5000
     }
 }
 

@@ -262,7 +262,7 @@ mod tests {
     fn sum_iterator() {
         let total: Cycles = (1..=4u64).map(Cycles::new).sum();
         assert_eq!(total, Cycles::new(10));
-        let v = vec![Cycles::new(2), Cycles::new(3)];
+        let v = [Cycles::new(2), Cycles::new(3)];
         let total: Cycles = v.iter().sum();
         assert_eq!(total, Cycles::new(5));
     }

@@ -102,7 +102,10 @@ mod tests {
                 MispError::UnknownProcessor(MispProcessorId::new(1)),
                 "unknown MISP processor MISP1",
             ),
-            (MispError::UnknownShred(ShredId::new(9)), "unknown shred SHR9"),
+            (
+                MispError::UnknownShred(ShredId::new(9)),
+                "unknown shred SHR9",
+            ),
             (
                 MispError::CycleBudgetExhausted { budget: 10 },
                 "cycle budget of 10 cycles exhausted before completion",

@@ -244,9 +244,20 @@ mod tests {
     #[test]
     fn ordering_is_by_index() {
         assert!(ShredId::new(1) < ShredId::new(2));
-        let mut v = vec![SequencerId::new(3), SequencerId::new(1), SequencerId::new(2)];
+        let mut v = vec![
+            SequencerId::new(3),
+            SequencerId::new(1),
+            SequencerId::new(2),
+        ];
         v.sort();
-        assert_eq!(v, vec![SequencerId::new(1), SequencerId::new(2), SequencerId::new(3)]);
+        assert_eq!(
+            v,
+            vec![
+                SequencerId::new(1),
+                SequencerId::new(2),
+                SequencerId::new(3)
+            ]
+        );
     }
 
     #[test]

@@ -13,13 +13,16 @@ use serde::{Deserialize, Serialize};
 /// The paper only distinguishes the privileged kernel level (Ring 0) and the
 /// user level (Ring 3); Rings 1 and 2 are unused by mainstream operating
 /// systems and are omitted from the model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub enum Ring {
     /// Kernel privilege level: OS services, interrupt handlers, page-fault
     /// handling.  Only the OS-managed sequencer may execute at Ring 0.
     Ring0,
     /// User privilege level.  Application-managed sequencers execute only the
     /// Ring 3 subset of the ISA.
+    #[default]
     Ring3,
 }
 
@@ -36,12 +39,6 @@ impl Ring {
     #[must_use]
     pub const fn is_kernel(self) -> bool {
         matches!(self, Ring::Ring0)
-    }
-}
-
-impl Default for Ring {
-    fn default() -> Self {
-        Ring::Ring3
     }
 }
 

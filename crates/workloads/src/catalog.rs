@@ -59,37 +59,120 @@ pub fn all() -> Vec<Workload> {
     let rms = |name, p| Workload::new(name, Suite::Rms, p);
     let spec = |name, p| Workload::new(name, Suite::SpecOmp, p);
     vec![
-        rms("ADAt", params(1_500_000_000, 0.16, 40, 2, 40, 0, 0, SEQ, false)),
-        rms("dense_mmm", params(2_500_000_000, 0.012, 30, 16, 60, 0, 0, SEQ, false)),
-        rms("dense_mvm", params(1_500_000_000, 0.03, 6, 1, 30, 0, 0, SEQ, false)),
-        rms("dense_mvm_sym", params(1_500_000_000, 0.022, 8, 1, 30, 0, 0, SEQ, false)),
-        rms("gauss", params(3_000_000_000, 0.07, 400, 1, 50, 2, 0, SEQ, false)),
-        rms("kmeans", params(2_500_000_000, 0.055, 300, 1, 40, 2, 0, SEQ, true)),
+        rms(
+            "ADAt",
+            params(1_500_000_000, 0.16, 40, 2, 40, 0, 0, SEQ, false),
+        ),
+        rms(
+            "dense_mmm",
+            params(2_500_000_000, 0.012, 30, 16, 60, 0, 0, SEQ, false),
+        ),
+        rms(
+            "dense_mvm",
+            params(1_500_000_000, 0.03, 6, 1, 30, 0, 0, SEQ, false),
+        ),
+        rms(
+            "dense_mvm_sym",
+            params(1_500_000_000, 0.022, 8, 1, 30, 0, 0, SEQ, false),
+        ),
+        rms(
+            "gauss",
+            params(3_000_000_000, 0.07, 400, 1, 50, 2, 0, SEQ, false),
+        ),
+        rms(
+            "kmeans",
+            params(2_500_000_000, 0.055, 300, 1, 40, 2, 0, SEQ, true),
+        ),
         rms(
             "sparse_mvm",
-            params(4_000_000_000, 0.04, 10, 26, 35, 0, 0, AccessPattern::Shuffled { seed: 11 }, false),
+            params(
+                4_000_000_000,
+                0.04,
+                10,
+                26,
+                35,
+                0,
+                0,
+                AccessPattern::Shuffled { seed: 11 },
+                false,
+            ),
         ),
         rms(
             "sparse_mvm_sym",
-            params(6_000_000_000, 0.045, 5, 40, 35, 0, 0, AccessPattern::Shuffled { seed: 12 }, false),
+            params(
+                6_000_000_000,
+                0.045,
+                5,
+                40,
+                35,
+                0,
+                0,
+                AccessPattern::Shuffled { seed: 12 },
+                false,
+            ),
         ),
         rms(
             "sparse_mvm_trans",
-            params(4_000_000_000, 0.04, 10, 25, 35, 0, 0, AccessPattern::Strided { stride: 3 }, false),
+            params(
+                4_000_000_000,
+                0.04,
+                10,
+                25,
+                35,
+                0,
+                0,
+                AccessPattern::Strided { stride: 3 },
+                false,
+            ),
         ),
         rms(
             "svm_c",
-            params(5_000_000_000, 0.08, 300, 50, 45, 2, 0, AccessPattern::Shuffled { seed: 13 }, false),
+            params(
+                5_000_000_000,
+                0.08,
+                300,
+                50,
+                45,
+                2,
+                0,
+                AccessPattern::Shuffled { seed: 13 },
+                false,
+            ),
         ),
         rms(
             "RayTracer",
-            params(6_000_000_000, 0.012, 80, 40, 30, 0, 0, AccessPattern::Shuffled { seed: 14 }, false),
+            params(
+                6_000_000_000,
+                0.012,
+                80,
+                40,
+                30,
+                0,
+                0,
+                AccessPattern::Shuffled { seed: 14 },
+                false,
+            ),
         ),
-        spec("swim", params(10_000_000_000, 0.04, 500, 80, 60, 500, 0, SEQ, false)),
-        spec("applu", params(10_000_000_000, 0.06, 500, 80, 55, 60, 0, SEQ, false)),
-        spec("galgel", params(8_000_000_000, 0.12, 1200, 60, 50, 20, 0, SEQ, false)),
-        spec("equake", params(6_000_000_000, 0.07, 400, 50, 45, 350, 0, SEQ, false)),
-        spec("art", params(8_000_000_000, 0.03, 1100, 70, 45, 160, 4, SEQ, false)),
+        spec(
+            "swim",
+            params(10_000_000_000, 0.04, 500, 80, 60, 500, 0, SEQ, false),
+        ),
+        spec(
+            "applu",
+            params(10_000_000_000, 0.06, 500, 80, 55, 60, 0, SEQ, false),
+        ),
+        spec(
+            "galgel",
+            params(8_000_000_000, 0.12, 1200, 60, 50, 20, 0, SEQ, false),
+        ),
+        spec(
+            "equake",
+            params(6_000_000_000, 0.07, 400, 50, 45, 350, 0, SEQ, false),
+        ),
+        spec(
+            "art",
+            params(8_000_000_000, 0.03, 1100, 70, 45, 160, 4, SEQ, false),
+        ),
     ]
 }
 
@@ -251,7 +334,8 @@ pub fn table2_applications() -> Vec<PortedApplication> {
         },
         PortedApplication {
             name: "RMS Benchmark Suite",
-            description: "Multithreaded kernels from emerging Recognition-Mining-Synthesis workloads",
+            description:
+                "Multithreaded kernels from emerging Recognition-Mining-Synthesis workloads",
             api: LegacyApi::Pthreads,
             functions: vec![
                 "pthread_create",
@@ -365,19 +449,24 @@ mod tests {
         let apps = table2_applications();
         assert_eq!(apps.len(), 9);
         for app in &apps {
-            assert!(!app.functions.is_empty(), "{} needs an API surface", app.name);
+            assert!(
+                !app.functions.is_empty(),
+                "{} needs an API surface",
+                app.name
+            );
             let report = shredlib::compat::coverage(app.functions.iter().copied());
             assert!(
                 report.mechanical_fraction() > 0.5,
                 "{} should be mostly mechanically portable",
                 app.name
             );
-            assert!(report.unmapped.is_empty(), "{} uses only known APIs", app.name);
+            assert!(
+                report.unmapped.is_empty(),
+                "{} uses only known APIs",
+                app.name
+            );
         }
         // The one structural port in the paper is the Open Dynamics Engine.
-        assert_eq!(
-            apps.iter().filter(|a| a.structural_changes).count(),
-            1
-        );
+        assert_eq!(apps.iter().filter(|a| a.structural_changes).count(), 1);
     }
 }

@@ -125,7 +125,10 @@ mod tests {
             ..WorkloadParams::default()
         };
         let s8 = p.amdahl_speedup(8);
-        assert!(s8 > 4.0 && s8 < 5.0, "10% serial on 8 contexts is ~4.7x, got {s8}");
+        assert!(
+            s8 > 4.0 && s8 < 5.0,
+            "10% serial on 8 contexts is ~4.7x, got {s8}"
+        );
         assert!((p.amdahl_speedup(1) - 1.0).abs() < 1e-9);
         let perfectly_parallel = WorkloadParams {
             serial_fraction: 0.0,

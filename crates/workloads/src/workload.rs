@@ -78,7 +78,11 @@ impl Workload {
     /// Section 5.3 of the paper, which converts would-be proxy executions into
     /// ordinary OMS-local faults before parallel execution starts.
     #[must_use]
-    pub fn build_with_pretouch(&self, library: &mut ProgramLibrary, workers: usize) -> GangScheduler {
+    pub fn build_with_pretouch(
+        &self,
+        library: &mut ProgramLibrary,
+        workers: usize,
+    ) -> GangScheduler {
         self.build_inner(library, workers, true)
     }
 
@@ -116,11 +120,9 @@ impl Workload {
                     b = b.op(Op::load(addr));
                 }
             }
-            let syscall_period = if p.worker_syscalls > 0 {
-                (chunks / p.worker_syscalls).max(1)
-            } else {
-                0
-            };
+            let syscall_period = chunks
+                .checked_div(p.worker_syscalls)
+                .map_or(0, |period| period.max(1));
             let mut issued_syscalls = 0;
             for c in 0..chunks {
                 b = b.compute(Cycles::new(chunk_cycles));
@@ -263,10 +265,7 @@ mod tests {
             .filter(|o| matches!(o, Op::Runtime(RuntimeOp::ShredCreate { .. })))
             .count();
         assert_eq!(creates, 3);
-        let faults = ops
-            .iter()
-            .filter(|o| matches!(o, Op::Touch { .. }))
-            .count();
+        let faults = ops.iter().filter(|o| matches!(o, Op::Touch { .. })).count();
         assert_eq!(faults, 4, "main touches exactly its serial working set");
         let syscalls = ops.iter().filter(|o| matches!(o, Op::Syscall(_))).count();
         assert_eq!(syscalls, 2);
@@ -327,7 +326,10 @@ mod tests {
         );
         let _ = w.build(&mut lib, 2);
         for (_, p) in lib.iter() {
-            let touches = p.iter_flat().filter(|o| matches!(o, Op::Touch { .. })).count();
+            let touches = p
+                .iter_flat()
+                .filter(|o| matches!(o, Op::Touch { .. }))
+                .count();
             assert_eq!(touches, 0);
         }
     }

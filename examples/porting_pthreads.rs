@@ -107,8 +107,14 @@ fn main() {
     let report = machine.run().expect("simulation completes");
 
     println!("shredded producer/consumer executed on 1 OMS + 3 AMS:");
-    println!("  completion time      : {} cycles", report.total_cycles.as_u64());
+    println!(
+        "  completion time      : {} cycles",
+        report.total_cycles.as_u64()
+    );
     println!("  proxy executions     : {}", report.stats.proxy_executions);
-    println!("  serializing events   : {}", report.stats.total_serializing_events());
+    println!(
+        "  serializing events   : {}",
+        report.stats.total_serializing_events()
+    );
     println!("  user-level sync ops ran entirely in Ring 3 - no OS thread API was needed.");
 }

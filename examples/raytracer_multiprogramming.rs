@@ -42,7 +42,10 @@ fn run(topology: &MispTopology, competitors: usize) -> Cycles {
 
 fn main() {
     let configs = [
-        ("1x8   (one MISP processor, 7 AMSs)", MispTopology::config_1x8()),
+        (
+            "1x8   (one MISP processor, 7 AMSs)",
+            MispTopology::config_1x8(),
+        ),
         ("2x4   (two MISP processors)", MispTopology::config_2x4()),
         (
             "1x4+4 (one 4-sequencer MISP processor + 4 plain CPUs)",

@@ -13,8 +13,8 @@
 
 use misp::core::{MispMachine, MispTopology};
 use misp::isa::{Continuation, Op, ProgramBuilder, ProgramLibrary, ProgramRef, SyscallKind};
-use misp::sim::SingleShredRuntime;
 use misp::sim::SimConfig;
+use misp::sim::SingleShredRuntime;
 use misp::types::{Cycles, SequencerId, VirtAddr};
 
 fn main() {
@@ -48,11 +48,18 @@ fn main() {
 
     let topology = MispTopology::uniprocessor(3).expect("valid topology");
     let mut machine = MispMachine::new(topology, SimConfig::default(), library);
-    machine.add_process("signal-demo", Box::new(SingleShredRuntime::new(main)), Some(0));
+    machine.add_process(
+        "signal-demo",
+        Box::new(SingleShredRuntime::new(main)),
+        Some(0),
+    );
     let report = machine.run().expect("simulation completes");
 
     println!("SIGNAL + proxy execution demo (1 OMS + 3 AMS)");
-    println!("  completion time        : {} cycles", report.total_cycles.as_u64());
+    println!(
+        "  completion time        : {} cycles",
+        report.total_cycles.as_u64()
+    );
     println!("  user-level SIGNALs sent : {}", report.stats.signals_sent);
     println!(
         "  proxy executions        : {} (4 page faults + 1 system call on the AMS)",

@@ -119,7 +119,13 @@ fn signal_cost_sweep_is_monotone_and_small() {
     );
     // The analytic model (Equations 1-3) bounds the measured overhead from
     // above for this fault profile (it assumes no overlap between windows).
-    let baseline = runner::run_on_misp(&w, &topo, config().with_costs(CostModel::builder().signal(SignalCost::Ideal).build()), 8).unwrap();
+    let baseline = runner::run_on_misp(
+        &w,
+        &topo,
+        config().with_costs(CostModel::builder().signal(SignalCost::Ideal).build()),
+        8,
+    )
+    .unwrap();
     let model = OverheadModel::new(CostModel::default());
     let analytic = model.signal_overhead(
         baseline.stats.oms_events.total(),
@@ -145,7 +151,10 @@ fn speedup_never_exceeds_sequencer_count() {
             ams + 1
         );
         if ams > 0 {
-            assert!(speedup > 1.0, "adding AMSs must help ({ams} AMSs: {speedup:.2})");
+            assert!(
+                speedup > 1.0,
+                "adding AMSs must help ({ams} AMSs: {speedup:.2})"
+            );
         }
     }
 }
@@ -160,5 +169,8 @@ fn pretouch_moves_faults_from_ams_to_oms() {
     assert_eq!(pre.stats.ams_events.page_faults, 0);
     let total_base = base.stats.oms_events.page_faults + base.stats.ams_events.page_faults;
     let total_pre = pre.stats.oms_events.page_faults;
-    assert_eq!(total_base, total_pre, "pre-touching must not change the fault total");
+    assert_eq!(
+        total_base, total_pre,
+        "pre-touching must not change the fault total"
+    );
 }

@@ -123,8 +123,8 @@ fn smp_degrades_most_gracefully_under_load() {
         "the SMP work-queue application should lose only a fraction of one core, got {retained:.2}"
     );
     // And SMP under load beats the single MISP processor under load.
-    let misp_retained =
-        run_misp(&MispTopology::config_1x8(), 0).as_f64() / run_misp(&MispTopology::config_1x8(), 1).as_f64();
+    let misp_retained = run_misp(&MispTopology::config_1x8(), 0).as_f64()
+        / run_misp(&MispTopology::config_1x8(), 1).as_f64();
     assert!(retained > misp_retained);
 }
 
@@ -143,7 +143,10 @@ fn context_switches_save_and_restore_ams_state() {
     machine.add_process("bg", Box::new(competitor::competitor_runtime(bg)), Some(0));
     machine.set_measured(vec![app]);
     let report = machine.run().unwrap();
-    assert!(report.stats.context_switches > 10, "time slicing must occur");
+    assert!(
+        report.stats.context_switches > 10,
+        "time slicing must occur"
+    );
     let faults = report.stats.oms_events.page_faults + report.stats.ams_events.page_faults;
     // 10 main pages + 64 workers x 4 pages + 8 competitor pages.
     assert_eq!(faults, 10 + 64 * 4 + 8);

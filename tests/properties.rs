@@ -1,8 +1,8 @@
 //! Property-based integration tests: invariants that must hold for *any*
 //! workload shape, checked with proptest over randomized parameters.
 
-use misp::core::{MispTopology, RingPolicy};
 use misp::core::MispMachine;
+use misp::core::{MispTopology, RingPolicy};
 use misp::isa::ProgramLibrary;
 use misp::mem::AccessPattern;
 use misp::os::TimerConfig;
@@ -27,7 +27,16 @@ fn arbitrary_params() -> impl Strategy<Value = WorkloadParams> {
         any::<bool>(),
     )
         .prop_map(
-            |(total_work, serial_fraction, main_pages, worker_pages, chunks, syscalls, pattern, contention)| {
+            |(
+                total_work,
+                serial_fraction,
+                main_pages,
+                worker_pages,
+                chunks,
+                syscalls,
+                pattern,
+                contention,
+            )| {
                 WorkloadParams {
                     total_work,
                     serial_fraction,
