@@ -1,14 +1,14 @@
 //! Ablation A2 — page pre-touch: Section 5.3 observes that compulsory page
 //! faults cause the majority of proxy-execution events and suggests that the
-//! OMS could probe each page during the serial region, eliminating them.  This
-//! ablation implements that optimization and measures how many proxy events it
-//! removes and what it does to end-to-end time.
+//! OMS could probe each page during the serial region, eliminating them.  The
+//! `ablation_pretouch` grid implements that optimization and measures how
+//! many proxy events it removes and what it does to end-to-end time.
 //!
 //! Regenerate with `cargo run --release -p misp-bench --bin ablation_pretouch`.
 
-use misp_bench::{experiment_config, format_table, write_json, SEQUENCERS, WORKERS};
-use misp_core::MispTopology;
-use misp_workloads::{catalog, runner};
+use misp_bench::{format_table, sim_metrics, write_json};
+use misp_harness::{grids, run_grid, SweepOptions};
+use misp_workloads::catalog;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -24,24 +24,23 @@ struct Row {
 }
 
 fn main() {
-    let config = experiment_config();
-    let topology = MispTopology::uniprocessor(SEQUENCERS - 1).expect("valid topology");
+    let results =
+        run_grid(&grids::ablation_pretouch(), &SweepOptions::from_env()).expect("ablation sweep");
     let mut rows = Vec::new();
 
     for workload in catalog::all() {
-        let base = runner::run_on_misp(&workload, &topology, config, WORKERS).expect("base run");
-        let pre = runner::run_on_misp_with_pretouch(&workload, &topology, config, WORKERS)
-            .expect("pretouch run");
+        let name = workload.name();
+        let base = sim_metrics(&results, &format!("{name}/base"));
+        let pre = sim_metrics(&results, &format!("{name}/pretouch"));
         rows.push(Row {
-            workload: workload.name().to_string(),
-            base_ams_page_faults: base.stats.ams_events.page_faults,
-            pretouch_ams_page_faults: pre.stats.ams_events.page_faults,
-            base_proxy_executions: base.stats.proxy_executions,
-            pretouch_proxy_executions: pre.stats.proxy_executions,
-            base_cycles: base.total_cycles.as_u64(),
-            pretouch_cycles: pre.total_cycles.as_u64(),
-            cycle_delta_percent: (pre.total_cycles.as_f64() / base.total_cycles.as_f64() - 1.0)
-                * 100.0,
+            workload: name.to_string(),
+            base_ams_page_faults: base.ams_page_faults,
+            pretouch_ams_page_faults: pre.ams_page_faults,
+            base_proxy_executions: base.proxy_executions,
+            pretouch_proxy_executions: pre.proxy_executions,
+            base_cycles: base.total_cycles,
+            pretouch_cycles: pre.total_cycles,
+            cycle_delta_percent: (pre.total_cycles as f64 / base.total_cycles as f64 - 1.0) * 100.0,
         });
     }
 

@@ -3,27 +3,15 @@
 //! Section 2.3, in which AMSs continue through the OMS's Ring 0 episodes.
 //!
 //! The paper argues (and Figure 4/5 confirm) that the simple policy costs very
-//! little; this ablation quantifies exactly how much performance the extra
-//! hardware complexity of the speculative design would buy.
+//! little; the `ablation_ring0` grid quantifies exactly how much performance
+//! the extra hardware complexity of the speculative design would buy.
 //!
 //! Regenerate with `cargo run --release -p misp-bench --bin ablation_ring0`.
 
-use misp_bench::{experiment_config, format_table, write_json, SEQUENCERS, WORKERS};
-use misp_core::{MispMachine, MispTopology, RingPolicy};
-use misp_isa::ProgramLibrary;
-use misp_types::Cycles;
+use misp_bench::{format_table, sim_metrics, write_json};
+use misp_harness::{grids, run_grid, SweepOptions};
 use misp_workloads::catalog;
 use serde::Serialize;
-
-fn run_with_policy(workload: &misp_workloads::Workload, policy: RingPolicy) -> Cycles {
-    let topology = MispTopology::uniprocessor(SEQUENCERS - 1).expect("valid topology");
-    let mut library = ProgramLibrary::new();
-    let scheduler = workload.build(&mut library, WORKERS);
-    let mut machine = MispMachine::new(topology, experiment_config(), library);
-    machine.engine_mut().platform_mut().set_policy(policy);
-    machine.add_process(workload.name(), Box::new(scheduler), Some(0));
-    machine.run().expect("run").total_cycles
-}
 
 #[derive(Debug, Serialize)]
 struct Row {
@@ -34,15 +22,20 @@ struct Row {
 }
 
 fn main() {
+    let results =
+        run_grid(&grids::ablation_ring0(), &SweepOptions::from_env()).expect("ablation sweep");
     let mut rows = Vec::new();
     for workload in catalog::all() {
-        let suspend = run_with_policy(&workload, RingPolicy::SuspendAll);
-        let speculative = run_with_policy(&workload, RingPolicy::Speculative);
+        let name = workload.name();
+        let suspend = sim_metrics(&results, &format!("{name}/suspend"));
+        let speculative = sim_metrics(&results, &format!("{name}/speculative"));
         rows.push(Row {
-            workload: workload.name().to_string(),
-            suspend_all_cycles: suspend.as_u64(),
-            speculative_cycles: speculative.as_u64(),
-            speculative_gain_percent: (suspend.as_f64() / speculative.as_f64() - 1.0) * 100.0,
+            workload: name.to_string(),
+            suspend_all_cycles: suspend.total_cycles,
+            speculative_cycles: speculative.total_cycles,
+            speculative_gain_percent: (speculative.speedup_vs_baseline.expect("baseline resolved")
+                - 1.0)
+                * 100.0,
         });
     }
 

@@ -1,11 +1,15 @@
 //! Figure 4 — MISP performance: speedup over single-sequencer execution for
 //! MISP (1 OMS + 7 AMS) and an 8-core SMP, across all 16 workloads.
 //!
+//! The runs come from the `fig4` grid of the sweep harness (parallel across
+//! OS threads; set `MISP_SWEEP_THREADS` to pin the fan-out); this binary only
+//! formats the aggregated records.
+//!
 //! Regenerate with `cargo run --release -p misp-bench --bin fig4`.
 
-use misp_bench::{experiment_config, format_table, speedup, write_json, SEQUENCERS, WORKERS};
-use misp_core::MispTopology;
-use misp_workloads::{catalog, runner};
+use misp_bench::{format_table, sim_metrics, write_json};
+use misp_harness::{grids, run_grid, SweepOptions};
+use misp_workloads::catalog;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -21,22 +25,22 @@ struct Row {
 }
 
 fn main() {
-    let config = experiment_config();
-    let topology = MispTopology::uniprocessor(SEQUENCERS - 1).expect("valid topology");
+    let results = run_grid(&grids::fig4(), &SweepOptions::from_env()).expect("fig4 sweep");
     let mut rows = Vec::new();
 
     for workload in catalog::all() {
-        let serial = runner::run_serial(&workload, config, WORKERS).expect("serial run");
-        let misp = runner::run_on_misp(&workload, &topology, config, WORKERS).expect("MISP run");
-        let smp = runner::run_on_smp(&workload, SEQUENCERS, config, WORKERS).expect("SMP run");
-        let misp_speedup = speedup(serial.total_cycles, misp.total_cycles);
-        let smp_speedup = speedup(serial.total_cycles, smp.total_cycles);
+        let name = workload.name();
+        let serial = sim_metrics(&results, &format!("{name}/serial"));
+        let misp = sim_metrics(&results, &format!("{name}/misp"));
+        let smp = sim_metrics(&results, &format!("{name}/smp"));
+        let misp_speedup = misp.speedup_vs_baseline.expect("baseline resolved");
+        let smp_speedup = smp.speedup_vs_baseline.expect("baseline resolved");
         rows.push(Row {
-            workload: workload.name().to_string(),
+            workload: name.to_string(),
             suite: workload.suite().label().to_string(),
-            serial_cycles: serial.total_cycles.as_u64(),
-            misp_cycles: misp.total_cycles.as_u64(),
-            smp_cycles: smp.total_cycles.as_u64(),
+            serial_cycles: serial.total_cycles,
+            misp_cycles: misp.total_cycles,
+            smp_cycles: smp.total_cycles,
             misp_speedup,
             smp_speedup,
             misp_vs_smp_percent: (misp_speedup / smp_speedup - 1.0) * 100.0,

@@ -2,17 +2,19 @@
 //! design point (500, 1000, 5000 cycles) adds relative to an ideal zero-cost
 //! signaling implementation.
 //!
-//! Two methods are reported: (a) *measured* — the workload is re-simulated at
-//! each signal cost and compared against the ideal-signal run, and (b)
-//! *analytic* — the paper's Equations 1–3 applied to the serializing-event
-//! counts, which is how the paper itself derives Figure 5.
+//! Two methods are reported: (a) *measured* — the `fig5` grid re-simulates
+//! the workload at each signal cost and compares against the ideal-signal
+//! run, and (b) *analytic* — the paper's Equations 1–3 applied to the
+//! serializing-event counts of the ideal run, which is how the paper itself
+//! derives Figure 5.
 //!
 //! Regenerate with `cargo run --release -p misp-bench --bin fig5`.
 
-use misp_bench::{config_with_signal, format_table, write_json, SEQUENCERS, WORKERS};
-use misp_core::{MispTopology, OverheadModel};
-use misp_types::SignalCost;
-use misp_workloads::{catalog, runner};
+use misp_bench::{format_table, sim_metrics, write_json};
+use misp_core::OverheadModel;
+use misp_harness::{grids, run_grid, SweepOptions};
+use misp_types::{Cycles, SignalCost};
+use misp_workloads::catalog;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -27,34 +29,31 @@ struct Row {
 }
 
 fn main() {
-    let topology = MispTopology::uniprocessor(SEQUENCERS - 1).expect("valid topology");
+    let results = run_grid(&grids::fig5(), &SweepOptions::from_env()).expect("fig5 sweep");
     let mut rows = Vec::new();
 
     for workload in catalog::all() {
-        let ideal = runner::run_on_misp(
-            &workload,
-            &topology,
-            config_with_signal(SignalCost::Ideal),
-            WORKERS,
-        )
-        .expect("ideal run");
-        let ideal_cycles = ideal.total_cycles;
+        let name = workload.name();
+        let ideal = sim_metrics(&results, &format!("{name}/ideal"));
+        let ideal_cycles = Cycles::new(ideal.total_cycles);
         // Events that serialize: OMS-originated events and AMS proxy events.
-        let oms_events = ideal.stats.oms_events.total();
-        let ams_events = ideal.stats.ams_events.total();
+        let oms_events = ideal.oms_syscalls
+            + ideal.oms_page_faults
+            + ideal.oms_timer
+            + ideal.oms_other_interrupts;
+        let ams_events = ideal.ams_syscalls + ideal.ams_page_faults;
 
         let mut measured = [0.0f64; 3];
         let mut analytic = [0.0f64; 3];
         for (i, cost) in SignalCost::figure5_points().iter().enumerate() {
-            let run = runner::run_on_misp(&workload, &topology, config_with_signal(*cost), WORKERS)
-                .expect("signal-cost run");
-            measured[i] = (run.total_cycles.as_f64() / ideal_cycles.as_f64() - 1.0) * 100.0;
+            let run = sim_metrics(&results, &format!("{name}/sig{}", cost.cycles().as_u64()));
+            measured[i] = (run.total_cycles as f64 / ideal.total_cycles as f64 - 1.0) * 100.0;
             let model = OverheadModel::new(misp_types::CostModel::builder().signal(*cost).build());
             analytic[i] = model.overhead_fraction(oms_events, ams_events, ideal_cycles) * 100.0;
         }
 
         rows.push(Row {
-            workload: workload.name().to_string(),
+            workload: name.to_string(),
             measured_500: measured[0],
             measured_1000: measured[1],
             measured_5000: measured[2],

@@ -1,57 +1,59 @@
 //! Figure 6 — MISP MP configurations: the machine partitionings evaluated in
 //! the multiprocessor study (4×2, 2×4, 1×8 and the uneven 1×4+4), validated
-//! structurally and printed.
+//! structurally and printed from the `fig6` grid's topology records.
 //!
 //! Regenerate with `cargo run --release -p misp-bench --bin fig6`.
 
 use misp_bench::{format_table, write_json};
-use misp_core::MispTopology;
+use misp_harness::{grids, run_grid, SweepOptions};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
 struct Row {
     configuration: String,
     description: String,
-    processors: usize,
-    total_sequencers: usize,
-    oms_count: usize,
-    ams_count: usize,
-    per_processor_ams: Vec<usize>,
-}
-
-fn describe(name: &str, topo: &MispTopology) -> Row {
-    Row {
-        configuration: name.to_string(),
-        description: topo.describe(),
-        processors: topo.processors().len(),
-        total_sequencers: topo.total_sequencers(),
-        oms_count: topo.all_oms().len(),
-        ams_count: topo.total_ams(),
-        per_processor_ams: topo.processors().iter().map(|p| p.ams().len()).collect(),
-    }
+    processors: u64,
+    total_sequencers: u64,
+    oms_count: u64,
+    ams_count: u64,
+    per_processor_ams: Vec<u64>,
 }
 
 fn main() {
-    let configs = vec![
-        ("4x2", MispTopology::config_4x2()),
-        ("2x4", MispTopology::config_2x4()),
-        ("1x8", MispTopology::config_1x8()),
-        ("1x4+4", MispTopology::config_uneven(3, 4)),
-        ("1x7+1", MispTopology::config_uneven(6, 1)),
-        ("1x6+2", MispTopology::config_uneven(5, 2)),
-        ("1x5+3", MispTopology::config_uneven(4, 3)),
-    ];
-
-    let rows: Vec<Row> = configs.iter().map(|(n, t)| describe(n, t)).collect();
+    let results = run_grid(&grids::fig6(), &SweepOptions::from_env()).expect("fig6 sweep");
+    let rows: Vec<Row> = results
+        .records
+        .iter()
+        .map(|record| {
+            let topo = record
+                .topology
+                .as_ref()
+                .expect("fig6 records are topologies");
+            Row {
+                configuration: record.id.clone(),
+                description: topo.description.clone(),
+                processors: topo.processors,
+                total_sequencers: topo.total_sequencers,
+                oms_count: topo.oms_count,
+                ams_count: topo.ams_count,
+                per_processor_ams: topo.per_processor_ams.clone(),
+            }
+        })
+        .collect();
 
     // Structural invariants the figure depicts: every configuration uses the
     // same eight sequencers, and the OS sees exactly the OMSs.
-    for (name, topo) in &configs {
-        assert_eq!(topo.total_sequencers(), 8, "{name} must use 8 sequencers");
+    for row in &rows {
         assert_eq!(
-            topo.all_oms().len() + topo.total_ams(),
+            row.total_sequencers, 8,
+            "{} must use 8 sequencers",
+            row.configuration
+        );
+        assert_eq!(
+            row.oms_count + row.ams_count,
             8,
-            "{name} partitions OMSs and AMSs exactly"
+            "{} partitions OMSs and AMSs exactly",
+            row.configuration
         );
     }
 

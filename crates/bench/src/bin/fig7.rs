@@ -4,79 +4,15 @@
 //!
 //! Every series is normalized to the unloaded 1×8 configuration, so the
 //! figure reads as "what fraction of the machine's dedicated-RayTracer
-//! throughput remains at this load".
+//! throughput remains at this load".  The normalization is exactly the
+//! `speedup_vs_baseline` the `fig7` grid's records carry (every point
+//! references the `1x8/load0` run).
 //!
 //! Regenerate with `cargo run --release -p misp-bench --bin fig7`.
 
-use misp_bench::{experiment_config, format_table, write_json};
-use misp_core::{MispMachine, MispTopology};
-use misp_isa::ProgramLibrary;
-use misp_sim::SimConfig;
-use misp_smp::SmpMachine;
-use misp_types::Cycles;
-use misp_workloads::{catalog, competitor};
+use misp_bench::{format_table, sim_metrics, write_json};
+use misp_harness::{grids, run_grid, SweepOptions};
 use serde::Serialize;
-
-/// RayTracer is decomposed into many more shreds than sequencers so the work
-/// queue can balance load when some sequencers run slower (the paper's
-/// RayTracer is a task-queue renderer).
-const RAYTRACER_SHREDS: usize = 64;
-/// Competitor processes run long enough to outlast the measured RayTracer.
-const COMPETITOR_CYCLES: u64 = 12_000_000_000;
-const MAX_LOAD: usize = 4;
-
-fn raytracer_on_misp(topology: &MispTopology, competitors: usize, config: SimConfig) -> Cycles {
-    let workload = catalog::by_name("RayTracer").expect("catalog contains RayTracer");
-    let mut library = ProgramLibrary::new();
-    let scheduler = workload.build(&mut library, RAYTRACER_SHREDS);
-    let competitor_programs: Vec<_> = (0..competitors)
-        .map(|i| competitor::competitor_program(&mut library, i, COMPETITOR_CYCLES))
-        .collect();
-
-    let mut machine = MispMachine::new(topology.clone(), config, library);
-    let ray = machine.add_process("RayTracer", Box::new(scheduler), Some(0));
-    for proc_idx in 1..topology.processors().len() {
-        // The shredded application spans every MISP processor with one OS
-        // thread each, except in the uneven configurations where the extra
-        // processors are plain single-sequencer CPUs reserved for other work.
-        if !topology.processors()[proc_idx].ams().is_empty() {
-            machine.add_thread(ray, Some(proc_idx));
-        }
-    }
-    for program in competitor_programs {
-        machine.add_process(
-            "competitor",
-            Box::new(competitor::competitor_runtime(program)),
-            None,
-        );
-    }
-    machine.set_measured(vec![ray]);
-    machine.run().expect("MISP MP run").total_cycles
-}
-
-fn raytracer_on_smp(cores: usize, competitors: usize, config: SimConfig) -> Cycles {
-    let workload = catalog::by_name("RayTracer").expect("catalog contains RayTracer");
-    let mut library = ProgramLibrary::new();
-    let scheduler = workload.build(&mut library, RAYTRACER_SHREDS);
-    let competitor_programs: Vec<_> = (0..competitors)
-        .map(|i| competitor::competitor_program(&mut library, i, COMPETITOR_CYCLES))
-        .collect();
-
-    let mut machine = SmpMachine::new(cores, config, library);
-    let ray = machine.add_process("RayTracer", Box::new(scheduler), Some(0));
-    for core in 1..cores {
-        machine.add_thread(ray, Some(core));
-    }
-    for program in competitor_programs {
-        machine.add_process(
-            "competitor",
-            Box::new(competitor::competitor_runtime(program)),
-            None,
-        );
-    }
-    machine.set_measured(vec![ray]);
-    machine.run().expect("SMP run").total_cycles
-}
 
 #[derive(Debug, Serialize)]
 struct Series {
@@ -86,55 +22,38 @@ struct Series {
 }
 
 fn main() {
-    let config = experiment_config();
-    let baseline = raytracer_on_misp(&MispTopology::config_1x8(), 0, config);
+    let results = run_grid(&grids::fig7(), &SweepOptions::from_env()).expect("fig7 sweep");
+    let baseline = sim_metrics(&results, "1x8/load0");
     println!(
         "Figure 7 - MISP MP Performance (RayTracer, normalized to the unloaded 1x8 run: {} cycles)",
-        baseline.as_u64()
+        baseline.total_cycles
     );
     println!();
 
-    let mut series = Vec::new();
-
-    // Ideal: at load k the machine is repartitioned so the k competitors each
-    // get a dedicated single-sequencer processor.
-    let ideal: Vec<f64> = (0..=MAX_LOAD)
-        .map(|load| {
-            let topo = MispTopology::config_uneven(7 - load, load);
-            baseline.as_f64() / raytracer_on_misp(&topo, load, config).as_f64()
+    let configurations = [
+        "ideal", "smp", "4x2", "2x4", "1x8", "1x7+1", "1x6+2", "1x5+3", "1x4+4",
+    ];
+    let series: Vec<Series> = configurations
+        .iter()
+        .map(|config| {
+            let values: Vec<f64> = (0..=grids::MAX_LOAD)
+                .map(|load| {
+                    let point = sim_metrics(&results, &format!("{config}/load{load}"));
+                    point.speedup_vs_baseline.unwrap_or_else(|| {
+                        assert_eq!(
+                            point.total_cycles, baseline.total_cycles,
+                            "only the baseline itself lacks a normalization"
+                        );
+                        1.0
+                    })
+                })
+                .collect();
+            Series {
+                configuration: (*config).to_string(),
+                speedup_vs_unloaded: values,
+            }
         })
         .collect();
-    series.push(Series {
-        configuration: "ideal".to_string(),
-        speedup_vs_unloaded: ideal,
-    });
-
-    let smp: Vec<f64> = (0..=MAX_LOAD)
-        .map(|load| baseline.as_f64() / raytracer_on_smp(8, load, config).as_f64())
-        .collect();
-    series.push(Series {
-        configuration: "smp".to_string(),
-        speedup_vs_unloaded: smp,
-    });
-
-    let fixed_configs = vec![
-        ("4x2", MispTopology::config_4x2()),
-        ("2x4", MispTopology::config_2x4()),
-        ("1x8", MispTopology::config_1x8()),
-        ("1x7+1", MispTopology::config_uneven(6, 1)),
-        ("1x6+2", MispTopology::config_uneven(5, 2)),
-        ("1x5+3", MispTopology::config_uneven(4, 3)),
-        ("1x4+4", MispTopology::config_uneven(3, 4)),
-    ];
-    for (name, topo) in fixed_configs {
-        let values: Vec<f64> = (0..=MAX_LOAD)
-            .map(|load| baseline.as_f64() / raytracer_on_misp(&topo, load, config).as_f64())
-            .collect();
-        series.push(Series {
-            configuration: name.to_string(),
-            speedup_vs_unloaded: values,
-        });
-    }
 
     let table_rows: Vec<Vec<String>> = series
         .iter()

@@ -1,13 +1,14 @@
 //! Table 1 — Serializing events: for each workload, the number of privileged
 //! events that serialize the MISP processor, split into OMS-originated
 //! (syscalls, page faults, timer, other interrupts) and AMS-originated
-//! (syscalls, page faults — i.e. proxy executions).
+//! (syscalls, page faults — i.e. proxy executions), read from the `table1`
+//! grid's records.
 //!
 //! Regenerate with `cargo run --release -p misp-bench --bin table1`.
 
-use misp_bench::{experiment_config, format_table, write_json, SEQUENCERS, WORKERS};
-use misp_core::MispTopology;
-use misp_workloads::{catalog, runner};
+use misp_bench::{format_table, sim_metrics, write_json};
+use misp_harness::{grids, run_grid, SweepOptions};
+use misp_workloads::catalog;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -25,22 +26,21 @@ struct Row {
 }
 
 fn main() {
-    let config = experiment_config();
-    let topology = MispTopology::uniprocessor(SEQUENCERS - 1).expect("valid topology");
+    let results = run_grid(&grids::table1(), &SweepOptions::from_env()).expect("table1 sweep");
     let mut rows = Vec::new();
 
     for workload in catalog::all() {
-        let report = runner::run_on_misp(&workload, &topology, config, WORKERS).expect("MISP run");
-        let s = &report.stats;
+        let name = workload.name();
+        let s = sim_metrics(&results, &format!("{name}/misp"));
         rows.push(Row {
-            workload: workload.name().to_string(),
+            workload: name.to_string(),
             suite: workload.suite().label().to_string(),
-            oms_syscalls: s.oms_events.syscalls,
-            oms_page_faults: s.oms_events.page_faults,
-            oms_timer: s.oms_events.timer,
-            oms_interrupts: s.oms_events.other_interrupts,
-            ams_syscalls: s.ams_events.syscalls,
-            ams_page_faults: s.ams_events.page_faults,
+            oms_syscalls: s.oms_syscalls,
+            oms_page_faults: s.oms_page_faults,
+            oms_timer: s.oms_timer,
+            oms_interrupts: s.oms_other_interrupts,
+            ams_syscalls: s.ams_syscalls,
+            ams_page_faults: s.ams_page_faults,
             proxy_executions: s.proxy_executions,
             serializations: s.serializations,
         });

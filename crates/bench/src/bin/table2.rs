@@ -2,49 +2,52 @@
 //!
 //! The paper reports human porting effort in days, which cannot be
 //! re-measured; what *can* be reproduced is the mechanism that made the effort
-//! small: ShredLib's thread-to-shred API mapping.  For each Table 2
-//! application this harness analyses the threading-API surface the application
-//! uses and reports how much of it the compatibility layer translates
-//! mechanically (include one header and recompile) versus how much needs
-//! structural attention — which is exactly the distinction the paper draws
-//! (only the Open Dynamics Engine required restructuring).
+//! small: ShredLib's thread-to-shred API mapping.  The `table2` grid analyses
+//! the threading-API surface each Table 2 application uses and reports how
+//! much of it the compatibility layer translates mechanically (include one
+//! header and recompile) versus how much needs structural attention — which
+//! is exactly the distinction the paper draws (only the Open Dynamics Engine
+//! required restructuring).
 //!
 //! Regenerate with `cargo run --release -p misp-bench --bin table2`.
 
 use misp_bench::{format_table, write_json};
-use misp_workloads::catalog;
+use misp_harness::{grids, run_grid, SweepOptions};
 use serde::Serialize;
-use shredlib::compat;
 
 #[derive(Debug, Serialize)]
 struct Row {
     application: String,
     description: String,
-    api_calls_analysed: usize,
-    mechanical: usize,
-    structural: usize,
-    unmapped: usize,
+    api_calls_analysed: u64,
+    mechanical: u64,
+    structural: u64,
+    unmapped: u64,
     mechanical_percent: f64,
     paper_effort_days: f64,
     paper_structural_changes: bool,
 }
 
 fn main() {
-    let mut rows = Vec::new();
-    for app in catalog::table2_applications() {
-        let report = compat::coverage(app.functions.iter().copied());
-        rows.push(Row {
-            application: app.name.to_string(),
-            description: app.description.to_string(),
-            api_calls_analysed: report.total(),
-            mechanical: report.mechanical.len(),
-            structural: report.structural.len(),
-            unmapped: report.unmapped.len(),
-            mechanical_percent: report.mechanical_fraction() * 100.0,
-            paper_effort_days: app.paper_days,
-            paper_structural_changes: app.structural_changes,
-        });
-    }
+    let results = run_grid(&grids::table2(), &SweepOptions::from_env()).expect("table2 sweep");
+    let rows: Vec<Row> = results
+        .records
+        .iter()
+        .map(|record| {
+            let port = record.port.as_ref().expect("table2 records are analyses");
+            Row {
+                application: record.id.clone(),
+                description: port.description.clone(),
+                api_calls_analysed: port.api_calls,
+                mechanical: port.mechanical,
+                structural: port.structural,
+                unmapped: port.unmapped,
+                mechanical_percent: port.mechanical_percent,
+                paper_effort_days: port.paper_effort_days,
+                paper_structural_changes: port.paper_structural_changes,
+            }
+        })
+        .collect();
 
     println!("Table 2 - Applications Ported to the MISP Architecture");
     println!("(porting-days cannot be re-measured; the reproduced quantity is the coverage of");

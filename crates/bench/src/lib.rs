@@ -1,43 +1,21 @@
-//! Shared infrastructure for the experiment harness binaries.
+//! Shared infrastructure for the experiment formatter binaries.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the MISP
-//! paper (see DESIGN.md's experiment index).  This library provides the
-//! common pieces: the experiment configuration, text-table formatting, and
-//! JSON result emission into the repository's `results/` directory.
+//! paper (see DESIGN.md's experiment index).  Since the sweep harness took
+//! over all run orchestration, a binary is just a grid declaration (from
+//! [`misp_harness::grids`]) plus a formatter; this library provides the
+//! formatting pieces — text tables and JSON result emission into the
+//! repository's `results/` directory — and re-exports the harness's shared
+//! experiment configuration so downstream code keeps a single import path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use misp_os::TimerConfig;
-use misp_sim::SimConfig;
-use misp_types::{CostModel, Cycles, SignalCost};
 use serde::Serialize;
 use std::path::PathBuf;
 
-/// Number of hardware contexts in the paper's evaluation machine.
-pub const SEQUENCERS: usize = 8;
-
-/// Number of worker shreds used by the Figure 4 / Table 1 / Figure 5 runs
-/// (one per hardware context, as the OpenMP runtime would configure).
-pub const WORKERS: usize = 8;
-
-/// The simulation configuration shared by all experiments: the paper's
-/// 5000-cycle microcode signal estimate and a 1 ms (at 3 GHz) timer tick.
-#[must_use]
-pub fn experiment_config() -> SimConfig {
-    SimConfig {
-        costs: CostModel::default(),
-        timer: TimerConfig::new(Cycles::new(3_000_000), 10),
-        ..SimConfig::default()
-    }
-}
-
-/// The experiment configuration with a specific signal cost (Figure 5 sweep).
-#[must_use]
-pub fn config_with_signal(signal: SignalCost) -> SimConfig {
-    let base = experiment_config();
-    base.with_costs(CostModel::builder().signal(signal).build())
-}
+pub use misp_harness::grids::{SEQUENCERS, WORKERS};
+pub use misp_harness::{config_with_signal, experiment_config};
 
 /// Formats a text table with a header row, column alignment and a separator.
 #[must_use]
@@ -97,19 +75,23 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
     }
 }
 
-/// Computes a speedup ratio, guarding against a zero denominator.
+/// Fetches the simulation metrics of grid point `id`, panicking with a
+/// readable message when the record is missing — formatter binaries pair
+/// records by id, so a miss is a bug in the grid or the formatter.
 #[must_use]
-pub fn speedup(reference: Cycles, measured: Cycles) -> f64 {
-    if measured.is_zero() {
-        0.0
-    } else {
-        reference.as_f64() / measured.as_f64()
-    }
+pub fn sim_metrics<'a>(
+    results: &'a misp_harness::SweepResults,
+    id: &str,
+) -> &'a misp_harness::SimMetrics {
+    results
+        .sim(id)
+        .unwrap_or_else(|| panic!("grid {} has no sim record {id:?}", results.grid))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use misp_types::{Cycles, SignalCost};
 
     #[test]
     fn experiment_config_uses_paper_signal_estimate() {
@@ -137,8 +119,16 @@ mod tests {
     }
 
     #[test]
-    fn speedup_handles_zero() {
-        assert_eq!(speedup(Cycles::new(100), Cycles::ZERO), 0.0);
-        assert!((speedup(Cycles::new(100), Cycles::new(50)) - 2.0).abs() < 1e-12);
+    #[should_panic(expected = "has no sim record")]
+    fn sim_metrics_panics_on_missing_id() {
+        let results = misp_harness::run_grid(
+            &misp_harness::grids::fig6(),
+            &misp_harness::SweepOptions {
+                threads: 1,
+                verify: misp_harness::VerifyMode::Off,
+            },
+        )
+        .unwrap();
+        let _ = sim_metrics(&results, "nope");
     }
 }

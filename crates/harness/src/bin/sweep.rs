@@ -1,0 +1,170 @@
+//! `sweep` — run any named experiment grid from the command line.
+//!
+//! ```text
+//! sweep <grid> [--threads N] [--out PATH] [--verify off|spot|full] [--stdout]
+//! sweep --list
+//! ```
+//!
+//! The document goes to `--out`, to stdout with `--stdout`, or to stdout by
+//! default when no sink is named (the one-line run summary always goes to
+//! stderr).
+//!
+//! The aggregated results document is deterministic: running the same grid
+//! with any `--threads` value writes byte-identical JSON.  Golden files under
+//! `tests/goldens/` are regenerated with `--out`.
+
+use misp_harness::{grids, run_grid, SweepOptions, VerifyMode};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    grid: String,
+    threads: Option<usize>,
+    out: Option<PathBuf>,
+    verify: VerifyMode,
+    stdout: bool,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: sweep <grid> [--threads N] [--out PATH] [--verify off|spot|full] [--stdout]\n\
+         \u{20}      sweep --list\n\
+         grids: {}",
+        grids::all_names().join(", ")
+    )
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
+    let _program = argv.next();
+    let mut grid = None;
+    let mut threads = None;
+    let mut out = None;
+    let mut verify = VerifyMode::SpotCheck;
+    let mut stdout = false;
+
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--list" => {
+                for name in grids::all_names() {
+                    let g = grids::by_name(name).expect("listed grid exists");
+                    println!("{name:<18} {:>3} runs  {}", g.runs.len(), g.description);
+                }
+                return Ok(None);
+            }
+            "--threads" => {
+                let value = argv.next().ok_or("--threads needs a value")?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid thread count {value:?}"))?;
+                threads = Some(n.max(1));
+            }
+            "--out" => {
+                let value = argv.next().ok_or("--out needs a path")?;
+                out = Some(PathBuf::from(value));
+            }
+            "--verify" => {
+                let value = argv.next().ok_or("--verify needs a mode")?;
+                verify = match value.as_str() {
+                    "off" => VerifyMode::Off,
+                    "spot" => VerifyMode::SpotCheck,
+                    "full" => VerifyMode::Full,
+                    other => return Err(format!("unknown verify mode {other:?}")),
+                };
+            }
+            "--stdout" => stdout = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(None);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{}", usage()))
+            }
+            other => {
+                if grid.replace(other.to_string()).is_some() {
+                    return Err(format!("more than one grid named\n{}", usage()));
+                }
+            }
+        }
+    }
+
+    let Some(grid) = grid else {
+        return Err(usage());
+    };
+    Ok(Some(Args {
+        grid,
+        threads,
+        out,
+        verify,
+        stdout,
+    }))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args()) {
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let Some(grid) = grids::by_name(&args.grid) else {
+        eprintln!("unknown grid {:?}\n{}", args.grid, usage());
+        return ExitCode::FAILURE;
+    };
+
+    let mut options = SweepOptions::from_env();
+    if let Some(threads) = args.threads {
+        options.threads = threads;
+    }
+    options.verify = args.verify;
+
+    let started = std::time::Instant::now();
+    let results = match run_grid(&grid, &options) {
+        Ok(results) => results,
+        Err(e) => {
+            eprintln!("sweep {} failed: {e}", grid.name);
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed();
+
+    let json = match results.to_canonical_json() {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("could not serialize results: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "sweep {}: {} runs on {} thread(s) in {:.2}s",
+        results.grid,
+        results.run_count,
+        options.threads,
+        elapsed.as_secs_f64()
+    );
+
+    // With no sink selected the document would be computed and discarded, so
+    // default to stdout.
+    if args.stdout || args.out.is_none() {
+        print!("{json}");
+    }
+    if let Some(path) = &args.out {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("could not create {}: {e}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("could not write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("results written to {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,273 @@
+//! Execution of individual grid points.
+
+use crate::results::{PortMetrics, RunRecord, SimMetrics, TopologyMetrics};
+use crate::spec::{MachineSpec, RunKind, RunSpec, SimSpec, TopologySpec};
+use misp_core::RingPolicy;
+use misp_os::TimerConfig;
+use misp_sim::SimConfig;
+use misp_types::{CostModel, Cycles, MispError, Result, SignalCost};
+use misp_workloads::{catalog, runner};
+use shredlib::compat;
+
+/// The simulation configuration shared by all paper experiments: the paper's
+/// 5000-cycle microcode signal estimate and a 1 ms (at 3 GHz) timer tick.
+#[must_use]
+pub fn experiment_config() -> SimConfig {
+    SimConfig {
+        costs: CostModel::default(),
+        timer: TimerConfig::new(Cycles::new(3_000_000), 10),
+        ..SimConfig::default()
+    }
+}
+
+/// The experiment configuration with a specific signal cost (Figure 5 sweep).
+#[must_use]
+pub fn config_with_signal(signal: SignalCost) -> SimConfig {
+    experiment_config().with_costs(CostModel::builder().signal(signal).build())
+}
+
+fn ring_policy_label(policy: RingPolicy) -> &'static str {
+    match policy {
+        RingPolicy::SuspendAll => "suspend-all",
+        RingPolicy::Speculative => "speculative",
+    }
+}
+
+fn empty_record(index: usize, spec: &RunSpec, kind: &str) -> RunRecord {
+    RunRecord {
+        index: index as u64,
+        id: spec.id.clone(),
+        kind: kind.to_string(),
+        workload: None,
+        machine: None,
+        workers: None,
+        signal_cycles: None,
+        pretouch: false,
+        ring_policy: None,
+        competitors: 0,
+        ams_span_only: false,
+        seed: spec.seed,
+        baseline: spec.baseline.clone(),
+        sim: None,
+        topology: None,
+        port: None,
+    }
+}
+
+fn execute_sim(index: usize, spec: &RunSpec, sim: &SimSpec) -> Result<RunRecord> {
+    let workload = catalog::by_name(&sim.workload).ok_or_else(|| {
+        MispError::InvalidConfiguration(format!(
+            "grid point {}: unknown workload {:?}",
+            spec.id, sim.workload
+        ))
+    })?;
+    let config = match sim.signal {
+        Some(signal) => config_with_signal(signal),
+        None => experiment_config(),
+    };
+    let options = runner::RunOptions {
+        pretouch: sim.pretouch,
+        ring_policy: sim.ring_policy,
+        competitors: sim.competitors,
+        ams_span_only: sim.ams_span_only,
+        ..runner::RunOptions::default()
+    };
+    let report = match &sim.machine {
+        MachineSpec::Serial => runner::run_on_misp_with(
+            &workload,
+            &TopologySpec::Uniprocessor { ams: 0 }.build(),
+            config,
+            sim.workers,
+            &options,
+        )?,
+        MachineSpec::Misp(topo) => {
+            runner::run_on_misp_with(&workload, &topo.build(), config, sim.workers, &options)?
+        }
+        MachineSpec::Smp { cores } => {
+            runner::run_on_smp_with(&workload, *cores, config, sim.workers, &options)?
+        }
+    };
+
+    let mut record = empty_record(index, spec, "sim");
+    record.workload = Some(sim.workload.clone());
+    record.machine = Some(sim.machine.label());
+    record.workers = Some(sim.workers as u64);
+    record.signal_cycles = sim.signal.map(|s| s.cycles().as_u64());
+    record.pretouch = sim.pretouch;
+    record.ring_policy = sim.ring_policy.map(|p| ring_policy_label(p).to_string());
+    record.competitors = sim.competitors as u64;
+    record.ams_span_only = sim.ams_span_only;
+    record.sim = Some(SimMetrics::from_report(&report));
+    Ok(record)
+}
+
+fn execute_topology(index: usize, spec: &RunSpec, topo: TopologySpec) -> RunRecord {
+    let topology = topo.build();
+    let mut record = empty_record(index, spec, "topology");
+    record.machine = Some(MachineSpec::Misp(topo).label());
+    record.topology = Some(TopologyMetrics {
+        description: topology.describe(),
+        processors: topology.processors().len() as u64,
+        total_sequencers: topology.total_sequencers() as u64,
+        oms_count: topology.all_oms().len() as u64,
+        ams_count: topology.total_ams() as u64,
+        per_processor_ams: topology
+            .processors()
+            .iter()
+            .map(|p| p.ams().len() as u64)
+            .collect(),
+    });
+    record
+}
+
+fn execute_port_analysis(index: usize, spec: &RunSpec, application: &str) -> Result<RunRecord> {
+    let app = catalog::table2_applications()
+        .into_iter()
+        .find(|a| a.name == application)
+        .ok_or_else(|| {
+            MispError::InvalidConfiguration(format!(
+                "grid point {}: unknown Table 2 application {application:?}",
+                spec.id
+            ))
+        })?;
+    let coverage = compat::coverage(app.functions.iter().copied());
+    let mut record = empty_record(index, spec, "port-analysis");
+    record.port = Some(PortMetrics {
+        description: app.description.to_string(),
+        api_calls: coverage.total() as u64,
+        mechanical: coverage.mechanical.len() as u64,
+        structural: coverage.structural.len() as u64,
+        unmapped: coverage.unmapped.len() as u64,
+        mechanical_percent: coverage.mechanical_fraction() * 100.0,
+        paper_effort_days: app.paper_days,
+        paper_structural_changes: app.structural_changes,
+    });
+    Ok(record)
+}
+
+/// Executes one grid point and returns its aggregated record.
+///
+/// Execution is a pure function of the spec: the engine is strictly
+/// deterministic, so calling this twice — from any thread — produces equal
+/// records.  [`crate::run_grid`] relies on exactly that property.
+///
+/// # Errors
+///
+/// Returns an error if the spec references an unknown workload or
+/// application, or if the simulation itself fails (budget exhaustion,
+/// deadlock).
+pub fn execute_run(index: usize, spec: &RunSpec) -> Result<RunRecord> {
+    match &spec.kind {
+        RunKind::Sim(sim) => execute_sim(index, spec, sim),
+        RunKind::Topology(topo) => Ok(execute_topology(index, spec, *topo)),
+        RunKind::PortAnalysis { application } => execute_port_analysis(index, spec, application),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_config_uses_paper_signal_estimate() {
+        let c = experiment_config();
+        assert_eq!(c.costs.signal_cycles(), Cycles::new(5_000));
+        let ideal = config_with_signal(SignalCost::Ideal);
+        assert_eq!(ideal.costs.signal_cycles(), Cycles::ZERO);
+        assert_eq!(ideal.timer, c.timer);
+    }
+
+    #[test]
+    fn unknown_workload_is_a_configuration_error() {
+        let spec = RunSpec::sim(
+            "x",
+            SimSpec::new("no-such-workload", MachineSpec::Serial, 4),
+        );
+        let err = execute_run(0, &spec).unwrap_err();
+        assert!(matches!(err, MispError::InvalidConfiguration(_)));
+    }
+
+    #[test]
+    fn unknown_application_is_a_configuration_error() {
+        let spec = RunSpec::port_analysis("no-such-app");
+        let err = execute_run(0, &spec).unwrap_err();
+        assert!(matches!(err, MispError::InvalidConfiguration(_)));
+    }
+
+    #[test]
+    fn topology_record_describes_the_machine() {
+        let spec = RunSpec::topology("4x2", crate::TopologySpec::Quad2);
+        let record = execute_run(3, &spec).unwrap();
+        assert_eq!(record.index, 3);
+        assert_eq!(record.kind, "topology");
+        let topo = record.topology.expect("topology metrics");
+        assert_eq!(topo.processors, 4);
+        assert_eq!(topo.total_sequencers, 8);
+        assert_eq!(topo.per_processor_ams, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn sim_record_carries_metadata_and_metrics() {
+        let spec = RunSpec::sim(
+            "dense_mvm/misp",
+            SimSpec::new(
+                "dense_mvm",
+                MachineSpec::Misp(crate::TopologySpec::Uniprocessor { ams: 3 }),
+                4,
+            ),
+        );
+        let record = execute_run(0, &spec).unwrap();
+        assert_eq!(record.kind, "sim");
+        assert_eq!(record.machine.as_deref(), Some("misp:1x4"));
+        assert_eq!(record.workers, Some(4));
+        let sim = record.sim.expect("sim metrics");
+        assert!(sim.total_cycles > 0);
+        assert_eq!(sim.log_digest.len(), 16, "digest is 16 hex digits");
+    }
+
+    /// The fig7 spanning rule: on an uneven topology at load 0 the measured
+    /// application must occupy only the AMS-carrying processor, exactly as
+    /// the paper's Figure 7 helper built the machine by hand.
+    #[test]
+    fn ams_span_only_matches_a_hand_built_figure7_machine() {
+        let topo = TopologySpec::Uneven { ams: 3, singles: 4 };
+
+        let mut spec_sim = SimSpec::new(
+            "RayTracer",
+            MachineSpec::Misp(topo),
+            crate::grids::RAYTRACER_SHREDS,
+        );
+        spec_sim.ams_span_only = true;
+        let record = execute_run(0, &RunSpec::sim("1x4+4/load0", spec_sim)).unwrap();
+        let via_harness = record.sim.expect("sim metrics").total_cycles;
+
+        // Hand-built machine, following the seed fig7 binary line for line.
+        let workload = catalog::by_name("RayTracer").expect("catalog has RayTracer");
+        let mut library = misp_isa::ProgramLibrary::new();
+        let scheduler = workload.build(&mut library, crate::grids::RAYTRACER_SHREDS);
+        let topology = topo.build();
+        let mut machine =
+            misp_core::MispMachine::new(topology.clone(), experiment_config(), library);
+        let ray = machine.add_process("RayTracer", Box::new(scheduler), Some(0));
+        for proc_idx in 1..topology.processors().len() {
+            if !topology.processors()[proc_idx].ams().is_empty() {
+                machine.add_thread(ray, Some(proc_idx));
+            }
+        }
+        machine.set_measured(vec![ray]);
+        let direct = machine.run().expect("direct run").total_cycles.as_u64();
+
+        assert_eq!(via_harness, direct);
+    }
+
+    #[test]
+    fn execution_is_deterministic_across_calls() {
+        let spec = RunSpec::sim(
+            "kmeans/smp",
+            SimSpec::new("kmeans", MachineSpec::Smp { cores: 4 }, 4),
+        );
+        let a = execute_run(0, &spec).unwrap();
+        let b = execute_run(0, &spec).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,324 @@
+//! The named experiment grids: one per figure/table of the paper plus the
+//! two ablations, exactly the sweeps the `misp-bench` binaries render.
+
+use crate::spec::{GridSpec, MachineSpec, RunSpec, SimSpec, TopologySpec};
+use misp_core::RingPolicy;
+use misp_types::SignalCost;
+use misp_workloads::catalog;
+
+/// Number of hardware contexts in the paper's evaluation machine.
+pub const SEQUENCERS: usize = 8;
+
+/// Number of worker shreds used by the single-machine experiments (one per
+/// hardware context, as the OpenMP runtime would configure).
+pub const WORKERS: usize = 8;
+
+/// RayTracer is decomposed into many more shreds than sequencers so the work
+/// queue can balance load when some sequencers run slower (the paper's
+/// RayTracer is a task-queue renderer).
+pub const RAYTRACER_SHREDS: usize = 64;
+
+/// Highest competitor-process load of the Figure 7 study.
+pub const MAX_LOAD: usize = 4;
+
+/// The MISP uniprocessor used by the single-machine experiments (1 OMS +
+/// 7 AMS).
+const MISP_UP: TopologySpec = TopologySpec::Uniprocessor {
+    ams: SEQUENCERS - 1,
+};
+
+/// Figure 4 — speedup of MISP (1 OMS + 7 AMS) and an 8-core SMP over
+/// single-sequencer execution, across all 16 workloads.
+#[must_use]
+pub fn fig4() -> GridSpec {
+    let mut grid = GridSpec::new(
+        "fig4",
+        "MISP performance: speedup of 1 OMS + 7 AMS and 8-core SMP vs. 1P, all workloads",
+    );
+    for workload in catalog::all() {
+        let name = workload.name();
+        grid.push(RunSpec::sim(
+            format!("{name}/serial"),
+            SimSpec::new(name, MachineSpec::Serial, WORKERS),
+        ));
+        grid.push(
+            RunSpec::sim(
+                format!("{name}/misp"),
+                SimSpec::new(name, MachineSpec::Misp(MISP_UP), WORKERS),
+            )
+            .with_baseline(format!("{name}/serial")),
+        );
+        grid.push(
+            RunSpec::sim(
+                format!("{name}/smp"),
+                SimSpec::new(name, MachineSpec::Smp { cores: SEQUENCERS }, WORKERS),
+            )
+            .with_baseline(format!("{name}/serial")),
+        );
+    }
+    grid
+}
+
+/// Figure 5 — sensitivity to signal cost: each workload at the ideal, 500,
+/// 1000 and 5000 cycle signal design points on the MISP uniprocessor.
+#[must_use]
+pub fn fig5() -> GridSpec {
+    let mut grid = GridSpec::new(
+        "fig5",
+        "Sensitivity to signal cost: overhead of 500/1000/5000-cycle signaling over ideal",
+    );
+    for workload in catalog::all() {
+        let name = workload.name();
+        let ideal_id = format!("{name}/ideal");
+        let mut ideal = SimSpec::new(name, MachineSpec::Misp(MISP_UP), WORKERS);
+        ideal.signal = Some(SignalCost::Ideal);
+        grid.push(RunSpec::sim(ideal_id.clone(), ideal));
+        for cost in SignalCost::figure5_points() {
+            let mut point = SimSpec::new(name, MachineSpec::Misp(MISP_UP), WORKERS);
+            point.signal = Some(cost);
+            grid.push(
+                RunSpec::sim(format!("{name}/sig{}", cost.cycles().as_u64()), point)
+                    .with_baseline(ideal_id.clone()),
+            );
+        }
+    }
+    grid
+}
+
+/// The machine partitionings Figure 6 depicts, in presentation order.
+#[must_use]
+pub fn fig6_topologies() -> Vec<(&'static str, TopologySpec)> {
+    vec![
+        ("4x2", TopologySpec::Quad2),
+        ("2x4", TopologySpec::Dual4),
+        ("1x8", TopologySpec::Single8),
+        ("1x4+4", TopologySpec::Uneven { ams: 3, singles: 4 }),
+        ("1x7+1", TopologySpec::Uneven { ams: 6, singles: 1 }),
+        ("1x6+2", TopologySpec::Uneven { ams: 5, singles: 2 }),
+        ("1x5+3", TopologySpec::Uneven { ams: 4, singles: 3 }),
+    ]
+}
+
+/// Figure 6 — the MISP MP machine partitionings, validated structurally.
+#[must_use]
+pub fn fig6() -> GridSpec {
+    let mut grid = GridSpec::new(
+        "fig6",
+        "MISP MP configurations: 8 sequencers partitioned into MISP processors",
+    );
+    for (name, topo) in fig6_topologies() {
+        grid.push(RunSpec::topology(name, topo));
+    }
+    grid
+}
+
+/// Figure 7 — RayTracer throughput under competitor load, across MISP MP
+/// configurations, the SMP baseline and the ideal repartitioning.  Every
+/// simulation point is normalized (via its baseline reference) to the
+/// unloaded 1×8 run.
+#[must_use]
+pub fn fig7() -> GridSpec {
+    let mut grid = GridSpec::new(
+        "fig7",
+        "MISP MP performance: RayTracer throughput under competitor load, vs. unloaded 1x8",
+    );
+    let baseline_id = "1x8/load0".to_string();
+    let push_point = |grid: &mut GridSpec, id: String, topo: Option<TopologySpec>, load| {
+        let machine = match topo {
+            Some(t) => MachineSpec::Misp(t),
+            None => MachineSpec::Smp { cores: SEQUENCERS },
+        };
+        // The paper's spanning rule at every load, including zero: on MISP
+        // the RayTracer occupies only AMS-carrying processors.  The SMP
+        // baseline has no such notion, so its records must not claim it.
+        let ams_span_only = matches!(machine, MachineSpec::Misp(_));
+        let mut spec = SimSpec::new("RayTracer", machine, RAYTRACER_SHREDS);
+        spec.competitors = load;
+        spec.ams_span_only = ams_span_only;
+        let mut run = RunSpec::sim(id.clone(), spec);
+        if id != baseline_id {
+            run = run.with_baseline(baseline_id.clone());
+        }
+        grid.push(run);
+    };
+
+    // Ideal: at load k the machine is repartitioned so the k competitors each
+    // get a dedicated single-sequencer CPU.
+    for load in 0..=MAX_LOAD {
+        let topo = TopologySpec::Uneven {
+            ams: SEQUENCERS - 1 - load,
+            singles: load,
+        };
+        push_point(&mut grid, format!("ideal/load{load}"), Some(topo), load);
+    }
+    for load in 0..=MAX_LOAD {
+        push_point(&mut grid, format!("smp/load{load}"), None, load);
+    }
+    let fixed: Vec<(&str, TopologySpec)> = vec![
+        ("4x2", TopologySpec::Quad2),
+        ("2x4", TopologySpec::Dual4),
+        ("1x8", TopologySpec::Single8),
+        ("1x7+1", TopologySpec::Uneven { ams: 6, singles: 1 }),
+        ("1x6+2", TopologySpec::Uneven { ams: 5, singles: 2 }),
+        ("1x5+3", TopologySpec::Uneven { ams: 4, singles: 3 }),
+        ("1x4+4", TopologySpec::Uneven { ams: 3, singles: 4 }),
+    ];
+    for (name, topo) in fixed {
+        for load in 0..=MAX_LOAD {
+            push_point(&mut grid, format!("{name}/load{load}"), Some(topo), load);
+        }
+    }
+    grid
+}
+
+/// Table 1 — serializing-event counts of every workload on the MISP
+/// uniprocessor.
+#[must_use]
+pub fn table1() -> GridSpec {
+    let mut grid = GridSpec::new(
+        "table1",
+        "Serializing events: OMS- and AMS-originated privileged events per workload",
+    );
+    for workload in catalog::all() {
+        let name = workload.name();
+        grid.push(RunSpec::sim(
+            format!("{name}/misp"),
+            SimSpec::new(name, MachineSpec::Misp(MISP_UP), WORKERS),
+        ));
+    }
+    grid
+}
+
+/// Table 2 — ShredLib porting coverage of every ported application.
+#[must_use]
+pub fn table2() -> GridSpec {
+    let mut grid = GridSpec::new(
+        "table2",
+        "Applications ported to MISP: ShredLib threading-API coverage analysis",
+    );
+    for app in catalog::table2_applications() {
+        grid.push(RunSpec::port_analysis(app.name));
+    }
+    grid
+}
+
+/// Ablation A1 — the suspend-all ring-transition policy versus the
+/// speculative continue-through-Ring-0 alternative of Section 2.3.
+#[must_use]
+pub fn ablation_ring0() -> GridSpec {
+    let mut grid = GridSpec::new(
+        "ablation_ring0",
+        "Ring-transition policy: suspend-all vs. speculative continue-through-Ring-0",
+    );
+    for workload in catalog::all() {
+        let name = workload.name();
+        for (variant, policy) in [
+            ("suspend", RingPolicy::SuspendAll),
+            ("speculative", RingPolicy::Speculative),
+        ] {
+            let mut spec = SimSpec::new(name, MachineSpec::Misp(MISP_UP), WORKERS);
+            spec.ring_policy = Some(policy);
+            let mut run = RunSpec::sim(format!("{name}/{variant}"), spec);
+            if variant == "speculative" {
+                run = run.with_baseline(format!("{name}/suspend"));
+            }
+            grid.push(run);
+        }
+    }
+    grid
+}
+
+/// Ablation A2 — the Section 5.3 page pre-touch optimization.
+#[must_use]
+pub fn ablation_pretouch() -> GridSpec {
+    let mut grid = GridSpec::new(
+        "ablation_pretouch",
+        "Page pre-touch in the serial region: proxy events removed and runtime delta",
+    );
+    for workload in catalog::all() {
+        let name = workload.name();
+        grid.push(RunSpec::sim(
+            format!("{name}/base"),
+            SimSpec::new(name, MachineSpec::Misp(MISP_UP), WORKERS),
+        ));
+        let mut pretouch = SimSpec::new(name, MachineSpec::Misp(MISP_UP), WORKERS);
+        pretouch.pretouch = true;
+        grid.push(
+            RunSpec::sim(format!("{name}/pretouch"), pretouch)
+                .with_baseline(format!("{name}/base")),
+        );
+    }
+    grid
+}
+
+/// The names of every predefined grid, in a stable order.
+#[must_use]
+pub fn all_names() -> Vec<&'static str> {
+    vec![
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "table1",
+        "table2",
+        "ablation_ring0",
+        "ablation_pretouch",
+    ]
+}
+
+/// Looks a predefined grid up by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<GridSpec> {
+    match name {
+        "fig4" => Some(fig4()),
+        "fig5" => Some(fig5()),
+        "fig6" => Some(fig6()),
+        "fig7" => Some(fig7()),
+        "table1" => Some(table1()),
+        "table2" => Some(table2()),
+        "ablation_ring0" => Some(ablation_ring0()),
+        "ablation_pretouch" => Some(ablation_pretouch()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_named_grid_validates() {
+        for name in all_names() {
+            let grid = by_name(name).expect("named grid exists");
+            assert_eq!(grid.name, name);
+            assert!(!grid.runs.is_empty(), "{name} is non-empty");
+            grid.validate();
+        }
+        assert!(by_name("no-such-grid").is_none());
+    }
+
+    #[test]
+    fn grid_sizes_match_the_figures() {
+        let workloads = catalog::all().len();
+        assert_eq!(fig4().runs.len(), workloads * 3);
+        assert_eq!(fig5().runs.len(), workloads * 4);
+        assert_eq!(fig6().runs.len(), 7);
+        assert_eq!(fig7().runs.len(), (2 + 7) * (MAX_LOAD + 1));
+        assert_eq!(table1().runs.len(), workloads);
+        assert_eq!(table2().runs.len(), catalog::table2_applications().len());
+        assert_eq!(ablation_ring0().runs.len(), workloads * 2);
+        assert_eq!(ablation_pretouch().runs.len(), workloads * 2);
+    }
+
+    #[test]
+    fn fig7_points_reference_the_unloaded_1x8_baseline() {
+        let grid = fig7();
+        for run in &grid.runs {
+            if run.id == "1x8/load0" {
+                assert!(run.baseline.is_none());
+            } else {
+                assert_eq!(run.baseline.as_deref(), Some("1x8/load0"));
+            }
+        }
+    }
+}

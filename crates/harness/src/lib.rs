@@ -1,0 +1,275 @@
+//! Parallel experiment-sweep harness for the MISP reproduction.
+//!
+//! Every figure and table of the paper is a *grid*: a cross product of
+//! workloads, machines, topologies and configuration overrides.  This crate
+//! declares grids as data ([`GridSpec`]/[`RunSpec`]), fans the points out
+//! across OS threads with a work-stealing batch scheduler
+//! ([`scheduler::run_batch`]), and aggregates the per-run
+//! [`misp_sim::SimReport`]s into a versioned JSON document
+//! ([`SweepResults`], schema version [`SCHEMA_VERSION`]).
+//!
+//! Because the simulation engine is strictly deterministic per run and every
+//! record lands in its grid slot regardless of which worker produced it, the
+//! aggregate is byte-identical for any `--threads` value.  [`run_grid`]
+//! asserts exactly that invariant on every parallel sweep (see
+//! [`VerifyMode`]), so a scheduling bug cannot silently corrupt results.
+//!
+//! # Example
+//!
+//! Run the Table 2 grid (the cheapest predefined sweep — pure analysis, no
+//! simulation) and read one record back; `examples/custom_sweep.rs` shows a
+//! simulation grid with baselines and speedups:
+//!
+//! ```
+//! use misp_harness::{grids, run_grid, SweepOptions, VerifyMode};
+//!
+//! let options = SweepOptions { threads: 4, verify: VerifyMode::SpotCheck };
+//! let results = run_grid(&grids::table2(), &options).unwrap();
+//! assert_eq!(results.run_count, results.records.len() as u64);
+//! let raytracer = results.record("RayTracer").unwrap();
+//! assert!(raytracer.port.as_ref().unwrap().api_calls > 0);
+//! ```
+//!
+//! The predefined grids live in [`grids`]; the `sweep` binary runs any of
+//! them from the command line (`sweep fig4 --threads 8 --out
+//! results/fig4.json`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod results;
+pub mod scheduler;
+mod spec;
+
+pub mod grids;
+
+pub use exec::{config_with_signal, execute_run, experiment_config};
+pub use results::{
+    PortMetrics, RunRecord, SimMetrics, SweepResults, TopologyMetrics, SCHEMA_VERSION,
+};
+pub use spec::{GridSpec, MachineSpec, RunKind, RunSpec, SimSpec, TopologySpec};
+
+use misp_types::Result;
+
+/// How [`run_grid`] re-checks that parallel fan-out reproduced serial
+/// execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// Trust the engine's determinism; no re-execution.
+    Off,
+    /// Re-execute one deterministic grid point on the caller's thread and
+    /// assert its record is identical to the parallel one.  Cheap (one extra
+    /// run per sweep) and catches cross-thread state leaks.
+    #[default]
+    SpotCheck,
+    /// Re-execute the whole grid serially and assert every record matches.
+    /// Doubles the sweep cost; used by the determinism test suite.
+    Full,
+}
+
+/// Options of one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Number of OS threads to fan the grid out across.
+    pub threads: usize,
+    /// Determinism re-check mode.
+    pub verify: VerifyMode,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            verify: VerifyMode::default(),
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Default options with the thread count taken from the
+    /// `MISP_SWEEP_THREADS` environment variable when set (the figure/table
+    /// binaries use this so CI can pin their parallelism).
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut options = SweepOptions::default();
+        if let Some(threads) = std::env::var("MISP_SWEEP_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            options.threads = threads.max(1);
+        }
+        options
+    }
+}
+
+/// Runs every point of `grid` and aggregates the records into a
+/// [`SweepResults`] document.
+///
+/// Points are distributed across `options.threads` OS threads by the
+/// work-stealing batch scheduler; records are assembled in grid order, then
+/// baseline references are resolved into `speedup_vs_baseline` values.  With
+/// a parallel fan-out the determinism invariant is re-checked per
+/// `options.verify`.
+///
+/// # Errors
+///
+/// Returns the first simulation or configuration error any grid point
+/// produced (by grid order).
+///
+/// # Panics
+///
+/// Panics if the grid is malformed (duplicate ids, dangling baselines) or if
+/// the determinism re-check fails — both are bugs, not input errors.
+pub fn run_grid(grid: &GridSpec, options: &SweepOptions) -> Result<SweepResults> {
+    grid.validate();
+    let outcomes = scheduler::run_batch(grid.runs.len(), options.threads, |index| {
+        execute_run(index, &grid.runs[index])
+    });
+    let mut records = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        records.push(outcome?);
+    }
+
+    if options.threads > 1 && !records.is_empty() {
+        match options.verify {
+            VerifyMode::Off => {}
+            VerifyMode::SpotCheck => {
+                let index = records.len() / 2;
+                verify_record(grid, index, &records[index]);
+            }
+            VerifyMode::Full => {
+                for (index, record) in records.iter().enumerate() {
+                    verify_record(grid, index, record);
+                }
+            }
+        }
+    }
+
+    // Resolve baseline references into speedups.  Topology and port-analysis
+    // records have no cycle counts, so only sim records participate.
+    let cycles_by_id: std::collections::BTreeMap<String, u64> = records
+        .iter()
+        .filter_map(|r| r.sim.as_ref().map(|s| (r.id.clone(), s.total_cycles)))
+        .collect();
+    for record in &mut records {
+        let Some(baseline_id) = record.baseline.clone() else {
+            continue;
+        };
+        if let (Some(sim), Some(&baseline_cycles)) =
+            (record.sim.as_mut(), cycles_by_id.get(&baseline_id))
+        {
+            if sim.total_cycles > 0 {
+                sim.speedup_vs_baseline = Some(baseline_cycles as f64 / sim.total_cycles as f64);
+            }
+        }
+    }
+
+    Ok(SweepResults {
+        schema_version: SCHEMA_VERSION,
+        grid: grid.name.clone(),
+        description: grid.description.clone(),
+        run_count: records.len() as u64,
+        records,
+    })
+}
+
+/// Re-executes grid point `index` serially and asserts the parallel record
+/// matches bit for bit.
+fn verify_record(grid: &GridSpec, index: usize, parallel: &RunRecord) {
+    let serial = execute_run(index, &grid.runs[index])
+        .expect("a grid point that succeeded in parallel must succeed serially");
+    assert_eq!(
+        &serial, parallel,
+        "grid {}: point {} produced a different record under parallel \
+         fan-out than under serial execution — the engine or the scheduler \
+         violated determinism",
+        grid.name, grid.runs[index].id
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> GridSpec {
+        let mut grid = GridSpec::new("small", "three quick points");
+        grid.push(RunSpec::sim(
+            "dense_mvm/serial",
+            SimSpec::new("dense_mvm", MachineSpec::Serial, 4),
+        ));
+        grid.push(
+            RunSpec::sim(
+                "dense_mvm/misp",
+                SimSpec::new(
+                    "dense_mvm",
+                    MachineSpec::Misp(TopologySpec::Uniprocessor { ams: 3 }),
+                    4,
+                ),
+            )
+            .with_baseline("dense_mvm/serial"),
+        );
+        grid.push(RunSpec::topology("1x8", TopologySpec::Single8));
+        grid
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_are_byte_identical() {
+        let grid = small_grid();
+        let serial = run_grid(
+            &grid,
+            &SweepOptions {
+                threads: 1,
+                verify: VerifyMode::Off,
+            },
+        )
+        .unwrap();
+        let parallel = run_grid(
+            &grid,
+            &SweepOptions {
+                threads: 4,
+                verify: VerifyMode::Full,
+            },
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            serial.to_canonical_json().unwrap(),
+            parallel.to_canonical_json().unwrap()
+        );
+    }
+
+    #[test]
+    fn baselines_resolve_into_speedups() {
+        let results = run_grid(&small_grid(), &SweepOptions::default()).unwrap();
+        let misp = results.sim("dense_mvm/misp").unwrap();
+        let speedup = misp.speedup_vs_baseline.expect("baseline resolved");
+        assert!(speedup > 1.0, "4-sequencer run beats serial: {speedup}");
+        assert!(
+            results
+                .sim("dense_mvm/serial")
+                .unwrap()
+                .speedup_vs_baseline
+                .is_none(),
+            "the baseline itself has no baseline"
+        );
+    }
+
+    #[test]
+    fn errors_propagate_from_grid_points() {
+        let mut grid = GridSpec::new("bad", "");
+        grid.push(RunSpec::sim(
+            "x",
+            SimSpec::new("no-such-workload", MachineSpec::Serial, 4),
+        ));
+        assert!(run_grid(&grid, &SweepOptions::default()).is_err());
+    }
+
+    #[test]
+    fn from_env_respects_thread_override() {
+        // Only exercises the parsing path with the variable unset: the
+        // default must be at least one thread.
+        let options = SweepOptions::from_env();
+        assert!(options.threads >= 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! The versioned sweep-results schema.
+//!
+//! A sweep aggregates one [`RunRecord`] per grid point into a
+//! [`SweepResults`] document.  The document is what the `sweep` binary
+//! writes, what the golden-figure tests diff, and what downstream tooling
+//! parses — so it is versioned ([`SCHEMA_VERSION`]) and contains only
+//! deterministic data: no wall-clock times, no thread counts, no hash-map
+//! iteration order.  Running the same grid with any `--threads` value
+//! produces byte-identical JSON.
+
+use misp_sim::SimReport;
+use serde::Serialize;
+
+/// Version of the results schema.  Bump when a field is added, removed or
+/// reinterpreted so downstream consumers can dispatch on it.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Metrics of one simulation run, flattened from the [`SimReport`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SimMetrics {
+    /// End-to-end cycles of the measured process(es).
+    pub total_cycles: u64,
+    /// Hex-encoded deterministic digest of the platform event log.
+    pub log_digest: String,
+    /// OMS-originated system calls.
+    pub oms_syscalls: u64,
+    /// OMS-originated page faults.
+    pub oms_page_faults: u64,
+    /// Timer interrupts taken on OMSs.
+    pub oms_timer: u64,
+    /// Other interrupts taken on OMSs.
+    pub oms_other_interrupts: u64,
+    /// AMS-originated system calls (proxy executions).
+    pub ams_syscalls: u64,
+    /// AMS-originated page faults (proxy executions).
+    pub ams_page_faults: u64,
+    /// Proxy-execution episodes.
+    pub proxy_executions: u64,
+    /// Serialization episodes (Ring 0 entries that suspended AMSs).
+    pub serializations: u64,
+    /// OS thread context switches.
+    pub context_switches: u64,
+    /// User-level `SIGNAL` instructions executed.
+    pub signals_sent: u64,
+    /// Total AMS cycles lost to suspension.
+    pub suspension_cycles: u64,
+    /// Speedup versus the run named by the spec's `baseline`
+    /// (`baseline_cycles / total_cycles`); filled by the aggregator.
+    pub speedup_vs_baseline: Option<f64>,
+}
+
+impl SimMetrics {
+    /// Flattens a [`SimReport`] into the schema's metrics record.
+    #[must_use]
+    pub fn from_report(report: &SimReport) -> Self {
+        let s = &report.stats;
+        SimMetrics {
+            total_cycles: report.total_cycles.as_u64(),
+            log_digest: format!("{:016x}", report.log_digest),
+            oms_syscalls: s.oms_events.syscalls,
+            oms_page_faults: s.oms_events.page_faults,
+            oms_timer: s.oms_events.timer,
+            oms_other_interrupts: s.oms_events.other_interrupts,
+            ams_syscalls: s.ams_events.syscalls,
+            ams_page_faults: s.ams_events.page_faults,
+            proxy_executions: s.proxy_executions,
+            serializations: s.serializations,
+            context_switches: s.context_switches,
+            signals_sent: s.signals_sent,
+            suspension_cycles: s.suspension_cycles.as_u64(),
+            speedup_vs_baseline: None,
+        }
+    }
+
+    /// Total serializing events, the Table 1 bottom line.
+    #[must_use]
+    pub fn total_serializing_events(&self) -> u64 {
+        self.oms_syscalls
+            + self.oms_page_faults
+            + self.oms_timer
+            + self.oms_other_interrupts
+            + self.ams_syscalls
+            + self.ams_page_faults
+    }
+}
+
+/// Structural metrics of one topology grid point (Figure 6).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TopologyMetrics {
+    /// Human-readable shape, from `MispTopology::describe`.
+    pub description: String,
+    /// Number of MISP processors.
+    pub processors: u64,
+    /// Total sequencers across the machine.
+    pub total_sequencers: u64,
+    /// OS-visible CPUs (one per OMS).
+    pub oms_count: u64,
+    /// Application-managed sequencers.
+    pub ams_count: u64,
+    /// AMS count of each processor, in order.
+    pub per_processor_ams: Vec<u64>,
+}
+
+/// Porting-coverage metrics of one Table 2 application.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PortMetrics {
+    /// The paper's one-line description of the application.
+    pub description: String,
+    /// Threading-API calls analysed.
+    pub api_calls: u64,
+    /// Calls ShredLib's compatibility layer translates mechanically.
+    pub mechanical: u64,
+    /// Calls needing structural attention.
+    pub structural: u64,
+    /// Calls with no mapping at all.
+    pub unmapped: u64,
+    /// `mechanical / api_calls`, as a percentage.
+    pub mechanical_percent: f64,
+    /// Porting effort in days reported by the paper (reference only).
+    pub paper_effort_days: f64,
+    /// Whether the paper reports structural changes for this port.
+    pub paper_structural_changes: bool,
+}
+
+/// One aggregated grid-point record: the run metadata plus exactly one of the
+/// metric sections, depending on the run kind.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunRecord {
+    /// Position of the point in the grid declaration.
+    pub index: u64,
+    /// Grid-point identifier.
+    pub id: String,
+    /// `"sim"`, `"topology"` or `"port-analysis"`.
+    pub kind: String,
+    /// Catalog workload name (simulation records only).
+    pub workload: Option<String>,
+    /// Machine label (simulation records only), e.g. `"misp:1x8"`.
+    pub machine: Option<String>,
+    /// Worker shred count (simulation records only).
+    pub workers: Option<u64>,
+    /// Signal cost in cycles (simulation records only; `None` means the
+    /// default cost model).
+    pub signal_cycles: Option<u64>,
+    /// Whether page pre-touch was enabled.
+    pub pretouch: bool,
+    /// Ring-transition policy override, if any (`"suspend-all"` or
+    /// `"speculative"`).
+    pub ring_policy: Option<String>,
+    /// Competitor-process load.
+    pub competitors: u64,
+    /// Whether the application spanned only AMS-carrying processors (the
+    /// Figure 7 rule) rather than every processor.
+    pub ams_span_only: bool,
+    /// Deterministic seed recorded for this point.
+    pub seed: u64,
+    /// The id of the baseline run, if the spec declared one.
+    pub baseline: Option<String>,
+    /// Simulation metrics (`kind == "sim"`).
+    pub sim: Option<SimMetrics>,
+    /// Topology metrics (`kind == "topology"`).
+    pub topology: Option<TopologyMetrics>,
+    /// Porting metrics (`kind == "port-analysis"`).
+    pub port: Option<PortMetrics>,
+}
+
+/// The aggregated results of one grid sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepResults {
+    /// The results schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The grid name.
+    pub grid: String,
+    /// The grid description.
+    pub description: String,
+    /// Number of grid points.
+    pub run_count: u64,
+    /// One record per grid point, in declaration order.
+    pub records: Vec<RunRecord>,
+}
+
+impl SweepResults {
+    /// Looks a record up by grid-point id.
+    #[must_use]
+    pub fn record(&self, id: &str) -> Option<&RunRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// The simulation metrics of the record with the given id.
+    #[must_use]
+    pub fn sim(&self, id: &str) -> Option<&SimMetrics> {
+        self.record(id).and_then(|r| r.sim.as_ref())
+    }
+
+    /// Serializes the document to the canonical pretty JSON form (trailing
+    /// newline included) used by the `sweep` binary and the golden files.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures from the JSON emitter.
+    pub fn to_canonical_json(&self) -> Result<String, serde_json::Error> {
+        let mut json = serde_json::to_string_pretty(self)?;
+        json.push('\n');
+        Ok(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: &str) -> RunRecord {
+        RunRecord {
+            index: 0,
+            id: id.to_string(),
+            kind: "topology".to_string(),
+            workload: None,
+            machine: None,
+            workers: None,
+            signal_cycles: None,
+            pretouch: false,
+            ring_policy: None,
+            competitors: 0,
+            ams_span_only: false,
+            seed: 0,
+            baseline: None,
+            sim: None,
+            topology: None,
+            port: None,
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let results = SweepResults {
+            schema_version: SCHEMA_VERSION,
+            grid: "g".to_string(),
+            description: String::new(),
+            run_count: 2,
+            records: vec![record("a"), record("b")],
+        };
+        assert_eq!(results.record("b").unwrap().id, "b");
+        assert!(results.record("c").is_none());
+        assert!(results.sim("a").is_none(), "topology record has no sim");
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_newline_terminated() {
+        let results = SweepResults {
+            schema_version: SCHEMA_VERSION,
+            grid: "g".to_string(),
+            description: "d".to_string(),
+            run_count: 1,
+            records: vec![record("a")],
+        };
+        let a = results.to_canonical_json().unwrap();
+        let b = results.to_canonical_json().unwrap();
+        assert_eq!(a, b);
+        assert!(a.ends_with('\n'));
+        assert!(a.contains("\"schema_version\": 1"));
+    }
+}

@@ -1,0 +1,315 @@
+//! Declarative experiment-grid specifications.
+//!
+//! A [`GridSpec`] describes one sweep — the cross product of workloads,
+//! platforms, topologies and configuration overrides behind one figure or
+//! table — as plain data.  Every grid point is a [`RunSpec`]; the harness
+//! executes grid points independently (they share no state), which is what
+//! makes the fan-out in [`crate::run_grid`] embarrassingly parallel.
+
+use misp_core::{MispTopology, RingPolicy};
+use misp_types::SignalCost;
+
+/// How the machine of one grid point is built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineSpec {
+    /// A single MISP sequencer (the "1P" baseline the figures divide by).
+    Serial,
+    /// A MISP machine with the given topology.
+    Misp(TopologySpec),
+    /// The SMP baseline with the given core count.
+    Smp {
+        /// Number of OS-visible cores.
+        cores: usize,
+    },
+}
+
+impl MachineSpec {
+    /// A short machine label for run metadata (`"serial"`, `"misp:1x8"`,
+    /// `"smp:8"`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            MachineSpec::Serial => "serial".to_string(),
+            MachineSpec::Misp(topo) => format!("misp:{}", topo.label()),
+            MachineSpec::Smp { cores } => format!("smp:{cores}"),
+        }
+    }
+}
+
+/// The MISP machine partitionings the experiments use, as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// One MISP processor: 1 OMS + `ams` AMSs.
+    Uniprocessor {
+        /// Number of application-managed sequencers.
+        ams: usize,
+    },
+    /// Four MISP processors of 1 OMS + 1 AMS each (the paper's 4×2).
+    Quad2,
+    /// Two MISP processors of 1 OMS + 3 AMS each (the paper's 2×4).
+    Dual4,
+    /// One MISP processor of 1 OMS + 7 AMS (the paper's 1×8).
+    Single8,
+    /// One MISP processor of 1 OMS + `ams` AMSs plus `singles`
+    /// single-sequencer CPUs (the paper's uneven partitionings).
+    Uneven {
+        /// AMS count of the MISP processor.
+        ams: usize,
+        /// Number of additional plain CPUs.
+        singles: usize,
+    },
+}
+
+impl TopologySpec {
+    /// Builds the concrete topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Uniprocessor` spec exceeds the machine's sequencer
+    /// budget; grid declarations are static data, so this is a programming
+    /// error, not an input error.
+    #[must_use]
+    pub fn build(&self) -> MispTopology {
+        match *self {
+            TopologySpec::Uniprocessor { ams } => {
+                MispTopology::uniprocessor(ams).expect("valid uniprocessor topology")
+            }
+            TopologySpec::Quad2 => MispTopology::config_4x2(),
+            TopologySpec::Dual4 => MispTopology::config_2x4(),
+            TopologySpec::Single8 => MispTopology::config_1x8(),
+            TopologySpec::Uneven { ams, singles } => MispTopology::config_uneven(ams, singles),
+        }
+    }
+
+    /// A short label for run metadata (`"1x8"`, `"4x2"`, `"1x4+4"`, …).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            TopologySpec::Uniprocessor { ams } => format!("1x{}", ams + 1),
+            TopologySpec::Quad2 => "4x2".to_string(),
+            TopologySpec::Dual4 => "2x4".to_string(),
+            TopologySpec::Single8 => "1x8".to_string(),
+            TopologySpec::Uneven { ams, singles } => format!("1x{}+{singles}", ams + 1),
+        }
+    }
+}
+
+/// What one grid point computes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunKind {
+    /// A full simulation of a catalog workload on a machine.
+    Sim(SimSpec),
+    /// A structural description of a topology (Figure 6 has no runtime
+    /// component).
+    Topology(TopologySpec),
+    /// A ShredLib porting-coverage analysis of a Table 2 application.
+    PortAnalysis {
+        /// The application name, as in `catalog::table2_applications`.
+        application: String,
+    },
+}
+
+/// The simulation parameters of one grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSpec {
+    /// Catalog workload name.
+    pub workload: String,
+    /// The machine to run on.
+    pub machine: MachineSpec,
+    /// Number of worker shreds.
+    pub workers: usize,
+    /// Signal-cost override; `None` uses the paper's 5000-cycle default.
+    pub signal: Option<SignalCost>,
+    /// Enable the Section 5.3 page pre-touch optimization.
+    pub pretouch: bool,
+    /// Ring-transition policy override (MISP machines only).
+    pub ring_policy: Option<RingPolicy>,
+    /// Number of single-threaded competitor processes (Figure 7 load).
+    pub competitors: usize,
+    /// Restrict the application's OS threads to MISP processors with AMSs
+    /// (the Figure 7 spanning rule); plain single-sequencer CPUs are left to
+    /// the OS.  Off by default: plain MP runs span every processor.
+    pub ams_span_only: bool,
+}
+
+impl SimSpec {
+    /// A plain dedicated-machine run of `workload` on `machine` with the
+    /// standard worker count.
+    #[must_use]
+    pub fn new(workload: impl Into<String>, machine: MachineSpec, workers: usize) -> Self {
+        SimSpec {
+            workload: workload.into(),
+            machine,
+            workers,
+            signal: None,
+            pretouch: false,
+            ring_policy: None,
+            competitors: 0,
+            ams_span_only: false,
+        }
+    }
+}
+
+/// One grid point: an identifier, what to run, an optional baseline
+/// reference, and a seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Identifier, unique within the grid (e.g. `"dense_mvm/misp"`).
+    pub id: String,
+    /// What this point computes.
+    pub kind: RunKind,
+    /// The id of the run this point's speedup is measured against, if any.
+    /// The aggregator resolves it after all runs complete.
+    pub baseline: Option<String>,
+    /// Deterministic seed recorded in the run metadata.  The engine itself is
+    /// strictly deterministic, so today the seed only disambiguates scenario
+    /// variants; it is carried in the schema for forward compatibility.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// Creates a simulation grid point.
+    #[must_use]
+    pub fn sim(id: impl Into<String>, spec: SimSpec) -> Self {
+        RunSpec {
+            id: id.into(),
+            kind: RunKind::Sim(spec),
+            baseline: None,
+            seed: 0,
+        }
+    }
+
+    /// Creates a topology-description grid point.
+    #[must_use]
+    pub fn topology(id: impl Into<String>, topo: TopologySpec) -> Self {
+        RunSpec {
+            id: id.into(),
+            kind: RunKind::Topology(topo),
+            baseline: None,
+            seed: 0,
+        }
+    }
+
+    /// Creates a porting-coverage grid point.
+    #[must_use]
+    pub fn port_analysis(application: impl Into<String>) -> Self {
+        let application = application.into();
+        RunSpec {
+            id: application.clone(),
+            kind: RunKind::PortAnalysis { application },
+            baseline: None,
+            seed: 0,
+        }
+    }
+
+    /// Sets the baseline run id for speedup aggregation.
+    #[must_use]
+    pub fn with_baseline(mut self, baseline: impl Into<String>) -> Self {
+        self.baseline = Some(baseline.into());
+        self
+    }
+}
+
+/// A named experiment grid: an ordered list of grid points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// Grid name (also the default results file stem).
+    pub name: String,
+    /// One-line description of what the grid reproduces.
+    pub description: String,
+    /// The grid points, in presentation order.
+    pub runs: Vec<RunSpec>,
+}
+
+impl GridSpec {
+    /// Creates an empty grid.
+    #[must_use]
+    pub fn new(name: impl Into<String>, description: impl Into<String>) -> Self {
+        GridSpec {
+            name: name.into(),
+            description: description.into(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Appends a grid point.
+    pub fn push(&mut self, run: RunSpec) {
+        self.runs.push(run);
+    }
+
+    /// Asserts that every id is unique and every baseline reference resolves.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate id or a dangling baseline; grids are static
+    /// declarations, so either is a bug in the grid, not in user input.
+    pub fn validate(&self) {
+        let mut seen = std::collections::BTreeSet::new();
+        for run in &self.runs {
+            assert!(
+                seen.insert(run.id.as_str()),
+                "grid {}: duplicate run id {}",
+                self.name,
+                run.id
+            );
+        }
+        for run in &self.runs {
+            if let Some(baseline) = &run.baseline {
+                assert!(
+                    seen.contains(baseline.as_str()),
+                    "grid {}: run {} references unknown baseline {}",
+                    self.name,
+                    run.id,
+                    baseline
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_labels_match_the_paper() {
+        assert_eq!(TopologySpec::Quad2.label(), "4x2");
+        assert_eq!(TopologySpec::Dual4.label(), "2x4");
+        assert_eq!(TopologySpec::Single8.label(), "1x8");
+        assert_eq!(TopologySpec::Uneven { ams: 3, singles: 4 }.label(), "1x4+4");
+        assert_eq!(TopologySpec::Uniprocessor { ams: 7 }.label(), "1x8");
+    }
+
+    #[test]
+    fn topology_specs_build_the_expected_shapes() {
+        assert_eq!(TopologySpec::Quad2.build().processors().len(), 4);
+        assert_eq!(TopologySpec::Single8.build().total_sequencers(), 8);
+        let uneven = TopologySpec::Uneven { ams: 3, singles: 4 }.build();
+        assert_eq!(uneven.processors().len(), 5);
+        assert_eq!(uneven.total_sequencers(), 8);
+    }
+
+    #[test]
+    fn machine_labels() {
+        assert_eq!(MachineSpec::Serial.label(), "serial");
+        assert_eq!(MachineSpec::Smp { cores: 8 }.label(), "smp:8");
+        assert_eq!(MachineSpec::Misp(TopologySpec::Single8).label(), "misp:1x8");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate run id")]
+    fn validate_rejects_duplicate_ids() {
+        let mut grid = GridSpec::new("g", "");
+        grid.push(RunSpec::topology("a", TopologySpec::Single8));
+        grid.push(RunSpec::topology("a", TopologySpec::Quad2));
+        grid.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown baseline")]
+    fn validate_rejects_dangling_baselines() {
+        let mut grid = GridSpec::new("g", "");
+        grid.push(RunSpec::topology("a", TopologySpec::Single8).with_baseline("missing"));
+        grid.validate();
+    }
+}

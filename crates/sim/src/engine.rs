@@ -17,6 +17,11 @@ pub struct SimReport {
     pub completions: BTreeMap<u32, Cycles>,
     /// Full statistics for the run.
     pub stats: SimStats,
+    /// Deterministic digest of the event log (see
+    /// [`crate::EventLog::digest`]): two runs of the same configuration must
+    /// produce equal digests, which the sweep harness and the determinism
+    /// tests rely on.
+    pub log_digest: u64,
 }
 
 impl SimReport {
@@ -232,6 +237,7 @@ impl<P: Platform> Engine<P> {
             total_cycles,
             completions,
             stats,
+            log_digest: self.core.log().digest(),
         }
     }
 

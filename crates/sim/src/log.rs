@@ -40,6 +40,51 @@ pub enum LogKind {
     TimerTick,
 }
 
+impl LogKind {
+    /// Every log kind, in a fixed canonical order.  [`EventLog::digest`] folds
+    /// counts in this order so the digest is independent of hash-map iteration
+    /// order.  Keep in sync with [`LogKind::canonical_index`], whose
+    /// exhaustive match turns a forgotten new variant into a compile error;
+    /// the `canonical_order_is_exhaustive` test ties the two together.
+    pub const ALL: [LogKind; 12] = [
+        LogKind::RingEnter,
+        LogKind::RingExit,
+        LogKind::ProxyRequest,
+        LogKind::ProxyStart,
+        LogKind::ProxyDone,
+        LogKind::Suspend,
+        LogKind::Resume,
+        LogKind::ShredStart,
+        LogKind::ShredEnd,
+        LogKind::ContextSwitch,
+        LogKind::SignalSent,
+        LogKind::TimerTick,
+    ];
+
+    /// The kind's position in the canonical [`LogKind::ALL`] order.
+    ///
+    /// The match is exhaustive on purpose: adding a `LogKind` variant fails
+    /// compilation here until the new kind is given an index — and therefore
+    /// a slot in `ALL` — so the digest can never silently skip it.
+    #[must_use]
+    pub const fn canonical_index(self) -> usize {
+        match self {
+            LogKind::RingEnter => 0,
+            LogKind::RingExit => 1,
+            LogKind::ProxyRequest => 2,
+            LogKind::ProxyStart => 3,
+            LogKind::ProxyDone => 4,
+            LogKind::Suspend => 5,
+            LogKind::Resume => 6,
+            LogKind::ShredStart => 7,
+            LogKind::ShredEnd => 8,
+            LogKind::ContextSwitch => 9,
+            LogKind::SignalSent => 10,
+            LogKind::TimerTick => 11,
+        }
+    }
+}
+
 /// One fine-grained log record.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct LogRecord {
@@ -147,6 +192,45 @@ impl EventLog {
     pub fn fine_enabled(&self) -> bool {
         self.fine_enabled
     }
+
+    /// A deterministic 64-bit FNV-1a digest of the log.
+    ///
+    /// The digest folds the coarse counts in the canonical [`LogKind::ALL`]
+    /// order, followed by every retained fine-grained record (time,
+    /// sequencer, kind and detail text) and the dropped count.  Two
+    /// identical runs always digest equal; runs that differ in any logged
+    /// quantity digest differently, up to the usual 64-bit collision odds —
+    /// and, with fine logging disabled, up to the coarse counts' resolution
+    /// (per-kind totals rather than individual records).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn fold_bytes(hash: &mut u64, bytes: &[u8]) {
+            for &byte in bytes {
+                *hash ^= u64::from(byte);
+                *hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+        fn fold(hash: &mut u64, value: u64) {
+            fold_bytes(hash, &value.to_le_bytes());
+        }
+
+        let mut hash = FNV_OFFSET;
+        for (i, kind) in LogKind::ALL.iter().enumerate() {
+            fold(&mut hash, i as u64);
+            fold(&mut hash, self.count(*kind));
+        }
+        for record in &self.records {
+            fold(&mut hash, record.time.as_u64());
+            fold(&mut hash, record.seq.as_usize() as u64);
+            fold(&mut hash, record.kind.canonical_index() as u64);
+            fold(&mut hash, record.detail.len() as u64);
+            fold_bytes(&mut hash, record.detail.as_bytes());
+        }
+        fold(&mut hash, self.dropped);
+        hash
+    }
 }
 
 impl Default for EventLog {
@@ -207,5 +291,47 @@ mod tests {
             5,
             "coarse counts unaffected by cap"
         );
+    }
+
+    #[test]
+    fn canonical_order_is_exhaustive() {
+        // Every kind appears in ALL exactly at its canonical index; together
+        // with the exhaustive match in canonical_index this guarantees a new
+        // variant cannot be left out of the digest.
+        for (i, kind) in LogKind::ALL.iter().enumerate() {
+            assert_eq!(kind.canonical_index(), i, "{kind:?} out of order");
+        }
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_sensitive() {
+        let mut a = EventLog::new(false);
+        let mut b = EventLog::new(false);
+        assert_eq!(a.digest(), b.digest(), "empty logs digest equal");
+        a.record(Cycles::new(1), SequencerId::new(0), LogKind::RingEnter, "");
+        b.record(Cycles::new(1), SequencerId::new(0), LogKind::RingEnter, "");
+        assert_eq!(a.digest(), b.digest(), "identical logs digest equal");
+        b.record(Cycles::new(2), SequencerId::new(0), LogKind::RingExit, "");
+        assert_ne!(a.digest(), b.digest(), "extra event changes the digest");
+
+        // Distinct kinds with equal counts must not collide.
+        let mut c = EventLog::new(false);
+        c.record(Cycles::new(1), SequencerId::new(0), LogKind::RingExit, "");
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn digest_covers_fine_records_when_enabled() {
+        let mut a = EventLog::new(true);
+        let mut b = EventLog::new(true);
+        a.record(Cycles::new(5), SequencerId::new(1), LogKind::Suspend, "x");
+        b.record(Cycles::new(6), SequencerId::new(1), LogKind::Suspend, "x");
+        // Same coarse counts, different timestamps: fine digests differ.
+        assert_ne!(a.digest(), b.digest());
+
+        // Records differing only in detail text also digest differently.
+        let mut c = EventLog::new(true);
+        c.record(Cycles::new(5), SequencerId::new(1), LogKind::Suspend, "y");
+        assert_ne!(a.digest(), c.digest());
     }
 }

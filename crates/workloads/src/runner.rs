@@ -1,18 +1,115 @@
 //! Helpers that run a workload on the MISP machine, the SMP baseline, or a
 //! single sequencer.
 
-use crate::Workload;
-use misp_core::{MispMachine, MispTopology};
+use crate::{competitor, Workload};
+use misp_core::{MispMachine, MispTopology, RingPolicy};
 use misp_isa::ProgramLibrary;
 use misp_sim::{SimConfig, SimReport};
 use misp_smp::SmpMachine;
 use misp_types::Result;
 
-/// Runs `workload` on a MISP machine with the given topology.
+/// Options that select the non-default variants of a workload run: the page
+/// pre-touch optimization, the ring-transition policy ablation, and the
+/// multi-programming load of the paper's Figure 7.
+///
+/// The default options reproduce a plain dedicated-machine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Enable the Section 5.3 page pre-touch optimization (the main shred
+    /// probes every worker page during the serial region).
+    pub pretouch: bool,
+    /// Override the MISP ring-transition policy (ignored on SMP).
+    pub ring_policy: Option<RingPolicy>,
+    /// Number of single-threaded competitor processes loaded alongside the
+    /// measured application.  When non-zero, only the application process is
+    /// measured, as in Figure 7.
+    pub competitors: usize,
+    /// Compute length of each competitor process, in cycles.  Competitors
+    /// must outlast the measured application.
+    pub competitor_cycles: u64,
+    /// Restrict the application's OS threads to MISP processors that have
+    /// AMSs, leaving plain single-sequencer CPUs to the OS (the Figure 7
+    /// spanning rule, applied at every load including zero).  The default
+    /// spans every processor, as the plain MP runs do.
+    pub ams_span_only: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            pretouch: false,
+            ring_policy: None,
+            competitors: 0,
+            competitor_cycles: 12_000_000_000,
+            ams_span_only: false,
+        }
+    }
+}
+
+impl RunOptions {
+    fn build_scheduler(
+        &self,
+        workload: &Workload,
+        library: &mut ProgramLibrary,
+        workers: usize,
+    ) -> shredlib::GangScheduler {
+        if self.pretouch {
+            workload.build_with_pretouch(library, workers)
+        } else {
+            workload.build(library, workers)
+        }
+    }
+}
+
+/// Runs `workload` on a MISP machine with the given topology and options.
 ///
 /// The shredded application gets one OS thread per MISP processor (as in the
 /// paper's MP experiments) and `workers` worker shreds drawn from the shared
-/// work queue.
+/// work queue.  With `options.ams_span_only` the application instead spans
+/// only the processors that have AMSs, leaving plain single-sequencer CPUs
+/// (the uneven Figure 7 configurations) to the OS for competitor processes.
+///
+/// # Errors
+///
+/// Propagates simulation errors (budget exhaustion, deadlock).
+pub fn run_on_misp_with(
+    workload: &Workload,
+    topology: &MispTopology,
+    config: SimConfig,
+    workers: usize,
+    options: &RunOptions,
+) -> Result<SimReport> {
+    let mut library = ProgramLibrary::new();
+    let scheduler = options.build_scheduler(workload, &mut library, workers);
+    let competitor_programs: Vec<_> = (0..options.competitors)
+        .map(|i| competitor::competitor_program(&mut library, i, options.competitor_cycles))
+        .collect();
+
+    let mut machine = MispMachine::new(topology.clone(), config, library);
+    if let Some(policy) = options.ring_policy {
+        machine.engine_mut().platform_mut().set_policy(policy);
+    }
+    let pid = machine.add_process(workload.name(), Box::new(scheduler), Some(0));
+    for proc_idx in 1..topology.processors().len() {
+        if !options.ams_span_only || !topology.processors()[proc_idx].ams().is_empty() {
+            machine.add_thread(pid, Some(proc_idx));
+        }
+    }
+    for program in competitor_programs {
+        machine.add_process(
+            "competitor",
+            Box::new(competitor::competitor_runtime(program)),
+            None,
+        );
+    }
+    if options.competitors > 0 {
+        machine.set_measured(vec![pid]);
+    }
+    machine.run()
+}
+
+/// Runs `workload` on a MISP machine with the given topology and default
+/// options.
 ///
 /// # Errors
 ///
@@ -23,14 +120,7 @@ pub fn run_on_misp(
     config: SimConfig,
     workers: usize,
 ) -> Result<SimReport> {
-    let mut library = ProgramLibrary::new();
-    let scheduler = workload.build(&mut library, workers);
-    let mut machine = MispMachine::new(topology.clone(), config, library);
-    let pid = machine.add_process(workload.name(), Box::new(scheduler), Some(0));
-    for proc_idx in 1..topology.processors().len() {
-        machine.add_thread(pid, Some(proc_idx));
-    }
-    machine.run()
+    run_on_misp_with(workload, topology, config, workers, &RunOptions::default())
 }
 
 /// Runs `workload` on a MISP machine with the page pre-touch optimization of
@@ -46,19 +136,54 @@ pub fn run_on_misp_with_pretouch(
     config: SimConfig,
     workers: usize,
 ) -> Result<SimReport> {
+    let options = RunOptions {
+        pretouch: true,
+        ..RunOptions::default()
+    };
+    run_on_misp_with(workload, topology, config, workers, &options)
+}
+
+/// Runs `workload` on the SMP baseline with `cores` cores and the given
+/// options.  The application gets one OS thread per core, mirroring how an
+/// OpenMP runtime would span an SMP machine.  The ring-policy option is
+/// ignored (SMP has no AMSs to suspend).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_on_smp_with(
+    workload: &Workload,
+    cores: usize,
+    config: SimConfig,
+    workers: usize,
+    options: &RunOptions,
+) -> Result<SimReport> {
     let mut library = ProgramLibrary::new();
-    let scheduler = workload.build_with_pretouch(&mut library, workers);
-    let mut machine = MispMachine::new(topology.clone(), config, library);
+    let scheduler = options.build_scheduler(workload, &mut library, workers);
+    let competitor_programs: Vec<_> = (0..options.competitors)
+        .map(|i| competitor::competitor_program(&mut library, i, options.competitor_cycles))
+        .collect();
+
+    let mut machine = SmpMachine::new(cores, config, library);
     let pid = machine.add_process(workload.name(), Box::new(scheduler), Some(0));
-    for proc_idx in 1..topology.processors().len() {
-        machine.add_thread(pid, Some(proc_idx));
+    for core in 1..cores {
+        machine.add_thread(pid, Some(core));
+    }
+    for program in competitor_programs {
+        machine.add_process(
+            "competitor",
+            Box::new(competitor::competitor_runtime(program)),
+            None,
+        );
+    }
+    if options.competitors > 0 {
+        machine.set_measured(vec![pid]);
     }
     machine.run()
 }
 
-/// Runs `workload` on the SMP baseline with `cores` cores.  The application
-/// gets one OS thread per core, mirroring how an OpenMP runtime would span an
-/// SMP machine.
+/// Runs `workload` on the SMP baseline with `cores` cores and default
+/// options.
 ///
 /// # Errors
 ///
@@ -69,14 +194,7 @@ pub fn run_on_smp(
     config: SimConfig,
     workers: usize,
 ) -> Result<SimReport> {
-    let mut library = ProgramLibrary::new();
-    let scheduler = workload.build(&mut library, workers);
-    let mut machine = SmpMachine::new(cores, config, library);
-    let pid = machine.add_process(workload.name(), Box::new(scheduler), Some(0));
-    for core in 1..cores {
-        machine.add_thread(pid, Some(core));
-    }
-    machine.run()
+    run_on_smp_with(workload, cores, config, workers, &RunOptions::default())
 }
 
 /// Runs `workload` on a single sequencer (the "1P" baseline Figure 4 divides
@@ -150,6 +268,50 @@ mod tests {
         // On the SMP baseline the same workload has no proxy executions.
         let smp = run_on_smp(&w, 8, quick_config(), 8).unwrap();
         assert_eq!(smp.stats.proxy_executions, 0);
+    }
+
+    #[test]
+    fn competitors_slow_the_measured_application() {
+        let w = catalog::by_name("dense_mvm").unwrap();
+        let topo = MispTopology::config_uneven(3, 4);
+        let options = RunOptions {
+            competitors: 2,
+            competitor_cycles: 4_000_000_000,
+            ams_span_only: true,
+            ..RunOptions::default()
+        };
+        let loaded = run_on_misp_with(&w, &topo, quick_config(), 8, &options).unwrap();
+        let unloaded = run_on_misp_with(
+            &w,
+            &topo,
+            quick_config(),
+            8,
+            &RunOptions {
+                ams_span_only: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            loaded.total_cycles >= unloaded.total_cycles,
+            "competitor load must not speed the application up"
+        );
+        // Only the application is measured, so exactly one completion is
+        // reported even though three processes ran.
+        assert_eq!(loaded.completions.len(), 1);
+    }
+
+    #[test]
+    fn ring_policy_option_matches_direct_platform_configuration() {
+        let w = catalog::by_name("kmeans").unwrap();
+        let topo = MispTopology::uniprocessor(7).unwrap();
+        let options = RunOptions {
+            ring_policy: Some(misp_core::RingPolicy::Speculative),
+            ..RunOptions::default()
+        };
+        let via_options = run_on_misp_with(&w, &topo, quick_config(), 8, &options).unwrap();
+        let baseline = run_on_misp(&w, &topo, quick_config(), 8).unwrap();
+        assert!(via_options.total_cycles <= baseline.total_cycles);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`smp`] | `misp-smp` | the SMP baseline machine |
 //! | [`shredlib`] | `shredlib` | the gang scheduler, synchronization objects, compatibility shims |
 //! | [`workloads`] | `misp-workloads` | the benchmark catalog and run helpers |
+//! | [`harness`] | `misp-harness` | the parallel experiment-sweep harness: declarative grids, work-stealing fan-out, versioned results JSON |
 //!
 //! # Quick start
 //!
@@ -70,12 +71,19 @@
 //!
 //! Each table and figure has a dedicated binary in the `misp-bench` crate;
 //! see `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for the
-//! recorded paper-versus-measured comparison.
+//! recorded paper-versus-measured comparison.  All of them are thin
+//! formatters over the [`harness`] crate's named experiment grids, which the
+//! `sweep` binary can also run directly:
+//!
+//! ```text
+//! cargo run --release -p misp-harness --bin sweep -- fig4 --threads 8 --out results/fig4-sweep.json
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use misp_core as core;
+pub use misp_harness as harness;
 pub use misp_isa as isa;
 pub use misp_mem as mem;
 pub use misp_os as os;

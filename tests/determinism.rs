@@ -1,0 +1,186 @@
+//! Determinism property tests.
+//!
+//! The engine promises strict determinism: given the same configuration,
+//! workload and platform, two runs produce identical cycle counts,
+//! statistics and event logs.  The parallel sweep harness additionally
+//! promises that fanning runs out across OS threads changes nothing.  These
+//! tests pin both promises for **every** catalog workload on both machines.
+
+use misp::core::MispTopology;
+use misp::harness::{
+    grids, run_grid, GridSpec, MachineSpec, RunSpec, SimSpec, SweepOptions, TopologySpec,
+    VerifyMode,
+};
+use misp::os::TimerConfig;
+use misp::sim::{SimConfig, SimReport};
+use misp::types::Cycles;
+use misp::workloads::{catalog, runner};
+
+fn quick_config() -> SimConfig {
+    SimConfig {
+        timer: TimerConfig::new(Cycles::new(3_000_000), 10),
+        ..SimConfig::default()
+    }
+}
+
+/// Asserts two reports are fully identical: completion times, every Table 1
+/// statistic, per-sequencer utilization, and the event-log digest.
+fn assert_reports_identical(a: &SimReport, b: &SimReport, context: &str) {
+    assert_eq!(a.total_cycles, b.total_cycles, "{context}: total cycles");
+    assert_eq!(a.completions, b.completions, "{context}: completions");
+    assert_eq!(a.log_digest, b.log_digest, "{context}: event-log digest");
+    assert_eq!(
+        a.stats.oms_events, b.stats.oms_events,
+        "{context}: OMS events"
+    );
+    assert_eq!(
+        a.stats.ams_events, b.stats.ams_events,
+        "{context}: AMS events"
+    );
+    assert_eq!(
+        a.stats.proxy_executions, b.stats.proxy_executions,
+        "{context}: proxy executions"
+    );
+    assert_eq!(
+        a.stats.serializations, b.stats.serializations,
+        "{context}: serializations"
+    );
+    assert_eq!(
+        a.stats.context_switches, b.stats.context_switches,
+        "{context}: context switches"
+    );
+    assert_eq!(
+        a.stats.signals_sent, b.stats.signals_sent,
+        "{context}: signals"
+    );
+    assert_eq!(
+        a.stats.suspension_cycles, b.stats.suspension_cycles,
+        "{context}: suspension cycles"
+    );
+    assert_eq!(
+        a.stats.per_sequencer, b.stats.per_sequencer,
+        "{context}: per-sequencer utilization"
+    );
+    assert_eq!(
+        a.stats.per_sequencer_events, b.stats.per_sequencer_events,
+        "{context}: per-sequencer events"
+    );
+}
+
+/// Every catalog workload runs twice on MISP and twice on SMP; each pair
+/// must be identical down to the event-log digest.
+#[test]
+fn every_workload_is_deterministic_on_both_machines() {
+    let topology = MispTopology::uniprocessor(7).unwrap();
+    for workload in catalog::all() {
+        let name = workload.name();
+        let misp_a = runner::run_on_misp(&workload, &topology, quick_config(), 8).unwrap();
+        let misp_b = runner::run_on_misp(&workload, &topology, quick_config(), 8).unwrap();
+        assert_reports_identical(&misp_a, &misp_b, &format!("{name} on MISP"));
+
+        let smp_a = runner::run_on_smp(&workload, 8, quick_config(), 8).unwrap();
+        let smp_b = runner::run_on_smp(&workload, 8, quick_config(), 8).unwrap();
+        assert_reports_identical(&smp_a, &smp_b, &format!("{name} on SMP"));
+
+        // MISP and SMP are different platforms and must not be conflated by
+        // the digest: their logs differ (MISP suspends and proxies).
+        assert_ne!(
+            misp_a.log_digest, smp_a.log_digest,
+            "{name}: MISP and SMP runs must have distinct event logs"
+        );
+    }
+}
+
+/// A grid covering every workload on MISP and SMP, swept serially and with
+/// parallel fan-out: the aggregated documents must be byte-identical, and
+/// each parallel record must match a direct (harness-free) run.
+#[test]
+fn parallel_harness_matches_serial_execution_for_every_workload() {
+    let mut grid = GridSpec::new("determinism", "every workload on MISP and SMP");
+    for workload in catalog::all() {
+        let name = workload.name();
+        grid.push(RunSpec::sim(
+            format!("{name}/misp"),
+            SimSpec::new(
+                name,
+                MachineSpec::Misp(TopologySpec::Uniprocessor { ams: 7 }),
+                8,
+            ),
+        ));
+        grid.push(RunSpec::sim(
+            format!("{name}/smp"),
+            SimSpec::new(name, MachineSpec::Smp { cores: 8 }, 8),
+        ));
+    }
+
+    let serial = run_grid(
+        &grid,
+        &SweepOptions {
+            threads: 1,
+            verify: VerifyMode::Off,
+        },
+    )
+    .unwrap();
+    // VerifyMode::Full additionally re-executes every point on the main
+    // thread inside run_grid and asserts record equality there.
+    let parallel = run_grid(
+        &grid,
+        &SweepOptions {
+            threads: 8,
+            verify: VerifyMode::Full,
+        },
+    )
+    .unwrap();
+
+    assert_eq!(serial, parallel);
+    assert_eq!(
+        serial.to_canonical_json().unwrap(),
+        parallel.to_canonical_json().unwrap(),
+        "aggregated JSON must be byte-identical across thread counts"
+    );
+
+    // Cross-check the harness against direct runner invocations: the sweep
+    // must report exactly what a hand-rolled run loop sees.
+    let topology = MispTopology::uniprocessor(7).unwrap();
+    for workload in catalog::all() {
+        let name = workload.name();
+        let direct =
+            runner::run_on_misp(&workload, &topology, misp::harness::experiment_config(), 8)
+                .unwrap();
+        let record = parallel.sim(&format!("{name}/misp")).unwrap();
+        assert_eq!(record.total_cycles, direct.total_cycles.as_u64(), "{name}");
+        assert_eq!(
+            record.log_digest,
+            format!("{:016x}", direct.log_digest),
+            "{name}: digest mismatch between harness and direct run"
+        );
+    }
+}
+
+/// The predefined fig4 grid — the one CI smokes — is itself reproducible
+/// end-to-end: two full sweeps at different thread counts serialize
+/// identically.
+#[test]
+fn fig4_grid_sweeps_identically_at_different_thread_counts() {
+    let grid = grids::fig4();
+    let two = run_grid(
+        &grid,
+        &SweepOptions {
+            threads: 2,
+            verify: VerifyMode::Off,
+        },
+    )
+    .unwrap();
+    let eight = run_grid(
+        &grid,
+        &SweepOptions {
+            threads: 8,
+            verify: VerifyMode::Off,
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        two.to_canonical_json().unwrap(),
+        eight.to_canonical_json().unwrap()
+    );
+}

@@ -1,0 +1,101 @@
+//! Golden-figure regression tests.
+//!
+//! Each test re-runs one named experiment grid through the parallel sweep
+//! harness and diffs the aggregated results document byte-for-byte against
+//! the golden JSON committed under `tests/goldens/`.  Any change to the
+//! engine, the cost model, the workload calibration or the results schema
+//! that moves a figure shows up here as a readable diff.
+//!
+//! To regenerate a golden after an intentional change:
+//!
+//! ```text
+//! cargo run --release -p misp-harness --bin sweep -- <grid> --out tests/goldens/<grid>.json
+//! ```
+
+use misp::harness::{grids, run_grid, SweepOptions, VerifyMode};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}.json"))
+}
+
+/// Points to the first differing line so a golden mismatch reads like a
+/// diff hunk instead of two 40 kB strings.
+fn first_divergence(expected: &str, actual: &str) -> String {
+    for (number, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!(
+                "first difference at line {}:\n  golden: {e}\n  actual: {a}",
+                number + 1
+            );
+        }
+    }
+    format!(
+        "documents diverge in length: golden {} lines, actual {} lines",
+        expected.lines().count(),
+        actual.lines().count()
+    )
+}
+
+fn check_grid(name: &str) {
+    let grid = grids::by_name(name).expect("named grid exists");
+    let options = SweepOptions {
+        threads: 2,
+        verify: VerifyMode::SpotCheck,
+    };
+    let results = run_grid(&grid, &options).expect("sweep succeeds");
+    let actual = results.to_canonical_json().expect("serializable");
+    let path = golden_path(name);
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("could not read golden {}: {e}", path.display()));
+    assert!(
+        expected == actual,
+        "grid {name} no longer matches its golden ({}).\n{}\n\
+         If the change is intentional, regenerate with:\n  \
+         cargo run --release -p misp-harness --bin sweep -- {name} --out tests/goldens/{name}.json",
+        path.display(),
+        first_divergence(&expected, &actual)
+    );
+}
+
+#[test]
+fn fig4_matches_golden() {
+    check_grid("fig4");
+}
+
+#[test]
+fn fig5_matches_golden() {
+    check_grid("fig5");
+}
+
+#[test]
+fn fig6_matches_golden() {
+    check_grid("fig6");
+}
+
+#[test]
+fn table1_matches_golden() {
+    check_grid("table1");
+}
+
+#[test]
+fn table2_matches_golden() {
+    check_grid("table2");
+}
+
+/// The goldens themselves must carry the schema version the harness emits,
+/// so a schema bump forces a deliberate regeneration of every golden.
+#[test]
+fn goldens_carry_the_current_schema_version() {
+    for name in ["fig4", "fig5", "fig6", "table1", "table2"] {
+        let text = std::fs::read_to_string(golden_path(name)).expect("golden readable");
+        let needle = format!("\"schema_version\": {}", misp::harness::SCHEMA_VERSION);
+        assert!(
+            text.contains(&needle),
+            "golden {name} does not declare schema version {}",
+            misp::harness::SCHEMA_VERSION
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Property tests for the ShredLib synchronization primitives.
+//!
+//! A randomized cooperative executor drives random shred counts through the
+//! mutex + work-queue + barrier pattern every shredded workload uses: each
+//! shred repeatedly acquires the mutex, completes one chunk of work,
+//! releases, and finally arrives at the barrier.  The schedule — which ready
+//! shred runs next, and whether it is taken in policy order or stolen from
+//! the middle of the queue — is randomized per case.  For every schedule:
+//!
+//! * the system terminates (no deadlock, no livelock) within a step bound,
+//! * completed-chunk counts are conserved (every shred did exactly its
+//!   share; the mutex-protected counter saw every increment),
+//! * the mutex ends free, the barrier releases exactly once, and the work
+//!   queue drains.
+
+use misp::shredlib::{SchedulingPolicy, SyncTable, WorkQueue};
+use misp::types::{LockId, ShredId};
+use proptest::prelude::*;
+
+const MUTEX: LockId = LockId::new(0);
+const BARRIER: LockId = LockId::new(1);
+
+/// What a shred does next in the mutex/chunk/barrier state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Must acquire the mutex before touching the shared counter.
+    NeedLock,
+    /// Holds the mutex; will complete one chunk and release.
+    HoldLock,
+    /// All chunks done; must arrive at the barrier.
+    AtBarrier,
+    /// Passed the barrier.
+    Done,
+}
+
+/// A deterministic xorshift generator: the schedule is a pure function of
+/// the proptest-chosen seed, so failures replay exactly.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        self.0 = x;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+}
+
+struct Executor {
+    table: SyncTable,
+    queue: WorkQueue,
+    /// Mirror of the queue contents, so the schedule can pick an arbitrary
+    /// victim and exercise `WorkQueue::remove`.
+    ready: Vec<ShredId>,
+    phase: Vec<Phase>,
+    chunks_left: Vec<u64>,
+    completed_chunks: u64,
+    barrier_releases: u64,
+}
+
+impl Executor {
+    fn new(shreds: usize, chunks: u64, policy: SchedulingPolicy) -> Self {
+        let mut table = SyncTable::new();
+        table.create_barrier(BARRIER, shreds);
+        let mut queue = WorkQueue::new(policy);
+        let mut ready = Vec::new();
+        for i in 0..shreds {
+            let id = ShredId::new(i as u32);
+            queue.push(id);
+            ready.push(id);
+        }
+        Executor {
+            table,
+            queue,
+            ready,
+            phase: vec![Phase::NeedLock; shreds],
+            chunks_left: vec![chunks; shreds],
+            completed_chunks: 0,
+            barrier_releases: 0,
+        }
+    }
+
+    fn enqueue(&mut self, shred: ShredId) {
+        self.queue.push(shred);
+        self.ready.push(shred);
+    }
+
+    /// Picks the next shred: usually in queue-policy order, sometimes an
+    /// arbitrary victim removed from the middle (a stolen continuation).
+    fn pick(&mut self, rng: &mut Rng) -> Option<ShredId> {
+        if self.ready.is_empty() {
+            assert!(self.queue.is_empty(), "mirror diverged from the queue");
+            return None;
+        }
+        let shred = if rng.below(4) == 0 {
+            let victim = self.ready[rng.below(self.ready.len())];
+            assert!(self.queue.remove(victim), "victim was in the queue");
+            victim
+        } else {
+            self.queue
+                .pop()
+                .expect("mirror says the queue is non-empty")
+        };
+        let position = self
+            .ready
+            .iter()
+            .position(|s| *s == shred)
+            .expect("popped shred is mirrored");
+        self.ready.remove(position);
+        Some(shred)
+    }
+
+    /// Runs one step of `shred`'s state machine.  Returns the shreds to make
+    /// ready (wake-ups plus the shred itself when it can keep running).
+    fn step(&mut self, shred: ShredId) {
+        let index = shred.as_usize();
+        match self.phase[index] {
+            Phase::NeedLock => {
+                let outcome = self.table.mutex_lock(MUTEX, shred).expect("lock");
+                assert!(outcome.wake.is_empty(), "locking wakes no one");
+                if outcome.block {
+                    // Parked on the mutex; mutex_unlock will hand ownership
+                    // over and wake it straight into HoldLock.
+                    self.phase[index] = Phase::HoldLock;
+                } else {
+                    self.phase[index] = Phase::HoldLock;
+                    self.enqueue(shred);
+                }
+            }
+            Phase::HoldLock => {
+                // The critical section: one chunk of the shared tally.
+                self.completed_chunks += 1;
+                self.chunks_left[index] -= 1;
+                self.phase[index] = if self.chunks_left[index] == 0 {
+                    Phase::AtBarrier
+                } else {
+                    Phase::NeedLock
+                };
+                let outcome = self.table.mutex_unlock(MUTEX, shred).expect("unlock");
+                assert!(!outcome.block, "unlock never blocks");
+                for woken in outcome.wake {
+                    // Ownership transferred: the woken waiter holds the mutex.
+                    assert_eq!(self.phase[woken.as_usize()], Phase::HoldLock);
+                    self.enqueue(woken);
+                }
+                self.enqueue(shred);
+            }
+            Phase::AtBarrier => {
+                let outcome = self.table.barrier_wait(BARRIER, shred).expect("barrier");
+                if outcome.block {
+                    return; // parked until the last arrival
+                }
+                self.barrier_releases += 1;
+                self.phase[index] = Phase::Done;
+                for woken in outcome.wake {
+                    assert_eq!(self.phase[woken.as_usize()], Phase::AtBarrier);
+                    self.phase[woken.as_usize()] = Phase::Done;
+                }
+            }
+            Phase::Done => panic!("a finished shred must never be scheduled"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random shred counts and schedules through mutex + barrier + work
+    /// queue terminate without deadlock and conserve chunk counts.
+    #[test]
+    fn random_schedules_terminate_and_conserve_chunks(
+        case in (1usize..12, 1u64..8, any::<bool>(), any::<u64>())
+    ) {
+        let (shreds, chunks, lifo, seed) = case;
+        let policy = if lifo { SchedulingPolicy::Lifo } else { SchedulingPolicy::Fifo };
+        let mut executor = Executor::new(shreds, chunks, policy);
+        let mut rng = Rng(seed);
+
+        // Each shred takes 2 steps per chunk (lock, then work+unlock) plus a
+        // barrier arrival; anything past a generous multiple is a livelock.
+        let step_bound = (shreds as u64 * (2 * chunks + 2) + 8) * 4;
+        let mut steps = 0u64;
+        while let Some(shred) = executor.pick(&mut rng) {
+            executor.step(shred);
+            steps += 1;
+            prop_assert!(
+                steps <= step_bound,
+                "no forward progress after {steps} steps ({shreds} shreds x {chunks} chunks)"
+            );
+        }
+
+        // Termination: every shred passed the barrier.
+        for (i, phase) in executor.phase.iter().enumerate() {
+            prop_assert_eq!(*phase, Phase::Done, "shred {} did not finish", i);
+        }
+        // Conservation: the mutex-protected tally saw exactly every chunk.
+        prop_assert_eq!(executor.completed_chunks, shreds as u64 * chunks);
+        prop_assert!(executor.chunks_left.iter().all(|c| *c == 0));
+        // The barrier released exactly once and the queue drained.
+        prop_assert_eq!(executor.barrier_releases, 1);
+        prop_assert!(executor.queue.is_empty());
+        // The mutex ends free: a fresh shred can take it without blocking.
+        let mut table = executor.table;
+        let probe = ShredId::new(shreds as u32);
+        prop_assert!(!table.mutex_lock(MUTEX, probe).expect("probe lock").block);
+    }
+
+    /// The queue's bookkeeping is consistent under random schedules: what
+    /// was enqueued equals what was drained, and the observed high-water
+    /// mark never exceeds the shred count.
+    #[test]
+    fn queue_accounting_is_conserved(
+        case in (1usize..12, 1u64..6, any::<u64>())
+    ) {
+        let (shreds, chunks, seed) = case;
+        let mut executor = Executor::new(shreds, chunks, SchedulingPolicy::Fifo);
+        let mut rng = Rng(seed);
+        while let Some(shred) = executor.pick(&mut rng) {
+            executor.step(shred);
+        }
+        prop_assert!(executor.queue.max_depth() <= shreds);
+        // Every shred is enqueued once at start, once per lock acquisition
+        // that did not block plus once per wake, and once per unlock —
+        // whatever the schedule, the total must match what the mutex
+        // actually admitted: one grant per chunk.
+        let grants = shreds as u64 * chunks;
+        prop_assert_eq!(executor.queue.total_enqueued(), shreds as u64 + 2 * grants);
+        prop_assert_eq!(executor.completed_chunks, grants);
+    }
+}
