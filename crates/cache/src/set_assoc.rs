@@ -1,0 +1,230 @@
+//! A set-associative cache with per-set LRU replacement and MESI-lite line
+//! states.
+
+use crate::CacheGeometry;
+use std::collections::VecDeque;
+
+/// The MESI-lite coherence state of a cached line.  `Invalid` is represented
+/// by absence from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MesiState {
+    /// The line is dirty and this cache is the only holder.
+    Modified,
+    /// The line is clean and this cache is the only holder.
+    Exclusive,
+    /// The line is clean and may be held by other caches.
+    Shared,
+}
+
+/// One set-associative cache level: `sets × ways` lines, true-LRU within each
+/// set, one [`MesiState`] per line.
+///
+/// The cache stores line *indices* (byte address divided by the line size);
+/// the mapping from addresses to lines lives in
+/// [`crate::CacheConfig::line_of`].  All internal state is ordered, so two
+/// identical access sequences leave two caches in identical states — the
+/// engine-level determinism guarantee depends on this.
+///
+/// # Examples
+///
+/// ```
+/// use misp_cache::{CacheGeometry, MesiState, SetAssocCache};
+///
+/// let mut cache = SetAssocCache::new(CacheGeometry::new(1, 2));
+/// assert!(cache.lookup(7).is_none());
+/// cache.insert(7, MesiState::Exclusive);
+/// assert_eq!(cache.lookup(7), Some(MesiState::Exclusive));
+/// cache.insert(9, MesiState::Exclusive);
+/// // A third line in the 2-way set evicts the least-recently-used one.
+/// assert_eq!(cache.insert(11, MesiState::Exclusive), Some(7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    /// Per-set lines, least-recently-used at the front.
+    sets: Vec<VecDeque<(u64, MesiState)>>,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache of the given geometry.
+    #[must_use]
+    pub fn new(geometry: CacheGeometry) -> Self {
+        SetAssocCache {
+            geometry,
+            sets: (0..geometry.sets)
+                .map(|_| VecDeque::with_capacity(geometry.ways as usize))
+                .collect(),
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % u64::from(self.geometry.sets)) as usize
+    }
+
+    /// Looks `line` up, promoting it to most-recently-used on a hit.
+    pub fn lookup(&mut self, line: u64) -> Option<MesiState> {
+        let set = self.set_of(line);
+        let entries = &mut self.sets[set];
+        let pos = entries.iter().position(|(l, _)| *l == line)?;
+        let entry = entries.remove(pos).expect("position just found");
+        entries.push_back(entry);
+        Some(entry.1)
+    }
+
+    /// Returns the state of `line` without touching LRU order.
+    #[must_use]
+    pub fn peek(&self, line: u64) -> Option<MesiState> {
+        self.sets[self.set_of(line)]
+            .iter()
+            .find(|(l, _)| *l == line)
+            .map(|(_, s)| *s)
+    }
+
+    /// Sets the coherence state of a resident line without touching LRU
+    /// order.  Returns `false` if the line is not resident.
+    pub fn set_state(&mut self, line: u64, state: MesiState) -> bool {
+        let set = self.set_of(line);
+        match self.sets[set].iter_mut().find(|(l, _)| *l == line) {
+            Some(entry) => {
+                entry.1 = state;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `line` in `state` as most-recently-used, evicting and
+    /// returning the set's LRU line if the set is full.  Re-inserting a
+    /// resident line updates its state and promotes it.
+    pub fn insert(&mut self, line: u64, state: MesiState) -> Option<u64> {
+        let set = self.set_of(line);
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|(l, _)| *l == line) {
+            entries.remove(pos);
+            entries.push_back((line, state));
+            return None;
+        }
+        let evicted = if entries.len() == self.geometry.ways as usize {
+            entries.pop_front().map(|(l, _)| l)
+        } else {
+            None
+        };
+        entries.push_back((line, state));
+        evicted
+    }
+
+    /// Removes `line`, returning its state if it was resident.
+    pub fn invalidate(&mut self, line: u64) -> Option<MesiState> {
+        let set = self.set_of(line);
+        let entries = &mut self.sets[set];
+        let pos = entries.iter().position(|(l, _)| *l == line)?;
+        entries.remove(pos).map(|(_, s)| s)
+    }
+
+    /// Drops every line, returning how many were resident.
+    pub fn clear(&mut self) -> usize {
+        let mut dropped = 0;
+        for set in &mut self.sets {
+            dropped += set.len();
+            set.clear();
+        }
+        dropped
+    }
+
+    /// Number of resident lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(VecDeque::len).sum()
+    }
+
+    /// Returns `true` when no line is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(VecDeque::is_empty)
+    }
+
+    /// Iterates over every resident `(line, state)` pair, set by set, LRU
+    /// first within each set.
+    pub fn lines(&self) -> impl Iterator<Item = (u64, MesiState)> + '_ {
+        self.sets.iter().flat_map(|set| set.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(sets: u32, ways: u32) -> SetAssocCache {
+        SetAssocCache::new(CacheGeometry::new(sets, ways))
+    }
+
+    #[test]
+    fn lru_within_a_set() {
+        let mut c = cache(1, 2);
+        c.insert(1, MesiState::Exclusive);
+        c.insert(2, MesiState::Exclusive);
+        assert_eq!(c.lookup(1), Some(MesiState::Exclusive)); // 2 is now LRU
+        assert_eq!(c.insert(3, MesiState::Exclusive), Some(2));
+        assert!(c.peek(1).is_some());
+        assert!(c.peek(2).is_none());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = cache(2, 1);
+        c.insert(0, MesiState::Exclusive); // set 0
+        c.insert(1, MesiState::Exclusive); // set 1
+        assert_eq!(c.len(), 2);
+        // A second even line evicts only from set 0.
+        assert_eq!(c.insert(2, MesiState::Exclusive), Some(0));
+        assert_eq!(c.peek(1), Some(MesiState::Exclusive));
+    }
+
+    #[test]
+    fn reinsert_updates_state_without_eviction() {
+        let mut c = cache(1, 2);
+        c.insert(1, MesiState::Shared);
+        c.insert(2, MesiState::Shared);
+        assert_eq!(c.insert(1, MesiState::Modified), None);
+        assert_eq!(c.peek(1), Some(MesiState::Modified));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn set_state_and_invalidate() {
+        let mut c = cache(4, 2);
+        c.insert(9, MesiState::Exclusive);
+        assert!(c.set_state(9, MesiState::Shared));
+        assert!(!c.set_state(10, MesiState::Shared));
+        assert_eq!(c.invalidate(9), Some(MesiState::Shared));
+        assert_eq!(c.invalidate(9), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_reports_dropped_lines() {
+        let mut c = cache(2, 2);
+        for line in 0..4 {
+            c.insert(line, MesiState::Exclusive);
+        }
+        assert_eq!(c.clear(), 4);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lines_iterates_everything() {
+        let mut c = cache(2, 2);
+        c.insert(0, MesiState::Exclusive);
+        c.insert(1, MesiState::Modified);
+        let collected: Vec<(u64, MesiState)> = c.lines().collect();
+        assert_eq!(collected.len(), 2);
+        assert!(collected.contains(&(1, MesiState::Modified)));
+    }
+}

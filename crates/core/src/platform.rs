@@ -241,6 +241,12 @@ impl MispPlatform {
             .iter()
             .map(|ams| core.save_context(*ams, now))
             .collect();
+        // The incoming thread's working set displaces the outgoing one's:
+        // model the cold-cache restart by flushing every L1 of the processor.
+        // (No-op while the cache model is disabled.)
+        for seq in processor.sequencers() {
+            core.memory_mut().flush_cache(seq);
+        }
         self.thread_ctx.insert(
             thread,
             ThreadCtx {
@@ -256,6 +262,18 @@ impl MispPlatform {
 
 impl Platform for MispPlatform {
     fn init(&mut self, core: &mut EngineCore) {
+        // Impose the MISP clustering on the cache hierarchy: every sequencer
+        // of one MISP processor (OMS + AMSs) shares that processor's L2.
+        // (configure_caches is a no-op for a disabled cache config.)
+        let cache_config = core.config().cache;
+        let mut clusters = vec![0usize; core.sequencer_count()];
+        for (proc_idx, processor) in self.topology.processors().iter().enumerate() {
+            for seq in processor.sequencers() {
+                clusters[seq.as_usize()] = proc_idx;
+            }
+        }
+        core.memory_mut().configure_caches(cache_config, &clusters);
+
         let costs = *core.costs();
         let mut fabric = SignalFabric::new(costs);
         if core.config().fine_log {
@@ -319,6 +337,11 @@ impl Platform for MispPlatform {
             // Local Ring 3 -> Ring 0 transition on the OS-managed sequencer.
             core.stats_mut().record_event(seq, kind, true);
             core.log_event(seq, LogKind::RingEnter, kind.to_string());
+            // Privileged code displaces the servicing sequencer's L1 — the
+            // same charge the SMP baseline pays for its local services, so
+            // cache-enabled cross-machine comparisons stay unbiased.  (No-op
+            // while the cache model is disabled.)
+            core.memory_mut().flush_cache(oms);
             self.serialize_processor(core, proc_idx, None, now, priv_time);
             let resume = now + priv_time;
             self.oms_busy_until[proc_idx] = self.oms_busy_until[proc_idx].max(resume);
@@ -345,6 +368,11 @@ impl Platform for MispPlatform {
             let start = (now + signal).max(self.oms_busy_until[proc_idx]);
             let oms_done = start + costs.yield_transfer + signal * 2 + priv_time;
             core.log_event(oms, LogKind::ProxyStart, kind.to_string());
+            // The proxy episode runs privileged code on the OMS on the AMS's
+            // behalf, displacing the OMS's own working set from its L1 —
+            // the same per-service charge as a local Ring 0 entry.  (No-op
+            // while the cache model is disabled.)
+            core.memory_mut().flush_cache(oms);
 
             // The OMS is occupied from the moment the request is outstanding
             // until it has restored the AMS context (Equation 3).

@@ -34,6 +34,18 @@ fn usage() -> String {
     )
 }
 
+/// The named-grid catalog, one line per grid: name, size and description.
+fn catalog() -> String {
+    grids::all_names()
+        .into_iter()
+        .map(|name| {
+            let g = grids::by_name(name).expect("listed grid exists");
+            format!("{name:<18} {:>3} runs  {}", g.runs.len(), g.description)
+        })
+        .collect::<Vec<String>>()
+        .join("\n")
+}
+
 fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
     let _program = argv.next();
     let mut grid = None;
@@ -45,10 +57,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--list" => {
-                for name in grids::all_names() {
-                    let g = grids::by_name(name).expect("listed grid exists");
-                    println!("{name:<18} {:>3} runs  {}", g.runs.len(), g.description);
-                }
+                println!("{}", catalog());
                 return Ok(None);
             }
             "--threads" => {
@@ -110,7 +119,11 @@ fn main() -> ExitCode {
     };
 
     let Some(grid) = grids::by_name(&args.grid) else {
-        eprintln!("unknown grid {:?}\n{}", args.grid, usage());
+        eprintln!(
+            "unknown grid {:?} — available grids:\n{}",
+            args.grid,
+            catalog()
+        );
         return ExitCode::FAILURE;
     };
 

@@ -46,6 +46,7 @@ fn empty_record(index: usize, spec: &RunSpec, kind: &str) -> RunRecord {
         ring_policy: None,
         competitors: 0,
         ams_span_only: false,
+        cache: None,
         seed: spec.seed,
         baseline: spec.baseline.clone(),
         sim: None,
@@ -61,10 +62,13 @@ fn execute_sim(index: usize, spec: &RunSpec, sim: &SimSpec) -> Result<RunRecord>
             spec.id, sim.workload
         ))
     })?;
-    let config = match sim.signal {
+    let mut config = match sim.signal {
         Some(signal) => config_with_signal(signal),
         None => experiment_config(),
     };
+    if let Some(cache) = sim.cache {
+        config = config.with_cache(cache);
+    }
     let options = runner::RunOptions {
         pretouch: sim.pretouch,
         ring_policy: sim.ring_policy,
@@ -97,6 +101,7 @@ fn execute_sim(index: usize, spec: &RunSpec, sim: &SimSpec) -> Result<RunRecord>
     record.ring_policy = sim.ring_policy.map(|p| ring_policy_label(p).to_string());
     record.competitors = sim.competitors as u64;
     record.ams_span_only = sim.ams_span_only;
+    record.cache = sim.cache.filter(|c| c.enabled).map(|c| c.label());
     record.sim = Some(SimMetrics::from_report(&report));
     Ok(record)
 }

@@ -2,6 +2,7 @@
 //! two ablations, exactly the sweeps the `misp-bench` binaries render.
 
 use crate::spec::{GridSpec, MachineSpec, RunSpec, SimSpec, TopologySpec};
+use misp_cache::CacheConfig;
 use misp_core::RingPolicy;
 use misp_types::SignalCost;
 use misp_workloads::catalog;
@@ -251,6 +252,56 @@ pub fn ablation_pretouch() -> GridSpec {
     grid
 }
 
+/// The shared-L2 capacity points of the `cache_sensitivity` grid, largest
+/// first: `(label, sets, ways)` with the default 4 KiB line.
+#[must_use]
+pub fn cache_l2_points() -> Vec<(&'static str, u32, u32)> {
+    vec![
+        ("l2_2m", 64, 8),   // 2 MiB — holds every variant's full footprint
+        ("l2_512k", 32, 4), // 512 KiB — holds a per-core slice, not the sum
+        ("l2_128k", 16, 2), // 128 KiB — thrashes under streaming
+    ]
+}
+
+/// Cache sensitivity — the locality-variant workloads
+/// ([`catalog::cache_variants`]: streaming, blocked, shared-hot-set) with the
+/// cache hierarchy **enabled**, swept over shared-L2 capacity on both the
+/// MISP uniprocessor and the SMP baseline.
+///
+/// Within each workload × machine group the largest L2 is the baseline, so
+/// `speedup_vs_baseline` reads as the slowdown smaller L2s inflict.  On MISP
+/// all eight sequencers share one L2 (one processor); on SMP every core has
+/// a private one — which is exactly the architectural contrast the grid
+/// exposes: the shared-hot-set variant resolves its sharing in the MISP L2
+/// but pays coherence misses across SMP cores.
+#[must_use]
+pub fn cache_sensitivity() -> GridSpec {
+    let mut grid = GridSpec::new(
+        "cache_sensitivity",
+        "Cache sensitivity: locality variants x shared-L2 capacity x MISP/SMP, cache model enabled",
+    );
+    for workload in catalog::cache_variants() {
+        let name = workload.name();
+        for (machine_label, machine) in [
+            ("misp", MachineSpec::Misp(MISP_UP)),
+            ("smp", MachineSpec::Smp { cores: SEQUENCERS }),
+        ] {
+            let baseline_id = format!("{name}/{machine_label}/l2_2m");
+            for (cache_label, sets, ways) in cache_l2_points() {
+                let mut spec = SimSpec::new(name, machine.clone(), WORKERS);
+                spec.cache = Some(CacheConfig::enabled_default().with_l2(sets, ways));
+                let id = format!("{name}/{machine_label}/{cache_label}");
+                let mut run = RunSpec::sim(id.clone(), spec);
+                if id != baseline_id {
+                    run = run.with_baseline(baseline_id.clone());
+                }
+                grid.push(run);
+            }
+        }
+    }
+    grid
+}
+
 /// The names of every predefined grid, in a stable order.
 #[must_use]
 pub fn all_names() -> Vec<&'static str> {
@@ -263,6 +314,7 @@ pub fn all_names() -> Vec<&'static str> {
         "table2",
         "ablation_ring0",
         "ablation_pretouch",
+        "cache_sensitivity",
     ]
 }
 
@@ -278,6 +330,7 @@ pub fn by_name(name: &str) -> Option<GridSpec> {
         "table2" => Some(table2()),
         "ablation_ring0" => Some(ablation_ring0()),
         "ablation_pretouch" => Some(ablation_pretouch()),
+        "cache_sensitivity" => Some(cache_sensitivity()),
         _ => None,
     }
 }
@@ -308,6 +361,28 @@ mod tests {
         assert_eq!(table2().runs.len(), catalog::table2_applications().len());
         assert_eq!(ablation_ring0().runs.len(), workloads * 2);
         assert_eq!(ablation_pretouch().runs.len(), workloads * 2);
+        assert_eq!(
+            cache_sensitivity().runs.len(),
+            catalog::cache_variants().len() * 2 * cache_l2_points().len()
+        );
+    }
+
+    #[test]
+    fn cache_sensitivity_points_enable_the_cache_and_reference_the_largest_l2() {
+        let grid = cache_sensitivity();
+        for run in &grid.runs {
+            let crate::RunKind::Sim(spec) = &run.kind else {
+                panic!("cache grid holds only simulations");
+            };
+            let cache = spec.cache.expect("every point models the cache");
+            assert!(cache.enabled);
+            if run.id.ends_with("/l2_2m") {
+                assert!(run.baseline.is_none(), "{} is its group's baseline", run.id);
+            } else {
+                let baseline = run.baseline.as_deref().expect("smaller L2s have one");
+                assert!(baseline.ends_with("/l2_2m"), "{} -> {baseline}", run.id);
+            }
+        }
     }
 
     #[test]

@@ -8,12 +8,21 @@
 //! iteration order.  Running the same grid with any `--threads` value
 //! produces byte-identical JSON.
 
+use misp_cache::CacheStats;
 use misp_sim::SimReport;
 use serde::Serialize;
 
 /// Version of the results schema.  Bump when a field is added, removed or
 /// reinterpreted so downstream consumers can dispatch on it.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version history:
+///
+/// * **1** — initial schema.
+/// * **2** — simulation records gained machine-wide TLB totals
+///   (`tlb_hits`/`tlb_misses`/`tlb_flushes`), an optional `cache` metrics
+///   section (present when the cache model is enabled), and the run
+///   metadata gained an optional `cache` geometry label.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Metrics of one simulation run, flattened from the [`SimReport`].
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -44,6 +53,15 @@ pub struct SimMetrics {
     pub signals_sent: u64,
     /// Total AMS cycles lost to suspension.
     pub suspension_cycles: u64,
+    /// Machine-wide TLB hits.
+    pub tlb_hits: u64,
+    /// Machine-wide TLB misses.
+    pub tlb_misses: u64,
+    /// Machine-wide TLB flushes (CR3 writes and shootdowns).
+    pub tlb_flushes: u64,
+    /// Machine-wide cache totals; present exactly when the run modeled the
+    /// cache hierarchy.
+    pub cache: Option<CacheStats>,
     /// Speedup versus the run named by the spec's `baseline`
     /// (`baseline_cycles / total_cycles`); filled by the aggregator.
     pub speedup_vs_baseline: Option<f64>,
@@ -68,6 +86,10 @@ impl SimMetrics {
             context_switches: s.context_switches,
             signals_sent: s.signals_sent,
             suspension_cycles: s.suspension_cycles.as_u64(),
+            tlb_hits: s.tlb.hits,
+            tlb_misses: s.tlb.misses,
+            tlb_flushes: s.tlb.flushes,
+            cache: s.cache,
             speedup_vs_baseline: None,
         }
     }
@@ -151,6 +173,9 @@ pub struct RunRecord {
     /// Whether the application spanned only AMS-carrying processors (the
     /// Figure 7 rule) rather than every processor.
     pub ams_span_only: bool,
+    /// Cache-hierarchy geometry label (e.g. `"l1:64KiB/2w,l2:2MiB/8w"`);
+    /// `None` when the run used the default disabled cache model.
+    pub cache: Option<String>,
     /// Deterministic seed recorded for this point.
     pub seed: u64,
     /// The id of the baseline run, if the spec declared one.
@@ -221,6 +246,7 @@ mod tests {
             ring_policy: None,
             competitors: 0,
             ams_span_only: false,
+            cache: None,
             seed: 0,
             baseline: None,
             sim: None,
@@ -256,6 +282,6 @@ mod tests {
         let b = results.to_canonical_json().unwrap();
         assert_eq!(a, b);
         assert!(a.ends_with('\n'));
-        assert!(a.contains("\"schema_version\": 1"));
+        assert!(a.contains("\"schema_version\": 2"));
     }
 }

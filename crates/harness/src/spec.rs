@@ -6,6 +6,7 @@
 //! executes grid points independently (they share no state), which is what
 //! makes the fan-out in [`crate::run_grid`] embarrassingly parallel.
 
+use misp_cache::CacheConfig;
 use misp_core::{MispTopology, RingPolicy};
 use misp_types::SignalCost;
 
@@ -130,6 +131,9 @@ pub struct SimSpec {
     /// (the Figure 7 spanning rule); plain single-sequencer CPUs are left to
     /// the OS.  Off by default: plain MP runs span every processor.
     pub ams_span_only: bool,
+    /// Cache-hierarchy override; `None` keeps the default disabled cache
+    /// model (the paper's flat memory cost).
+    pub cache: Option<CacheConfig>,
 }
 
 impl SimSpec {
@@ -146,6 +150,7 @@ impl SimSpec {
             ring_policy: None,
             competitors: 0,
             ams_span_only: false,
+            cache: None,
         }
     }
 }

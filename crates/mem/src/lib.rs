@@ -20,6 +20,22 @@
 //! * [`WorkingSet`] / [`AccessPattern`] — helpers used by workload generators
 //!   to lay out realistic page footprints.
 //!
+//! # Memory hierarchy
+//!
+//! By default every access is charged the engine's flat access cost — the
+//! paper's memory model.  A [`MemorySystem`] can additionally carry the
+//! coherent cache hierarchy from the `misp-cache` crate (per-sequencer L1s,
+//! per-processor shared L2s, MESI-lite coherence): platforms install it with
+//! [`MemorySystem::configure_caches`] during engine initialization, passing
+//! the cluster map that says which sequencers share an L2.  Once installed,
+//! [`MemorySystem::access`] reports a
+//! [`misp_cache::CacheOutcome`] in [`MemoryOutcome::cache`] and the engine
+//! charges the corresponding per-level latency.  The cache model is
+//! **disabled by default** (`misp_cache::CacheConfig::disabled()`), which
+//! keeps every committed golden result byte-identical; see the `misp-cache`
+//! crate docs for the hierarchy's parameters and the README for how goldens
+//! are regenerated after an intentional schema change.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,10 +49,11 @@
 //! mem.bind_sequencer(seq, pid);
 //!
 //! // First touch of a page: compulsory page fault.
-//! let outcome = mem.access(seq, VirtAddr::new(0x10_0000));
+//! let outcome = mem.access(seq, VirtAddr::new(0x10_0000), false);
 //! assert!(outcome.page_fault);
+//! assert!(outcome.cache.is_none(), "cache model is disabled by default");
 //! // Second touch: the page is resident and now cached in the TLB.
-//! let outcome = mem.access(seq, VirtAddr::new(0x10_0008));
+//! let outcome = mem.access(seq, VirtAddr::new(0x10_0008), false);
 //! assert!(!outcome.page_fault);
 //! assert!(outcome.tlb_hit);
 //! ```

@@ -1,6 +1,7 @@
 //! The machine-level memory system: address spaces plus per-sequencer TLBs.
 
 use crate::{AddressSpace, Tlb, TlbStats};
+use misp_cache::{CacheConfig, CacheHierarchy, CacheOutcome, CacheStats};
 use misp_types::{MispError, PageId, ProcessId, Result, SequencerId, VirtAddr};
 use std::collections::HashMap;
 
@@ -15,6 +16,10 @@ pub struct MemoryOutcome {
     pub page_fault: bool,
     /// The page that was accessed.
     pub page: PageId,
+    /// The cache hierarchy's view of the access; `None` when the cache model
+    /// is disabled (the default), in which case only the engine's flat access
+    /// cost applies.
+    pub cache: Option<CacheOutcome>,
 }
 
 /// The memory system of one simulated machine.
@@ -30,6 +35,9 @@ pub struct MemorySystem {
     cr3: Vec<Option<ProcessId>>,
     tlb_capacity: usize,
     shootdowns: u64,
+    /// The coherent cache hierarchy; `None` while the cache model is disabled
+    /// (see [`MemorySystem::configure_caches`]).
+    caches: Option<CacheHierarchy>,
 }
 
 impl MemorySystem {
@@ -48,6 +56,66 @@ impl MemorySystem {
             cr3: vec![None; sequencers],
             tlb_capacity,
             shootdowns: 0,
+            caches: None,
+        }
+    }
+
+    /// Installs (or removes) the cache hierarchy.  With `config.enabled` the
+    /// hierarchy is rebuilt from scratch — per-sequencer L1s, one shared L2
+    /// per cluster named by `clusters[sequencer]` — discarding any previous
+    /// cache state and statistics; with a disabled config the hierarchy is
+    /// removed and accesses charge only the flat cost.
+    ///
+    /// Platforms call this during engine initialization, before any access,
+    /// to impose their clustering (sequencers of one MISP processor share an
+    /// L2; every SMP core is its own cluster).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.enabled` and `clusters.len()` differs from the
+    /// sequencer count.
+    pub fn configure_caches(&mut self, config: CacheConfig, clusters: &[usize]) {
+        if config.enabled {
+            assert_eq!(
+                clusters.len(),
+                self.tlbs.len(),
+                "cache cluster map must name every sequencer"
+            );
+            self.caches = Some(CacheHierarchy::new(config, clusters));
+        } else {
+            self.caches = None;
+        }
+    }
+
+    /// Returns `true` when the cache hierarchy is modeled.
+    #[must_use]
+    pub fn cache_enabled(&self) -> bool {
+        self.caches.is_some()
+    }
+
+    /// The cache hierarchy, if enabled.
+    #[must_use]
+    pub fn caches(&self) -> Option<&CacheHierarchy> {
+        self.caches.as_ref()
+    }
+
+    /// Cache statistics for `sequencer`; `None` when the cache model is
+    /// disabled or the sequencer is out of range.
+    #[must_use]
+    pub fn cache_stats(&self, sequencer: SequencerId) -> Option<CacheStats> {
+        self.caches.as_ref().and_then(|h| h.stats(sequencer))
+    }
+
+    /// Flushes `sequencer`'s private L1 (context switch or proxy-execution
+    /// pollution).  A no-op while the cache model is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sequencer` is out of range while the cache model is
+    /// enabled — a silently dropped flush would bias cycle counts.
+    pub fn flush_cache(&mut self, sequencer: SequencerId) {
+        if let Some(caches) = self.caches.as_mut() {
+            caches.flush_l1(sequencer);
         }
     }
 
@@ -111,13 +179,15 @@ impl MemorySystem {
     }
 
     /// Performs a memory access by `sequencer` at `addr` against its bound
-    /// process, reporting TLB and page-fault outcomes.
+    /// process, reporting TLB, page-fault and cache outcomes.  `store`
+    /// selects a write, which matters only to the cache model (a store
+    /// invalidates the line in remote caches).
     ///
     /// # Panics
     ///
     /// Panics if the sequencer has no bound process — the execution engine
     /// must bind sequencers before letting shreds touch memory.
-    pub fn access(&mut self, sequencer: SequencerId, addr: VirtAddr) -> MemoryOutcome {
+    pub fn access(&mut self, sequencer: SequencerId, addr: VirtAddr, store: bool) -> MemoryOutcome {
         let idx = sequencer.as_usize();
         let pid =
             self.cr3[idx].expect("sequencer must be bound to a process before accessing memory");
@@ -128,10 +198,18 @@ impl MemorySystem {
             .get_mut(&pid)
             .expect("bound process always has an address space");
         let page_fault = space.touch(page);
+        // Cache lines are tagged with the owning process (the model's
+        // stand-in for physical tagging), so equal virtual addresses in
+        // different address spaces never alias in the L1s or the shared L2s.
+        let cache = self
+            .caches
+            .as_mut()
+            .map(|h| h.access(sequencer, pid.index(), addr, store));
         MemoryOutcome {
             tlb_hit,
             page_fault,
             page,
+            cache,
         }
     }
 
@@ -215,16 +293,16 @@ mod tests {
     fn first_touch_faults_on_any_sequencer_once() {
         let (mut mem, _) = setup();
         let addr = VirtAddr::new(10 * PAGE_SIZE);
-        let o = mem.access(SequencerId::new(2), addr);
+        let o = mem.access(SequencerId::new(2), addr, false);
         assert!(o.page_fault);
         assert!(!o.tlb_hit);
         // Another sequencer touching the same page: no fault (shared address
         // space) but a TLB miss because TLBs are per-sequencer.
-        let o = mem.access(SequencerId::new(3), addr);
+        let o = mem.access(SequencerId::new(3), addr, false);
         assert!(!o.page_fault);
         assert!(!o.tlb_hit);
         // Same sequencer again: TLB hit.
-        let o = mem.access(SequencerId::new(3), addr);
+        let o = mem.access(SequencerId::new(3), addr, false);
         assert!(o.tlb_hit);
     }
 
@@ -256,7 +334,7 @@ mod tests {
         mem.register_process(b);
         let s = SequencerId::new(0);
         mem.bind_sequencer(s, a).unwrap();
-        mem.access(s, VirtAddr::new(0));
+        mem.access(s, VirtAddr::new(0), false);
         assert_eq!(mem.tlb_stats(s).unwrap().flushes, 1, "initial bind flushes");
         mem.bind_sequencer(s, a).unwrap(); // same process: no flush
         assert_eq!(mem.tlb_stats(s).unwrap().flushes, 1);
@@ -283,7 +361,7 @@ mod tests {
         let (mut mem, pid) = setup();
         mem.pretouch_range(pid, VirtAddr::new(0), 16);
         for i in 0..16 {
-            let o = mem.access(SequencerId::new(0), VirtAddr::new(i * PAGE_SIZE));
+            let o = mem.access(SequencerId::new(0), VirtAddr::new(i * PAGE_SIZE), false);
             assert!(!o.page_fault, "page {i} should be pre-touched");
         }
         assert_eq!(mem.address_space(pid).unwrap().compulsory_faults(), 0);
@@ -294,7 +372,7 @@ mod tests {
         let (mut mem, pid) = setup();
         let addr = VirtAddr::new(3 * PAGE_SIZE);
         assert!(mem.would_fault(pid, addr));
-        mem.access(SequencerId::new(0), addr);
+        mem.access(SequencerId::new(0), addr, false);
         assert!(!mem.would_fault(pid, addr));
         assert!(
             mem.would_fault(ProcessId::new(42), addr),

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use misp_cache::CacheConfig;
 use misp_os::TimerConfig;
 use misp_types::{CostModel, Cycles};
 use serde::{Deserialize, Serialize};
@@ -13,6 +14,10 @@ pub struct SimConfig {
     pub timer: TimerConfig,
     /// Per-sequencer TLB capacity, in entries.
     pub tlb_capacity: usize,
+    /// The cache-hierarchy model.  Disabled by default, reproducing the
+    /// paper's flat memory cost; platforms impose their L2 clustering on it
+    /// at engine initialization.
+    pub cache: CacheConfig,
     /// Base cost of a memory access that hits the TLB.
     pub access_cost: Cycles,
     /// Hard limit on simulated time; exceeding it aborts the run with
@@ -37,6 +42,14 @@ impl SimConfig {
         self.timer = timer;
         self
     }
+
+    /// Returns a configuration identical to `self` but with a different cache
+    /// model — convenient for cache-sensitivity sweeps.
+    #[must_use]
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -45,6 +58,7 @@ impl Default for SimConfig {
             costs: CostModel::default(),
             timer: TimerConfig::default(),
             tlb_capacity: 64,
+            cache: CacheConfig::disabled(),
             access_cost: Cycles::new(2),
             cycle_budget: Cycles::new(50_000_000_000),
             fine_log: false,
@@ -64,6 +78,16 @@ mod tests {
         assert!(!c.access_cost.is_zero());
         assert!(c.cycle_budget > Cycles::new(1_000_000));
         assert!(!c.fine_log);
+        assert!(!c.cache.enabled, "the cache model is opt-in");
+    }
+
+    #[test]
+    fn with_cache_replaces_only_the_cache_model() {
+        let base = SimConfig::default();
+        let modified = base.with_cache(CacheConfig::enabled_default());
+        assert!(modified.cache.enabled);
+        assert_eq!(modified.costs, base.costs);
+        assert_eq!(modified.tlb_capacity, base.tlb_capacity);
     }
 
     #[test]

@@ -47,6 +47,11 @@ impl EngineCore {
     pub fn new(config: SimConfig, sequencer_count: usize, library: ProgramLibrary) -> Self {
         let mut log = EventLog::new(config.fine_log);
         log.set_cap(EventLog::DEFAULT_CAP);
+        // The cache hierarchy is deliberately NOT built here: its clustering
+        // (which sequencers share an L2) is the platform's knowledge, so
+        // every platform's `init` must call `MemorySystem::configure_caches`
+        // — `Engine::run` asserts it happened when the config enables the
+        // cache model.
         EngineCore {
             config,
             now: Cycles::ZERO,

@@ -114,6 +114,12 @@ impl<P: Platform> Engine<P> {
             ));
         }
         self.platform.init(&mut self.core);
+        assert_eq!(
+            self.core.config().cache.enabled,
+            self.core.memory().cache_enabled(),
+            "the platform's init() must call MemorySystem::configure_caches \
+             with its L2 clustering when the config enables the cache model"
+        );
 
         // Start every OS thread of every process that has a runtime, in
         // process/thread creation order for determinism.
@@ -227,6 +233,26 @@ impl<P: Platform> Engine<P> {
             };
             self.core.stats_mut().per_sequencer[i] = util;
         }
+        let tlb: Vec<misp_mem::TlbStats> = (0..self.core.sequencer_count())
+            .map(|i| {
+                self.core
+                    .memory()
+                    .tlb_stats(SequencerId::new(i as u32))
+                    .unwrap_or_default()
+            })
+            .collect();
+        self.core.stats_mut().fold_tlb(tlb);
+        if self.core.memory().cache_enabled() {
+            let cache: Vec<misp_cache::CacheStats> = (0..self.core.sequencer_count())
+                .map(|i| {
+                    self.core
+                        .memory()
+                        .cache_stats(SequencerId::new(i as u32))
+                        .unwrap_or_default()
+                })
+                .collect();
+            self.core.stats_mut().fold_cache(cache);
+        }
         let stats = self.core.stats().clone();
         let completions: BTreeMap<u32, Cycles> = measured
             .iter()
@@ -292,9 +318,17 @@ impl<P: Platform> Engine<P> {
                 self.core.sequencer_mut(seq).add_busy(c);
                 self.core.schedule_ready(seq, now + install_cost + c);
             }
-            Op::Touch { addr, .. } => {
-                let outcome = self.core.memory_mut().access(seq, addr);
-                let mut cost = access_cost;
+            Op::Touch { addr, kind } => {
+                let store = kind == misp_isa::AccessKind::Store;
+                let outcome = self.core.memory_mut().access(seq, addr, store);
+                // The cache model *refines* the flat access cost into
+                // per-level latencies, so its latency replaces `access_cost`
+                // rather than stacking on it (an all-L1-hit run with the
+                // default costs matches the flat model).
+                let mut cost = match outcome.cache {
+                    Some(cache) => cache.latency,
+                    None => access_cost,
+                };
                 if !outcome.tlb_hit {
                     cost += costs.tlb_walk;
                 }

@@ -54,6 +54,13 @@ impl LocalPlatform {
 
 impl Platform for LocalPlatform {
     fn init(&mut self, core: &mut EngineCore) {
+        // Every sequencer is an independent CPU with its own L2, exactly as
+        // in the full SMP machine.  (configure_caches is a no-op for a
+        // disabled cache config.)
+        let cache_config = core.config().cache;
+        let clusters: Vec<usize> = (0..core.sequencer_count()).collect();
+        core.memory_mut().configure_caches(cache_config, &clusters);
+
         for &(thread, seq_index) in &self.pinned {
             let seq = SequencerId::new(seq_index as u32);
             let pid = core

@@ -1,5 +1,7 @@
 //! Simulation statistics.
 
+use misp_cache::CacheStats;
+use misp_mem::TlbStats;
 use misp_os::{OsEventCounts, OsEventKind};
 use misp_types::{Cycles, ProcessId, SequencerId};
 use serde::Serialize;
@@ -47,6 +49,16 @@ pub struct SimStats {
     pub per_sequencer: Vec<SeqUtilization>,
     /// Per-sequencer privileged-event counts, indexed by sequencer.
     pub per_sequencer_events: Vec<OsEventCounts>,
+    /// Machine-wide TLB totals (hits, misses, flushes), folded from the
+    /// per-sequencer TLBs when the report is assembled.
+    pub tlb: TlbStats,
+    /// Per-sequencer TLB statistics, indexed by sequencer.
+    pub per_sequencer_tlb: Vec<TlbStats>,
+    /// Machine-wide cache totals; `None` while the cache model is disabled.
+    pub cache: Option<CacheStats>,
+    /// Per-sequencer cache statistics; empty while the cache model is
+    /// disabled.
+    pub per_sequencer_cache: Vec<CacheStats>,
 }
 
 impl SimStats {
@@ -56,8 +68,34 @@ impl SimStats {
         SimStats {
             per_sequencer: vec![SeqUtilization::default(); sequencers],
             per_sequencer_events: vec![OsEventCounts::default(); sequencers],
+            per_sequencer_tlb: vec![TlbStats::default(); sequencers],
             ..SimStats::default()
         }
+    }
+
+    /// Installs the per-sequencer TLB snapshots and folds them into the
+    /// machine-wide totals (called when the report is assembled).
+    pub fn fold_tlb(&mut self, per_sequencer: Vec<TlbStats>) {
+        let mut total = TlbStats::default();
+        for t in &per_sequencer {
+            total.hits += t.hits;
+            total.misses += t.misses;
+            total.flushes += t.flushes;
+        }
+        self.tlb = total;
+        self.per_sequencer_tlb = per_sequencer;
+    }
+
+    /// Installs the per-sequencer cache snapshots and folds them into the
+    /// machine-wide totals (called when the report is assembled, cache model
+    /// enabled only).
+    pub fn fold_cache(&mut self, per_sequencer: Vec<CacheStats>) {
+        let mut total = CacheStats::default();
+        for c in &per_sequencer {
+            total.merge(c);
+        }
+        self.cache = Some(total);
+        self.per_sequencer_cache = per_sequencer;
     }
 
     /// Records a privileged event originating on `seq`.
@@ -125,5 +163,42 @@ mod tests {
         let mut s = SimStats::new(1);
         s.record_event(SequencerId::new(9), OsEventKind::Timer, true);
         assert_eq!(s.oms_events.timer, 1);
+    }
+
+    #[test]
+    fn fold_tlb_sums_per_sequencer_counters() {
+        let mut s = SimStats::new(2);
+        let a = TlbStats {
+            hits: 10,
+            misses: 3,
+            flushes: 1,
+        };
+        let b = TlbStats {
+            hits: 5,
+            misses: 7,
+            flushes: 2,
+        };
+        s.fold_tlb(vec![a, b]);
+        assert_eq!(s.tlb.hits, 15);
+        assert_eq!(s.tlb.misses, 10);
+        assert_eq!(s.tlb.flushes, 3);
+        assert_eq!(s.per_sequencer_tlb, vec![a, b]);
+    }
+
+    #[test]
+    fn fold_cache_sums_per_sequencer_counters() {
+        let mut s = SimStats::new(2);
+        assert!(s.cache.is_none(), "cache totals absent until folded");
+        let a = CacheStats {
+            l1_hits: 4,
+            l2_hits: 2,
+            compulsory_misses: 1,
+            ..CacheStats::default()
+        };
+        s.fold_cache(vec![a, a]);
+        let total = s.cache.expect("folded");
+        assert_eq!(total.l1_hits, 8);
+        assert_eq!(total.accesses(), 14);
+        assert_eq!(s.per_sequencer_cache.len(), 2);
     }
 }

@@ -4,8 +4,8 @@
 //! SMP system" (Section 5): the same number of hardware contexts, but all of
 //! them OS-visible, each servicing its own system calls, page faults and timer
 //! interrupts locally with no cross-core serialization.  This crate provides
-//! that baseline as a [`Platform`] implementation for the `misp-sim` engine
-//! plus the [`SmpMachine`] convenience wrapper.
+//! that baseline as a [`misp_sim::Platform`] implementation for the
+//! `misp-sim` engine plus the [`SmpMachine`] convenience wrapper.
 //!
 //! The important difference from the MISP machine in `misp-core` is what
 //! *doesn't* happen here: a privileged event on one core never suspends any

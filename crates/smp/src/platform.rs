@@ -98,6 +98,14 @@ impl SmpPlatform {
 
 impl Platform for SmpPlatform {
     fn init(&mut self, core: &mut EngineCore) {
+        // Impose the SMP clustering on the cache hierarchy: every core is its
+        // own cluster, so cross-core sharing always crosses the coherence
+        // fabric (unlike MISP, where sequencers of one processor share an L2).
+        // (configure_caches is a no-op for a disabled cache config.)
+        let cache_config = core.config().cache;
+        let clusters: Vec<usize> = (0..self.cores).collect();
+        core.memory_mut().configure_caches(cache_config, &clusters);
+
         let mut scheduler =
             SystemScheduler::new(self.cores, self.quantum_ticks, PlacementPolicy::LeastLoaded);
         for &(thread, core_idx) in &self.pinned {
@@ -132,6 +140,11 @@ impl Platform for SmpPlatform {
         core.stats_mut().record_event(seq, kind, true);
         core.kernel_mut().record_event(kind);
         core.log_event(seq, LogKind::RingEnter, kind.to_string());
+        // Privileged code displaces the servicing core's L1, exactly as the
+        // MISP platform charges its OMS per privileged service — keeping
+        // cache-enabled cross-machine comparisons unbiased.  (No-op while
+        // the cache model is disabled.)
+        core.memory_mut().flush_cache(seq);
         let service = core.kernel().service_cost(kind);
         core.log_event(seq, LogKind::RingExit, kind.to_string());
         now + service
@@ -162,6 +175,9 @@ impl Platform for SmpPlatform {
             core.stats_mut().context_switches += 1;
             core.log_event(cpu, LogKind::ContextSwitch, format!("{prev} -> {next}"));
             let ctx = core.save_context(cpu, now);
+            // Cold-cache restart for the incoming thread (no-op while the
+            // cache model is disabled).
+            core.memory_mut().flush_cache(cpu);
             self.thread_ctx.insert(prev, ctx);
             let _ = core
                 .kernel_mut()

@@ -57,6 +57,50 @@ impl SignalCost {
     }
 }
 
+/// Cycle latencies charged by the cache hierarchy (`misp-cache`) for each
+/// level a memory access resolves at, plus the cost of a coherence
+/// invalidation round.
+///
+/// The paper's evaluation charges a flat cost per memory touch; the cache
+/// model refines that into per-level latencies so memory-bound workloads can
+/// distinguish locality regimes.  The defaults approximate a 3 GHz IA-32
+/// server of the paper's era: a 2-cycle L1, a mid-teens-cycle shared L2 and a
+/// DRAM access north of 200 cycles.
+///
+/// # Examples
+///
+/// ```
+/// use misp_types::{CacheCostModel, Cycles};
+///
+/// let costs = CacheCostModel::default();
+/// assert!(costs.l1_hit < costs.l2_hit);
+/// assert!(costs.l2_hit < costs.memory);
+/// assert_eq!(CacheCostModel::default(), costs);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheCostModel {
+    /// Latency of an access that hits the sequencer's private L1.
+    pub l1_hit: Cycles,
+    /// Latency of an L1 miss that hits the processor's shared L2.
+    pub l2_hit: Cycles,
+    /// Latency of an access that misses the whole hierarchy (DRAM).
+    pub memory: Cycles,
+    /// Additional latency charged to a store that must invalidate the line in
+    /// remote caches before completing.
+    pub invalidation: Cycles,
+}
+
+impl Default for CacheCostModel {
+    fn default() -> Self {
+        CacheCostModel {
+            l1_hit: Cycles::new(2),
+            l2_hit: Cycles::new(14),
+            memory: Cycles::new(220),
+            invalidation: Cycles::new(40),
+        }
+    }
+}
+
 /// Cycle costs charged by the simulator for every architectural and OS-level
 /// service the paper's evaluation depends on.
 ///

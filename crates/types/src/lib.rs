@@ -32,7 +32,7 @@ mod error;
 mod ids;
 mod ring;
 
-pub use cost::{CostModel, CostModelBuilder, SignalCost};
+pub use cost::{CacheCostModel, CostModel, CostModelBuilder, SignalCost};
 pub use cycles::{Cycles, Duration};
 pub use error::{MispError, Result};
 pub use ids::{

@@ -1,7 +1,7 @@
 //! The catalog of modeled benchmarks (Figure 4 / Table 1) and ported
 //! applications (Table 2).
 
-use crate::{PortedApplication, Suite, Workload, WorkloadParams};
+use crate::{LocalityProfile, PortedApplication, Suite, Workload, WorkloadParams};
 use misp_mem::AccessPattern;
 use shredlib::compat::LegacyApi;
 
@@ -37,6 +37,7 @@ fn params(
         worker_syscalls,
         access_pattern,
         lock_contention,
+        locality: LocalityProfile::Revisit,
     }
 }
 
@@ -176,10 +177,78 @@ pub fn all() -> Vec<Workload> {
     ]
 }
 
-/// Looks up a workload by its Figure 4 name (case-sensitive).
+/// The locality-variant workloads behind the `cache_sensitivity` grid.
+///
+/// These are not part of the paper's Figure 4/Table 1 catalog ([`all`]) — the
+/// flat-cost figures and their goldens are unaffected.  The three variants
+/// share the work and per-iteration touch budget so that differences in runs
+/// with the cache model enabled are attributable to locality alone:
+///
+/// * `stream_walk` — streams through a 48-page per-worker set, the
+///   cache-hostile regime (capacity misses scale with L2 size).
+/// * `blocked_walk` — the same set and touch count, but revisiting a 4-page
+///   block, the cache-friendly tiled regime (L1 hits).
+/// * `hotset_update` — all workers read/write a shared 8-page hot set, the
+///   coherence-bound regime (invalidations; coherence misses across
+///   clusters).
+#[must_use]
+pub fn cache_variants() -> Vec<Workload> {
+    let base = |locality, worker_pages| WorkloadParams {
+        total_work: 120_000_000,
+        serial_fraction: 0.05,
+        main_pages: 16,
+        worker_pages,
+        chunks_per_worker: 80,
+        main_syscalls: 0,
+        worker_syscalls: 0,
+        access_pattern: AccessPattern::Sequential,
+        lock_contention: false,
+        locality,
+    };
+    vec![
+        Workload::new(
+            "stream_walk",
+            Suite::Rms,
+            base(
+                LocalityProfile::Streaming {
+                    pages_per_chunk: 24,
+                },
+                48,
+            ),
+        ),
+        Workload::new(
+            "blocked_walk",
+            Suite::Rms,
+            base(
+                LocalityProfile::Blocked {
+                    block_pages: 4,
+                    touches_per_chunk: 24,
+                },
+                48,
+            ),
+        ),
+        Workload::new(
+            "hotset_update",
+            Suite::Rms,
+            base(
+                LocalityProfile::SharedHotSet {
+                    pages: 8,
+                    touches_per_chunk: 24,
+                },
+                16,
+            ),
+        ),
+    ]
+}
+
+/// Looks up a workload by name: the Figure 4 catalog first (case-sensitive),
+/// then the [`cache_variants`].
 #[must_use]
 pub fn by_name(name: &str) -> Option<Workload> {
-    all().into_iter().find(|w| w.name() == name)
+    all()
+        .into_iter()
+        .chain(cache_variants())
+        .find(|w| w.name() == name)
 }
 
 /// The applications of Table 2, described by the legacy threading API surface
@@ -395,6 +464,31 @@ mod tests {
         assert!(by_name("galgel").is_some());
         assert!(by_name("RayTracer").is_some());
         assert!(by_name("doom3").is_none());
+    }
+
+    #[test]
+    fn cache_variants_resolve_by_name_but_stay_out_of_the_figure_catalog() {
+        let variants = cache_variants();
+        assert_eq!(variants.len(), 3);
+        for v in &variants {
+            assert!(by_name(v.name()).is_some(), "{} resolves", v.name());
+            assert!(
+                all().iter().all(|w| w.name() != v.name()),
+                "{} must not join the Figure 4 catalog",
+                v.name()
+            );
+        }
+        // The streaming and blocked variants are a controlled pair: same
+        // work, same footprint, same touch budget — only locality differs.
+        let stream = by_name("stream_walk").unwrap();
+        let blocked = by_name("blocked_walk").unwrap();
+        assert_eq!(stream.params().total_work, blocked.params().total_work);
+        assert_eq!(stream.params().worker_pages, blocked.params().worker_pages);
+        assert_eq!(
+            stream.params().chunks_per_worker,
+            blocked.params().chunks_per_worker
+        );
+        assert_ne!(stream.params().locality, blocked.params().locality);
     }
 
     #[test]

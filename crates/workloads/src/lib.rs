@@ -44,5 +44,5 @@ pub mod runner;
 mod params;
 mod workload;
 
-pub use params::{Suite, WorkloadParams};
+pub use params::{LocalityProfile, Suite, WorkloadParams};
 pub use workload::{PortedApplication, Workload};

@@ -24,6 +24,47 @@ impl Suite {
     }
 }
 
+/// How a worker shred revisits memory inside its parallel loop — the knob
+/// that makes the cache hierarchy (`misp-cache`) distinguishable.
+///
+/// The first touch of every working-set page is governed by
+/// [`AccessPattern`]; `LocalityProfile` governs the *steady-state* accesses
+/// each loop iteration performs afterwards.  With the cache model disabled
+/// (the default) the profiles differ only in their TLB/page behaviour; with
+/// it enabled they separate into distinct miss regimes.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LocalityProfile {
+    /// The original calibration behaviour: revisit one already-resident page
+    /// per iteration.  This is the default and is what every paper workload
+    /// uses, keeping their committed goldens byte-identical.
+    #[default]
+    Revisit,
+    /// Stream through the worker's whole working set, `pages_per_chunk`
+    /// pages per iteration, never reusing a line before the set wraps —
+    /// the cache-hostile regime.
+    Streaming {
+        /// Pages touched per loop iteration.
+        pages_per_chunk: u64,
+    },
+    /// Revisit a small block of `block_pages` pages `touches_per_chunk`
+    /// times per iteration — the cache-friendly blocked/tiled regime.
+    Blocked {
+        /// Size of the reused block, in pages.
+        block_pages: u64,
+        /// Accesses per loop iteration.
+        touches_per_chunk: u64,
+    },
+    /// All workers read *and write* a shared hot set of `pages` pages every
+    /// iteration — the coherence-bound regime (invalidations, coherence
+    /// misses).  Every fourth access is a store.
+    SharedHotSet {
+        /// Size of the shared hot set, in pages.
+        pages: u64,
+        /// Accesses per loop iteration.
+        touches_per_chunk: u64,
+    },
+}
+
 /// The calibration parameters of one synthetic workload.
 ///
 /// All quantities are already scaled down from the original benchmarks (by
@@ -56,6 +97,8 @@ pub struct WorkloadParams {
     /// Whether workers contend on a shared mutex-protected accumulator each
     /// iteration (models reduction-style kernels).
     pub lock_contention: bool,
+    /// The steady-state memory-locality regime of the parallel loop.
+    pub locality: LocalityProfile,
 }
 
 impl WorkloadParams {
@@ -92,6 +135,7 @@ impl Default for WorkloadParams {
             worker_syscalls: 0,
             access_pattern: AccessPattern::Sequential,
             lock_contention: false,
+            locality: LocalityProfile::Revisit,
         }
     }
 }

@@ -1,6 +1,6 @@
 //! Workload definitions and shred-program generation.
 
-use crate::{Suite, WorkloadParams};
+use crate::{LocalityProfile, Suite, WorkloadParams};
 use misp_isa::{Op, ProgramBuilder, ProgramLibrary, SyscallKind};
 use misp_mem::WorkingSet;
 use misp_types::{Cycles, LockId, VirtAddr, PAGE_SIZE};
@@ -11,6 +11,9 @@ const MAIN_BASE: u64 = 0x1000_0000;
 /// Base virtual address of the first worker's working set; workers are laid
 /// out contiguously above this.
 const WORKER_BASE: u64 = 0x4000_0000;
+/// Base virtual address of the hot set shared by every worker of a
+/// [`LocalityProfile::SharedHotSet`] workload.
+const SHARED_BASE: u64 = 0x8000_0000;
 /// The barrier every shred (workers + main) waits at to end the run.
 const FINISH_BARRIER: LockId = LockId::new(0);
 /// The mutex used by workloads with a contended shared accumulator.
@@ -98,6 +101,57 @@ impl Workload {
         ))
     }
 
+    /// Emits the steady-state accesses of loop iteration `chunk` for the
+    /// given locality profile.
+    fn chunk_accesses(
+        mut b: ProgramBuilder,
+        locality: LocalityProfile,
+        set: Option<&WorkingSet>,
+        chunk: u64,
+    ) -> ProgramBuilder {
+        match locality {
+            LocalityProfile::Revisit => {
+                if let Some(set) = set {
+                    b = b.load(set.page_addr(chunk % set.pages()));
+                }
+            }
+            LocalityProfile::Streaming { pages_per_chunk } => {
+                if let Some(set) = set {
+                    let pages = set.pages();
+                    for i in 0..pages_per_chunk {
+                        b = b.load(set.page_addr((chunk * pages_per_chunk + i) % pages));
+                    }
+                }
+            }
+            LocalityProfile::Blocked {
+                block_pages,
+                touches_per_chunk,
+            } => {
+                if let Some(set) = set {
+                    let block = block_pages.clamp(1, set.pages());
+                    for i in 0..touches_per_chunk {
+                        b = b.load(set.page_addr(i % block));
+                    }
+                }
+            }
+            LocalityProfile::SharedHotSet {
+                pages,
+                touches_per_chunk,
+            } => {
+                let pages = pages.max(1);
+                for i in 0..touches_per_chunk {
+                    let addr = VirtAddr::new(SHARED_BASE + ((chunk + i) % pages) * PAGE_SIZE);
+                    b = if i % 4 == 0 {
+                        b.store(addr)
+                    } else {
+                        b.load(addr)
+                    };
+                }
+            }
+        }
+        b
+    }
+
     fn build_inner(
         &self,
         library: &mut ProgramLibrary,
@@ -132,11 +186,10 @@ impl Workload {
                         .compute(Cycles::new(200))
                         .mutex_unlock(REDUCTION_MUTEX);
                 }
-                // Revisit one already-resident page per chunk (TLB traffic,
-                // no new faults).
-                if let Some(set) = self.worker_set(w) {
-                    b = b.load(set.page_addr(c % set.pages()));
-                }
+                // Steady-state accesses of this iteration, per the locality
+                // profile (the default revisits one already-resident page:
+                // TLB traffic, no new faults).
+                b = Self::chunk_accesses(b, p.locality, self.worker_set(w).as_ref(), c);
                 if syscall_period > 0
                     && issued_syscalls < p.worker_syscalls
                     && (c + 1) % syscall_period == 0

@@ -1,0 +1,69 @@
+//! Declaring a custom cache-parameter sweep with the harness API.
+//!
+//! The predefined `cache_sensitivity` grid sweeps shared-L2 capacity; this
+//! example shows how any cache parameter becomes a grid axis.  It crosses
+//! two L1 geometries with three L2 geometries for the streaming workload on
+//! the MISP uniprocessor, with the flat-cost (cache-disabled) run as the
+//! common baseline — so every speedup reads as "what the cache model adds or
+//! costs relative to the paper's flat memory model".
+//!
+//! Run with `cargo run --release --example cache_sweep`.
+
+use misp::cache::CacheConfig;
+use misp::harness::{
+    run_grid, GridSpec, MachineSpec, RunSpec, SimSpec, SweepOptions, TopologySpec, VerifyMode,
+};
+
+const WORKLOAD: &str = "stream_walk";
+const MISP_1X8: MachineSpec = MachineSpec::Misp(TopologySpec::Uniprocessor { ams: 7 });
+
+fn main() {
+    let mut grid = GridSpec::new(
+        "cache_params",
+        "stream_walk on MISP 1x8: L1 x L2 geometry cross, vs. the flat-cost model",
+    );
+
+    // The flat-cost baseline: the default disabled cache model.
+    grid.push(RunSpec::sim("flat", SimSpec::new(WORKLOAD, MISP_1X8, 8)));
+
+    let l1_points: [(&str, u32, u32); 2] = [("l1_32k", 4, 2), ("l1_64k", 8, 2)];
+    let l2_points: [(&str, u32, u32); 3] =
+        [("l2_128k", 16, 2), ("l2_512k", 32, 4), ("l2_2m", 64, 8)];
+    for (l1_label, l1_sets, l1_ways) in l1_points {
+        for (l2_label, l2_sets, l2_ways) in l2_points {
+            let mut spec = SimSpec::new(WORKLOAD, MISP_1X8, 8);
+            spec.cache = Some(
+                CacheConfig::enabled_default()
+                    .with_l1(l1_sets, l1_ways)
+                    .with_l2(l2_sets, l2_ways),
+            );
+            grid.push(RunSpec::sim(format!("{l1_label}/{l2_label}"), spec).with_baseline("flat"));
+        }
+    }
+
+    let options = SweepOptions {
+        threads: 4,
+        verify: VerifyMode::SpotCheck,
+    };
+    let results = run_grid(&grid, &options).expect("sweep");
+
+    println!("{} ({} runs)", results.description, results.run_count);
+    for record in &results.records {
+        let Some(sim) = &record.sim else { continue };
+        let misses = sim
+            .cache
+            .as_ref()
+            .map_or(0, misp::cache::CacheStats::total_misses);
+        let vs_flat = sim
+            .speedup_vs_baseline
+            .map_or_else(|| "baseline".to_string(), |s| format!("{s:.4}x vs flat"));
+        println!(
+            "  {:>16} [{}]: {:>11} cycles, {:>5} memory misses, {}",
+            record.id,
+            record.cache.as_deref().unwrap_or("flat cost"),
+            sim.total_cycles,
+            misses,
+            vs_flat
+        );
+    }
+}

@@ -14,6 +14,7 @@
 //! |--------|-------|----------|
 //! | [`types`] | `misp-types` | identifiers, cycle arithmetic, privilege rings, the cost model |
 //! | [`isa`] | `misp-isa` | abstract instruction streams, shred programs, continuations |
+//! | [`cache`] | `misp-cache` | the coherent cache hierarchy: per-sequencer L1s, per-processor shared L2s, MESI-lite coherence (disabled by default) |
 //! | [`mem`] | `misp-mem` | address spaces, TLBs, working sets, access patterns |
 //! | [`os`] | `misp-os` | the OS model: kernel services, scheduler, timer |
 //! | [`sim`] | `misp-sim` | the discrete-event execution engine and its extension traits |
@@ -82,6 +83,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use misp_cache as cache;
 pub use misp_core as core;
 pub use misp_harness as harness;
 pub use misp_isa as isa;

@@ -6,7 +6,7 @@ use misp::mem::AccessPattern;
 use misp::os::TimerConfig;
 use misp::sim::SimConfig;
 use misp::types::{CostModel, Cycles, SignalCost};
-use misp::workloads::{runner, Suite, Workload, WorkloadParams};
+use misp::workloads::{runner, LocalityProfile, Suite, Workload, WorkloadParams};
 
 /// A small, fast workload used by most tests below.
 fn small_workload() -> Workload {
@@ -23,6 +23,7 @@ fn small_workload() -> Workload {
             worker_syscalls: 0,
             access_pattern: AccessPattern::Shuffled { seed: 3 },
             lock_contention: false,
+            locality: LocalityProfile::Revisit,
         },
     )
 }

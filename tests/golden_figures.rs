@@ -40,11 +40,12 @@ fn first_divergence(expected: &str, actual: &str) -> String {
 }
 
 fn check_grid(name: &str) {
+    check_grid_with(name, VerifyMode::SpotCheck);
+}
+
+fn check_grid_with(name: &str, verify: VerifyMode) {
     let grid = grids::by_name(name).expect("named grid exists");
-    let options = SweepOptions {
-        threads: 2,
-        verify: VerifyMode::SpotCheck,
-    };
+    let options = SweepOptions { threads: 2, verify };
     let results = run_grid(&grid, &options).expect("sweep succeeds");
     let actual = results.to_canonical_json().expect("serializable");
     let path = golden_path(name);
@@ -85,11 +86,27 @@ fn table2_matches_golden() {
     check_grid("table2");
 }
 
+/// The cache-enabled grid is checked under the harness's strictest mode —
+/// every parallel record re-verified against a serial re-execution — in the
+/// same sweep that is diffed against the golden (the cache hierarchy adds
+/// per-run mutable state, so it gets the full treatment).
+#[test]
+fn cache_sensitivity_matches_golden_under_full_verification() {
+    check_grid_with("cache_sensitivity", VerifyMode::Full);
+}
+
 /// The goldens themselves must carry the schema version the harness emits,
 /// so a schema bump forces a deliberate regeneration of every golden.
 #[test]
 fn goldens_carry_the_current_schema_version() {
-    for name in ["fig4", "fig5", "fig6", "table1", "table2"] {
+    for name in [
+        "fig4",
+        "fig5",
+        "fig6",
+        "table1",
+        "table2",
+        "cache_sensitivity",
+    ] {
         let text = std::fs::read_to_string(golden_path(name)).expect("golden readable");
         let needle = format!("\"schema_version\": {}", misp::harness::SCHEMA_VERSION);
         assert!(

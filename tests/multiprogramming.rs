@@ -7,7 +7,7 @@ use misp::mem::AccessPattern;
 use misp::sim::SimConfig;
 use misp::smp::SmpMachine;
 use misp::types::Cycles;
-use misp::workloads::{competitor, Suite, Workload, WorkloadParams};
+use misp::workloads::{competitor, LocalityProfile, Suite, Workload, WorkloadParams};
 
 fn task_queue_workload() -> Workload {
     Workload::new(
@@ -23,6 +23,7 @@ fn task_queue_workload() -> Workload {
             worker_syscalls: 0,
             access_pattern: AccessPattern::Sequential,
             lock_contention: false,
+            locality: LocalityProfile::Revisit,
         },
     )
 }

@@ -8,7 +8,7 @@ use misp::mem::AccessPattern;
 use misp::os::TimerConfig;
 use misp::sim::SimConfig;
 use misp::types::{CostModel, Cycles, SignalCost};
-use misp::workloads::{runner, Suite, Workload, WorkloadParams};
+use misp::workloads::{runner, LocalityProfile, Suite, Workload, WorkloadParams};
 use proptest::prelude::*;
 
 fn arbitrary_params() -> impl Strategy<Value = WorkloadParams> {
@@ -47,6 +47,7 @@ fn arbitrary_params() -> impl Strategy<Value = WorkloadParams> {
                     worker_syscalls: 0,
                     access_pattern: pattern,
                     lock_contention: contention,
+                    locality: LocalityProfile::Revisit,
                 }
             },
         )
