@@ -1,0 +1,172 @@
+//! Engine wall-clock trajectory bench: times the full `fig4` sweep on one
+//! thread with the macro-step fast path enabled (the default) and with it
+//! force-disabled (the event-per-operation reference loop), and emits
+//! `BENCH_engine.json` at the repository root so the repo carries a
+//! machine-readable perf trajectory from PR to PR.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo bench -p misp-bench --bench engine
+//! ```
+//!
+//! CI's `bench-trajectory` job runs the same target with `-- --test` (one
+//! measured iteration per configuration) and uploads the emitted document as
+//! an artifact next to the sweep-smoke results.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use misp_harness::{grids, run_grid, GridSpec, RunKind, SweepOptions, VerifyMode};
+use misp_workloads::{catalog, runner};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One measured configuration of the grid.
+#[derive(Debug, Serialize)]
+struct BenchEntry {
+    /// The measured grid.
+    grid: String,
+    /// `"macro-step"` (batching on) or `"event-per-op"` (batching off).
+    config: String,
+    /// Wall-clock milliseconds of one single-threaded sweep of the grid
+    /// (best of the measured iterations).
+    wall_ms: f64,
+    /// Simulated operations retired per wall-clock second at that speed.
+    ops_per_sec: f64,
+}
+
+/// The `BENCH_engine.json` document.
+#[derive(Debug, Serialize)]
+struct BenchDoc {
+    schema_version: u32,
+    /// Total simulated operations executed by one sweep of the grid.
+    total_ops: u64,
+    entries: Vec<BenchEntry>,
+    /// `event-per-op` wall-clock divided by `macro-step` wall-clock.
+    speedup_macro_step: f64,
+    /// Wall-clock of the pre-macro-step seed engine on the same grid and
+    /// machine, when known (passed via `MISP_BENCH_SEED_MS`; the seed
+    /// predates this bench, so it cannot be regenerated from the current
+    /// tree).  `null` in CI-regenerated documents.
+    reference_seed_wall_ms: Option<f64>,
+    /// `reference_seed_wall_ms` divided by the macro-step wall-clock.
+    speedup_vs_seed: Option<f64>,
+}
+
+/// The fig4 grid with the macro-step fast path force-disabled on every
+/// simulation point.
+fn fig4_event_per_op() -> GridSpec {
+    let mut grid = grids::fig4();
+    for run in &mut grid.runs {
+        if let RunKind::Sim(sim) = &mut run.kind {
+            sim.batch = false;
+        }
+    }
+    grid
+}
+
+/// Counts the simulated operations of one fig4 sweep by re-running its
+/// workload × machine matrix directly (the sweep results intentionally do
+/// not carry op counts).
+fn fig4_total_ops() -> u64 {
+    let config = misp_harness::experiment_config();
+    let topo = misp_core::MispTopology::uniprocessor(7).expect("1 OMS + 7 AMS");
+    let mut total = 0u64;
+    for w in catalog::all() {
+        for report in [
+            runner::run_serial(&w, config, 8).expect("serial run"),
+            runner::run_on_misp(&w, &topo, config, 8).expect("misp run"),
+            runner::run_on_smp(&w, 8, config, 8).expect("smp run"),
+        ] {
+            total += report
+                .stats
+                .per_sequencer
+                .iter()
+                .map(|s| s.ops)
+                .sum::<u64>();
+        }
+    }
+    total
+}
+
+/// Times one single-threaded sweep of `grid`, best of `iters` runs.
+fn time_grid(grid: &GridSpec, iters: usize) -> f64 {
+    let options = SweepOptions {
+        threads: 1,
+        verify: VerifyMode::Off,
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(run_grid(grid, &options).expect("fig4 sweeps cleanly"));
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn emit_trajectory(test_mode: bool) {
+    let iters = if test_mode { 1 } else { 12 };
+    let batched = grids::fig4();
+    let reference = fig4_event_per_op();
+    let on_ms = time_grid(&batched, iters);
+    let off_ms = time_grid(&reference, iters);
+    let total_ops = fig4_total_ops();
+    let entry = |config: &str, wall_ms: f64| BenchEntry {
+        grid: "fig4".to_string(),
+        config: config.to_string(),
+        wall_ms: (wall_ms * 1000.0).round() / 1000.0,
+        ops_per_sec: (total_ops as f64 / (wall_ms / 1e3)).round(),
+    };
+    let seed_ms = std::env::var("MISP_BENCH_SEED_MS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok());
+    let doc = BenchDoc {
+        schema_version: 1,
+        total_ops,
+        entries: vec![entry("macro-step", on_ms), entry("event-per-op", off_ms)],
+        speedup_macro_step: ((off_ms / on_ms) * 100.0).round() / 100.0,
+        reference_seed_wall_ms: seed_ms,
+        speedup_vs_seed: seed_ms.map(|s| ((s / on_ms) * 100.0).round() / 100.0),
+    };
+    let mut json = serde_json::to_string_pretty(&doc).expect("serializable");
+    json.push('\n');
+
+    // crates/bench/ -> repository root.
+    let out: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_engine.json"]
+        .iter()
+        .collect();
+    std::fs::write(&out, &json).expect("write BENCH_engine.json");
+    println!(
+        "BENCH_engine.json: macro-step {on_ms:.2} ms, event-per-op {off_ms:.2} ms \
+         ({:.2}x), {total_ops} simulated ops -> {}",
+        off_ms / on_ms,
+        out.display()
+    );
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    emit_trajectory(test_mode);
+    // Also surface the sweep through the regular criterion output so the
+    // bench-smoke job exercises the timed path.
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("fig4_sweep_macro_step", |b| {
+        let grid = grids::fig4();
+        let options = SweepOptions {
+            threads: 1,
+            verify: VerifyMode::Off,
+        };
+        b.iter(|| {
+            black_box(
+                run_grid(&grid, &options)
+                    .expect("fig4 sweeps cleanly")
+                    .run_count,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

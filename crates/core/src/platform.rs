@@ -59,6 +59,12 @@ pub struct MispPlatform {
     thread_ctx: HashMap<OsThreadId, ThreadCtx>,
     pinned: Vec<(OsThreadId, usize)>,
     auto_place: Vec<OsThreadId>,
+    /// Reused target buffer for serialization windows, so the per-transition
+    /// hot path does not allocate.
+    serialize_scratch: Vec<SequencerId>,
+    /// Precomputed sequencer → MISP-processor index, replacing a topology
+    /// scan on every privileged event and timer tick.
+    seq_to_proc: Vec<usize>,
 }
 
 impl MispPlatform {
@@ -68,6 +74,14 @@ impl MispPlatform {
     #[must_use]
     pub fn new(topology: MispTopology) -> Self {
         let processors = topology.processors().len();
+        let mut seq_to_proc = vec![usize::MAX; topology.total_sequencers()];
+        for (proc_idx, processor) in topology.processors().iter().enumerate() {
+            for seq in processor.sequencers() {
+                if let Some(slot) = seq_to_proc.get_mut(seq.as_usize()) {
+                    *slot = proc_idx;
+                }
+            }
+        }
         MispPlatform {
             topology,
             policy: RingPolicy::SuspendAll,
@@ -80,6 +94,8 @@ impl MispPlatform {
             thread_ctx: HashMap::new(),
             pinned: Vec::new(),
             auto_place: Vec::new(),
+            serialize_scratch: Vec::new(),
+            seq_to_proc,
         }
     }
 
@@ -148,9 +164,10 @@ impl MispPlatform {
     }
 
     fn processor_index(&self, seq: SequencerId) -> usize {
-        self.topology
-            .processor_index_of(seq)
-            .expect("sequencer must belong to the topology")
+        match self.seq_to_proc.get(seq.as_usize()) {
+            Some(&p) if p != usize::MAX => p,
+            _ => panic!("sequencer must belong to the topology"),
+        }
     }
 
     /// Suspends the AMSs of processor `proc_idx` (except `skip`) for the
@@ -169,12 +186,15 @@ impl MispPlatform {
         let signal = core.costs().signal_cycles();
         let window_end = now + signal * 2 + priv_time;
         let oms = self.topology.processors()[proc_idx].oms();
-        let targets: Vec<SequencerId> = self.topology.processors()[proc_idx]
-            .ams()
-            .iter()
-            .copied()
-            .filter(|a| Some(*a) != skip)
-            .collect();
+        let mut targets = std::mem::take(&mut self.serialize_scratch);
+        targets.clear();
+        targets.extend(
+            self.topology.processors()[proc_idx]
+                .ams()
+                .iter()
+                .copied()
+                .filter(|a| Some(*a) != skip),
+        );
         if let Some(fabric) = self.fabric.as_mut() {
             fabric.broadcast(oms, &targets, SignalKind::Suspend, now);
             fabric.broadcast(
@@ -184,9 +204,8 @@ impl MispPlatform {
                 window_end.saturating_sub(signal),
             );
         }
-        for ams in targets {
-            core.stall(ams, now, window_end);
-        }
+        core.stall_many(&targets, now, window_end);
+        self.serialize_scratch = targets;
         core.stats_mut().serializations += 1;
     }
 
@@ -336,7 +355,7 @@ impl Platform for MispPlatform {
         if seq == oms {
             // Local Ring 3 -> Ring 0 transition on the OS-managed sequencer.
             core.stats_mut().record_event(seq, kind, true);
-            core.log_event(seq, LogKind::RingEnter, kind.to_string());
+            core.log_event_with(seq, LogKind::RingEnter, || kind.to_string());
             // Privileged code displaces the servicing sequencer's L1 — the
             // same charge the SMP baseline pays for its local services, so
             // cache-enabled cross-machine comparisons stay unbiased.  (No-op
@@ -345,13 +364,13 @@ impl Platform for MispPlatform {
             self.serialize_processor(core, proc_idx, None, now, priv_time);
             let resume = now + priv_time;
             self.oms_busy_until[proc_idx] = self.oms_busy_until[proc_idx].max(resume);
-            core.log_event(seq, LogKind::RingExit, kind.to_string());
+            core.log_event_with(seq, LogKind::RingExit, || kind.to_string());
             resume
         } else {
             // Fault on an application-managed sequencer: proxy execution.
             core.stats_mut().record_event(seq, kind, false);
             core.stats_mut().proxy_executions += 1;
-            core.log_event(seq, LogKind::ProxyRequest, kind.to_string());
+            core.log_event_with(seq, LogKind::ProxyRequest, || kind.to_string());
             let fabric = self.fabric.as_mut().expect("platform initialized");
             fabric.send(seq, oms, SignalKind::ProxyRequest, now);
 
@@ -367,7 +386,7 @@ impl Platform for MispPlatform {
 
             let start = (now + signal).max(self.oms_busy_until[proc_idx]);
             let oms_done = start + costs.yield_transfer + signal * 2 + priv_time;
-            core.log_event(oms, LogKind::ProxyStart, kind.to_string());
+            core.log_event_with(oms, LogKind::ProxyStart, || kind.to_string());
             // The proxy episode runs privileged code on the OMS on the AMS's
             // behalf, displacing the OMS's own working set from its L1 —
             // the same per-service charge as a local Ring 0 entry.  (No-op
@@ -389,7 +408,7 @@ impl Platform for MispPlatform {
                 SignalKind::ProxyComplete,
                 oms_done.saturating_sub(signal),
             );
-            core.log_event(oms, LogKind::ProxyDone, kind.to_string());
+            core.log_event_with(oms, LogKind::ProxyDone, || kind.to_string());
             // The faulting shred resumes once its context has been handed back
             // (Equation 2 plus the privileged service time).
             oms_done
@@ -400,7 +419,7 @@ impl Platform for MispPlatform {
         let proc_idx = self.processor_index(cpu);
         let oms = self.topology.processors()[proc_idx].oms();
         debug_assert_eq!(cpu, oms, "timer ticks are delivered to OMSs only");
-        core.log_event(oms, LogKind::TimerTick, format!("tick {tick}"));
+        core.log_event_with(oms, LogKind::TimerTick, || format!("tick {tick}"));
         core.stats_mut().record_event(oms, OsEventKind::Timer, true);
         core.kernel_mut().record_event(OsEventKind::Timer);
         let mut priv_time = core.kernel().service_cost(OsEventKind::Timer);
@@ -422,7 +441,7 @@ impl Platform for MispPlatform {
         if let Some((prev, next)) = switch {
             priv_time += core.kernel().context_switch_cost(ams_count);
             core.stats_mut().context_switches += 1;
-            core.log_event(oms, LogKind::ContextSwitch, format!("{prev} -> {next}"));
+            core.log_event_with(oms, LogKind::ContextSwitch, || format!("{prev} -> {next}"));
             self.evict_thread(core, proc_idx, prev, now);
             let signal = core.costs().signal_cycles();
             let oms_at = now + priv_time;

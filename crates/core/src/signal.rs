@@ -26,6 +26,20 @@ pub enum SignalKind {
     ProxyComplete,
 }
 
+impl SignalKind {
+    /// The kind's dense index into the fabric's counter array.
+    #[must_use]
+    const fn counter_index(self) -> usize {
+        match self {
+            SignalKind::ShredStart => 0,
+            SignalKind::Suspend => 1,
+            SignalKind::Resume => 2,
+            SignalKind::ProxyRequest => 3,
+            SignalKind::ProxyComplete => 4,
+        }
+    }
+}
+
 /// A record of one signal sent over the fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SignalRecord {
@@ -113,11 +127,7 @@ impl SignalFabric {
         now: Cycles,
     ) -> Cycles {
         let arrives_at = now + self.latency();
-        for (k, c) in &mut self.counts {
-            if *k == kind {
-                *c += 1;
-            }
-        }
+        self.counts[kind.counter_index()].1 += 1;
         if self.keep_history && self.history.len() < self.history_cap {
             self.history.push(SignalRecord {
                 from,
@@ -151,11 +161,7 @@ impl SignalFabric {
     /// Number of signals sent with the given kind.
     #[must_use]
     pub fn count(&self, kind: SignalKind) -> u64 {
-        self.counts
-            .iter()
-            .find(|(k, _)| *k == kind)
-            .map(|(_, c)| *c)
-            .unwrap_or(0)
+        self.counts[kind.counter_index()].1
     }
 
     /// Total signals sent across all kinds.

@@ -11,9 +11,8 @@
 //! requires the OMS to have registered one — Figure 3's "Register Proxy
 //! Handler" step) and the cost of the control transfer.
 
-use misp_types::{Cycles, SequencerId};
+use misp_types::{Cycles, FxHashMap, SequencerId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// The class of asynchronous event a handler responds to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -27,7 +26,7 @@ pub enum TriggerKind {
 /// Per-sequencer registry of trigger→response mappings.
 #[derive(Debug, Default, Clone)]
 pub struct TriggerResponseRegistry {
-    handlers: HashMap<(SequencerId, TriggerKind), u64>,
+    handlers: FxHashMap<(SequencerId, TriggerKind), u64>,
     invocations: u64,
     transfer_cost: Cycles,
 }
@@ -38,7 +37,7 @@ impl TriggerResponseRegistry {
     #[must_use]
     pub fn new(transfer_cost: Cycles) -> Self {
         TriggerResponseRegistry {
-            handlers: HashMap::new(),
+            handlers: FxHashMap::default(),
             invocations: 0,
             transfer_cost,
         }

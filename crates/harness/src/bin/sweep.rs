@@ -17,6 +17,7 @@ use misp_harness::{grids, run_grid, SweepOptions, VerifyMode};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Debug)]
 struct Args {
     grid: String,
     threads: Option<usize>,
@@ -46,7 +47,7 @@ fn catalog() -> String {
         .join("\n")
 }
 
-fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
     let _program = argv.next();
     let mut grid = None;
     let mut threads = None;
@@ -54,6 +55,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
     let mut verify = VerifyMode::SpotCheck;
     let mut stdout = false;
 
+    let mut verify_set = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--list" => {
@@ -61,17 +63,32 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
                 return Ok(None);
             }
             "--threads" => {
+                if threads.is_some() {
+                    return Err(format!("--threads given more than once\n{}", usage()));
+                }
                 let value = argv.next().ok_or("--threads needs a value")?;
                 let n: usize = value
                     .parse()
                     .map_err(|_| format!("invalid thread count {value:?}"))?;
-                threads = Some(n.max(1));
+                if n == 0 {
+                    // Zero used to be silently clamped to one thread; reject
+                    // it instead of reinterpreting the request.
+                    return Err(format!("--threads must be at least 1\n{}", usage()));
+                }
+                threads = Some(n);
             }
             "--out" => {
+                if out.is_some() {
+                    return Err(format!("--out given more than once\n{}", usage()));
+                }
                 let value = argv.next().ok_or("--out needs a path")?;
                 out = Some(PathBuf::from(value));
             }
             "--verify" => {
+                if verify_set {
+                    return Err(format!("--verify given more than once\n{}", usage()));
+                }
+                verify_set = true;
                 let value = argv.next().ok_or("--verify needs a mode")?;
                 verify = match value.as_str() {
                     "off" => VerifyMode::Off,
@@ -80,7 +97,12 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
                     other => return Err(format!("unknown verify mode {other:?}")),
                 };
             }
-            "--stdout" => stdout = true,
+            "--stdout" => {
+                if stdout {
+                    return Err(format!("--stdout given more than once\n{}", usage()));
+                }
+                stdout = true;
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(None);
@@ -180,4 +202,53 @@ fn main() -> ExitCode {
         eprintln!("results written to {}", path.display());
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Option<Args>, String> {
+        parse_args(std::iter::once("sweep".to_string()).chain(args.iter().map(ToString::to_string)))
+    }
+
+    #[test]
+    fn zero_threads_is_rejected_with_usage() {
+        let err = parse(&["fig4", "--threads", "0"]).unwrap_err();
+        assert!(err.contains("--threads must be at least 1"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected_with_usage() {
+        for dup in [
+            vec!["fig4", "--threads", "2", "--threads", "3"],
+            vec!["fig4", "--out", "a.json", "--out", "b.json"],
+            vec!["fig4", "--verify", "off", "--verify", "full"],
+            vec!["fig4", "--stdout", "--stdout"],
+        ] {
+            let err = parse(&dup).unwrap_err();
+            assert!(err.contains("more than once"), "{dup:?}: {err}");
+            assert!(err.contains("usage:"), "{dup:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_usage() {
+        let err = parse(&["fig4", "--frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown option"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+    }
+
+    #[test]
+    fn valid_invocations_still_parse() {
+        let args = parse(&["fig4", "--threads", "4", "--verify", "full"])
+            .unwrap()
+            .expect("parsed");
+        assert_eq!(args.grid, "fig4");
+        assert_eq!(args.threads, Some(4));
+        assert_eq!(args.verify, VerifyMode::Full);
+        assert!(!args.stdout);
+        assert!(args.out.is_none());
+    }
 }

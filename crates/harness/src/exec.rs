@@ -69,6 +69,7 @@ fn execute_sim(index: usize, spec: &RunSpec, sim: &SimSpec) -> Result<RunRecord>
     if let Some(cache) = sim.cache {
         config = config.with_cache(cache);
     }
+    config.batch = sim.batch;
     let options = runner::RunOptions {
         pretouch: sim.pretouch,
         ring_policy: sim.ring_policy,

@@ -159,9 +159,8 @@ pub fn run_grid(grid: &GridSpec, options: &SweepOptions) -> Result<SweepResults>
         if let (Some(sim), Some(&baseline_cycles)) =
             (record.sim.as_mut(), cycles_by_id.get(&baseline_id))
         {
-            if sim.total_cycles > 0 {
-                sim.speedup_vs_baseline = Some(baseline_cycles as f64 / sim.total_cycles as f64);
-            }
+            sim.speedup_vs_baseline =
+                SimMetrics::speedup_vs_baseline(&record.id, baseline_cycles, sim.total_cycles);
         }
     }
 

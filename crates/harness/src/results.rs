@@ -68,6 +68,30 @@ pub struct SimMetrics {
 }
 
 impl SimMetrics {
+    /// Computes `baseline_cycles / total_cycles` for the
+    /// `speedup_vs_baseline` field.
+    ///
+    /// Returns `None` — and logs a warning to stderr — when either side is
+    /// zero: a zero-cycle run would otherwise serialize `inf` (or, with a
+    /// zero baseline, a meaningless `0`) into the results JSON, which is not
+    /// representable in strict JSON and poisons downstream tooling.
+    #[must_use]
+    pub fn speedup_vs_baseline(
+        run_id: &str,
+        baseline_cycles: u64,
+        total_cycles: u64,
+    ) -> Option<f64> {
+        if baseline_cycles == 0 || total_cycles == 0 {
+            eprintln!(
+                "warning: run {run_id:?}: cannot compute speedup_vs_baseline \
+                 (baseline_cycles = {baseline_cycles}, total_cycles = {total_cycles}); \
+                 recording null"
+            );
+            return None;
+        }
+        Some(baseline_cycles as f64 / total_cycles as f64)
+    }
+
     /// Flattens a [`SimReport`] into the schema's metrics record.
     #[must_use]
     pub fn from_report(report: &SimReport) -> Self {
@@ -253,6 +277,20 @@ mod tests {
             topology: None,
             port: None,
         }
+    }
+
+    #[test]
+    fn speedup_guard_rejects_zero_on_either_side() {
+        assert_eq!(SimMetrics::speedup_vs_baseline("r", 0, 100), None);
+        assert_eq!(SimMetrics::speedup_vs_baseline("r", 100, 0), None);
+        assert_eq!(SimMetrics::speedup_vs_baseline("r", 0, 0), None);
+        let s = SimMetrics::speedup_vs_baseline("r", 200, 100).expect("both non-zero");
+        assert!((s - 2.0).abs() < f64::EPSILON);
+        let json = serde_json::to_string(&SimMetrics::speedup_vs_baseline("r", 0, 7)).unwrap();
+        assert_eq!(
+            json, "null",
+            "guarded speedup serializes as null, not inf/NaN"
+        );
     }
 
     #[test]

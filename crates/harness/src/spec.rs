@@ -134,6 +134,12 @@ pub struct SimSpec {
     /// Cache-hierarchy override; `None` keeps the default disabled cache
     /// model (the paper's flat memory cost).
     pub cache: Option<CacheConfig>,
+    /// Whether the engine may use its macro-step fast path
+    /// ([`misp_sim::SimConfig::batch`]).  On by default; results are
+    /// byte-identical either way, so this knob exists for benchmarking the
+    /// event-per-operation engine and is deliberately not recorded in the
+    /// results schema.
+    pub batch: bool,
 }
 
 impl SimSpec {
@@ -151,6 +157,7 @@ impl SimSpec {
             competitors: 0,
             ams_span_only: false,
             cache: None,
+            batch: true,
         }
     }
 }

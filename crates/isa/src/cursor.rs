@@ -75,31 +75,39 @@ impl CursorState {
             if self.exhausted {
                 return Op::Halt;
             }
-            if let Some(frame) = self.frames.last_mut() {
-                let path = frame.path.clone();
-                let body = Self::body_at(program, &path);
-                if frame.index < body.len() {
-                    let item_index = frame.index;
-                    frame.index += 1;
+            if let Some(frame) = self.frames.last() {
+                // Resolve the loop body through an immutable borrow first so
+                // the frame can be advanced afterwards without cloning `path`
+                // on every operation (this is the engine's hottest path).
+                let body = Self::body_at(program, &frame.path);
+                let item_index = frame.index;
+                if item_index < body.len() {
                     match &body[item_index] {
                         ProgramItem::Op(op) => {
+                            let op = op.clone();
+                            self.frames.last_mut().expect("frame exists").index += 1;
                             self.executed += 1;
-                            return op.clone();
+                            return op;
                         }
                         ProgramItem::Loop { count, body } => {
-                            if *count > 0 && !body.is_empty() {
-                                let mut new_path = path;
+                            let enter = *count > 0 && !body.is_empty();
+                            let remaining = count.saturating_sub(1);
+                            let frame = self.frames.last_mut().expect("frame exists");
+                            frame.index += 1;
+                            if enter {
+                                let mut new_path = frame.path.clone();
                                 new_path.push(item_index);
                                 self.frames.push(Frame {
                                     path: new_path,
                                     index: 0,
-                                    remaining: count - 1,
+                                    remaining,
                                 });
                             }
                             continue;
                         }
                     }
                 }
+                let frame = self.frames.last_mut().expect("frame exists");
                 if frame.remaining > 0 {
                     frame.remaining -= 1;
                     frame.index = 0;
@@ -153,6 +161,9 @@ impl CursorState {
 pub struct OwnedCursor {
     program: Arc<ShredProgram>,
     state: CursorState,
+    /// One-operation lookahead buffer filled by [`OwnedCursor::peek_op`] and
+    /// drained by the next [`OwnedCursor::next_op`] call.
+    lookahead: Option<Op>,
 }
 
 impl OwnedCursor {
@@ -162,6 +173,7 @@ impl OwnedCursor {
         OwnedCursor {
             program,
             state: CursorState::new(),
+            lookahead: None,
         }
     }
 
@@ -171,21 +183,40 @@ impl OwnedCursor {
         &self.program
     }
 
-    /// The number of operations yielded so far.
+    /// The number of operations yielded so far.  An operation that has only
+    /// been peeked does not count until it is consumed by
+    /// [`OwnedCursor::next_op`].
     #[must_use]
     pub fn executed(&self) -> u64 {
-        self.state.executed()
+        self.state.executed() - u64::from(self.lookahead.is_some())
     }
 
-    /// Returns `true` once the program has been fully executed.
+    /// Returns `true` once the program has been fully executed.  Peeking the
+    /// trailing `Halt` does not exhaust the cursor; consuming it does.
     #[must_use]
     pub fn is_exhausted(&self) -> bool {
-        self.state.is_exhausted()
+        self.state.is_exhausted() && self.lookahead.is_none()
     }
 
     /// Returns the next operation, advancing the cursor.
     pub fn next_op(&mut self) -> Op {
-        self.state.next_op(&self.program)
+        match self.lookahead.take() {
+            Some(op) => op,
+            None => self.state.next_op(&self.program),
+        }
+    }
+
+    /// Returns the next operation *without* consuming it: the following
+    /// [`OwnedCursor::next_op`] call returns the same operation.
+    ///
+    /// This is how the execution engine detects macro-step batch boundaries
+    /// (see [`Op::classify`](crate::Op::classify)) before committing to
+    /// executing an operation inline.
+    pub fn peek_op(&mut self) -> &Op {
+        if self.lookahead.is_none() {
+            self.lookahead = Some(self.state.next_op(&self.program));
+        }
+        self.lookahead.as_ref().expect("lookahead just filled")
     }
 }
 
@@ -263,6 +294,50 @@ mod tests {
         assert_eq!(c.next_op(), Op::Halt);
         assert_eq!(c.next_op(), Op::Halt);
         assert_eq!(c.executed(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let p = Arc::new(program());
+        let mut c = OwnedCursor::new(Arc::clone(&p));
+        let mut plain = OwnedCursor::new(p);
+        loop {
+            let peeked = c.peek_op().clone();
+            assert_eq!(c.executed(), plain.executed(), "peek must not count");
+            let got = c.next_op();
+            assert_eq!(peeked, got, "peek then next must agree");
+            assert_eq!(got, plain.next_op(), "peeking must not change the stream");
+            assert_eq!(c.executed(), plain.executed());
+            assert_eq!(c.is_exhausted(), plain.is_exhausted());
+            if matches!(got, Op::Halt) {
+                break;
+            }
+        }
+        assert!(c.is_exhausted());
+    }
+
+    #[test]
+    fn peeking_trailing_halt_does_not_exhaust() {
+        let p = Arc::new(ProgramBuilder::new("e").compute(Cycles::new(1)).build());
+        let mut c = OwnedCursor::new(p);
+        assert_eq!(c.next_op(), Op::Compute(Cycles::new(1)));
+        assert_eq!(*c.peek_op(), Op::Halt);
+        assert!(!c.is_exhausted(), "peeked Halt is not yet consumed");
+        assert_eq!(c.executed(), 1);
+        assert_eq!(c.next_op(), Op::Halt);
+        assert!(c.is_exhausted());
+        assert_eq!(c.executed(), 2);
+    }
+
+    #[test]
+    fn clone_preserves_pending_peek() {
+        let p = Arc::new(program());
+        let mut a = OwnedCursor::new(p);
+        a.next_op();
+        let peeked = a.peek_op().clone();
+        let mut b = a.clone();
+        assert_eq!(a.next_op(), peeked);
+        assert_eq!(b.next_op(), peeked);
     }
 
     #[test]

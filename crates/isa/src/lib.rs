@@ -47,6 +47,6 @@ pub use builder::ProgramBuilder;
 pub use continuation::Continuation;
 pub use cursor::{CursorState, OwnedCursor};
 pub use library::{ProgramLibrary, ProgramRef};
-pub use op::{AccessKind, Op, RuntimeOp};
+pub use op::{AccessKind, Op, OpClass, RuntimeOp};
 pub use program::{ProgramCursor, ProgramItem, ShredProgram};
 pub use syscall::SyscallKind;

@@ -142,7 +142,43 @@ pub enum Op {
     Halt,
 }
 
+/// The engine-facing classification of an operation, used by the macro-step
+/// fast path to decide whether an upcoming operation can be executed inline
+/// (without re-entering the event queue) or marks a batch boundary.
+///
+/// The classification is purely syntactic: a [`OpClass::Memory`] access may
+/// still be a boundary at runtime (it page-faults, or the cache model is on),
+/// which the engine decides with the access peeked but not consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Pure local computation with no architectural side effects beyond the
+    /// executing sequencer's busy time.  Always safe to execute inline.
+    Local,
+    /// A memory access.  Chargeable inline when the flat memory model is in
+    /// effect and the access does not page-fault; otherwise a boundary.
+    Memory,
+    /// Everything the platform or the user-level runtime observes: ring
+    /// transitions, signals, handler registration, synchronization and
+    /// scheduling operations, and stream termination.  Always a boundary.
+    Boundary,
+}
+
 impl Op {
+    /// Classifies this operation for the engine's macro-step fast path; see
+    /// [`OpClass`].
+    #[must_use]
+    pub const fn classify(&self) -> OpClass {
+        match self {
+            Op::Compute(_) => OpClass::Local,
+            Op::Touch { .. } => OpClass::Memory,
+            Op::Syscall(_)
+            | Op::Signal { .. }
+            | Op::RegisterHandler
+            | Op::Runtime(_)
+            | Op::Halt => OpClass::Boundary,
+        }
+    }
+
     /// Convenience constructor for a load access.
     #[must_use]
     pub const fn load(addr: VirtAddr) -> Self {

@@ -1,8 +1,7 @@
 //! Per-process address spaces and page residency.
 
-use misp_types::PageId;
+use misp_types::{FxHashMap, PageId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Residency state of a virtual page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -37,7 +36,9 @@ pub enum PageState {
 /// ```
 #[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AddressSpace {
-    pages: HashMap<PageId, PageState>,
+    /// Page residency, keyed by page number.  Uses the deterministic Fx
+    /// hasher: `touch` sits on the engine's per-access hot path.
+    pages: FxHashMap<PageId, PageState>,
     compulsory_faults: u64,
 }
 

@@ -3,7 +3,6 @@
 use crate::{AddressSpace, Tlb, TlbStats};
 use misp_cache::{CacheConfig, CacheHierarchy, CacheOutcome, CacheStats};
 use misp_types::{MispError, PageId, ProcessId, Result, SequencerId, VirtAddr};
-use std::collections::HashMap;
 
 /// The result of one memory access, as observed by the execution engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +28,11 @@ pub struct MemoryOutcome {
 /// context switches and TLB shootdowns flush the right TLBs).
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
-    spaces: HashMap<ProcessId, AddressSpace>,
+    /// One address space per registered process, indexed by
+    /// [`ProcessId::as_usize`] (identifiers are sequential); `None` marks a
+    /// process that was never registered.  A vector keeps the per-access
+    /// lookup on the engine's hot path at array-index cost.
+    spaces: Vec<Option<AddressSpace>>,
     tlbs: Vec<Tlb>,
     /// Which process each sequencer's CR3 points at (None = idle).
     cr3: Vec<Option<ProcessId>>,
@@ -51,7 +54,7 @@ impl MemorySystem {
     pub fn new(sequencers: usize, tlb_capacity: usize) -> Self {
         assert!(sequencers > 0, "a machine needs at least one sequencer");
         MemorySystem {
-            spaces: HashMap::new(),
+            spaces: Vec::new(),
             tlbs: (0..sequencers).map(|_| Tlb::new(tlb_capacity)).collect(),
             cr3: vec![None; sequencers],
             tlb_capacity,
@@ -128,7 +131,11 @@ impl MemorySystem {
     /// Registers a new process (creating its empty address space).  Calling it
     /// twice for the same process is a no-op.
     pub fn register_process(&mut self, pid: ProcessId) {
-        self.spaces.entry(pid).or_default();
+        let idx = pid.as_usize();
+        if idx >= self.spaces.len() {
+            self.spaces.resize_with(idx + 1, || None);
+        }
+        self.spaces[idx].get_or_insert_with(AddressSpace::default);
     }
 
     /// Points `sequencer`'s CR3 at `pid`'s page table, flushing its TLB if the
@@ -140,7 +147,7 @@ impl MemorySystem {
     /// of range, or [`MispError::InvalidConfiguration`] if the process was
     /// never registered.
     pub fn bind_sequencer(&mut self, sequencer: SequencerId, pid: ProcessId) -> Result<()> {
-        if !self.spaces.contains_key(&pid) {
+        if !self.is_registered(pid) {
             return Err(MispError::InvalidConfiguration(format!(
                 "process {pid} was never registered"
             )));
@@ -195,7 +202,8 @@ impl MemorySystem {
         let tlb_hit = self.tlbs[idx].lookup_insert(page);
         let space = self
             .spaces
-            .get_mut(&pid)
+            .get_mut(pid.as_usize())
+            .and_then(Option::as_mut)
             .expect("bound process always has an address space");
         let page_fault = space.touch(page);
         // Cache lines are tagged with the owning process (the model's
@@ -217,8 +225,7 @@ impl MemorySystem {
     /// bound to `pid`, without performing the access.
     #[must_use]
     pub fn would_fault(&self, pid: ProcessId, addr: VirtAddr) -> bool {
-        self.spaces
-            .get(&pid)
+        self.address_space(pid)
             .map(|s| !s.is_resident(addr.page()))
             .unwrap_or(true)
     }
@@ -226,7 +233,7 @@ impl MemorySystem {
     /// Pre-touches `pages` pages starting at `base` for `pid`, modelling the
     /// serial-region page probe optimization from Section 5.3.
     pub fn pretouch_range(&mut self, pid: ProcessId, base: VirtAddr, pages: u64) {
-        if let Some(space) = self.spaces.get_mut(&pid) {
+        if let Some(space) = self.spaces.get_mut(pid.as_usize()).and_then(Option::as_mut) {
             for i in 0..pages {
                 space.pretouch(PageId::new(base.page().number() + i));
             }
@@ -258,7 +265,13 @@ impl MemorySystem {
     /// The address space of `pid`, if registered.
     #[must_use]
     pub fn address_space(&self, pid: ProcessId) -> Option<&AddressSpace> {
-        self.spaces.get(&pid)
+        self.spaces.get(pid.as_usize()).and_then(Option::as_ref)
+    }
+
+    /// Returns `true` if `pid` was registered with this memory system.
+    #[must_use]
+    pub fn is_registered(&self, pid: ProcessId) -> bool {
+        self.address_space(pid).is_some()
     }
 
     /// TLB statistics for `sequencer`.

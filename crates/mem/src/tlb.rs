@@ -1,8 +1,7 @@
 //! Per-sequencer translation look-aside buffers.
 
-use misp_types::PageId;
+use misp_types::{FxHashMap, PageId};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Hit/miss/flush counters for one TLB.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -53,10 +52,30 @@ impl TlbStats {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Tlb {
     capacity: usize,
-    /// Most-recently-used entry is at the back.
-    entries: VecDeque<PageId>,
+    /// Page → slab slot of its list node.
+    map: FxHashMap<PageId, u32>,
+    /// Slab of doubly-linked LRU list nodes: `head` is the LRU entry, `tail`
+    /// the MRU one.  The linked list makes the promote-to-MRU of every
+    /// lookup O(1) — this sits on the engine's per-memory-access hot path,
+    /// where an ordered deque would shift half the TLB per hit.
+    nodes: Vec<Node>,
+    /// Recycled slab slots.
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
     stats: TlbStats,
 }
+
+/// One LRU list node; `NIL` marks the ends of the list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Node {
+    page: PageId,
+    prev: u32,
+    next: u32,
+}
+
+/// Null link in the LRU list.
+const NIL: u32 = u32::MAX;
 
 impl Tlb {
     /// Creates a TLB holding at most `capacity` entries.
@@ -70,7 +89,11 @@ impl Tlb {
         assert!(capacity > 0, "TLB capacity must be non-zero");
         Tlb {
             capacity,
-            entries: VecDeque::with_capacity(capacity),
+            map: FxHashMap::default(),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
             stats: TlbStats::default(),
         }
     }
@@ -84,51 +107,109 @@ impl Tlb {
     /// Current number of cached translations.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.map.len()
     }
 
     /// Returns `true` when the TLB caches no translations.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.map.is_empty()
+    }
+
+    /// Detaches node `i` from the LRU list.
+    fn unlink(&mut self, i: u32) {
+        let Node { prev, next, .. } = self.nodes[i as usize];
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n as usize].prev = prev,
+        }
+    }
+
+    /// Attaches node `i` at the MRU (tail) end of the list.
+    fn link_tail(&mut self, i: u32) {
+        let old_tail = self.tail;
+        {
+            let node = &mut self.nodes[i as usize];
+            node.prev = old_tail;
+            node.next = NIL;
+        }
+        match old_tail {
+            NIL => self.head = i,
+            t => self.nodes[t as usize].next = i,
+        }
+        self.tail = i;
     }
 
     /// Looks up `page`; on a miss, inserts it (evicting the LRU entry if
     /// full).  Returns `true` on a hit.
     pub fn lookup_insert(&mut self, page: PageId) -> bool {
-        if let Some(pos) = self.entries.iter().position(|p| *p == page) {
-            // Move to MRU position.
-            self.entries.remove(pos);
-            self.entries.push_back(page);
-            self.stats.hits += 1;
-            true
-        } else {
-            if self.entries.len() == self.capacity {
-                self.entries.pop_front();
+        if let Some(&slot) = self.map.get(&page) {
+            // Promote to MRU.
+            if self.tail != slot {
+                self.unlink(slot);
+                self.link_tail(slot);
             }
-            self.entries.push_back(page);
-            self.stats.misses += 1;
-            false
+            self.stats.hits += 1;
+            return true;
         }
+        self.stats.misses += 1;
+        if self.map.len() == self.capacity {
+            // Evict the LRU entry and reuse its node for the new page.
+            let victim = self.head;
+            let victim_page = self.nodes[victim as usize].page;
+            self.unlink(victim);
+            self.map.remove(&victim_page);
+            self.nodes[victim as usize].page = page;
+            self.map.insert(page, victim);
+            self.link_tail(victim);
+            return false;
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize].page = page;
+                slot
+            }
+            None => {
+                let slot = self.nodes.len() as u32;
+                self.nodes.push(Node {
+                    page,
+                    prev: NIL,
+                    next: NIL,
+                });
+                slot
+            }
+        };
+        self.map.insert(page, slot);
+        self.link_tail(slot);
+        false
     }
 
     /// Returns `true` if `page` is currently cached, without affecting LRU
     /// order or statistics.
     #[must_use]
     pub fn contains(&self, page: PageId) -> bool {
-        self.entries.iter().any(|p| *p == page)
+        self.map.contains_key(&page)
     }
 
     /// Flushes the entire TLB, as a CR3 write or TLB shootdown IPI does.
     pub fn flush(&mut self) {
-        self.entries.clear();
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
         self.stats.flushes += 1;
     }
 
     /// Invalidates a single page translation (e.g. `INVLPG`), if present.
     pub fn invalidate(&mut self, page: PageId) {
-        if let Some(pos) = self.entries.iter().position(|p| *p == page) {
-            self.entries.remove(pos);
+        if let Some(slot) = self.map.remove(&page) {
+            self.unlink(slot);
+            self.free.push(slot);
         }
     }
 

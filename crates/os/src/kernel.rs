@@ -2,7 +2,6 @@
 
 use crate::{OsEventCounts, OsEventKind, OsThread, Process, ThreadState};
 use misp_types::{CostModel, Cycles, MispError, OsThreadId, ProcessId, Result};
-use std::collections::HashMap;
 
 /// The simulated OS kernel.
 ///
@@ -17,10 +16,12 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct Kernel {
     costs: CostModel,
-    processes: HashMap<ProcessId, Process>,
-    threads: HashMap<OsThreadId, OsThread>,
-    next_pid: u32,
-    next_tid: u32,
+    /// Process table, indexed by [`ProcessId::as_usize`] — identifiers are
+    /// handed out sequentially, so a plain vector keeps the engine's per-step
+    /// thread→process resolution at array-index cost.
+    processes: Vec<Process>,
+    /// Thread table, indexed by [`OsThreadId::as_usize`].
+    threads: Vec<OsThread>,
     events: OsEventCounts,
 }
 
@@ -30,10 +31,8 @@ impl Kernel {
     pub fn new(costs: CostModel) -> Self {
         Kernel {
             costs,
-            processes: HashMap::new(),
-            threads: HashMap::new(),
-            next_pid: 0,
-            next_tid: 0,
+            processes: Vec::new(),
+            threads: Vec::new(),
             events: OsEventCounts::default(),
         }
     }
@@ -46,9 +45,8 @@ impl Kernel {
 
     /// Creates a new process and returns its identifier.
     pub fn spawn_process(&mut self, name: impl Into<String>) -> ProcessId {
-        let pid = ProcessId::new(self.next_pid);
-        self.next_pid += 1;
-        self.processes.insert(pid, Process::new(pid, name));
+        let pid = ProcessId::new(self.processes.len() as u32);
+        self.processes.push(Process::new(pid, name));
         pid
     }
 
@@ -59,27 +57,26 @@ impl Kernel {
     /// Panics if `pid` does not name a spawned process; creating a thread in a
     /// non-existent process is a programming error in the workload setup.
     pub fn spawn_thread(&mut self, pid: ProcessId) -> OsThreadId {
-        let tid = OsThreadId::new(self.next_tid);
-        self.next_tid += 1;
+        let tid = OsThreadId::new(self.threads.len() as u32);
         let process = self
             .processes
-            .get_mut(&pid)
+            .get_mut(pid.as_usize())
             .expect("cannot spawn a thread in an unknown process");
         process.add_thread(tid);
-        self.threads.insert(tid, OsThread::new(tid, pid));
+        self.threads.push(OsThread::new(tid, pid));
         tid
     }
 
     /// Looks up a process.
     #[must_use]
     pub fn process(&self, pid: ProcessId) -> Option<&Process> {
-        self.processes.get(&pid)
+        self.processes.get(pid.as_usize())
     }
 
     /// Looks up a thread.
     #[must_use]
     pub fn thread(&self, tid: OsThreadId) -> Option<&OsThread> {
-        self.threads.get(&tid)
+        self.threads.get(tid.as_usize())
     }
 
     /// Number of processes spawned so far.
@@ -102,7 +99,7 @@ impl Kernel {
     pub fn set_thread_state(&mut self, tid: OsThreadId, state: ThreadState) -> Result<()> {
         let thread = self
             .threads
-            .get_mut(&tid)
+            .get_mut(tid.as_usize())
             .ok_or_else(|| MispError::InvalidConfiguration(format!("unknown thread {tid}")))?;
         thread.set_state(state);
         Ok(())

@@ -3,8 +3,7 @@
 use crate::{SchedulingPolicy, SyncTable, WorkQueue};
 use misp_isa::{ProgramRef, RuntimeOp};
 use misp_sim::{EngineCore, Runtime, RuntimeOutcome, ShredStatus};
-use misp_types::{Cycles, LockId, OsThreadId, ProcessId, SequencerId, ShredId};
-use std::collections::HashMap;
+use misp_types::{Cycles, FxHashMap, LockId, OsThreadId, ProcessId, SequencerId, ShredId};
 
 /// Builder for [`GangScheduler`].
 #[derive(Debug, Default, Clone)]
@@ -92,7 +91,7 @@ impl GangSchedulerBuilder {
             initial_shreds: self.initial_shreds,
             queue: WorkQueue::new(self.policy),
             sync,
-            joiners: HashMap::new(),
+            joiners: FxHashMap::default(),
             process: None,
             threads: Vec::new(),
             shreds_created: 0,
@@ -119,7 +118,7 @@ pub struct GangScheduler {
     initial_shreds: Vec<ProgramRef>,
     queue: WorkQueue,
     sync: SyncTable,
-    joiners: HashMap<ShredId, Vec<ShredId>>,
+    joiners: FxHashMap<ShredId, Vec<ShredId>>,
     process: Option<ProcessId>,
     threads: Vec<OsThreadId>,
     shreds_created: u64,

@@ -7,8 +7,8 @@
 //! until another shred's operation readies it again, at which point the gang
 //! scheduler puts it back on the work queue.
 
-use misp_types::{LockId, MispError, Result, ShredId};
-use std::collections::{HashMap, VecDeque};
+use misp_types::{FxHashMap, LockId, MispError, Result, ShredId};
+use std::collections::VecDeque;
 
 /// The outcome of a synchronization operation.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -79,7 +79,7 @@ pub enum SyncObject {
 /// The table of all synchronization objects of one process.
 #[derive(Debug, Default, Clone)]
 pub struct SyncTable {
-    objects: HashMap<LockId, SyncObject>,
+    objects: FxHashMap<LockId, SyncObject>,
     contention_events: u64,
 }
 

@@ -25,6 +25,14 @@ pub struct SimConfig {
     pub cycle_budget: Cycles,
     /// Whether to retain fine-grained event-log records.
     pub fine_log: bool,
+    /// Enable the macro-step fast path: the engine executes an uninterrupted
+    /// run of local operations inline, advancing per-operation time, instead
+    /// of round-tripping through the event queue after every operation.
+    /// Results are byte-identical either way (statistics, completion times
+    /// and event-log digests); disabling it merely forces the slower
+    /// event-per-operation loop, which the determinism property tests use as
+    /// the reference.  On by default.
+    pub batch: bool,
 }
 
 impl SimConfig {
@@ -62,6 +70,7 @@ impl Default for SimConfig {
             access_cost: Cycles::new(2),
             cycle_budget: Cycles::new(50_000_000_000),
             fine_log: false,
+            batch: true,
         }
     }
 }

@@ -181,6 +181,14 @@ impl EngineCore {
         self.log.record(now, seq, kind, detail);
     }
 
+    /// Records an event in the log, building the detail text lazily (only
+    /// when fine-grained logging will retain it).  Prefer this on hot paths
+    /// whose detail requires formatting.
+    pub fn log_event_with<F: FnOnce() -> String>(&mut self, seq: SequencerId, kind: LogKind, f: F) {
+        let now = self.now;
+        self.log.record_with(now, seq, kind, f);
+    }
+
     /// The program referenced by `r`, if it exists in the library.
     #[must_use]
     pub fn program(&self, r: ProgramRef) -> Option<&Arc<misp_isa::ShredProgram>> {
@@ -216,12 +224,10 @@ impl EngineCore {
                 .expect("program reference must be valid"),
         );
         let id = self.shreds.create(process, thread, prog, now);
-        self.log.record(
-            now,
-            SequencerId::new(0),
-            LogKind::ShredStart,
-            format!("created {id}"),
-        );
+        self.log
+            .record_with(now, SequencerId::new(0), LogKind::ShredStart, || {
+                format!("created {id}")
+            });
         id
     }
 
@@ -236,6 +242,15 @@ impl EngineCore {
 
     pub(crate) fn pop_event(&mut self) -> Option<crate::ScheduledEvent> {
         self.queue.pop()
+    }
+
+    /// The time of the earliest pending event, if any.  This is the engine's
+    /// macro-step *batch horizon*: operations whose completion lands strictly
+    /// before it can be executed inline, because no queued event can observe
+    /// or perturb the executing sequencer in the meantime.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<Cycles> {
+        self.queue.peek().map(|e| e.time)
     }
 
     /// Schedules the next `SeqReady` for `seq` at absolute time `at`,
@@ -311,29 +326,153 @@ impl EngineCore {
         if until <= now {
             return;
         }
-        let s = &mut self.sequencers[seq.as_usize()];
-        if s.is_suspended() {
-            match s.stall_end() {
-                // Indefinitely suspended: the owner resumes it explicitly.
-                None => {}
-                Some(end) if until > end => {
-                    let extra = until - end;
-                    s.add_stalled(extra);
-                    s.set_stall_end(Some(until));
-                    self.stats.suspension_cycles += extra;
-                    self.queue.push(until, Event::StallEnd { seq });
-                }
-                Some(_) => {} // fully covered by the existing window
-            }
+        if self.sequencers[seq.as_usize()].is_suspended() {
+            self.merge_stall_window(seq, until);
             return;
         }
+
+        // Macro-step fast path for single-sequencer machines: with only one
+        // simulated actor plus its timer, nothing can observe or extend the
+        // window [now, until] before it elapses — the only mid-window pops
+        // are stale `SeqReady`/leftover `StallEnd` no-ops, and every timer
+        // tick lies on the configured grid, so `until` strictly before the
+        // next grid point guarantees no tick lands inside the window.  The
+        // stall, its `StallEnd` event and the resume can then be collapsed
+        // into the resume's `SeqReady` alone, with identical accounting and
+        // identical (adjacent) Suspend/Resume log records.  The second guard
+        // excludes the one seqno tie that could reorder equal-time pops: the
+        // eagerly scheduled resume must not collide with the next tick,
+        // which the event-per-operation loop would have pushed first.
+        if self.config.batch && self.sequencers.len() == 1 {
+            let rem = self.sequencers[seq.as_usize()]
+                .pending_at()
+                .map_or(Cycles::ZERO, |at| at.saturating_sub(now));
+            let next_tick = self.config.timer.next_tick_after(now);
+            if until < next_tick && until + rem != next_tick {
+                self.open_stall_window(seq, now, until);
+                let captured = self.sequencers[seq.as_usize()]
+                    .clear_suspension()
+                    .expect("just suspended");
+                debug_assert_eq!(captured, rem);
+                self.log.record(until, seq, LogKind::Resume, "");
+                self.schedule_ready(seq, until + captured);
+                return;
+            }
+        }
+
+        self.open_stall_window(seq, now, until);
+        self.queue.push(until, Event::StallEnd { seq });
+    }
+
+    /// Opens a fresh stall window on a non-suspended sequencer: suspends it
+    /// (capturing its in-flight work), accounts the lost cycles once, and
+    /// records the Suspend log entry.  Scheduling the window's end event is
+    /// the caller's business ([`EngineCore::stall`] pushes a `StallEnd` or
+    /// resumes eagerly; [`EngineCore::stall_many`] batches group events) —
+    /// keeping the accounting in one place is what guarantees the paths stay
+    /// byte-identical.
+    fn open_stall_window(&mut self, seq: SequencerId, now: Cycles, until: Cycles) {
+        let s = &mut self.sequencers[seq.as_usize()];
         s.suspend(now);
         s.set_stall_end(Some(until));
         let lost = until - now;
         s.add_stalled(lost);
         self.stats.suspension_cycles += lost;
         self.log.record(now, seq, LogKind::Suspend, "timed stall");
-        self.queue.push(until, Event::StallEnd { seq });
+    }
+
+    /// Merges a stall request into an already-suspended sequencer's state:
+    /// extends a timed window that ends earlier (accounting only the extra
+    /// cycles and scheduling the new end), and leaves indefinite or covering
+    /// suspensions alone.
+    fn merge_stall_window(&mut self, seq: SequencerId, until: Cycles) {
+        let s = &mut self.sequencers[seq.as_usize()];
+        match s.stall_end() {
+            // Indefinitely suspended: the owner resumes it explicitly.
+            None => {}
+            Some(end) if until > end => {
+                let extra = until - end;
+                s.add_stalled(extra);
+                s.set_stall_end(Some(until));
+                self.stats.suspension_cycles += extra;
+                self.queue.push(until, Event::StallEnd { seq });
+            }
+            Some(_) => {} // fully covered by the existing window
+        }
+    }
+
+    /// Stalls every sequencer in `seqs` (in order) over the shared window
+    /// `[now, until]`, with exactly the per-sequencer semantics of
+    /// [`EngineCore::stall`] — merged overlapping windows, single-counted
+    /// lost cycles, indefinite suspensions left alone.
+    ///
+    /// With [`SimConfig::batch`] enabled, runs of sequencers opening a
+    /// *fresh* window are covered by a single [`Event::StallEndGroup`] queue
+    /// entry instead of one `StallEnd` each; window extensions keep their
+    /// own `StallEnd` events, pushed in the same relative order as the
+    /// per-sequencer loop would have pushed them, so resume processing is
+    /// byte-identical either way.
+    pub fn stall_many(&mut self, seqs: &[SequencerId], now: Cycles, until: Cycles) {
+        if until <= now {
+            return;
+        }
+        if !self.config.batch {
+            for &seq in seqs {
+                self.stall(seq, now, until);
+            }
+            return;
+        }
+        // A segment is a run of consecutive fresh windows whose events can
+        // share one queue entry.  An extension event breaks the segment so
+        // the queue's equal-time pop order (push order) matches the
+        // per-sequencer loop exactly.
+        let mut seg: Option<(u32, u32)> = None; // (base sequencer index, mask)
+        for &seq in seqs {
+            let s = &self.sequencers[seq.as_usize()];
+            if s.is_suspended() {
+                // An extension pushes its own StallEnd; flush the current
+                // segment first so equal-time pop order matches the
+                // per-sequencer loop's push order.
+                let extends = matches!(s.stall_end(), Some(end) if until > end);
+                if extends {
+                    if let Some((base, mask)) = seg.take() {
+                        self.push_stall_group(base, mask, until);
+                    }
+                }
+                self.merge_stall_window(seq, until);
+                continue;
+            }
+            self.open_stall_window(seq, now, until);
+            let idx = seq.index();
+            seg = match seg {
+                None => Some((idx, 1)),
+                Some((base, mask)) if idx > base && idx - base < 32 => {
+                    Some((base, mask | (1 << (idx - base))))
+                }
+                Some((base, mask)) => {
+                    self.push_stall_group(base, mask, until);
+                    Some((idx, 1))
+                }
+            };
+        }
+        if let Some((base, mask)) = seg {
+            self.push_stall_group(base, mask, until);
+        }
+    }
+
+    /// Pushes the queue entry for one stall segment: a plain `StallEnd` for a
+    /// single sequencer, a `StallEndGroup` for several.
+    fn push_stall_group(&mut self, base: u32, mask: u32, until: Cycles) {
+        if mask == 1 {
+            self.queue.push(
+                until,
+                Event::StallEnd {
+                    seq: SequencerId::new(base),
+                },
+            );
+        } else {
+            self.queue.push(until, Event::StallEndGroup { base, mask });
+        }
     }
 
     /// Handles the end of a timed stall window (called by the engine loop).
@@ -440,16 +579,16 @@ mod tests {
         core.schedule_ready(seq, Cycles::new(20));
         let gen2 = core.sequencer(seq).generation();
         assert!(gen2 > gen1);
-        // Two events are in the queue but only the later one carries gen2.
-        let first = core.pop_event().unwrap();
-        let second = core.pop_event().unwrap();
-        match (first.event, second.event) {
-            (Event::SeqReady { generation: g1, .. }, Event::SeqReady { generation: g2, .. }) => {
-                assert_eq!(g1, gen1);
-                assert_eq!(g2, gen2);
-            }
-            other => panic!("unexpected events {other:?}"),
+        // The superseded event was replaced in place: one live event remains,
+        // carrying the latest generation and the latest time.
+        assert_eq!(core.queue_mut().len(), 1);
+        let only = core.pop_event().unwrap();
+        assert_eq!(only.time, Cycles::new(20));
+        match only.event {
+            Event::SeqReady { generation, .. } => assert_eq!(generation, gen2),
+            other => panic!("unexpected event {other:?}"),
         }
+        assert!(core.pop_event().is_none());
     }
 
     #[test]
@@ -483,9 +622,21 @@ mod tests {
         assert_eq!(core.queue_mut().len(), 1);
     }
 
+    /// A single-sequencer core with the macro-step fast paths disabled, for
+    /// tests that pin the event-per-operation stall mechanism.
+    fn queued_core() -> EngineCore {
+        let mut lib = ProgramLibrary::new();
+        lib.insert(ProgramBuilder::new("p0").compute(Cycles::new(100)).build());
+        let config = SimConfig {
+            batch: false,
+            ..SimConfig::default()
+        };
+        EngineCore::new(config, 1, lib)
+    }
+
     #[test]
     fn stall_accumulates_statistics_and_reschedules() {
-        let mut core = core_with(1, 1);
+        let mut core = queued_core();
         let seq = SequencerId::new(0);
         // Pretend an op completes at t=100.
         core.schedule_ready(seq, Cycles::new(100));
@@ -503,7 +654,7 @@ mod tests {
 
     #[test]
     fn overlapping_stalls_extend_without_double_counting() {
-        let mut core = core_with(1, 1);
+        let mut core = queued_core();
         let seq = SequencerId::new(0);
         core.schedule_ready(seq, Cycles::new(1_000));
         core.stall(seq, Cycles::new(100), Cycles::new(200));
@@ -519,6 +670,34 @@ mod tests {
         assert!(core.handle_stall_end(seq, Cycles::new(300)));
         // Remaining work was captured at the first suspension (1000 - 100).
         assert_eq!(core.sequencer(seq).pending_at(), Some(Cycles::new(1_200)));
+    }
+
+    #[test]
+    fn single_sequencer_stall_resumes_eagerly_with_identical_accounting() {
+        // With batching on and one sequencer, stall() collapses the
+        // StallEnd/resume round trip: the sequencer is left running with its
+        // continuation scheduled at the same time, the same lost cycles and
+        // the same Suspend/Resume log counts as the queued path produces.
+        let mut core = core_with(1, 1);
+        let seq = SequencerId::new(0);
+        core.schedule_ready(seq, Cycles::new(100));
+        core.stall(seq, Cycles::new(40), Cycles::new(90));
+        assert!(
+            !core.sequencer(seq).is_suspended(),
+            "eager path resumes immediately"
+        );
+        assert_eq!(core.sequencer(seq).stalled(), Cycles::new(50));
+        assert_eq!(core.stats().suspension_cycles, Cycles::new(50));
+        // 90 (window end) + 60 (remaining work) — exactly where the queued
+        // path's StallEnd-then-resume would land.
+        assert_eq!(core.sequencer(seq).pending_at(), Some(Cycles::new(150)));
+        assert_eq!(core.log().count(LogKind::Suspend), 1);
+        assert_eq!(core.log().count(LogKind::Resume), 1);
+        // Only the rescheduled SeqReady is queued; no StallEnd round trip.
+        let only = core.pop_event().unwrap();
+        assert_eq!(only.time, Cycles::new(150));
+        assert!(matches!(only.event, Event::SeqReady { .. }));
+        assert!(core.pop_event().is_none());
     }
 
     #[test]

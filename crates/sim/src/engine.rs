@@ -32,6 +32,18 @@ impl SimReport {
     }
 }
 
+/// Loop-invariant engine parameters passed into every sequencer step, read
+/// once per run instead of once per operation.
+#[derive(Debug, Clone, Copy)]
+struct StepParams {
+    access_cost: Cycles,
+    budget: Cycles,
+    batch: bool,
+    shred_context_switch: Cycles,
+    tlb_walk: Cycles,
+    cache_on: bool,
+}
+
 /// The discrete-event simulation engine.
 ///
 /// An engine combines an [`EngineCore`] (all machine state), a [`Platform`]
@@ -160,6 +172,16 @@ impl<P: Platform> Engine<P> {
         });
 
         let budget = self.core.config().cycle_budget;
+        // Per-step engine parameters, hoisted out of the hot loop (all are
+        // invariant once the platform has initialized).
+        let params = StepParams {
+            access_cost: self.core.config().access_cost,
+            budget,
+            batch: self.core.config().batch,
+            shred_context_switch: self.core.config().costs.shred_context_switch,
+            tlb_walk: self.core.config().costs.tlb_walk,
+            cache_on: self.core.memory().cache_enabled(),
+        };
         while let Some(ev) = self.core.pop_event() {
             if ev.time > budget {
                 return Err(MispError::CycleBudgetExhausted {
@@ -177,7 +199,7 @@ impl<P: Platform> Engine<P> {
                     if self.core.sequencer(seq).is_suspended() {
                         continue; // will be resumed explicitly by the platform
                     }
-                    check_completion = self.step_sequencer(seq, ev.time)?;
+                    check_completion = self.step_sequencer(seq, ev.time, &params)?;
                 }
                 Event::TimerTick { cpu, tick } => {
                     self.platform
@@ -185,6 +207,17 @@ impl<P: Platform> Engine<P> {
                 }
                 Event::StallEnd { seq } => {
                     self.core.handle_stall_end(seq, ev.time);
+                }
+                Event::StallEndGroup { base, mask } => {
+                    // Equivalent to consecutive StallEnd events for each set
+                    // bit in ascending order (see stall_many).
+                    let mut m = mask;
+                    while m != 0 {
+                        let i = m.trailing_zeros();
+                        self.core
+                            .handle_stall_end(SequencerId::new(base + i), ev.time);
+                        m &= m - 1;
+                    }
                 }
             }
 
@@ -269,15 +302,38 @@ impl<P: Platform> Engine<P> {
 
     /// Executes the next step for `seq`.  Returns `true` if a shred finished
     /// (so the caller should re-check process completion).
-    fn step_sequencer(&mut self, seq: SequencerId, now: Cycles) -> Result<bool> {
+    ///
+    /// With [`SimConfig::batch`] enabled this is a *macro-step*: after a
+    /// local operation (a compute, or a memory access under the flat memory
+    /// model that does not fault) completes strictly before the batch
+    /// horizon — the earliest pending event in the queue — the engine peeks
+    /// at the next operation and, if that one is local too, executes it
+    /// inline at its own start time instead of scheduling and re-popping a
+    /// `SeqReady` event.  Every boundary operation (ring transitions,
+    /// signals, runtime/sync calls, halts, faulting or cache-modeled
+    /// accesses) still enters through an ordinary event pop, so platforms
+    /// and runtimes observe exactly the state they would have observed in
+    /// the event-per-operation loop, and all results are byte-identical.
+    fn step_sequencer(
+        &mut self,
+        seq: SequencerId,
+        now: Cycles,
+        params: &StepParams,
+    ) -> Result<bool> {
         let Some(thread) = self.core.sequencer(seq).bound_thread() else {
             return Ok(false); // unbound sequencer: nothing to do
         };
         let Some(pid) = self.core.kernel().thread(thread).map(|t| t.process()) else {
             return Ok(false);
         };
-        let costs = *self.core.costs();
-        let access_cost = self.core.config().access_cost;
+        let &StepParams {
+            access_cost,
+            budget,
+            batch,
+            shred_context_switch,
+            tlb_walk,
+            cache_on,
+        } = params;
 
         // Install a shred if none is running.
         let mut install_cost = Cycles::ZERO;
@@ -292,8 +348,8 @@ impl<P: Platform> Engine<P> {
                         s.set_status(ShredStatus::Running);
                     }
                     self.core
-                        .log_event(seq, LogKind::ShredStart, format!("{shred} installed"));
-                    install_cost = costs.shred_context_switch;
+                        .log_event_with(seq, LogKind::ShredStart, || format!("{shred} installed"));
+                    install_cost = shred_context_switch;
                 }
                 None => return Ok(false), // stays idle; a wake will retry
             }
@@ -304,137 +360,330 @@ impl<P: Platform> Engine<P> {
             .current_shred()
             .expect("just installed");
 
-        let op = self
-            .core
-            .shred_mut(shred_id)
-            .expect("installed shred exists")
-            .cursor_mut()
-            .next_op();
-        self.core.sequencer_mut(seq).count_op();
+        // The macro-step loop.  `now` advances to each inline operation's
+        // start time; boundary operations schedule a `SeqReady` (or finish
+        // the shred) and return, exactly as the event-per-operation loop
+        // did.
+        let mut now = now;
+        loop {
+            let op = self
+                .core
+                .shred_mut(shred_id)
+                .expect("installed shred exists")
+                .cursor_mut()
+                .next_op();
+            self.core.sequencer_mut(seq).count_op();
 
-        let mut shred_finished = false;
-        match op {
-            Op::Compute(c) => {
-                self.core.sequencer_mut(seq).add_busy(c);
-                self.core.schedule_ready(seq, now + install_cost + c);
-            }
-            Op::Touch { addr, kind } => {
-                let store = kind == misp_isa::AccessKind::Store;
-                let outcome = self.core.memory_mut().access(seq, addr, store);
-                // The cache model *refines* the flat access cost into
-                // per-level latencies, so its latency replaces `access_cost`
-                // rather than stacking on it (an all-L1-hit run with the
-                // default costs matches the flat model).
-                let mut cost = match outcome.cache {
-                    Some(cache) => cache.latency,
-                    None => access_cost,
-                };
-                if !outcome.tlb_hit {
-                    cost += costs.tlb_walk;
+            // Local operations fall through with their completion time; every
+            // other arm schedules and returns.
+            let next_ready = match op {
+                Op::Compute(c) => {
+                    self.core.sequencer_mut(seq).add_busy(c);
+                    now + install_cost + c
                 }
-                self.core.sequencer_mut(seq).add_busy(cost);
-                let ready_at = if outcome.page_fault {
-                    let resume = self.platform.on_priv_event(
-                        &mut self.core,
-                        seq,
-                        OsEventKind::PageFault,
-                        now,
-                    );
-                    resume + cost
-                } else {
+                Op::Touch { addr, kind } => {
+                    let store = kind == misp_isa::AccessKind::Store;
+                    let outcome = self.core.memory_mut().access(seq, addr, store);
+                    // The cache model *refines* the flat access cost into
+                    // per-level latencies, so its latency replaces
+                    // `access_cost` rather than stacking on it (an all-L1-hit
+                    // run with the default costs matches the flat model).
+                    let mut cost = match outcome.cache {
+                        Some(cache) => cache.latency,
+                        None => access_cost,
+                    };
+                    if !outcome.tlb_hit {
+                        cost += tlb_walk;
+                    }
+                    self.core.sequencer_mut(seq).add_busy(cost);
+                    if outcome.page_fault {
+                        let resume = self.platform.on_priv_event(
+                            &mut self.core,
+                            seq,
+                            OsEventKind::PageFault,
+                            now,
+                        );
+                        self.core.schedule_ready(seq, resume + cost);
+                        return Ok(false);
+                    }
                     now + install_cost + cost
-                };
-                self.core.schedule_ready(seq, ready_at);
-            }
-            Op::Syscall(_) => {
-                let resume =
-                    self.platform
-                        .on_priv_event(&mut self.core, seq, OsEventKind::Syscall, now);
-                self.core.schedule_ready(seq, resume + install_cost);
-            }
-            Op::Signal {
-                target,
-                continuation,
-            } => {
-                self.core.stats_mut().signals_sent += 1;
-                self.core
-                    .log_event(seq, LogKind::SignalSent, format!("to {target}"));
-                let resume =
-                    self.platform
-                        .on_signal(&mut self.core, seq, target, &continuation, now);
-                self.core.schedule_ready(seq, resume + install_cost);
-            }
-            Op::RegisterHandler => {
-                let resume = self.platform.on_register_handler(&mut self.core, seq, now);
-                self.core.schedule_ready(seq, resume + install_cost);
-            }
-            Op::Runtime(rop) => {
-                let runtime = self
-                    .runtimes
-                    .get_mut(&pid.index())
-                    .expect("runtime exists for running shred");
-                let outcome = runtime.on_runtime_op(&mut self.core, seq, shred_id, &rop, now);
-                match outcome {
-                    RuntimeOutcome::Continue { cost } => {
-                        self.core.sequencer_mut(seq).add_busy(cost);
-                        self.core.schedule_ready(seq, now + install_cost + cost);
-                    }
-                    RuntimeOutcome::Block { cost } => {
-                        if let Some(s) = self.core.shred_mut(shred_id) {
-                            if s.status() == ShredStatus::Running {
-                                s.set_status(ShredStatus::Blocked);
+                }
+                Op::Syscall(_) => {
+                    let resume =
+                        self.platform
+                            .on_priv_event(&mut self.core, seq, OsEventKind::Syscall, now);
+                    self.core.schedule_ready(seq, resume + install_cost);
+                    return Ok(false);
+                }
+                Op::Signal {
+                    target,
+                    continuation,
+                } => {
+                    self.core.stats_mut().signals_sent += 1;
+                    self.core
+                        .log_event_with(seq, LogKind::SignalSent, || format!("to {target}"));
+                    let resume =
+                        self.platform
+                            .on_signal(&mut self.core, seq, target, &continuation, now);
+                    self.core.schedule_ready(seq, resume + install_cost);
+                    return Ok(false);
+                }
+                Op::RegisterHandler => {
+                    let resume = self.platform.on_register_handler(&mut self.core, seq, now);
+                    self.core.schedule_ready(seq, resume + install_cost);
+                    return Ok(false);
+                }
+                Op::Runtime(rop) => {
+                    let runtime = self
+                        .runtimes
+                        .get_mut(&pid.index())
+                        .expect("runtime exists for running shred");
+                    let outcome = runtime.on_runtime_op(&mut self.core, seq, shred_id, &rop, now);
+                    return Ok(match outcome {
+                        RuntimeOutcome::Continue { cost } => {
+                            self.core.sequencer_mut(seq).add_busy(cost);
+                            self.core.schedule_ready(seq, now + install_cost + cost);
+                            false
+                        }
+                        RuntimeOutcome::Block { cost } => {
+                            if let Some(s) = self.core.shred_mut(shred_id) {
+                                if s.status() == ShredStatus::Running {
+                                    s.set_status(ShredStatus::Blocked);
+                                }
                             }
+                            self.core.sequencer_mut(seq).set_current_shred(None);
+                            self.core.schedule_ready(
+                                seq,
+                                now + install_cost + cost + shred_context_switch,
+                            );
+                            false
                         }
-                        self.core.sequencer_mut(seq).set_current_shred(None);
-                        self.core.schedule_ready(
-                            seq,
-                            now + install_cost + cost + costs.shred_context_switch,
-                        );
-                    }
-                    RuntimeOutcome::Yield { cost } => {
-                        if let Some(s) = self.core.shred_mut(shred_id) {
-                            if s.status() == ShredStatus::Running {
-                                s.set_status(ShredStatus::Ready);
+                        RuntimeOutcome::Yield { cost } => {
+                            if let Some(s) = self.core.shred_mut(shred_id) {
+                                if s.status() == ShredStatus::Running {
+                                    s.set_status(ShredStatus::Ready);
+                                }
                             }
+                            self.core.sequencer_mut(seq).set_current_shred(None);
+                            self.core.schedule_ready(
+                                seq,
+                                now + install_cost + cost + shred_context_switch,
+                            );
+                            false
                         }
-                        self.core.sequencer_mut(seq).set_current_shred(None);
-                        self.core.schedule_ready(
-                            seq,
-                            now + install_cost + cost + costs.shred_context_switch,
-                        );
+                        RuntimeOutcome::Exit { cost } => {
+                            if let Some(s) = self.core.shred_mut(shred_id) {
+                                s.finish(now);
+                            }
+                            self.core.log_event_with(seq, LogKind::ShredEnd, || {
+                                format!("{shred_id} exited")
+                            });
+                            self.core.sequencer_mut(seq).set_current_shred(None);
+                            self.core.schedule_ready(
+                                seq,
+                                now + install_cost + cost + shred_context_switch,
+                            );
+                            true
+                        }
+                    });
+                }
+                Op::Halt => {
+                    let runtime = self
+                        .runtimes
+                        .get_mut(&pid.index())
+                        .expect("runtime exists for running shred");
+                    runtime.on_shred_halt(&mut self.core, seq, shred_id, now);
+                    if let Some(s) = self.core.shred_mut(shred_id) {
+                        s.finish(now);
                     }
-                    RuntimeOutcome::Exit { cost } => {
-                        if let Some(s) = self.core.shred_mut(shred_id) {
-                            s.finish(now);
+                    self.core
+                        .log_event_with(seq, LogKind::ShredEnd, || format!("{shred_id} halted"));
+                    self.core.sequencer_mut(seq).set_current_shred(None);
+                    self.core.schedule_ready(seq, now + shred_context_switch);
+                    return Ok(true);
+                }
+            };
+
+            // A local operation completed at `next_ready`.  Macro-step to the
+            // next operation when (a) batching is on, (b) the completion lands
+            // strictly before the batch horizon (an equal-time queued event
+            // was inserted earlier and would pop first), (c) the cycle budget
+            // is not exhausted (the event loop would have errored when popping
+            // the elided `SeqReady`), and (d) the peeked next operation is
+            // itself executable inline.
+            if batch {
+                let horizon = self.core.next_event_time().unwrap_or(Cycles::MAX);
+                if next_ready < horizon {
+                    if next_ready > budget {
+                        return Err(MispError::CycleBudgetExhausted {
+                            budget: budget.as_u64(),
+                        });
+                    }
+                    let (class, peeked_addr) = {
+                        let peeked = self
+                            .core
+                            .shred_mut(shred_id)
+                            .expect("installed shred exists")
+                            .cursor_mut()
+                            .peek_op();
+                        let addr = match peeked {
+                            Op::Touch { addr, .. } => Some(*addr),
+                            _ => None,
+                        };
+                        (peeked.classify(), addr)
+                    };
+                    let inline = match class {
+                        misp_isa::OpClass::Local => true,
+                        // A memory access is chargeable mid-batch only under
+                        // the flat memory model and only when it will not
+                        // page-fault; with the cache hierarchy modeled every
+                        // access is a boundary (its outcome feeds coherence
+                        // state other sequencers observe).
+                        misp_isa::OpClass::Memory => {
+                            !cache_on
+                                && self.core.memory().bound_process(seq).is_some_and(|p| {
+                                    !self
+                                        .core
+                                        .memory()
+                                        .would_fault(p, peeked_addr.expect("memory op has address"))
+                                })
                         }
-                        self.core
-                            .log_event(seq, LogKind::ShredEnd, format!("{shred_id} exited"));
-                        self.core.sequencer_mut(seq).set_current_shred(None);
-                        self.core.schedule_ready(
-                            seq,
-                            now + install_cost + cost + costs.shred_context_switch,
-                        );
-                        shred_finished = true;
+                        misp_isa::OpClass::Boundary => false,
+                    };
+                    if inline {
+                        now = next_ready;
+                        install_cost = Cycles::ZERO;
+                        self.core.set_now(now);
+                        continue;
                     }
                 }
             }
-            Op::Halt => {
-                let runtime = self
-                    .runtimes
-                    .get_mut(&pid.index())
-                    .expect("runtime exists for running shred");
-                runtime.on_shred_halt(&mut self.core, seq, shred_id, now);
-                if let Some(s) = self.core.shred_mut(shred_id) {
-                    s.finish(now);
-                }
-                self.core
-                    .log_event(seq, LogKind::ShredEnd, format!("{shred_id} halted"));
-                self.core.sequencer_mut(seq).set_current_shred(None);
-                self.core
-                    .schedule_ready(seq, now + costs.shred_context_switch);
-                shred_finished = true;
-            }
+            self.core.schedule_ready(seq, next_ready);
+            return Ok(false);
         }
-        Ok(shred_finished)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LocalPlatform, SingleShredRuntime};
+    use misp_isa::{ProgramBuilder, SyscallKind};
+    use misp_os::TimerConfig;
+
+    /// Wraps [`LocalPlatform`] and, on the first syscall, opens three
+    /// overlapping stall windows on sequencer 1: a short one, a longer one
+    /// that extends it, and a superseded shorter one that must change
+    /// nothing.  The stale-window regression below pins the resume time.
+    #[derive(Debug)]
+    struct OverlappingStallPlatform {
+        inner: LocalPlatform,
+        stalled_once: bool,
+    }
+
+    impl Platform for OverlappingStallPlatform {
+        fn init(&mut self, core: &mut EngineCore) {
+            self.inner.init(core);
+        }
+
+        fn on_priv_event(
+            &mut self,
+            core: &mut EngineCore,
+            seq: SequencerId,
+            kind: OsEventKind,
+            now: Cycles,
+        ) -> Cycles {
+            if kind == OsEventKind::Syscall && !self.stalled_once {
+                self.stalled_once = true;
+                let victim = SequencerId::new(1);
+                core.stall(victim, now, now + Cycles::new(500));
+                // A longer overlapping window extends the stall...
+                core.stall(victim, now, now + Cycles::new(2_000));
+                // ...and a superseded shorter window must not resume early,
+                // no matter how stall-end events are scheduled or batched.
+                core.stall(victim, now, now + Cycles::new(1_000));
+            }
+            self.inner.on_priv_event(core, seq, kind, now)
+        }
+
+        fn on_timer_tick(
+            &mut self,
+            core: &mut EngineCore,
+            cpu: SequencerId,
+            tick: u64,
+            now: Cycles,
+        ) {
+            self.inner.on_timer_tick(core, cpu, tick, now);
+        }
+    }
+
+    fn run_overlapping_stall(batch: bool) -> SimReport {
+        let config = SimConfig {
+            timer: TimerConfig::disabled(),
+            batch,
+            ..SimConfig::default()
+        };
+        let mut library = ProgramLibrary::new();
+        let staller = library.insert(
+            ProgramBuilder::new("staller")
+                .compute(Cycles::new(100))
+                .syscall(SyscallKind::Io)
+                .build(),
+        );
+        let victim = library.insert(
+            ProgramBuilder::new("victim")
+                .compute(Cycles::new(10_000))
+                .build(),
+        );
+        let mut inner = LocalPlatform::new(2);
+        inner.disable_timer();
+        let platform = OverlappingStallPlatform {
+            inner,
+            stalled_once: false,
+        };
+        let mut engine = Engine::new(config, 2, library, platform);
+        let p0 = engine.core_mut().kernel_mut().spawn_process("staller");
+        let t0 = engine.core_mut().kernel_mut().spawn_thread(p0);
+        let p1 = engine.core_mut().kernel_mut().spawn_process("victim");
+        let t1 = engine.core_mut().kernel_mut().spawn_thread(p1);
+        engine.add_runtime(p0, Box::new(SingleShredRuntime::new(staller)));
+        engine.add_runtime(p1, Box::new(SingleShredRuntime::new(victim)));
+        engine.platform_mut().inner.pin_thread(t0, 0);
+        engine.platform_mut().inner.pin_thread(t1, 1);
+        engine.run().unwrap()
+    }
+
+    /// Regression test for stale stall-end handling: after a window is
+    /// extended, the superseded shorter window's end must not resume the
+    /// sequencer early — with the macro-step fast paths on or off, the
+    /// victim resumes exactly when the longest window closes.
+    #[test]
+    fn superseded_stall_window_does_not_resume_early() {
+        let switch = SimConfig::default().costs.shred_context_switch;
+        // The victim installs (shred_context_switch) and computes 10k cycles;
+        // the staller's syscall at `switch + 100` opens windows ending 500,
+        // 2000 and (superseded) 1000 cycles later.  The victim's in-flight
+        // compute has `switch + 10_000 - (switch + 100) = 9_900` cycles left,
+        // so it completes at `switch + 100 + 2_000 + 9_900 = switch+12_000`.
+        let expected = switch + Cycles::new(12_000);
+        for batch in [true, false] {
+            let report = run_overlapping_stall(batch);
+            assert_eq!(
+                report.completion_of(ProcessId::new(1)),
+                Some(expected),
+                "victim resume time (batch = {batch})"
+            );
+            assert_eq!(
+                report.stats.per_sequencer[1].stalled,
+                Cycles::new(2_000),
+                "only the merged window is charged (batch = {batch})"
+            );
+        }
+        // And the two modes agree on everything else, down to the log digest.
+        let on = run_overlapping_stall(true);
+        let off = run_overlapping_stall(false);
+        assert_eq!(on.total_cycles, off.total_cycles);
+        assert_eq!(on.completions, off.completions);
+        assert_eq!(on.log_digest, off.log_digest);
     }
 }

@@ -2,7 +2,6 @@
 
 use misp_types::{Cycles, SequencerId};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// An event processed by the engine's main loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +29,18 @@ pub enum Event {
     StallEnd {
         /// The stalled sequencer.
         seq: SequencerId,
+    },
+    /// The end of one shared stall window covering several sequencers (a
+    /// serialization window suspending every AMS of a MISP processor at
+    /// once).  Equivalent to consecutive [`Event::StallEnd`] events for
+    /// `base + i` over the set bits of `mask` in ascending order, collapsed
+    /// into one queue entry; like `StallEnd`, each covered sequencer is only
+    /// resumed if its own window has actually elapsed.
+    StallEndGroup {
+        /// Sequencer index of bit 0 of `mask`.
+        base: u32,
+        /// Bit `i` covers sequencer `base + i`.
+        mask: u32,
     },
 }
 
@@ -62,13 +73,45 @@ impl PartialOrd for ScheduledEvent {
     }
 }
 
+/// Marks the absence of a heap position in the slot index.
+const NO_POS: u32 = u32::MAX;
+/// Marks an event kind that has no replacement slot.
+const NO_SLOT: u32 = u32::MAX;
+
 /// A deterministic time-ordered event queue.
 ///
 /// Ties in time are broken by insertion order, so runs are reproducible
-/// regardless of heap internals.
+/// regardless of heap internals.  Implemented as a hand-rolled 4-ary min-heap
+/// keyed on `(time, seqno)`: the engine pushes and pops an event for nearly
+/// every simulated operation, and the flatter tree roughly halves the sift
+/// depth of a binary heap on the small queues (tens of entries) a machine
+/// produces.  Every key is unique (seqnos are), so any correct heap pops the
+/// exact same sequence — the layout is unobservable.
+///
+/// The heap is *indexed* for the two event kinds the engine supersedes:
+/// each sequencer has at most one live `SeqReady` (a reschedule invalidates
+/// the previous one) and at most one live stall window.  Pushing a new event
+/// for an occupied slot replaces the superseded entry in place — with the
+/// new event's own `(time, seqno)` key, exactly the key it would have had as
+/// a separate push — instead of leaving a stale entry to pop and discard
+/// later.  Live events therefore pop in the identical order, while stale
+/// traffic and heap depth shrink.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<ScheduledEvent>,
+    heap: Vec<ScheduledEvent>,
+    /// Heap position of each slot's live entry (`NO_POS` when absent),
+    /// indexed by `2 * sequencer + kind_bit`; see [`EventQueue::slot_of`].
+    pos: Vec<u32>,
+    /// Pending timer ticks, kept out of the heap: each OS-visible CPU has at
+    /// most one outstanding tick, so this stays a handful of entries and a
+    /// linear scan beats heap maintenance for a third of all event traffic.
+    /// Entries carry ordinary seqnos from the shared counter, and `pop`
+    /// compares `(time, seqno)` across both stores, so the global pop order
+    /// is exactly that of a single heap.
+    ticks: Vec<ScheduledEvent>,
+    /// Cached index of the earliest entry in `ticks` (`peek` runs on the
+    /// macro-step hot path).
+    tick_min: Option<usize>,
     next_seqno: u64,
 }
 
@@ -79,34 +122,193 @@ impl EventQueue {
         EventQueue::default()
     }
 
+    #[inline]
+    fn precedes(a: &ScheduledEvent, b: &ScheduledEvent) -> bool {
+        (a.time, a.seqno) < (b.time, b.seqno)
+    }
+
+    /// The replacement slot of an event: `SeqReady` and `StallEnd` events are
+    /// per-sequencer singletons (a newer push supersedes the queued one);
+    /// timer ticks and group stall-ends are never superseded.
+    #[inline]
+    fn slot_of(event: &Event) -> u32 {
+        match event {
+            Event::SeqReady { seq, .. } => seq.index() * 2,
+            Event::StallEnd { seq } => seq.index() * 2 + 1,
+            Event::TimerTick { .. } | Event::StallEndGroup { .. } => NO_SLOT,
+        }
+    }
+
+    /// Records `i` as the heap position of the slot of `heap[i]`, if any.
+    #[inline]
+    fn note_pos(&mut self, i: usize) {
+        let slot = Self::slot_of(&self.heap[i].event);
+        if slot != NO_SLOT {
+            self.pos[slot as usize] = i as u32;
+        }
+    }
+
     /// Schedules `event` at absolute time `time`.
     pub fn push(&mut self, time: Cycles, event: Event) {
         let seqno = self.next_seqno;
         self.next_seqno += 1;
-        self.heap.push(ScheduledEvent { time, seqno, event });
+        let slot = Self::slot_of(&event);
+        let ev = ScheduledEvent { time, seqno, event };
+        if matches!(event, Event::TimerTick { .. }) {
+            let i = self.ticks.len();
+            self.ticks.push(ev);
+            match self.tick_min {
+                Some(m) if !Self::precedes(&ev, &self.ticks[m]) => {}
+                _ => self.tick_min = Some(i),
+            }
+            return;
+        }
+        if slot != NO_SLOT {
+            if slot as usize >= self.pos.len() {
+                self.pos.resize(slot as usize + 1, NO_POS);
+            }
+            let p = self.pos[slot as usize];
+            if p != NO_POS {
+                // Replace the superseded entry in place: a queued event for
+                // this slot can never fire (the engine discards it on pop),
+                // so swapping in the successor — under the successor's own
+                // key — preserves the live-event pop order exactly.
+                let p = p as usize;
+                self.heap[p] = ev;
+                if self.sift_up(p) == p {
+                    self.sift_down(p);
+                }
+                return;
+            }
+        }
+        let i = self.heap.len();
+        self.heap.push(ev);
+        if slot != NO_SLOT {
+            self.pos[slot as usize] = i as u32;
+        }
+        self.sift_up(i);
+    }
+
+    /// Moves `heap[i]` toward the root until its parent precedes it; returns
+    /// the final position.  Hole-based: the sifted element is held in a local
+    /// and displaced parents move down, one write per level.
+    fn sift_up(&mut self, mut i: usize) -> usize {
+        let ev = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if Self::precedes(&ev, &self.heap[parent]) {
+                self.heap[i] = self.heap[parent];
+                self.note_pos(i);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = ev;
+        self.note_pos(i);
+        i
+    }
+
+    /// Moves `heap[i]` toward the leaves until it precedes all its children;
+    /// returns the final position.  Hole-based, like [`EventQueue::sift_up`].
+    fn sift_down(&mut self, mut i: usize) -> usize {
+        let ev = self.heap[i];
+        let len = self.heap.len();
+        loop {
+            let first_child = 4 * i + 1;
+            if first_child >= len {
+                break;
+            }
+            let mut min = first_child;
+            let last_child = (first_child + 3).min(len - 1);
+            for c in (first_child + 1)..=last_child {
+                if Self::precedes(&self.heap[c], &self.heap[min]) {
+                    min = c;
+                }
+            }
+            if Self::precedes(&self.heap[min], &ev) {
+                self.heap[i] = self.heap[min];
+                self.note_pos(i);
+                i = min;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = ev;
+        self.note_pos(i);
+        i
+    }
+
+    /// Recomputes the cached index of the earliest pending tick.
+    fn refresh_min_tick(&mut self) {
+        let mut best: Option<usize> = None;
+        for (i, t) in self.ticks.iter().enumerate() {
+            if best.is_none_or(|b| Self::precedes(t, &self.ticks[b])) {
+                best = Some(i);
+            }
+        }
+        self.tick_min = best;
+    }
+
+    /// Index of the earliest pending tick, by `(time, seqno)`.
+    #[inline]
+    fn min_tick(&self) -> Option<usize> {
+        self.tick_min
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<ScheduledEvent> {
-        self.heap.pop()
+        let tick = self.min_tick();
+        let take_tick = match (tick, self.heap.first()) {
+            (Some(t), Some(root)) => Self::precedes(&self.ticks[t], root),
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if take_tick {
+            let popped = self.ticks.swap_remove(tick.expect("checked above"));
+            self.refresh_min_tick();
+            return Some(popped);
+        }
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap.swap_remove(0);
+        let slot = Self::slot_of(&top.event);
+        if slot != NO_SLOT {
+            self.pos[slot as usize] = NO_POS;
+        }
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some(top)
     }
 
     /// Peeks at the earliest event without removing it.
     #[must_use]
     pub fn peek(&self) -> Option<&ScheduledEvent> {
-        self.heap.peek()
+        match (self.min_tick(), self.heap.first()) {
+            (Some(t), Some(root)) => {
+                if Self::precedes(&self.ticks[t], root) {
+                    self.ticks.get(t)
+                } else {
+                    self.heap.first()
+                }
+            }
+            (Some(t), None) => self.ticks.get(t),
+            (None, _) => self.heap.first(),
+        }
     }
 
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.ticks.len()
     }
 
     /// Returns `true` when no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.ticks.is_empty()
     }
 }
 

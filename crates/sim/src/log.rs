@@ -115,13 +115,15 @@ impl fmt::Display for LogRecord {
 ///
 /// Coarse counts are always collected; fine-grained records are only kept when
 /// enabled (they can grow large) and are capped to protect memory.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EventLog {
     fine_enabled: bool,
     cap: usize,
     records: Vec<LogRecord>,
     dropped: u64,
-    counts: std::collections::HashMap<LogKind, u64>,
+    /// Coarse per-kind counts, indexed by [`LogKind::canonical_index`].  A
+    /// plain array keeps the hot `record` path free of hashing.
+    counts: [u64; LogKind::ALL.len()],
 }
 
 impl EventLog {
@@ -137,7 +139,7 @@ impl EventLog {
             cap: Self::DEFAULT_CAP,
             records: Vec::new(),
             dropped: 0,
-            counts: std::collections::HashMap::new(),
+            counts: [0; LogKind::ALL.len()],
         }
     }
 
@@ -154,14 +156,27 @@ impl EventLog {
         kind: LogKind,
         detail: impl Into<String>,
     ) {
-        *self.counts.entry(kind).or_insert(0) += 1;
+        self.record_with(time, seq, kind, || detail.into());
+    }
+
+    /// Records an event, building the detail text only if it will actually be
+    /// retained (fine-grained logging enabled and the cap not reached).  Hot
+    /// paths use this to keep the coarse-count-only mode allocation-free.
+    pub fn record_with<F: FnOnce() -> String>(
+        &mut self,
+        time: Cycles,
+        seq: SequencerId,
+        kind: LogKind,
+        detail: F,
+    ) {
+        self.counts[kind.canonical_index()] += 1;
         if self.fine_enabled {
             if self.records.len() < self.cap {
                 self.records.push(LogRecord {
                     time,
                     seq,
                     kind,
-                    detail: detail.into(),
+                    detail: detail(),
                 });
             } else {
                 self.dropped += 1;
@@ -172,7 +187,7 @@ impl EventLog {
     /// The coarse count for `kind`.
     #[must_use]
     pub fn count(&self, kind: LogKind) -> u64 {
-        self.counts.get(&kind).copied().unwrap_or(0)
+        self.counts[kind.canonical_index()]
     }
 
     /// The retained fine-grained records, in insertion (time) order.

@@ -24,7 +24,7 @@ pub struct SeqUtilization {
 /// The split between OMS-originated and AMS-originated events mirrors the
 /// column structure of the paper's Table 1; the overhead counters feed the
 /// analytic model used for Figure 5.
-#[derive(Debug, Default, Clone, Serialize)]
+#[derive(Debug, Default, Clone, PartialEq, Serialize)]
 pub struct SimStats {
     /// Privileged events that originated on an OS-managed sequencer (or, in
     /// the SMP baseline, on any core).

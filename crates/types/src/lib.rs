@@ -29,12 +29,14 @@
 mod cost;
 mod cycles;
 mod error;
+mod fxhash;
 mod ids;
 mod ring;
 
 pub use cost::{CacheCostModel, CostModel, CostModelBuilder, SignalCost};
 pub use cycles::{Cycles, Duration};
 pub use error::{MispError, Result};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{
     LockId, MispProcessorId, OsThreadId, PageId, ProcessId, SequencerId, ShredId, VirtAddr,
     PAGE_SHIFT, PAGE_SIZE,

@@ -60,6 +60,54 @@ fn quick_config() -> SimConfig {
     }
 }
 
+/// Asserts that two reports agree on everything the results schema can see:
+/// completion times, the full statistics block and the event-log digest.
+fn assert_identical(a: &misp::sim::SimReport, b: &misp::sim::SimReport, context: &str) {
+    assert_eq!(a.total_cycles, b.total_cycles, "{context}: total cycles");
+    assert_eq!(a.completions, b.completions, "{context}: completions");
+    assert_eq!(a.stats, b.stats, "{context}: statistics");
+    assert_eq!(a.log_digest, b.log_digest, "{context}: log digest");
+}
+
+/// The macro-step fast path must be invisible: every catalog workload, with
+/// the cache model off and on, produces identical statistics and event-log
+/// digests whether batching is enabled (the default) or force-disabled (the
+/// event-per-operation reference loop).
+#[test]
+fn macro_stepping_is_byte_identical_for_every_catalog_workload() {
+    use misp::cache::CacheConfig;
+    let topo = MispTopology::uniprocessor(7).unwrap();
+    for cache in [CacheConfig::disabled(), CacheConfig::enabled_default()] {
+        let base = quick_config().with_cache(cache);
+        let batched = SimConfig {
+            batch: true,
+            ..base
+        };
+        let reference = SimConfig {
+            batch: false,
+            ..base
+        };
+        for w in misp::workloads::catalog::all() {
+            let context = format!(
+                "{} (cache {})",
+                w.name(),
+                if cache.enabled { "on" } else { "off" }
+            );
+            let on = runner::run_on_misp(&w, &topo, batched, 8).unwrap();
+            let off = runner::run_on_misp(&w, &topo, reference, 8).unwrap();
+            assert_identical(&on, &off, &format!("{context} on MISP"));
+
+            let on = runner::run_on_smp(&w, 8, batched, 8).unwrap();
+            let off = runner::run_on_smp(&w, 8, reference, 8).unwrap();
+            assert_identical(&on, &off, &format!("{context} on SMP"));
+
+            let on = runner::run_serial(&w, batched, 8).unwrap();
+            let off = runner::run_serial(&w, reference, 8).unwrap();
+            assert_identical(&on, &off, &format!("{context} serial"));
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -79,6 +127,34 @@ proptest! {
             "parallel must not exceed serial by more than rounding");
         let speedup = serial.total_cycles.as_f64() / a.total_cycles.as_f64();
         prop_assert!(speedup <= 4.05, "speedup {} exceeds sequencer count", speedup);
+    }
+
+    /// Macro-stepping is byte-identical on arbitrary workload shapes too —
+    /// including with fine-grained logging enabled, where the digest covers
+    /// every individual record and its timestamp.
+    #[test]
+    fn macro_stepping_is_byte_identical_on_random_workloads(
+        input in (arbitrary_params(), any::<bool>())
+    ) {
+        let (params, fine_log) = input;
+        let w = Workload::new("prop", Suite::Rms, params);
+        let topo = MispTopology::uniprocessor(3).unwrap();
+        let base = SimConfig { fine_log, ..quick_config() };
+        let batched = SimConfig { batch: true, ..base };
+        let reference = SimConfig { batch: false, ..base };
+
+        let on = runner::run_on_misp(&w, &topo, batched, 4).unwrap();
+        let off = runner::run_on_misp(&w, &topo, reference, 4).unwrap();
+        prop_assert_eq!(on.total_cycles, off.total_cycles);
+        prop_assert_eq!(&on.completions, &off.completions);
+        prop_assert_eq!(&on.stats, &off.stats);
+        prop_assert_eq!(on.log_digest, off.log_digest);
+
+        let on = runner::run_serial(&w, batched, 4).unwrap();
+        let off = runner::run_serial(&w, reference, 4).unwrap();
+        prop_assert_eq!(on.total_cycles, off.total_cycles);
+        prop_assert_eq!(&on.stats, &off.stats);
+        prop_assert_eq!(on.log_digest, off.log_digest);
     }
 
     /// The total number of page faults equals the number of distinct pages
