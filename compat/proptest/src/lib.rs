@@ -2,7 +2,8 @@
 //!
 //! Provides the strategy combinators and macros this workspace's property
 //! tests use: `proptest!`, `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`,
-//! `Just`, `any`, ranges as strategies, tuple strategies and `prop_map`.
+//! `Just`, `any`, ranges as strategies, tuple strategies, `prop_map` and
+//! `collection::vec`.
 //!
 //! Deliberate simplifications versus real proptest:
 //!
@@ -150,6 +151,35 @@ impl<T: Clone> Strategy for Just<T> {
 
     fn generate(&self, _rng: &mut TestRng) -> T {
         self.0.clone()
+    }
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s with lengths drawn from `len` and elements
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.len.start < self.len.end, "empty length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
     }
 }
 

@@ -92,6 +92,23 @@ pub mod __private {
         }
     }
 
+    /// Looks up an optional field of an object value, yielding `Null` when
+    /// the field is absent.  Used for `skip_serializing_if` fields, which
+    /// round-trip through omission rather than an explicit `null`.
+    pub fn field_or_null<'a>(value: &'a Value, key: &str) -> Result<&'a Value, Error> {
+        static NULL: Value = Value::Null;
+        match value {
+            Value::Object(fields) => Ok(fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or(&NULL, |(_, v)| v)),
+            other => Err(Error::custom(format!(
+                "expected object with field `{key}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
     /// Checks that an array value has exactly `len` elements and returns them.
     pub fn tuple(value: &Value, len: usize) -> Result<&[Value], Error> {
         match value {

@@ -3,10 +3,12 @@
 //! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
 //! shapes the MISP workspace actually contains: non-generic structs (named,
 //! tuple and unit) and non-generic enums whose variants are unit, tuple or
-//! struct-like.  `#[serde(...)]` attributes are accepted and ignored — the
-//! only one the workspace uses is `#[serde(transparent)]` on newtype
-//! structs, and newtype structs already serialize transparently here (as in
-//! real serde).
+//! struct-like.  Two `#[serde(...)]` attributes are honoured:
+//! `skip_serializing_if = "path"` on named fields (the field is omitted from
+//! the object when the predicate holds, and treated as `null` when absent on
+//! deserialization) and `#[serde(transparent)]` on newtype structs, which
+//! already serialize transparently here (as in real serde).  All other
+//! `#[serde(...)]` attributes are accepted and ignored.
 //!
 //! The input token stream is parsed by hand (no `syn`/`quote` in an offline
 //! container) and the generated impl is produced as a string, then reparsed
@@ -15,10 +17,17 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field together with the serde attributes this stand-in honours.
+struct Field {
+    name: String,
+    /// Predicate path from `#[serde(skip_serializing_if = "path")]`, if any.
+    skip_serializing_if: Option<String>,
+}
+
 /// Fields of a struct or enum variant.
 enum Fields {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -113,11 +122,22 @@ fn parse(input: TokenStream) -> Result<Input, String> {
 }
 
 fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    let _ = consume_attributes_and_visibility(tokens, pos);
+}
+
+/// Skips attributes and visibility like [`skip_attributes_and_visibility`],
+/// additionally returning the predicate path of any
+/// `#[serde(skip_serializing_if = "path")]` attribute encountered.
+fn consume_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) -> Option<String> {
+    let mut skip_if = None;
     loop {
         match tokens.get(*pos) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 *pos += 1;
-                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if let Some(predicate) = parse_skip_serializing_if(g.stream()) {
+                        skip_if = Some(predicate);
+                    }
                     *pos += 1;
                 }
             }
@@ -130,19 +150,51 @@ fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
                     *pos += 1;
                 }
             }
-            _ => return,
+            _ => return skip_if,
         }
     }
 }
 
+/// Extracts the predicate path from the body of a
+/// `serde(skip_serializing_if = "path")` attribute, if this is one.
+fn parse_skip_serializing_if(stream: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner: Vec<TokenTree> = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            g.stream().into_iter().collect()
+        }
+        _ => return None,
+    };
+    for (index, token) in inner.iter().enumerate() {
+        let TokenTree::Ident(ident) = token else {
+            continue;
+        };
+        if ident.to_string() != "skip_serializing_if" {
+            continue;
+        }
+        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+            (inner.get(index + 1), inner.get(index + 2))
+        {
+            if eq.as_char() == '=' {
+                return Some(lit.to_string().trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
 /// Parses `field: Type, ...` returning field names.  Types are skipped by
 /// scanning to the next comma that is not nested inside angle brackets.
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut pos = 0;
     let mut fields = Vec::new();
     while pos < tokens.len() {
-        skip_attributes_and_visibility(&tokens, &mut pos);
+        let skip_serializing_if = consume_attributes_and_visibility(&tokens, &mut pos);
         if pos >= tokens.len() {
             break;
         }
@@ -160,7 +212,10 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             }
         }
         skip_type(&tokens, &mut pos);
-        fields.push(name);
+        fields.push(Field {
+            name,
+            skip_serializing_if,
+        });
     }
     Ok(fields)
 }
@@ -289,20 +344,40 @@ fn ser_struct_body(name: &str, fields: &Fields) -> String {
                 .collect();
             format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
         }
-        Fields::Named(names) => {
-            let items: Vec<String> = names
-                .iter()
-                .map(|f| {
-                    format!(
-                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))",
-                        f
-                    )
-                })
-                .collect();
+        Fields::Named(fields) => {
             let _ = name;
-            format!("::serde::value::Value::Object(vec![{}])", items.join(", "))
+            ser_named_fields(fields, |f| format!("&self.{f}"))
         }
     }
+}
+
+/// Builds the object-construction expression of a named-field struct or
+/// variant.  `ref_of` maps a field name to the expression yielding a
+/// reference to it (`&self.f` for structs, the match binding for variants).
+/// Fields carrying `skip_serializing_if` are pushed conditionally.
+fn ser_named_fields(fields: &[Field], ref_of: impl Fn(&str) -> String) -> String {
+    let mut body = String::from(
+        "{ let mut __fields: ::std::vec::Vec<(::std::string::String, \
+         ::serde::value::Value)> = ::std::vec::Vec::new(); ",
+    );
+    for field in fields {
+        let name = &field.name;
+        let reference = ref_of(name);
+        let push = format!(
+            "__fields.push(({name:?}.to_string(), ::serde::Serialize::to_value({reference})));"
+        );
+        match &field.skip_serializing_if {
+            Some(predicate) => {
+                body.push_str(&format!("if !{predicate}({reference}) {{ {push} }} "));
+            }
+            None => {
+                body.push_str(&push);
+                body.push(' ');
+            }
+        }
+    }
+    body.push_str("::serde::value::Value::Object(__fields) }");
+    body
 }
 
 fn ser_variant_arm(name: &str, variant: &str, fields: &Fields) -> String {
@@ -326,15 +401,12 @@ fn ser_variant_arm(name: &str, variant: &str, fields: &Fields) -> String {
                 binds.join(", ")
             )
         }
-        Fields::Named(names) => {
-            let items: Vec<String> = names
-                .iter()
-                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))"))
-                .collect();
+        Fields::Named(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let inner = ser_named_fields(fields, |f| f.to_string());
             format!(
-                "{name}::{variant} {{ {} }} => ::serde::value::Value::Object(vec![({variant:?}.to_string(), ::serde::value::Value::Object(vec![{}]))]),\n",
-                names.join(", "),
-                items.join(", ")
+                "{name}::{variant} {{ {} }} => ::serde::value::Value::Object(vec![({variant:?}.to_string(), {inner})]),\n",
+                binds.join(", ")
             )
         }
     }
@@ -366,18 +438,29 @@ fn de_struct_body(name: &str, fields: &Fields) -> String {
                 items.join(", ")
             )
         }
-        Fields::Named(names) => {
-            let items: Vec<String> = names
+        Fields::Named(fields) => {
+            let items: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(::serde::__private::field(__value, {f:?})?)?"
-                    )
-                })
+                .map(|f| de_named_field(f, "__value"))
                 .collect();
             format!("Ok({name} {{ {} }})", items.join(", "))
         }
     }
+}
+
+/// Builds the `field: from_value(..)?` initializer of one named field.
+/// Fields carrying `skip_serializing_if` read as `null` when absent, so a
+/// document that omitted them round-trips.
+fn de_named_field(field: &Field, source: &str) -> String {
+    let name = &field.name;
+    let lookup = if field.skip_serializing_if.is_some() {
+        "field_or_null"
+    } else {
+        "field"
+    };
+    format!(
+        "{name}: ::serde::Deserialize::from_value(::serde::__private::{lookup}({source}, {name:?})?)?"
+    )
 }
 
 fn de_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
@@ -424,14 +507,10 @@ fn de_variant_arm(name: &str, variant: &str, fields: &Fields) -> String {
                 items.join(", ")
             )
         }
-        Fields::Named(names) => {
-            let items: Vec<String> = names
+        Fields::Named(fields) => {
+            let items: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(::serde::__private::field(__inner, {f:?})?)?"
-                    )
-                })
+                .map(|f| de_named_field(f, "__inner"))
                 .collect();
             format!(
                 "{variant:?} => Ok({name}::{variant} {{ {} }}),\n",

@@ -16,7 +16,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use misp_harness::{grids, run_grid, GridSpec, RunKind, SweepOptions, VerifyMode};
-use misp_workloads::{catalog, runner};
+use misp_workloads::{catalog, Machine, Run};
 use serde::Serialize;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -73,11 +73,16 @@ fn fig4_total_ops() -> u64 {
     let topo = misp_core::MispTopology::uniprocessor(7).expect("1 OMS + 7 AMS");
     let mut total = 0u64;
     for w in catalog::all() {
-        for report in [
-            runner::run_serial(&w, config, 8).expect("serial run"),
-            runner::run_on_misp(&w, &topo, config, 8).expect("misp run"),
-            runner::run_on_smp(&w, 8, config, 8).expect("smp run"),
+        for machine in [
+            Machine::Serial,
+            Machine::Misp(topo.clone()),
+            Machine::smp(8),
         ] {
+            let report = Run::workload(&w)
+                .machine(machine)
+                .config(config)
+                .execute()
+                .expect("fig4 machine run");
             total += report
                 .stats
                 .per_sequencer

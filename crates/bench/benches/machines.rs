@@ -9,7 +9,7 @@ use misp_core::MispTopology;
 use misp_os::TimerConfig;
 use misp_sim::SimConfig;
 use misp_types::Cycles;
-use misp_workloads::{catalog, runner};
+use misp_workloads::{catalog, Machine, Run};
 
 fn small_config() -> SimConfig {
     SimConfig {
@@ -28,7 +28,10 @@ fn bench_machines(c: &mut Criterion) {
             let topo = MispTopology::uniprocessor(7).unwrap();
             b.iter(|| {
                 black_box(
-                    runner::run_on_misp(w, &topo, small_config(), 8)
+                    Run::workload(w)
+                        .topology(topo.clone())
+                        .config(small_config())
+                        .execute()
                         .unwrap()
                         .total_cycles,
                 )
@@ -37,7 +40,10 @@ fn bench_machines(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("smp_8", name), &workload, |b, w| {
             b.iter(|| {
                 black_box(
-                    runner::run_on_smp(w, 8, small_config(), 8)
+                    Run::workload(w)
+                        .machine(Machine::smp(8))
+                        .config(small_config())
+                        .execute()
                         .unwrap()
                         .total_cycles,
                 )
@@ -46,7 +52,9 @@ fn bench_machines(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("serial_1p", name), &workload, |b, w| {
             b.iter(|| {
                 black_box(
-                    runner::run_serial(w, small_config(), 8)
+                    Run::workload(w)
+                        .config(small_config())
+                        .execute()
                         .unwrap()
                         .total_cycles,
                 )

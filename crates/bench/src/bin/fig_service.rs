@@ -1,0 +1,98 @@
+//! Service scenarios — open-loop request serving on the MISP uniprocessor
+//! and the SMP baseline: latency percentiles and sustained throughput
+//! against offered load, arrival-process variants, and pool shapes.
+//!
+//! This figure has no counterpart in the paper, which measures closed-loop
+//! workload runtimes only.  The sweep drives the same machines with a seeded
+//! open-loop customer stream (latency is measured from *scheduled* arrival,
+//! so a backed-up queue cannot hide service time) and replays the identical
+//! stream on every paired run via common random numbers.
+//!
+//! Regenerate with `cargo run --release -p misp-bench --bin fig_service`.
+
+use misp_bench::{format_table, write_json};
+use misp_harness::{grids, run_grid, SweepOptions};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    id: String,
+    scenario: String,
+    offered_load: u32,
+    machine: String,
+    admitted: u64,
+    completed: u64,
+    dropped: u64,
+    latency_p50: u64,
+    latency_p95: u64,
+    latency_p99: u64,
+    latency_p999: u64,
+    latency_mean: f64,
+    max_outstanding: u64,
+    throughput_per_gcycle: f64,
+    speedup_vs_baseline: Option<f64>,
+}
+
+fn main() {
+    let results =
+        run_grid(&grids::service_load(), &SweepOptions::from_env()).expect("service sweep");
+
+    let mut rows = Vec::new();
+    for record in &results.records {
+        let sim = record.sim.as_ref().expect("service grid is all-sim");
+        let service = sim.service.as_ref().expect("scenario runs carry service");
+        rows.push(Row {
+            id: record.id.clone(),
+            scenario: record.scenario.clone().expect("scenario name recorded"),
+            offered_load: record.offered_load.expect("offered load recorded"),
+            machine: record.machine.clone().unwrap_or_default(),
+            admitted: service.admitted,
+            completed: service.completed,
+            dropped: service.dropped,
+            latency_p50: service.latency_p50,
+            latency_p95: service.latency_p95,
+            latency_p99: service.latency_p99,
+            latency_p999: service.latency_p999,
+            latency_mean: service.latency_mean,
+            max_outstanding: service.max_outstanding,
+            throughput_per_gcycle: service.throughput_per_gcycle,
+            speedup_vs_baseline: sim.speedup_vs_baseline,
+        });
+    }
+
+    println!("Service scenarios - open-loop latency percentiles and throughput");
+    println!();
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.clone(),
+                r.machine.clone(),
+                r.admitted.to_string(),
+                r.dropped.to_string(),
+                r.latency_p50.to_string(),
+                r.latency_p95.to_string(),
+                r.latency_p99.to_string(),
+                r.latency_p999.to_string(),
+                format!("{:.0}", r.latency_mean),
+                format!("{:.2}", r.throughput_per_gcycle),
+                r.speedup_vs_baseline
+                    .map_or_else(|| "-".to_string(), |s| format!("{s:.3}")),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "run", "machine", "adm", "drop", "p50", "p95", "p99", "p99.9", "mean", "req/Gcyc",
+                "vs base",
+            ],
+            &table_rows
+        )
+    );
+
+    if let Some(path) = write_json("fig_service", &rows) {
+        eprintln!("rows written to {}", path.display());
+    }
+}

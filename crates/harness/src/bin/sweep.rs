@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! sweep <grid> [--threads N] [--out PATH] [--verify off|spot|full] [--stdout]
+//!              [--offered-load PCT]
 //! sweep --list
 //! ```
 //!
 //! The document goes to `--out`, to stdout with `--stdout`, or to stdout by
 //! default when no sink is named (the one-line run summary always goes to
 //! stderr).
+//!
+//! `--offered-load` applies only to the `service_load` scenario grid: it
+//! collapses every load axis of the grid to the given percentage of pool
+//! capacity.  Naming it with any other grid is a usage error.
 //!
 //! The aggregated results document is deterministic: running the same grid
 //! with any `--threads` value writes byte-identical JSON.  Golden files under
@@ -24,25 +29,34 @@ struct Args {
     out: Option<PathBuf>,
     verify: VerifyMode,
     stdout: bool,
+    offered_load: Option<u32>,
 }
 
 fn usage() -> String {
     format!(
         "usage: sweep <grid> [--threads N] [--out PATH] [--verify off|spot|full] [--stdout]\n\
+         \u{20}            [--offered-load PCT]   (service_load grid only)\n\
          \u{20}      sweep --list\n\
          grids: {}",
         grids::all_names().join(", ")
     )
 }
 
-/// The named-grid catalog, one line per grid: name, size and description.
+/// The named-grid catalog grouped by grid family, one line per grid: name,
+/// size and description.
 fn catalog() -> String {
-    grids::all_names()
+    let mut families: Vec<(String, Vec<String>)> = Vec::new();
+    for name in grids::all_names() {
+        let g = grids::by_name(name).expect("listed grid exists");
+        let line = format!("  {name:<18} {:>3} runs  {}", g.runs.len(), g.description);
+        match families.iter_mut().find(|(family, _)| *family == g.family) {
+            Some((_, lines)) => lines.push(line),
+            None => families.push((g.family.clone(), vec![line])),
+        }
+    }
+    families
         .into_iter()
-        .map(|name| {
-            let g = grids::by_name(name).expect("listed grid exists");
-            format!("{name:<18} {:>3} runs  {}", g.runs.len(), g.description)
-        })
+        .map(|(family, lines)| format!("{family}\n{}", lines.join("\n")))
         .collect::<Vec<String>>()
         .join("\n")
 }
@@ -54,6 +68,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, St
     let mut out = None;
     let mut verify = VerifyMode::SpotCheck;
     let mut stdout = false;
+    let mut offered_load = None;
 
     let mut verify_set = false;
     while let Some(arg) = argv.next() {
@@ -103,6 +118,19 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, St
                 }
                 stdout = true;
             }
+            "--offered-load" => {
+                if offered_load.is_some() {
+                    return Err(format!("--offered-load given more than once\n{}", usage()));
+                }
+                let value = argv.next().ok_or("--offered-load needs a percentage")?;
+                let pct: u32 = value
+                    .parse()
+                    .map_err(|_| format!("invalid offered load {value:?}"))?;
+                if pct == 0 {
+                    return Err(format!("--offered-load must be at least 1\n{}", usage()));
+                }
+                offered_load = Some(pct);
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(None);
@@ -121,12 +149,20 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, St
     let Some(grid) = grid else {
         return Err(usage());
     };
+    if offered_load.is_some() && grid != "service_load" {
+        return Err(format!(
+            "--offered-load only applies to the service_load scenario grid, \
+             not {grid:?}\n{}",
+            usage()
+        ));
+    }
     Ok(Some(Args {
         grid,
         threads,
         out,
         verify,
         stdout,
+        offered_load,
     }))
 }
 
@@ -140,7 +176,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let Some(grid) = grids::by_name(&args.grid) else {
+    let Some(mut grid) = grids::by_name(&args.grid) else {
         eprintln!(
             "unknown grid {:?} — available grids:\n{}",
             args.grid,
@@ -148,6 +184,11 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     };
+    if let Some(pct) = args.offered_load {
+        // The parser only accepts the flag together with the service_load
+        // grid, so this rebuild cannot change any other grid.
+        grid = grids::service_load_at(Some(pct));
+    }
 
     let mut options = SweepOptions::from_env();
     if let Some(threads) = args.threads {
@@ -250,5 +291,57 @@ mod tests {
         assert_eq!(args.verify, VerifyMode::Full);
         assert!(!args.stdout);
         assert!(args.out.is_none());
+        assert!(args.offered_load.is_none());
+    }
+
+    #[test]
+    fn offered_load_parses_for_the_service_grid() {
+        let args = parse(&["service_load", "--offered-load", "75"])
+            .unwrap()
+            .expect("parsed");
+        assert_eq!(args.grid, "service_load");
+        assert_eq!(args.offered_load, Some(75));
+    }
+
+    #[test]
+    fn offered_load_is_rejected_for_other_grids_with_usage() {
+        let err = parse(&["fig4", "--offered-load", "75"]).unwrap_err();
+        assert!(
+            err.contains("only applies to the service_load scenario grid"),
+            "{err}"
+        );
+        assert!(err.contains("usage:"), "{err}");
+    }
+
+    #[test]
+    fn offered_load_rejects_zero_duplicates_and_junk() {
+        let err = parse(&["service_load", "--offered-load", "0"]).unwrap_err();
+        assert!(err.contains("--offered-load must be at least 1"), "{err}");
+        let err = parse(&[
+            "service_load",
+            "--offered-load",
+            "10",
+            "--offered-load",
+            "20",
+        ])
+        .unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+        let err = parse(&["service_load", "--offered-load", "lots"]).unwrap_err();
+        assert!(err.contains("invalid offered load"), "{err}");
+    }
+
+    #[test]
+    fn catalog_groups_grids_under_family_headings() {
+        let listing = catalog();
+        for family in ["figures", "tables", "ablations", "sensitivity", "scenarios"] {
+            assert!(
+                listing.lines().any(|l| l == family),
+                "family heading {family:?} missing from:\n{listing}"
+            );
+        }
+        assert!(
+            listing.lines().any(|l| l.starts_with("  service_load")),
+            "grid lines are indented under their family:\n{listing}"
+        );
     }
 }

@@ -1,12 +1,12 @@
 //! Execution of individual grid points.
 
 use crate::results::{PortMetrics, RunRecord, SimMetrics, TopologyMetrics};
-use crate::spec::{MachineSpec, RunKind, RunSpec, SimSpec, TopologySpec};
+use crate::spec::{MachineSpec, RunKind, RunSpec, SimSpec, TopologySpec, WorkSource};
 use misp_core::RingPolicy;
 use misp_os::TimerConfig;
 use misp_sim::SimConfig;
 use misp_types::{CostModel, Cycles, MispError, Result, SignalCost};
-use misp_workloads::{catalog, runner};
+use misp_workloads::{catalog, scenario, Machine, Run, RunOptions};
 use shredlib::compat;
 
 /// The simulation configuration shared by all paper experiments: the paper's
@@ -52,16 +52,21 @@ fn empty_record(index: usize, spec: &RunSpec, kind: &str) -> RunRecord {
         sim: None,
         topology: None,
         port: None,
+        scenario: None,
+        offered_load: None,
+    }
+}
+
+/// Maps the declarative machine spec onto the runner's machine.
+fn build_machine(spec: &MachineSpec) -> Machine {
+    match spec {
+        MachineSpec::Serial => Machine::Serial,
+        MachineSpec::Misp(topo) => Machine::Misp(topo.build()),
+        MachineSpec::Smp { cores } => Machine::smp(*cores),
     }
 }
 
 fn execute_sim(index: usize, spec: &RunSpec, sim: &SimSpec) -> Result<RunRecord> {
-    let workload = catalog::by_name(&sim.workload).ok_or_else(|| {
-        MispError::InvalidConfiguration(format!(
-            "grid point {}: unknown workload {:?}",
-            spec.id, sim.workload
-        ))
-    })?;
     let mut config = match sim.signal {
         Some(signal) => config_with_signal(signal),
         None => experiment_config(),
@@ -70,39 +75,71 @@ fn execute_sim(index: usize, spec: &RunSpec, sim: &SimSpec) -> Result<RunRecord>
         config = config.with_cache(cache);
     }
     config.batch = sim.batch;
-    let options = runner::RunOptions {
+    let options = RunOptions {
         pretouch: sim.pretouch,
         ring_policy: sim.ring_policy,
         competitors: sim.competitors,
         ams_span_only: sim.ams_span_only,
-        ..runner::RunOptions::default()
+        ..RunOptions::default()
     };
-    let report = match &sim.machine {
-        MachineSpec::Serial => runner::run_on_misp_with(
-            &workload,
-            &TopologySpec::Uniprocessor { ams: 0 }.build(),
-            config,
-            sim.workers,
-            &options,
-        )?,
-        MachineSpec::Misp(topo) => {
-            runner::run_on_misp_with(&workload, &topo.build(), config, sim.workers, &options)?
-        }
-        MachineSpec::Smp { cores } => {
-            runner::run_on_smp_with(&workload, *cores, config, sim.workers, &options)?
-        }
-    };
+    let machine = build_machine(&sim.machine);
 
     let mut record = empty_record(index, spec, "sim");
-    record.workload = Some(sim.workload.clone());
     record.machine = Some(sim.machine.label());
-    record.workers = Some(sim.workers as u64);
     record.signal_cycles = sim.signal.map(|s| s.cycles().as_u64());
     record.pretouch = sim.pretouch;
     record.ring_policy = sim.ring_policy.map(|p| ring_policy_label(p).to_string());
     record.competitors = sim.competitors as u64;
     record.ams_span_only = sim.ams_span_only;
     record.cache = sim.cache.filter(|c| c.enabled).map(|c| c.label());
+
+    let report = match &sim.source {
+        WorkSource::Workload(name) => {
+            let workload = catalog::by_name(name).ok_or_else(|| {
+                MispError::InvalidConfiguration(format!(
+                    "grid point {}: unknown workload {name:?}",
+                    spec.id
+                ))
+            })?;
+            record.workload = Some(name.clone());
+            record.workers = Some(sim.workers as u64);
+            Run::workload(&workload)
+                .machine(machine)
+                .config(config)
+                .workers(sim.workers)
+                .options(options)
+                .execute()?
+        }
+        WorkSource::Scenario(sc) => {
+            let mut s = scenario::by_name(&sc.name).ok_or_else(|| {
+                MispError::InvalidConfiguration(format!(
+                    "grid point {}: unknown scenario {:?}",
+                    spec.id, sc.name
+                ))
+            })?;
+            if let Some(requests) = sc.requests {
+                s = s.with_requests(requests);
+            }
+            if let Some(pct) = sc.offered_load {
+                s = s.with_offered_load(pct);
+            }
+            if let Some(width) = sc.pool_width {
+                s = s.with_pool_width(width);
+            }
+            if let Some(bound) = sc.queue_bound {
+                s = s.with_queue_bound(bound);
+            }
+            record.scenario = Some(sc.name.clone());
+            record.offered_load = Some(s.offered_load_pct());
+            Run::scenario(&s)
+                .machine(machine)
+                .config(config)
+                .options(options)
+                .seed(spec.seed)
+                .execute()?
+        }
+    };
+
     record.sim = Some(SimMetrics::from_report(&report));
     Ok(record)
 }
@@ -187,7 +224,20 @@ mod tests {
     fn unknown_workload_is_a_configuration_error() {
         let spec = RunSpec::sim(
             "x",
-            SimSpec::new("no-such-workload", MachineSpec::Serial, 4),
+            SimSpec::workload("no-such-workload", MachineSpec::Serial, 4),
+        );
+        let err = execute_run(0, &spec).unwrap_err();
+        assert!(matches!(err, MispError::InvalidConfiguration(_)));
+    }
+
+    #[test]
+    fn unknown_scenario_is_a_configuration_error() {
+        let spec = RunSpec::sim(
+            "x",
+            SimSpec::scenario(
+                crate::ScenarioSpec::new("no-such-scenario"),
+                MachineSpec::Serial,
+            ),
         );
         let err = execute_run(0, &spec).unwrap_err();
         assert!(matches!(err, MispError::InvalidConfiguration(_)));
@@ -216,7 +266,7 @@ mod tests {
     fn sim_record_carries_metadata_and_metrics() {
         let spec = RunSpec::sim(
             "dense_mvm/misp",
-            SimSpec::new(
+            SimSpec::workload(
                 "dense_mvm",
                 MachineSpec::Misp(crate::TopologySpec::Uniprocessor { ams: 3 }),
                 4,
@@ -226,9 +276,52 @@ mod tests {
         assert_eq!(record.kind, "sim");
         assert_eq!(record.machine.as_deref(), Some("misp:1x4"));
         assert_eq!(record.workers, Some(4));
+        assert_eq!(record.scenario, None);
+        assert_eq!(record.offered_load, None);
         let sim = record.sim.expect("sim metrics");
         assert!(sim.total_cycles > 0);
         assert_eq!(sim.log_digest.len(), 16, "digest is 16 hex digits");
+        assert!(
+            sim.service.is_none(),
+            "workload runs carry no service stats"
+        );
+    }
+
+    /// A scenario grid point produces a record with scenario metadata and a
+    /// populated service-metrics section whose latency percentiles are
+    /// ordered.
+    #[test]
+    fn scenario_record_carries_service_metrics() {
+        let spec = RunSpec::sim(
+            "poisson/misp",
+            SimSpec::scenario(
+                crate::ScenarioSpec::new("poisson")
+                    .with_requests(40)
+                    .with_offered_load(80),
+                MachineSpec::Misp(crate::TopologySpec::Single8),
+            ),
+        )
+        .with_seed(11);
+        let record = execute_run(0, &spec).unwrap();
+        assert_eq!(record.kind, "sim");
+        assert_eq!(record.scenario.as_deref(), Some("poisson"));
+        assert_eq!(record.offered_load, Some(80));
+        assert_eq!(record.workload, None);
+        assert_eq!(record.workers, None);
+        assert_eq!(record.seed, 11);
+        let service = record
+            .sim
+            .expect("sim metrics")
+            .service
+            .expect("scenario runs populate service metrics");
+        assert_eq!(service.admitted, 40);
+        assert_eq!(service.completed, 40);
+        assert_eq!(service.dropped, 0);
+        assert!(service.latency_p50 > 0);
+        assert!(service.latency_p50 <= service.latency_p95);
+        assert!(service.latency_p95 <= service.latency_p99);
+        assert!(service.latency_p99 <= service.latency_p999);
+        assert!(service.throughput_per_gcycle > 0.0);
     }
 
     /// The fig7 spanning rule: on an uneven topology at load 0 the measured
@@ -238,12 +331,12 @@ mod tests {
     fn ams_span_only_matches_a_hand_built_figure7_machine() {
         let topo = TopologySpec::Uneven { ams: 3, singles: 4 };
 
-        let mut spec_sim = SimSpec::new(
+        let spec_sim = SimSpec::workload(
             "RayTracer",
             MachineSpec::Misp(topo),
             crate::grids::RAYTRACER_SHREDS,
-        );
-        spec_sim.ams_span_only = true;
+        )
+        .with_ams_span_only();
         let record = execute_run(0, &RunSpec::sim("1x4+4/load0", spec_sim)).unwrap();
         let via_harness = record.sim.expect("sim metrics").total_cycles;
 
@@ -270,7 +363,7 @@ mod tests {
     fn execution_is_deterministic_across_calls() {
         let spec = RunSpec::sim(
             "kmeans/smp",
-            SimSpec::new("kmeans", MachineSpec::Smp { cores: 4 }, 4),
+            SimSpec::workload("kmeans", MachineSpec::Smp { cores: 4 }, 4),
         );
         let a = execute_run(0, &spec).unwrap();
         let b = execute_run(0, &spec).unwrap();

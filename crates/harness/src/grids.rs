@@ -1,7 +1,7 @@
 //! The named experiment grids: one per figure/table of the paper plus the
 //! two ablations, exactly the sweeps the `misp-bench` binaries render.
 
-use crate::spec::{GridSpec, MachineSpec, RunSpec, SimSpec, TopologySpec};
+use crate::spec::{GridSpec, MachineSpec, RunSpec, ScenarioSpec, SimSpec, TopologySpec};
 use misp_cache::CacheConfig;
 use misp_core::RingPolicy;
 use misp_types::SignalCost;
@@ -35,24 +35,25 @@ pub fn fig4() -> GridSpec {
     let mut grid = GridSpec::new(
         "fig4",
         "MISP performance: speedup of 1 OMS + 7 AMS and 8-core SMP vs. 1P, all workloads",
-    );
+    )
+    .with_family("figures");
     for workload in catalog::all() {
         let name = workload.name();
         grid.push(RunSpec::sim(
             format!("{name}/serial"),
-            SimSpec::new(name, MachineSpec::Serial, WORKERS),
+            SimSpec::workload(name, MachineSpec::Serial, WORKERS),
         ));
         grid.push(
             RunSpec::sim(
                 format!("{name}/misp"),
-                SimSpec::new(name, MachineSpec::Misp(MISP_UP), WORKERS),
+                SimSpec::workload(name, MachineSpec::Misp(MISP_UP), WORKERS),
             )
             .with_baseline(format!("{name}/serial")),
         );
         grid.push(
             RunSpec::sim(
                 format!("{name}/smp"),
-                SimSpec::new(name, MachineSpec::Smp { cores: SEQUENCERS }, WORKERS),
+                SimSpec::workload(name, MachineSpec::Smp { cores: SEQUENCERS }, WORKERS),
             )
             .with_baseline(format!("{name}/serial")),
         );
@@ -67,16 +68,17 @@ pub fn fig5() -> GridSpec {
     let mut grid = GridSpec::new(
         "fig5",
         "Sensitivity to signal cost: overhead of 500/1000/5000-cycle signaling over ideal",
-    );
+    )
+    .with_family("figures");
     for workload in catalog::all() {
         let name = workload.name();
         let ideal_id = format!("{name}/ideal");
-        let mut ideal = SimSpec::new(name, MachineSpec::Misp(MISP_UP), WORKERS);
-        ideal.signal = Some(SignalCost::Ideal);
+        let ideal = SimSpec::workload(name, MachineSpec::Misp(MISP_UP), WORKERS)
+            .with_signal(SignalCost::Ideal);
         grid.push(RunSpec::sim(ideal_id.clone(), ideal));
         for cost in SignalCost::figure5_points() {
-            let mut point = SimSpec::new(name, MachineSpec::Misp(MISP_UP), WORKERS);
-            point.signal = Some(cost);
+            let point =
+                SimSpec::workload(name, MachineSpec::Misp(MISP_UP), WORKERS).with_signal(cost);
             grid.push(
                 RunSpec::sim(format!("{name}/sig{}", cost.cycles().as_u64()), point)
                     .with_baseline(ideal_id.clone()),
@@ -106,7 +108,8 @@ pub fn fig6() -> GridSpec {
     let mut grid = GridSpec::new(
         "fig6",
         "MISP MP configurations: 8 sequencers partitioned into MISP processors",
-    );
+    )
+    .with_family("figures");
     for (name, topo) in fig6_topologies() {
         grid.push(RunSpec::topology(name, topo));
     }
@@ -122,7 +125,8 @@ pub fn fig7() -> GridSpec {
     let mut grid = GridSpec::new(
         "fig7",
         "MISP MP performance: RayTracer throughput under competitor load, vs. unloaded 1x8",
-    );
+    )
+    .with_family("figures");
     let baseline_id = "1x8/load0".to_string();
     let push_point = |grid: &mut GridSpec, id: String, topo: Option<TopologySpec>, load| {
         let machine = match topo {
@@ -133,9 +137,11 @@ pub fn fig7() -> GridSpec {
         // the RayTracer occupies only AMS-carrying processors.  The SMP
         // baseline has no such notion, so its records must not claim it.
         let ams_span_only = matches!(machine, MachineSpec::Misp(_));
-        let mut spec = SimSpec::new("RayTracer", machine, RAYTRACER_SHREDS);
-        spec.competitors = load;
-        spec.ams_span_only = ams_span_only;
+        let mut spec =
+            SimSpec::workload("RayTracer", machine, RAYTRACER_SHREDS).with_competitors(load);
+        if ams_span_only {
+            spec = spec.with_ams_span_only();
+        }
         let mut run = RunSpec::sim(id.clone(), spec);
         if id != baseline_id {
             run = run.with_baseline(baseline_id.clone());
@@ -179,12 +185,13 @@ pub fn table1() -> GridSpec {
     let mut grid = GridSpec::new(
         "table1",
         "Serializing events: OMS- and AMS-originated privileged events per workload",
-    );
+    )
+    .with_family("tables");
     for workload in catalog::all() {
         let name = workload.name();
         grid.push(RunSpec::sim(
             format!("{name}/misp"),
-            SimSpec::new(name, MachineSpec::Misp(MISP_UP), WORKERS),
+            SimSpec::workload(name, MachineSpec::Misp(MISP_UP), WORKERS),
         ));
     }
     grid
@@ -196,7 +203,8 @@ pub fn table2() -> GridSpec {
     let mut grid = GridSpec::new(
         "table2",
         "Applications ported to MISP: ShredLib threading-API coverage analysis",
-    );
+    )
+    .with_family("tables");
     for app in catalog::table2_applications() {
         grid.push(RunSpec::port_analysis(app.name));
     }
@@ -210,15 +218,16 @@ pub fn ablation_ring0() -> GridSpec {
     let mut grid = GridSpec::new(
         "ablation_ring0",
         "Ring-transition policy: suspend-all vs. speculative continue-through-Ring-0",
-    );
+    )
+    .with_family("ablations");
     for workload in catalog::all() {
         let name = workload.name();
         for (variant, policy) in [
             ("suspend", RingPolicy::SuspendAll),
             ("speculative", RingPolicy::Speculative),
         ] {
-            let mut spec = SimSpec::new(name, MachineSpec::Misp(MISP_UP), WORKERS);
-            spec.ring_policy = Some(policy);
+            let spec = SimSpec::workload(name, MachineSpec::Misp(MISP_UP), WORKERS)
+                .with_ring_policy(policy);
             let mut run = RunSpec::sim(format!("{name}/{variant}"), spec);
             if variant == "speculative" {
                 run = run.with_baseline(format!("{name}/suspend"));
@@ -235,15 +244,15 @@ pub fn ablation_pretouch() -> GridSpec {
     let mut grid = GridSpec::new(
         "ablation_pretouch",
         "Page pre-touch in the serial region: proxy events removed and runtime delta",
-    );
+    )
+    .with_family("ablations");
     for workload in catalog::all() {
         let name = workload.name();
         grid.push(RunSpec::sim(
             format!("{name}/base"),
-            SimSpec::new(name, MachineSpec::Misp(MISP_UP), WORKERS),
+            SimSpec::workload(name, MachineSpec::Misp(MISP_UP), WORKERS),
         ));
-        let mut pretouch = SimSpec::new(name, MachineSpec::Misp(MISP_UP), WORKERS);
-        pretouch.pretouch = true;
+        let pretouch = SimSpec::workload(name, MachineSpec::Misp(MISP_UP), WORKERS).with_pretouch();
         grid.push(
             RunSpec::sim(format!("{name}/pretouch"), pretouch)
                 .with_baseline(format!("{name}/base")),
@@ -279,7 +288,8 @@ pub fn cache_sensitivity() -> GridSpec {
     let mut grid = GridSpec::new(
         "cache_sensitivity",
         "Cache sensitivity: locality variants x shared-L2 capacity x MISP/SMP, cache model enabled",
-    );
+    )
+    .with_family("sensitivity");
     for workload in catalog::cache_variants() {
         let name = workload.name();
         for (machine_label, machine) in [
@@ -288,8 +298,8 @@ pub fn cache_sensitivity() -> GridSpec {
         ] {
             let baseline_id = format!("{name}/{machine_label}/l2_2m");
             for (cache_label, sets, ways) in cache_l2_points() {
-                let mut spec = SimSpec::new(name, machine.clone(), WORKERS);
-                spec.cache = Some(CacheConfig::enabled_default().with_l2(sets, ways));
+                let spec = SimSpec::workload(name, machine.clone(), WORKERS)
+                    .with_cache(CacheConfig::enabled_default().with_l2(sets, ways));
                 let id = format!("{name}/{machine_label}/{cache_label}");
                 let mut run = RunSpec::sim(id.clone(), spec);
                 if id != baseline_id {
@@ -299,6 +309,114 @@ pub fn cache_sensitivity() -> GridSpec {
             }
         }
     }
+    grid
+}
+
+/// The stream seed shared by every `service_load` grid point: paired runs
+/// (MISP vs. SMP, pool 7 vs. pool 1) replay the identical customer stream.
+pub const SERVICE_SEED: u64 = 2026;
+
+/// The poisson offered-load sweep points of the `service_load` grid, in
+/// percent of pool capacity.
+#[must_use]
+pub fn service_load_points() -> Vec<u32> {
+    vec![30, 60, 90]
+}
+
+/// Service load — the open-loop request-serving study: latency percentiles
+/// and throughput versus offered load on MISP and SMP (common random
+/// numbers pair the machines per load), the bursty and diurnal arrival
+/// variants at nominal load, and an M/M/7-vs-M/M/1 pool-shape comparison on
+/// the identical stream.
+#[must_use]
+pub fn service_load() -> GridSpec {
+    service_load_at(None)
+}
+
+/// The `service_load` grid with every offered load overridden to
+/// `offered_load` (the `sweep --offered-load` hook).  `None` gives the
+/// committed default grid: a 30/60/90% poisson sweep, bursty/diurnal at
+/// 60%, and the pool-shape pair at a light 10%.
+#[must_use]
+pub fn service_load_at(offered_load: Option<u32>) -> GridSpec {
+    let mut grid = GridSpec::new(
+        "service_load",
+        "Open-loop service: latency percentiles vs. offered load x MISP/SMP, \
+         arrival variants, pool shapes",
+    )
+    .with_family("scenarios");
+    let machines = || {
+        [
+            ("misp", MachineSpec::Misp(MISP_UP)),
+            ("smp", MachineSpec::Smp { cores: SEQUENCERS }),
+        ]
+    };
+
+    // Poisson offered-load sweep; per load the SMP run is baselined on the
+    // paired MISP run so speedup_vs_baseline reads as MISP-relative.
+    let loads = offered_load.map_or_else(service_load_points, |pct| vec![pct]);
+    for &load in &loads {
+        let misp_id = format!("poisson/load{load}/misp");
+        for (label, machine) in machines() {
+            let spec = SimSpec::scenario(
+                ScenarioSpec::new("poisson").with_offered_load(load),
+                machine,
+            );
+            let mut run =
+                RunSpec::sim(format!("poisson/load{load}/{label}"), spec).with_seed(SERVICE_SEED);
+            if label == "smp" {
+                run = run.with_baseline(misp_id.clone());
+            }
+            grid.push(run);
+        }
+    }
+
+    // The bursty and diurnal arrival processes at the nominal load.
+    let nominal = offered_load.unwrap_or(60);
+    for scenario in ["bursty", "diurnal"] {
+        let misp_id = format!("{scenario}/load{nominal}/misp");
+        for (label, machine) in machines() {
+            let spec = SimSpec::scenario(
+                ScenarioSpec::new(scenario).with_offered_load(nominal),
+                machine,
+            );
+            let mut run = RunSpec::sim(format!("{scenario}/load{nominal}/{label}"), spec)
+                .with_seed(SERVICE_SEED);
+            if label == "smp" {
+                run = run.with_baseline(misp_id.clone());
+            }
+            grid.push(run);
+        }
+    }
+
+    // Pool-shape study: the identical lightly-loaded stream against the full
+    // 7-wide pool and a single-server gate (M/M/7 vs. M/M/1 on common random
+    // numbers; the arrival rate stays derived from the nominal width).
+    let light = offered_load.unwrap_or(10);
+    let pool7_id = format!("poisson/load{light}/pool7");
+    grid.push(
+        RunSpec::sim(
+            pool7_id.clone(),
+            SimSpec::scenario(
+                ScenarioSpec::new("poisson").with_offered_load(light),
+                MachineSpec::Misp(MISP_UP),
+            ),
+        )
+        .with_seed(SERVICE_SEED),
+    );
+    grid.push(
+        RunSpec::sim(
+            format!("poisson/load{light}/pool1"),
+            SimSpec::scenario(
+                ScenarioSpec::new("poisson")
+                    .with_offered_load(light)
+                    .with_pool_width(1),
+                MachineSpec::Misp(MISP_UP),
+            ),
+        )
+        .with_seed(SERVICE_SEED)
+        .with_baseline(pool7_id),
+    );
     grid
 }
 
@@ -315,6 +433,7 @@ pub fn all_names() -> Vec<&'static str> {
         "ablation_ring0",
         "ablation_pretouch",
         "cache_sensitivity",
+        "service_load",
     ]
 }
 
@@ -331,6 +450,7 @@ pub fn by_name(name: &str) -> Option<GridSpec> {
         "ablation_ring0" => Some(ablation_ring0()),
         "ablation_pretouch" => Some(ablation_pretouch()),
         "cache_sensitivity" => Some(cache_sensitivity()),
+        "service_load" => Some(service_load()),
         _ => None,
     }
 }
@@ -365,6 +485,63 @@ mod tests {
             cache_sensitivity().runs.len(),
             catalog::cache_variants().len() * 2 * cache_l2_points().len()
         );
+        // 3 poisson loads x 2 machines + bursty/diurnal x 2 machines + the
+        // pool-shape pair.
+        assert_eq!(
+            service_load().runs.len(),
+            service_load_points().len() * 2 + 2 * 2 + 2
+        );
+    }
+
+    #[test]
+    fn every_grid_declares_a_family() {
+        for name in all_names() {
+            let grid = by_name(name).expect("named grid exists");
+            assert_ne!(grid.family, "misc", "{name} must declare its family");
+        }
+        assert_eq!(service_load().family, "scenarios");
+        assert_eq!(fig4().family, "figures");
+        assert_eq!(table2().family, "tables");
+    }
+
+    #[test]
+    fn service_load_pairs_share_the_stream_seed_and_baselines() {
+        let grid = service_load();
+        for run in &grid.runs {
+            assert_eq!(run.seed, SERVICE_SEED, "{}: CRN requires one seed", run.id);
+            let crate::RunKind::Sim(spec) = &run.kind else {
+                panic!("service grid holds only simulations");
+            };
+            let crate::spec::WorkSource::Scenario(sc) = &spec.source else {
+                panic!("service grid holds only scenarios");
+            };
+            assert!(sc.offered_load.is_some(), "{}: load is explicit", run.id);
+            if run.id.ends_with("/smp") {
+                let baseline = run.baseline.as_deref().expect("smp pairs with misp");
+                assert!(baseline.ends_with("/misp"), "{} -> {baseline}", run.id);
+            }
+            if run.id.ends_with("/pool1") {
+                assert_eq!(sc.pool_width, Some(1));
+                let baseline = run.baseline.as_deref().expect("pool1 pairs with pool7");
+                assert!(baseline.ends_with("/pool7"), "{} -> {baseline}", run.id);
+            }
+        }
+    }
+
+    #[test]
+    fn service_load_override_collapses_the_load_axis() {
+        let grid = service_load_at(Some(75));
+        assert_eq!(grid.runs.len(), 2 + 2 * 2 + 2);
+        for run in &grid.runs {
+            let crate::RunKind::Sim(spec) = &run.kind else {
+                panic!("service grid holds only simulations");
+            };
+            let crate::spec::WorkSource::Scenario(sc) = &spec.source else {
+                panic!("service grid holds only scenarios");
+            };
+            assert_eq!(sc.offered_load, Some(75), "{}", run.id);
+        }
+        grid.validate();
     }
 
     #[test]

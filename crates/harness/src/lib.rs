@@ -46,9 +46,12 @@ pub mod grids;
 
 pub use exec::{config_with_signal, execute_run, experiment_config};
 pub use results::{
-    PortMetrics, RunRecord, SimMetrics, SweepResults, TopologyMetrics, SCHEMA_VERSION,
+    PortMetrics, RunRecord, ServiceMetrics, SimMetrics, SweepResults, TopologyMetrics,
+    SCHEMA_VERSION,
 };
-pub use spec::{GridSpec, MachineSpec, RunKind, RunSpec, SimSpec, TopologySpec};
+pub use spec::{
+    GridSpec, MachineSpec, RunKind, RunSpec, ScenarioSpec, SimSpec, TopologySpec, WorkSource,
+};
 
 use misp_types::Result;
 
@@ -192,24 +195,23 @@ mod tests {
     use super::*;
 
     fn small_grid() -> GridSpec {
-        let mut grid = GridSpec::new("small", "three quick points");
-        grid.push(RunSpec::sim(
-            "dense_mvm/serial",
-            SimSpec::new("dense_mvm", MachineSpec::Serial, 4),
-        ));
-        grid.push(
-            RunSpec::sim(
-                "dense_mvm/misp",
-                SimSpec::new(
-                    "dense_mvm",
-                    MachineSpec::Misp(TopologySpec::Uniprocessor { ams: 3 }),
-                    4,
-                ),
+        GridSpec::new("small", "three quick points")
+            .run(RunSpec::sim(
+                "dense_mvm/serial",
+                SimSpec::workload("dense_mvm", MachineSpec::Serial, 4),
+            ))
+            .run(
+                RunSpec::sim(
+                    "dense_mvm/misp",
+                    SimSpec::workload(
+                        "dense_mvm",
+                        MachineSpec::Misp(TopologySpec::Uniprocessor { ams: 3 }),
+                        4,
+                    ),
+                )
+                .with_baseline("dense_mvm/serial"),
             )
-            .with_baseline("dense_mvm/serial"),
-        );
-        grid.push(RunSpec::topology("1x8", TopologySpec::Single8));
-        grid
+            .run(RunSpec::topology("1x8", TopologySpec::Single8))
     }
 
     #[test]
@@ -256,10 +258,9 @@ mod tests {
 
     #[test]
     fn errors_propagate_from_grid_points() {
-        let mut grid = GridSpec::new("bad", "");
-        grid.push(RunSpec::sim(
+        let grid = GridSpec::new("bad", "").run(RunSpec::sim(
             "x",
-            SimSpec::new("no-such-workload", MachineSpec::Serial, 4),
+            SimSpec::workload("no-such-workload", MachineSpec::Serial, 4),
         ));
         assert!(run_grid(&grid, &SweepOptions::default()).is_err());
     }

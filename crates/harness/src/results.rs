@@ -22,7 +22,67 @@ use serde::Serialize;
 ///   (`tlb_hits`/`tlb_misses`/`tlb_flushes`), an optional `cache` metrics
 ///   section (present when the cache model is enabled), and the run
 ///   metadata gained an optional `cache` geometry label.
-pub const SCHEMA_VERSION: u32 = 2;
+/// * **3** — open-loop scenario runs: simulation metrics gained a `service`
+///   section (request counts, latency percentiles, throughput) and the run
+///   metadata gained `scenario` and `offered_load` fields.  All three are
+///   *omitted* — not serialized as `null` — when absent, so every version-2
+///   field of a pre-existing record re-serializes byte-identically.
+pub const SCHEMA_VERSION: u32 = 3;
+
+/// Request-serving metrics of one scenario run, flattened from
+/// [`misp_sim::ServiceStats`].  Latencies are in cycles from *scheduled*
+/// arrival to completion (the open-loop discipline: queueing and generator
+/// lag count as latency); percentiles are integral bucket upper bounds
+/// clamped to the observed maximum.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServiceMetrics {
+    /// Requests admitted into the system.
+    pub admitted: u64,
+    /// Requests that completed service.
+    pub completed: u64,
+    /// Requests dropped at a full bounded queue.
+    pub dropped: u64,
+    /// Median request latency, in cycles.
+    pub latency_p50: u64,
+    /// 95th-percentile request latency, in cycles.
+    pub latency_p95: u64,
+    /// 99th-percentile request latency, in cycles.
+    pub latency_p99: u64,
+    /// 99.9th-percentile request latency, in cycles.
+    pub latency_p999: u64,
+    /// Arithmetic mean request latency, in cycles.
+    pub latency_mean: f64,
+    /// High-water mark of outstanding requests (queued + in service).
+    pub max_outstanding: u64,
+    /// Completed requests per billion cycles of measured runtime — the
+    /// throughput the offered-load sweep plots.
+    pub throughput_per_gcycle: f64,
+}
+
+impl ServiceMetrics {
+    /// Flattens the engine's service statistics, using `total_cycles` (the
+    /// run's end-to-end cycle count) for the throughput denominator.
+    #[must_use]
+    pub fn from_stats(stats: &misp_sim::ServiceStats, total_cycles: u64) -> Self {
+        let (latency_p50, latency_p95, latency_p99, latency_p999) = stats.latency.percentiles();
+        ServiceMetrics {
+            admitted: stats.admitted,
+            completed: stats.completed,
+            dropped: stats.dropped,
+            latency_p50,
+            latency_p95,
+            latency_p99,
+            latency_p999,
+            latency_mean: stats.latency.mean(),
+            max_outstanding: stats.max_outstanding,
+            throughput_per_gcycle: if total_cycles == 0 {
+                0.0
+            } else {
+                stats.completed as f64 * 1.0e9 / total_cycles as f64
+            },
+        }
+    }
+}
 
 /// Metrics of one simulation run, flattened from the [`SimReport`].
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -65,6 +125,10 @@ pub struct SimMetrics {
     /// Speedup versus the run named by the spec's `baseline`
     /// (`baseline_cycles / total_cycles`); filled by the aggregator.
     pub speedup_vs_baseline: Option<f64>,
+    /// Request-serving metrics; present exactly when the run drove an
+    /// open-loop scenario (omitted from the JSON otherwise).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub service: Option<ServiceMetrics>,
 }
 
 impl SimMetrics {
@@ -115,6 +179,10 @@ impl SimMetrics {
             tlb_flushes: s.tlb.flushes,
             cache: s.cache,
             speedup_vs_baseline: None,
+            service: s
+                .service
+                .as_ref()
+                .map(|svc| ServiceMetrics::from_stats(svc, report.total_cycles.as_u64())),
         }
     }
 
@@ -210,6 +278,14 @@ pub struct RunRecord {
     pub topology: Option<TopologyMetrics>,
     /// Porting metrics (`kind == "port-analysis"`).
     pub port: Option<PortMetrics>,
+    /// Scenario catalog name (scenario simulation records only; omitted from
+    /// the JSON otherwise).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub scenario: Option<String>,
+    /// Effective offered load in percent of pool capacity (scenario records
+    /// only; omitted from the JSON otherwise).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub offered_load: Option<u32>,
 }
 
 /// The aggregated results of one grid sweep.
@@ -276,6 +352,8 @@ mod tests {
             sim: None,
             topology: None,
             port: None,
+            scenario: None,
+            offered_load: None,
         }
     }
 
@@ -320,6 +398,44 @@ mod tests {
         let b = results.to_canonical_json().unwrap();
         assert_eq!(a, b);
         assert!(a.ends_with('\n'));
-        assert!(a.contains("\"schema_version\": 2"));
+        assert!(a.contains("\"schema_version\": 3"));
+    }
+
+    /// Version-2 compatibility: the fields added in version 3 are omitted
+    /// when absent, so a record that predates them serializes without any
+    /// mention of `scenario`, `offered_load` or `service`.
+    #[test]
+    fn absent_v3_fields_are_omitted_not_null() {
+        let json = serde_json::to_string(&record("a")).unwrap();
+        assert!(!json.contains("scenario"), "{json}");
+        assert!(!json.contains("offered_load"), "{json}");
+        assert!(!json.contains("service"), "{json}");
+        // Pre-existing optional fields keep their null representation.
+        assert!(json.contains("\"workload\":null"), "{json}");
+    }
+
+    #[test]
+    fn service_metrics_flatten_counts_percentiles_and_throughput() {
+        let mut stats = misp_sim::ServiceStats {
+            admitted: 4,
+            completed: 3,
+            dropped: 1,
+            max_outstanding: 2,
+            ..misp_sim::ServiceStats::default()
+        };
+        for v in [10, 20, 30] {
+            stats.latency.record(v);
+        }
+        let m = ServiceMetrics::from_stats(&stats, 1_000_000_000);
+        assert_eq!(m.admitted, 4);
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.dropped, 1);
+        assert_eq!(m.latency_p50, 20);
+        assert_eq!(m.latency_p999, 30);
+        assert!((m.latency_mean - 20.0).abs() < f64::EPSILON);
+        assert!((m.throughput_per_gcycle - 3.0).abs() < 1e-12);
+        // The zero-cycle guard mirrors the speedup guard: no inf in JSON.
+        let z = ServiceMetrics::from_stats(&stats, 0);
+        assert_eq!(z.throughput_per_gcycle, 0.0);
     }
 }

@@ -95,6 +95,77 @@ impl TopologySpec {
     }
 }
 
+/// What a simulation grid point runs: a fixed-size catalog workload or an
+/// open-loop request-serving scenario.  Grids declare both uniformly through
+/// [`SimSpec::workload`] and [`SimSpec::scenario`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkSource {
+    /// A catalog workload, by name (`misp_workloads::catalog`).
+    Workload(String),
+    /// An open-loop request-serving scenario with optional overrides.
+    Scenario(ScenarioSpec),
+}
+
+/// A request-serving scenario reference: a catalog name
+/// (`misp_workloads::scenario`) plus the grid-level overrides.  Everything
+/// left `None` keeps the scenario's catalog default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario catalog name (`"poisson"`, `"bursty"`, `"diurnal"`).
+    pub name: String,
+    /// Override of the number of requests in the stream.
+    pub requests: Option<usize>,
+    /// Override of the offered load, in percent of pool capacity.
+    pub offered_load: Option<u32>,
+    /// Override of the dispatch-gate pool width (the arrival rate stays
+    /// derived from the nominal width — the common-random-numbers handle).
+    pub pool_width: Option<usize>,
+    /// Bound on outstanding requests; arrivals beyond it are dropped.
+    pub queue_bound: Option<usize>,
+}
+
+impl ScenarioSpec {
+    /// References the named catalog scenario with no overrides.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            requests: None,
+            offered_load: None,
+            pool_width: None,
+            queue_bound: None,
+        }
+    }
+
+    /// Overrides the number of requests in the stream.
+    #[must_use]
+    pub fn with_requests(mut self, requests: usize) -> Self {
+        self.requests = Some(requests);
+        self
+    }
+
+    /// Overrides the offered load (percent of pool capacity).
+    #[must_use]
+    pub fn with_offered_load(mut self, pct: u32) -> Self {
+        self.offered_load = Some(pct);
+        self
+    }
+
+    /// Overrides the dispatch-gate pool width.
+    #[must_use]
+    pub fn with_pool_width(mut self, width: usize) -> Self {
+        self.pool_width = Some(width);
+        self
+    }
+
+    /// Bounds outstanding requests.
+    #[must_use]
+    pub fn with_queue_bound(mut self, bound: usize) -> Self {
+        self.queue_bound = Some(bound);
+        self
+    }
+}
+
 /// What one grid point computes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RunKind {
@@ -113,11 +184,12 @@ pub enum RunKind {
 /// The simulation parameters of one grid point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimSpec {
-    /// Catalog workload name.
-    pub workload: String,
+    /// What the point runs: a catalog workload or a scenario.
+    pub source: WorkSource,
     /// The machine to run on.
     pub machine: MachineSpec,
-    /// Number of worker shreds.
+    /// Number of worker shreds (workload runs; scenario runs size themselves
+    /// from the recorded stream and carry 0 here).
     pub workers: usize,
     /// Signal-cost override; `None` uses the paper's 5000-cycle default.
     pub signal: Option<SignalCost>,
@@ -143,12 +215,9 @@ pub struct SimSpec {
 }
 
 impl SimSpec {
-    /// A plain dedicated-machine run of `workload` on `machine` with the
-    /// standard worker count.
-    #[must_use]
-    pub fn new(workload: impl Into<String>, machine: MachineSpec, workers: usize) -> Self {
+    fn with_source(source: WorkSource, machine: MachineSpec, workers: usize) -> Self {
         SimSpec {
-            workload: workload.into(),
+            source,
             machine,
             workers,
             signal: None,
@@ -159,6 +228,82 @@ impl SimSpec {
             cache: None,
             batch: true,
         }
+    }
+
+    /// A plain dedicated-machine run of the named catalog workload on
+    /// `machine` with `workers` worker shreds; chain the `with_*` setters for
+    /// the non-default variants.
+    #[must_use]
+    pub fn workload(name: impl Into<String>, machine: MachineSpec, workers: usize) -> Self {
+        SimSpec::with_source(WorkSource::Workload(name.into()), machine, workers)
+    }
+
+    /// An open-loop scenario run on `machine`.  Scenario runs size themselves
+    /// from the recorded request stream, so there is no worker count; the
+    /// stream seed lives on the enclosing [`RunSpec`]
+    /// ([`RunSpec::with_seed`]).
+    #[must_use]
+    pub fn scenario(scenario: ScenarioSpec, machine: MachineSpec) -> Self {
+        SimSpec::with_source(WorkSource::Scenario(scenario), machine, 0)
+    }
+
+    /// A plain dedicated-machine run of `workload` on `machine` with the
+    /// standard worker count.
+    #[deprecated(since = "0.2.0", note = "use `SimSpec::workload` instead")]
+    #[must_use]
+    pub fn new(workload: impl Into<String>, machine: MachineSpec, workers: usize) -> Self {
+        SimSpec::workload(workload, machine, workers)
+    }
+
+    /// Sets the signal-cost override (Figure 5 sweep).
+    #[must_use]
+    pub fn with_signal(mut self, signal: SignalCost) -> Self {
+        self.signal = Some(signal);
+        self
+    }
+
+    /// Enables the Section 5.3 page pre-touch optimization.
+    #[must_use]
+    pub fn with_pretouch(mut self) -> Self {
+        self.pretouch = true;
+        self
+    }
+
+    /// Sets the ring-transition policy override.
+    #[must_use]
+    pub fn with_ring_policy(mut self, policy: RingPolicy) -> Self {
+        self.ring_policy = Some(policy);
+        self
+    }
+
+    /// Loads `competitors` single-threaded competitor processes alongside
+    /// the measured application (Figure 7).
+    #[must_use]
+    pub fn with_competitors(mut self, competitors: usize) -> Self {
+        self.competitors = competitors;
+        self
+    }
+
+    /// Restricts the application's OS threads to AMS-carrying processors
+    /// (the Figure 7 spanning rule).
+    #[must_use]
+    pub fn with_ams_span_only(mut self) -> Self {
+        self.ams_span_only = true;
+        self
+    }
+
+    /// Enables the cache-hierarchy model with the given geometry.
+    #[must_use]
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Selects whether the engine may use its macro-step fast path.
+    #[must_use]
+    pub fn with_batch(mut self, batch: bool) -> Self {
+        self.batch = batch;
+        self
     }
 }
 
@@ -173,9 +318,10 @@ pub struct RunSpec {
     /// The id of the run this point's speedup is measured against, if any.
     /// The aggregator resolves it after all runs complete.
     pub baseline: Option<String>,
-    /// Deterministic seed recorded in the run metadata.  The engine itself is
-    /// strictly deterministic, so today the seed only disambiguates scenario
-    /// variants; it is carried in the schema for forward compatibility.
+    /// Deterministic seed recorded in the run metadata.  For scenario runs it
+    /// selects the recorded request stream (the common-random-numbers
+    /// object); the engine itself is strictly deterministic, so for workload
+    /// runs it is metadata only.
     pub seed: u64,
 }
 
@@ -220,6 +366,13 @@ impl RunSpec {
         self.baseline = Some(baseline.into());
         self
     }
+
+    /// Sets the stream seed (scenario runs; metadata-only for the rest).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 /// A named experiment grid: an ordered list of grid points.
@@ -229,24 +382,42 @@ pub struct GridSpec {
     pub name: String,
     /// One-line description of what the grid reproduces.
     pub description: String,
+    /// Family label the CLI groups grids under (`"figures"`, `"tables"`,
+    /// `"ablations"`, `"sensitivity"`, `"scenarios"`, …).
+    pub family: String,
     /// The grid points, in presentation order.
     pub runs: Vec<RunSpec>,
 }
 
 impl GridSpec {
-    /// Creates an empty grid.
+    /// Creates an empty grid in the default `"misc"` family.
     #[must_use]
     pub fn new(name: impl Into<String>, description: impl Into<String>) -> Self {
         GridSpec {
             name: name.into(),
             description: description.into(),
+            family: "misc".to_string(),
             runs: Vec::new(),
         }
+    }
+
+    /// Sets the family label the CLI groups this grid under.
+    #[must_use]
+    pub fn with_family(mut self, family: impl Into<String>) -> Self {
+        self.family = family.into();
+        self
     }
 
     /// Appends a grid point.
     pub fn push(&mut self, run: RunSpec) {
         self.runs.push(run);
+    }
+
+    /// Appends a grid point, builder style.
+    #[must_use]
+    pub fn run(mut self, run: RunSpec) -> Self {
+        self.runs.push(run);
+        self
     }
 
     /// Asserts that every id is unique and every baseline reference resolves.
@@ -323,5 +494,64 @@ mod tests {
         let mut grid = GridSpec::new("g", "");
         grid.push(RunSpec::topology("a", TopologySpec::Single8).with_baseline("missing"));
         grid.validate();
+    }
+
+    #[test]
+    fn sim_spec_builders_set_the_fields() {
+        let spec = SimSpec::workload("dense_mvm", MachineSpec::Serial, 4)
+            .with_signal(SignalCost::Ideal)
+            .with_pretouch()
+            .with_ring_policy(RingPolicy::Speculative)
+            .with_competitors(2)
+            .with_ams_span_only()
+            .with_batch(false);
+        assert_eq!(spec.source, WorkSource::Workload("dense_mvm".to_string()));
+        assert_eq!(spec.signal, Some(SignalCost::Ideal));
+        assert!(spec.pretouch);
+        assert_eq!(spec.ring_policy, Some(RingPolicy::Speculative));
+        assert_eq!(spec.competitors, 2);
+        assert!(spec.ams_span_only);
+        assert!(!spec.batch);
+        assert!(spec.cache.is_none());
+    }
+
+    #[test]
+    fn scenario_spec_carries_overrides_and_defaults() {
+        let plain = ScenarioSpec::new("poisson");
+        assert_eq!(plain.offered_load, None);
+        assert_eq!(plain.pool_width, None);
+        let tuned = ScenarioSpec::new("poisson")
+            .with_requests(200)
+            .with_offered_load(90)
+            .with_pool_width(1)
+            .with_queue_bound(16);
+        assert_eq!(tuned.requests, Some(200));
+        assert_eq!(tuned.offered_load, Some(90));
+        assert_eq!(tuned.pool_width, Some(1));
+        assert_eq!(tuned.queue_bound, Some(16));
+        let spec = SimSpec::scenario(tuned, MachineSpec::Smp { cores: 8 });
+        assert_eq!(spec.workers, 0, "scenarios size themselves");
+        assert!(matches!(spec.source, WorkSource::Scenario(_)));
+    }
+
+    #[test]
+    fn grid_builder_sets_family_and_seed() {
+        let grid = GridSpec::new("g", "d")
+            .with_family("scenarios")
+            .run(RunSpec::topology("a", TopologySpec::Single8).with_seed(7));
+        assert_eq!(grid.family, "scenarios");
+        assert_eq!(grid.runs[0].seed, 7);
+        assert_eq!(GridSpec::new("h", "").family, "misc");
+    }
+
+    /// The deprecated constructor must keep building the exact spec the
+    /// builder produces.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_sim_spec_new_matches_workload() {
+        assert_eq!(
+            SimSpec::new("kmeans", MachineSpec::Serial, 8),
+            SimSpec::workload("kmeans", MachineSpec::Serial, 8)
+        );
     }
 }

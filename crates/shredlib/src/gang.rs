@@ -1,6 +1,7 @@
 //! The work-queue gang scheduler (Figure 3 of the paper).
 
-use crate::{SchedulingPolicy, SyncTable, WorkQueue};
+use crate::service::{Admission, ServiceState};
+use crate::{SchedulingPolicy, ServiceModel, SyncTable, WorkQueue};
 use misp_isa::{ProgramRef, RuntimeOp};
 use misp_sim::{EngineCore, Runtime, RuntimeOutcome, ShredStatus};
 use misp_types::{Cycles, FxHashMap, LockId, OsThreadId, ProcessId, SequencerId, ShredId};
@@ -15,6 +16,7 @@ pub struct GangSchedulerBuilder {
     barriers: Vec<(LockId, usize)>,
     semaphores: Vec<(LockId, u64)>,
     events: Vec<(LockId, bool)>,
+    service: Option<ServiceModel>,
 }
 
 impl GangSchedulerBuilder {
@@ -71,6 +73,14 @@ impl GangSchedulerBuilder {
         self
     }
 
+    /// Attaches an open-loop [`ServiceModel`]: every `ShredCreate` becomes a
+    /// request admission measured against the model's arrival schedule.
+    #[must_use]
+    pub fn service(mut self, model: ServiceModel) -> Self {
+        self.service = Some(model);
+        self
+    }
+
     /// Finishes the builder.
     #[must_use]
     pub fn build(self) -> GangScheduler {
@@ -95,6 +105,7 @@ impl GangSchedulerBuilder {
             process: None,
             threads: Vec::new(),
             shreds_created: 0,
+            service: self.service.map(ServiceState::new),
         }
     }
 }
@@ -122,6 +133,7 @@ pub struct GangScheduler {
     process: Option<ProcessId>,
     threads: Vec<OsThreadId>,
     shreds_created: u64,
+    service: Option<ServiceState>,
 }
 
 impl GangScheduler {
@@ -229,12 +241,26 @@ impl Runtime for GangScheduler {
         _thread: OsThreadId,
         _now: Cycles,
     ) -> Option<ShredId> {
-        // Pop until a genuinely ready shred is found (shreds started directly
-        // via SIGNAL may already be running).
-        while let Some(candidate) = self.queue.pop() {
+        // Peek-then-pop until a genuinely ready shred is found (shreds started
+        // directly via SIGNAL may already be running).  A ready request shred
+        // gated out by a full service pool stays at the head — head-of-line
+        // FIFO blocking — so the sequencer idles until a slot frees.
+        while let Some(candidate) = self.queue.peek() {
             match core.shred(candidate).map(|s| s.status()) {
-                Some(ShredStatus::Ready) => return Some(candidate),
-                _ => continue,
+                Some(ShredStatus::Ready) => {
+                    if let Some(service) = &mut self.service {
+                        if !service.may_dispatch(candidate) {
+                            return None;
+                        }
+                        service.dispatched(candidate);
+                    }
+                    let popped = self.queue.pop();
+                    debug_assert_eq!(popped, Some(candidate));
+                    return Some(candidate);
+                }
+                _ => {
+                    self.queue.pop();
+                }
             }
         }
         None
@@ -252,15 +278,29 @@ impl Runtime for GangScheduler {
         let switch_cost = core.costs().shred_context_switch;
         match op {
             RuntimeOp::ShredCreate { program } => {
+                // Under a service model the create is an admission decision:
+                // a full bounded queue drops the request without a shred.
+                let admission = match &mut self.service {
+                    Some(service) => service.admit(now),
+                    None => Admission::Untracked,
+                };
+                if admission == Admission::Drop {
+                    return RuntimeOutcome::Continue { cost: lock_cost };
+                }
                 let thread = core
                     .shred(shred)
                     .map(|s| s.thread())
                     .expect("executing shred exists");
-                self.create_and_queue(core, thread, *program, now);
+                let created = self.create_and_queue(core, thread, *program, now);
+                if let (Some(service), Admission::Admit { index }) = (&mut self.service, admission)
+                {
+                    service.register(created, index);
+                }
                 self.wake_all(core, now);
                 RuntimeOutcome::Continue { cost: lock_cost }
             }
             RuntimeOp::ShredExit => {
+                self.complete_request(core, shred, now);
                 let joiners = self.joiners.remove(&shred).unwrap_or_default();
                 self.make_ready(core, &joiners, now);
                 RuntimeOutcome::Exit { cost: switch_cost }
@@ -324,6 +364,7 @@ impl Runtime for GangScheduler {
         shred: ShredId,
         now: Cycles,
     ) {
+        self.complete_request(core, shred, now);
         let joiners = self.joiners.remove(&shred).unwrap_or_default();
         self.make_ready(core, &joiners, now);
     }
@@ -334,9 +375,24 @@ impl Runtime for GangScheduler {
             None => false,
         }
     }
+
+    fn service_stats(&self) -> Option<&misp_sim::ServiceStats> {
+        self.service.as_ref().map(ServiceState::stats)
+    }
 }
 
 impl GangScheduler {
+    /// If `shred` is a tracked request, records its completion and wakes all
+    /// sequencers: a freed pool slot may unblock the head of the ready queue
+    /// on a sequencer that went idle under head-of-line gating.
+    fn complete_request(&mut self, core: &mut EngineCore, shred: ShredId, now: Cycles) {
+        if let Some(service) = &mut self.service {
+            if service.complete(shred, now) {
+                self.wake_all(core, now);
+            }
+        }
+    }
+
     fn apply_sync(
         &mut self,
         core: &mut EngineCore,
@@ -554,6 +610,124 @@ mod tests {
         );
         let report = machine.run().unwrap();
         assert!(report.total_cycles > Cycles::new(2_000));
+    }
+
+    /// Builds an open-loop generator: the main shred alternates
+    /// `compute(gap)` and `shred_create(request)`, so requests are created at
+    /// the scheduled arrival times (plus queue-lock costs, the open-loop
+    /// drift).  Returns the library and the arrival schedule.
+    fn service_library(gaps: &[u64], service_cycles: u64) -> (ProgramLibrary, Vec<Cycles>) {
+        let mut lib = ProgramLibrary::new();
+        let request = lib.insert(
+            ProgramBuilder::new("request")
+                .compute(Cycles::new(service_cycles))
+                .build(),
+        );
+        let mut generator = ProgramBuilder::new("generator").op(Op::RegisterHandler);
+        let mut arrivals = Vec::new();
+        let mut at = 0u64;
+        for &gap in gaps {
+            at += gap;
+            arrivals.push(Cycles::new(at));
+            generator = generator.compute(Cycles::new(gap)).shred_create(request);
+        }
+        lib.insert(generator.build());
+        (lib, arrivals)
+    }
+
+    #[test]
+    fn service_model_measures_every_request() {
+        let gaps = [10_000u64; 6];
+        let (lib, arrivals) = service_library(&gaps, 5_000);
+        let mut machine = MispMachine::new(MispTopology::uniprocessor(3).unwrap(), quiet(), lib);
+        machine.add_process(
+            "svc",
+            Box::new(
+                GangScheduler::builder()
+                    .main_program(ProgramRef::new(1))
+                    .service(ServiceModel::new(arrivals))
+                    .build(),
+            ),
+            Some(0),
+        );
+        let report = machine.run().unwrap();
+        let service = report.stats.service.as_ref().expect("service stats");
+        assert_eq!(service.admitted, 6);
+        assert_eq!(service.completed, 6);
+        assert_eq!(service.dropped, 0);
+        assert_eq!(service.latency.count(), 6);
+        // Each request takes at least its own service time.
+        assert!(service.latency.min() >= 5_000, "{}", service.latency.min());
+        assert_eq!(service.queue_depth.len(), 12, "one edge per admit/complete");
+    }
+
+    #[test]
+    fn pool_of_one_serializes_requests_even_with_idle_sequencers() {
+        // Arrivals all at ~0 but service is long: with a pool of one the
+        // requests run back-to-back, so the last one's latency is about
+        // 6 * service even though 3 AMSs sit idle.
+        let gaps = [1u64; 6];
+        let (lib, arrivals) = service_library(&gaps, 100_000);
+        let wide = |pool| {
+            let (lib, arrivals) = (lib.clone(), arrivals.clone());
+            let mut machine =
+                MispMachine::new(MispTopology::uniprocessor(3).unwrap(), quiet(), lib);
+            machine.add_process(
+                "svc",
+                Box::new(
+                    GangScheduler::builder()
+                        .main_program(ProgramRef::new(1))
+                        .service(ServiceModel::new(arrivals).with_pool_width(pool))
+                        .build(),
+                ),
+                Some(0),
+            );
+            let report = machine.run().unwrap();
+            report.stats.service.clone().expect("service stats")
+        };
+        let narrow = wide(1);
+        let broad = wide(3);
+        assert_eq!(narrow.completed, 6);
+        assert_eq!(broad.completed, 6);
+        assert!(
+            narrow.latency.max() >= 6 * 100_000,
+            "pool of one must serialize: p100 = {}",
+            narrow.latency.max()
+        );
+        assert!(
+            broad.latency.max() < narrow.latency.max() / 2,
+            "three slots must overlap service: {} vs {}",
+            broad.latency.max(),
+            narrow.latency.max()
+        );
+    }
+
+    #[test]
+    fn queue_bound_drops_overflow_arrivals() {
+        // Six near-simultaneous arrivals into a bound of two outstanding:
+        // at least one must be dropped, and drops + completions = arrivals.
+        let gaps = [1u64; 6];
+        let (lib, arrivals) = service_library(&gaps, 200_000);
+        let mut machine = MispMachine::new(MispTopology::uniprocessor(1).unwrap(), quiet(), lib);
+        machine.add_process(
+            "svc",
+            Box::new(
+                GangScheduler::builder()
+                    .main_program(ProgramRef::new(1))
+                    .service(ServiceModel::new(arrivals).with_queue_bound(2))
+                    .build(),
+            ),
+            Some(0),
+        );
+        let report = machine.run().unwrap();
+        let service = report.stats.service.as_ref().expect("service stats");
+        assert_eq!(service.admitted + service.dropped, 6);
+        assert!(
+            service.dropped >= 1,
+            "bound of 2 must drop some of 6 bursts"
+        );
+        assert_eq!(service.completed, service.admitted);
+        assert!(service.max_outstanding <= 2);
     }
 
     #[test]

@@ -46,10 +46,12 @@
 pub mod compat;
 mod gang;
 mod queue;
+mod service;
 mod sync;
 mod tls;
 
 pub use gang::{GangScheduler, GangSchedulerBuilder};
 pub use queue::{SchedulingPolicy, WorkQueue};
+pub use service::ServiceModel;
 pub use sync::{SyncObject, SyncTable};
 pub use tls::ShredLocalStorage;

@@ -67,6 +67,18 @@ impl WorkQueue {
         }
     }
 
+    /// The shred [`pop`](WorkQueue::pop) would return, without removing it.
+    /// Used by admission-gated dispatch (service pools), which must decide
+    /// whether the head may start *before* taking it off the queue so a
+    /// blocked head preserves FIFO order instead of being skipped.
+    #[must_use]
+    pub fn peek(&self) -> Option<ShredId> {
+        match self.policy {
+            SchedulingPolicy::Fifo => self.ready.front().copied(),
+            SchedulingPolicy::Lifo => self.ready.back().copied(),
+        }
+    }
+
     /// Number of shreds currently waiting.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -133,6 +145,22 @@ mod tests {
         assert_eq!(q.pop(), Some(s(2)));
         assert_eq!(q.pop(), Some(s(1)));
         assert_eq!(q.pop(), Some(s(0)));
+    }
+
+    #[test]
+    fn peek_matches_pop_for_both_policies() {
+        for policy in [SchedulingPolicy::Fifo, SchedulingPolicy::Lifo] {
+            let mut q = WorkQueue::new(policy);
+            assert_eq!(q.peek(), None);
+            for i in 0..3 {
+                q.push(s(i));
+            }
+            while !q.is_empty() {
+                let peeked = q.peek();
+                assert_eq!(peeked, q.pop(), "{policy:?}");
+            }
+            assert_eq!(q.peek(), None);
+        }
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Open-loop request serving on top of the gang scheduler.
+//!
+//! A [`ServiceModel`] turns the gang scheduler into a request-serving system:
+//! every `ShredCreate` executed under the model is an *admission* of the next
+//! request from a pre-recorded arrival schedule.  The scheduler then measures
+//! each request from its **scheduled** arrival cycle to its completion cycle,
+//! so any lag the generator accumulates under load (or any queueing before a
+//! pool slot frees up) is charged to the request — the open-loop discipline
+//! that avoids coordinated omission.
+//!
+//! Two knobs shape the system:
+//!
+//! * [`ServiceModel::with_queue_bound`] bounds the number of outstanding
+//!   requests (queued + in service); arrivals beyond the bound are *dropped*
+//!   (counted, no shred created) like a full accept queue.
+//! * [`ServiceModel::with_pool_width`] bounds how many requests may be in
+//!   service at once (the `k` of an M/M/k-shaped pool).  A request at the
+//!   head of the ready queue waits — head-of-line, preserving FIFO order —
+//!   until a slot frees, even if sequencers are idle.
+//!
+//! Because the arrival schedule is recorded up front (a plain `Vec` of
+//! cycles), the *same* schedule can be replayed against different machines
+//! and pool shapes: common random numbers, giving paired low-variance
+//! comparisons.
+
+use misp_sim::ServiceStats;
+use misp_types::{Cycles, FxHashMap, ShredId};
+
+/// Cap on the recorded queue-depth time series; recording stops (counters
+/// continue) once this many edges have been captured.
+const MAX_DEPTH_SAMPLES: usize = 4096;
+
+/// A recorded open-loop request schedule plus service-system shape.
+///
+/// `arrivals[n]` is the scheduled arrival cycle of the `n`-th request; the
+/// `n`-th `ShredCreate` executed under the model admits (or drops) exactly
+/// that request, whatever the machine it replays on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceModel {
+    arrivals: Vec<Cycles>,
+    pool_width: Option<usize>,
+    queue_bound: Option<usize>,
+}
+
+impl ServiceModel {
+    /// Creates a model for a recorded arrival schedule with an unbounded
+    /// queue and an unbounded pool.
+    #[must_use]
+    pub fn new(arrivals: Vec<Cycles>) -> Self {
+        ServiceModel {
+            arrivals,
+            pool_width: None,
+            queue_bound: None,
+        }
+    }
+
+    /// Bounds the number of requests in service at once (M/M/k pool shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero (no request could ever start).
+    #[must_use]
+    pub fn with_pool_width(mut self, width: usize) -> Self {
+        assert!(width > 0, "a service pool needs at least one slot");
+        self.pool_width = Some(width);
+        self
+    }
+
+    /// Bounds outstanding requests (queued + in service); arrivals beyond the
+    /// bound are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero (every request would be dropped).
+    #[must_use]
+    pub fn with_queue_bound(mut self, bound: usize) -> Self {
+        assert!(bound > 0, "a queue bound of zero drops everything");
+        self.queue_bound = Some(bound);
+        self
+    }
+
+    /// The recorded arrival schedule.
+    #[must_use]
+    pub fn arrivals(&self) -> &[Cycles] {
+        &self.arrivals
+    }
+
+    /// The pool width, if bounded.
+    #[must_use]
+    pub fn pool_width(&self) -> Option<usize> {
+        self.pool_width
+    }
+
+    /// The outstanding-request bound, if any.
+    #[must_use]
+    pub fn queue_bound(&self) -> Option<usize> {
+        self.queue_bound
+    }
+}
+
+/// What [`ServiceState::admit`] decided about an arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admission {
+    /// Admit the request; the shred about to be created serves arrival
+    /// `index` of the schedule.
+    Admit { index: usize },
+    /// The queue bound is hit: drop the arrival, creating no shred.
+    Drop,
+    /// The arrival schedule is exhausted; this create is not a request of the
+    /// schedule (mixed workloads) and proceeds untracked.
+    Untracked,
+}
+
+/// Live bookkeeping the gang scheduler keeps while driving a
+/// [`ServiceModel`].
+#[derive(Debug)]
+pub(crate) struct ServiceState {
+    model: ServiceModel,
+    /// Index of the next arrival to admit or drop.
+    next_arrival: usize,
+    /// Tracked request shreds: shred → (arrival index, started service?).
+    requests: FxHashMap<ShredId, (usize, bool)>,
+    /// Requests currently holding a pool slot.
+    in_service: usize,
+    /// Requests admitted and not yet completed.
+    outstanding: usize,
+    stats: ServiceStats,
+}
+
+impl ServiceState {
+    pub(crate) fn new(model: ServiceModel) -> Self {
+        ServiceState {
+            model,
+            next_arrival: 0,
+            requests: FxHashMap::default(),
+            in_service: 0,
+            outstanding: 0,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    fn sample_depth(&mut self, now: Cycles) {
+        if self.stats.queue_depth.len() < MAX_DEPTH_SAMPLES {
+            self.stats
+                .queue_depth
+                .push((now.as_u64(), self.outstanding as u64));
+        }
+    }
+
+    /// Decides the fate of the next scheduled arrival.  Consumes the arrival
+    /// index either way: a dropped request is still the `n`-th arrival.
+    pub(crate) fn admit(&mut self, now: Cycles) -> Admission {
+        if self.next_arrival >= self.model.arrivals.len() {
+            return Admission::Untracked;
+        }
+        let index = self.next_arrival;
+        self.next_arrival += 1;
+        if let Some(bound) = self.model.queue_bound {
+            if self.outstanding >= bound {
+                self.stats.dropped += 1;
+                return Admission::Drop;
+            }
+        }
+        self.stats.admitted += 1;
+        self.outstanding += 1;
+        self.stats.max_outstanding = self.stats.max_outstanding.max(self.outstanding as u64);
+        self.sample_depth(now);
+        Admission::Admit { index }
+    }
+
+    /// Registers the shred created for an admitted arrival.
+    pub(crate) fn register(&mut self, shred: ShredId, index: usize) {
+        self.requests.insert(shred, (index, false));
+    }
+
+    /// Whether `shred` may be dispatched right now.  Untracked shreds (the
+    /// generator, joiners) always may; a tracked request that has not yet
+    /// started must find a free pool slot.
+    pub(crate) fn may_dispatch(&self, shred: ShredId) -> bool {
+        match (self.requests.get(&shred), self.model.pool_width) {
+            (Some((_, false)), Some(width)) => self.in_service < width,
+            _ => true,
+        }
+    }
+
+    /// Marks `shred` as dispatched (idempotent for re-dispatch after yield).
+    pub(crate) fn dispatched(&mut self, shred: ShredId) {
+        if let Some((_, started)) = self.requests.get_mut(&shred) {
+            if !*started {
+                *started = true;
+                self.in_service += 1;
+            }
+        }
+    }
+
+    /// Completes `shred` if it is a tracked request, recording its latency
+    /// from the scheduled arrival.  Returns `true` when a pool slot was
+    /// freed (the caller should wake idle sequencers).
+    pub(crate) fn complete(&mut self, shred: ShredId, now: Cycles) -> bool {
+        let Some((index, started)) = self.requests.remove(&shred) else {
+            return false;
+        };
+        if started {
+            self.in_service -= 1;
+        }
+        self.outstanding -= 1;
+        self.stats.completed += 1;
+        let scheduled = self.model.arrivals[index];
+        self.stats
+            .latency
+            .record(now.saturating_sub(scheduled).as_u64());
+        self.sample_depth(now);
+        true
+    }
+
+    pub(crate) fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(n: u64) -> ServiceModel {
+        ServiceModel::new((0..n).map(|i| Cycles::new(i * 100)).collect())
+    }
+
+    #[test]
+    fn admissions_consume_arrivals_in_order() {
+        let mut st = ServiceState::new(model(2));
+        assert_eq!(st.admit(Cycles::new(0)), Admission::Admit { index: 0 });
+        assert_eq!(st.admit(Cycles::new(100)), Admission::Admit { index: 1 });
+        // Schedule exhausted: further creates are not requests.
+        assert_eq!(st.admit(Cycles::new(200)), Admission::Untracked);
+        assert_eq!(st.stats().admitted, 2);
+        assert_eq!(st.stats().dropped, 0);
+    }
+
+    #[test]
+    fn queue_bound_drops_but_still_consumes_the_arrival() {
+        let mut st = ServiceState::new(model(3).with_queue_bound(1));
+        assert_eq!(st.admit(Cycles::new(0)), Admission::Admit { index: 0 });
+        st.register(ShredId::new(1), 0);
+        // Outstanding is 1 >= bound: the second arrival is dropped...
+        assert_eq!(st.admit(Cycles::new(100)), Admission::Drop);
+        assert_eq!(st.stats().dropped, 1);
+        // ...and completing the first frees room for the *third* arrival.
+        assert!(st.complete(ShredId::new(1), Cycles::new(150)));
+        assert_eq!(st.admit(Cycles::new(200)), Admission::Admit { index: 2 });
+    }
+
+    #[test]
+    fn pool_width_gates_dispatch_head_of_line() {
+        let mut st = ServiceState::new(model(2).with_pool_width(1));
+        assert_eq!(st.admit(Cycles::new(0)), Admission::Admit { index: 0 });
+        st.register(ShredId::new(1), 0);
+        assert_eq!(st.admit(Cycles::new(100)), Admission::Admit { index: 1 });
+        st.register(ShredId::new(2), 1);
+        assert!(st.may_dispatch(ShredId::new(1)));
+        st.dispatched(ShredId::new(1));
+        assert!(!st.may_dispatch(ShredId::new(2)), "pool of one is full");
+        // Untracked shreds (the generator) are never gated.
+        assert!(st.may_dispatch(ShredId::new(9)));
+        assert!(st.complete(ShredId::new(1), Cycles::new(500)));
+        assert!(st.may_dispatch(ShredId::new(2)), "slot freed");
+    }
+
+    #[test]
+    fn latency_is_measured_from_the_scheduled_arrival() {
+        let mut st = ServiceState::new(model(1));
+        // The generator runs late: admission at 40 for an arrival scheduled
+        // at 0; completion at 250 must record 250, not 210.
+        assert_eq!(st.admit(Cycles::new(40)), Admission::Admit { index: 0 });
+        st.register(ShredId::new(1), 0);
+        st.dispatched(ShredId::new(1));
+        assert!(st.complete(ShredId::new(1), Cycles::new(250)));
+        assert_eq!(st.stats().latency.max(), 250);
+        assert_eq!(st.stats().completed, 1);
+    }
+
+    #[test]
+    fn zero_pool_width_is_rejected() {
+        let result = std::panic::catch_unwind(|| model(1).with_pool_width(0));
+        assert!(result.is_err());
+    }
+}

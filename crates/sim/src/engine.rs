@@ -286,6 +286,19 @@ impl<P: Platform> Engine<P> {
                 .collect();
             self.core.stats_mut().fold_cache(cache);
         }
+        // Fold request-serving statistics from the measured runtimes, in
+        // process-index order (the BTreeMap iteration order), so the merged
+        // queue-depth series is deterministic.
+        let mut service: Option<crate::ServiceStats> = None;
+        for (pid_idx, rt) in &self.runtimes {
+            if !measured.iter().any(|p| p.index() == *pid_idx) {
+                continue;
+            }
+            if let Some(s) = rt.service_stats() {
+                service.get_or_insert_with(Default::default).merge(s);
+            }
+        }
+        self.core.stats_mut().service = service;
         let stats = self.core.stats().clone();
         let completions: BTreeMap<u32, Cycles> = measured
             .iter()

@@ -72,4 +72,4 @@ pub use platform::Platform;
 pub use runtime::{Runtime, RuntimeOutcome, SingleShredRuntime};
 pub use sequencer::SequencerState;
 pub use shred::{ShredExecState, ShredPool, ShredStatus};
-pub use stats::{SeqUtilization, SimStats};
+pub use stats::{SeqUtilization, ServiceStats, SimStats};

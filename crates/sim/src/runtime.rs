@@ -78,6 +78,14 @@ pub trait Runtime: std::fmt::Debug {
 
     /// Returns `true` when all work of this runtime's process is complete.
     fn is_finished(&self, core: &EngineCore) -> bool;
+
+    /// Request-serving statistics, if this runtime drives a service model
+    /// (open-loop scenarios).  The engine folds these into
+    /// [`SimStats::service`](crate::SimStats) when the report is assembled.
+    /// The default — for runtimes without a service model — is `None`.
+    fn service_stats(&self) -> Option<&crate::ServiceStats> {
+        None
+    }
 }
 
 /// A minimal runtime that gives each OS thread exactly one shred running a

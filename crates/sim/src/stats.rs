@@ -3,9 +3,47 @@
 use misp_cache::CacheStats;
 use misp_mem::TlbStats;
 use misp_os::{OsEventCounts, OsEventKind};
-use misp_types::{Cycles, ProcessId, SequencerId};
+use misp_types::{Cycles, Histogram, ProcessId, SequencerId};
 use serde::Serialize;
 use std::collections::HashMap;
+
+/// Request-serving (open-loop scenario) statistics.
+///
+/// Populated only when a runtime drives a service model: each admitted
+/// request contributes one latency sample (completion cycle minus the
+/// *scheduled* arrival cycle, so generator lag under overload shows up as
+/// latency rather than being silently absorbed — the open-loop discipline).
+#[derive(Debug, Default, Clone, PartialEq, Serialize)]
+pub struct ServiceStats {
+    /// Requests admitted into the system (shreds created).
+    pub admitted: u64,
+    /// Requests that completed service.
+    pub completed: u64,
+    /// Requests dropped because the bounded queue was full at arrival.
+    pub dropped: u64,
+    /// Per-request latency histogram, in cycles from scheduled arrival to
+    /// completion.
+    pub latency: Histogram,
+    /// High-water mark of outstanding requests (queued + in service).
+    pub max_outstanding: u64,
+    /// Queue-depth time series: `(cycle, outstanding)` at each admission and
+    /// completion edge, truncated to a bounded number of samples.
+    pub queue_depth: Vec<(u64, u64)>,
+}
+
+impl ServiceStats {
+    /// Folds `other` into `self` (commutative on the counters and histogram;
+    /// the queue-depth series is concatenated in call order, which the engine
+    /// keeps deterministic by folding runtimes in sequencer order).
+    pub fn merge(&mut self, other: &ServiceStats) {
+        self.admitted += other.admitted;
+        self.completed += other.completed;
+        self.dropped += other.dropped;
+        self.latency.merge(&other.latency);
+        self.max_outstanding = self.max_outstanding.max(other.max_outstanding);
+        self.queue_depth.extend_from_slice(&other.queue_depth);
+    }
+}
 
 /// Per-sequencer utilization summary.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -59,6 +97,9 @@ pub struct SimStats {
     /// Per-sequencer cache statistics; empty while the cache model is
     /// disabled.
     pub per_sequencer_cache: Vec<CacheStats>,
+    /// Request-serving statistics; `None` unless a runtime drove a service
+    /// model (open-loop scenarios).
+    pub service: Option<ServiceStats>,
 }
 
 impl SimStats {

@@ -30,15 +30,19 @@ mod cost;
 mod cycles;
 mod error;
 mod fxhash;
+mod histogram;
 mod ids;
 mod ring;
+mod rng;
 
 pub use cost::{CacheCostModel, CostModel, CostModelBuilder, SignalCost};
 pub use cycles::{Cycles, Duration};
 pub use error::{MispError, Result};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use histogram::Histogram;
 pub use ids::{
     LockId, MispProcessorId, OsThreadId, PageId, ProcessId, SequencerId, ShredId, VirtAddr,
     PAGE_SHIFT, PAGE_SIZE,
 };
 pub use ring::{Ring, RingTransition};
+pub use rng::{det_ln, SplitMix64};

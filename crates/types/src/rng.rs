@@ -1,0 +1,190 @@
+//! Deterministic pseudo-random numbers for scenario generation.
+//!
+//! The request-serving scenarios need random arrival and service times that
+//! are *reproducible down to the bit on every platform*, because the golden
+//! sweep documents commit the resulting cycle counts.  Two things follow:
+//!
+//! * The generator is a [SplitMix64](https://prng.di.unimi.it/splitmix64.c)
+//!   stream — a tiny, well-studied mixer whose output is a pure function of
+//!   the 64-bit seed.
+//! * Sampling avoids `libm`: [`SplitMix64::next_exp`] uses [`det_ln`], a
+//!   hand-rolled natural logarithm built exclusively from IEEE 754
+//!   exactly-rounded operations (`+ - * /` and bit manipulation), so the
+//!   same seed produces the same `f64` on any conforming platform, unlike
+//!   `f64::ln` whose rounding is implementation-defined.
+
+/// A SplitMix64 pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use misp_types::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let u = a.next_f64();
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.  Equal seeds produce equal streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        // The conversion of a < 2^53 integer and the multiplication by a
+        // power of two are both exact, so this is bit-deterministic.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// An exponentially distributed sample with the given mean, via inverse
+    /// transform sampling through the deterministic logarithm [`det_ln`].
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        // 1 - u is in (0, 1], so the logarithm is finite and non-positive.
+        -det_ln(1.0 - self.next_f64()) * mean
+    }
+
+    /// Derives an independent child generator (stream splitting).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+/// Natural logarithm of a positive finite `f64`, computed only with IEEE 754
+/// exactly-rounded operations so the result is bit-identical on every
+/// conforming platform.
+///
+/// The argument is split as `x = m * 2^e` with `m ∈ [1, 2)`; `ln m` comes
+/// from the `atanh` series `2(r + r³/3 + r⁵/5 + …)` with `r = (m-1)/(m+1) ∈
+/// [0, 1/3)`, summed to well below `f64` precision.  Accuracy is a few ULP —
+/// far more than the cycle-rounding downstream needs — and, crucially,
+/// *reproducible*, unlike `f64::ln`.
+///
+/// # Panics
+///
+/// Panics if `x` is not a positive finite normal number (the scenario
+/// generator only feeds it values in `(0, 1]`).
+#[must_use]
+pub fn det_ln(x: f64) -> f64 {
+    assert!(
+        x.is_finite() && x >= f64::MIN_POSITIVE,
+        "det_ln needs a positive finite normal argument, got {x:e}"
+    );
+    let bits = x.to_bits();
+    let exponent = ((bits >> 52) & 0x7FF) as i64 - 1023;
+    // Mantissa with the implicit leading one restored, scaled into [1, 2).
+    let m = f64::from_bits((bits & 0x000F_FFFF_FFFF_FFFF) | (1023u64 << 52));
+    let r = (m - 1.0) / (m + 1.0);
+    let r2 = r * r;
+    // r < 1/3 so r² < 1/9: 13 odd terms put the truncation error below
+    // 2⁻⁵⁷, under the rounding noise of the summation itself.
+    let mut term = r;
+    let mut sum = 0.0;
+    let mut k = 1u32;
+    while k <= 25 {
+        sum += term / f64::from(k);
+        term *= r2;
+        k += 2;
+    }
+    exponent as f64 * core::f64::consts::LN_2 + 2.0 * sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = SplitMix64::new(0xDEAD_BEEF);
+        let mut b = SplitMix64::new(0xDEAD_BEEF);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn known_splitmix_vector() {
+        // Reference values from the canonical splitmix64.c with seed 0.
+        let mut g = SplitMix64::new(0);
+        assert_eq!(g.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(g.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(g.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut g = SplitMix64::new(42);
+        for _ in 0..1000 {
+            let u = g.next_f64();
+            assert!((0.0..1.0).contains(&u), "{u}");
+        }
+    }
+
+    #[test]
+    fn det_ln_matches_libm_closely() {
+        for &x in &[
+            1e-12, 1e-6, 0.001, 0.1, 0.25, 0.5, 0.75, 0.999, 1.0, 1.5, 2.0, 10.0, 12345.678,
+        ] {
+            let got = det_ln(x);
+            let want = x.ln();
+            assert!(
+                (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                "det_ln({x}) = {got}, libm says {want}"
+            );
+        }
+        assert_eq!(det_ln(1.0), 0.0);
+    }
+
+    #[test]
+    fn exponential_sample_has_roughly_the_right_mean() {
+        let mut g = SplitMix64::new(7);
+        let n = 20_000;
+        let mean = 1000.0;
+        let sum: f64 = (0..n).map(|_| g.next_exp(mean)).sum();
+        let got = sum / f64::from(n);
+        assert!(
+            (got - mean).abs() < mean * 0.05,
+            "sample mean {got} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn fork_produces_an_independent_deterministic_child() {
+        let mut parent_a = SplitMix64::new(3);
+        let mut parent_b = SplitMix64::new(3);
+        let mut child_a = parent_a.fork();
+        let mut child_b = parent_b.fork();
+        assert_eq!(child_a.next_u64(), child_b.next_u64());
+        assert_ne!(parent_a.next_u64(), child_a.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn det_ln_rejects_zero() {
+        let _ = det_ln(0.0);
+    }
+}

@@ -16,20 +16,25 @@
 //! down so a simulation completes in milliseconds rather than minutes; see
 //! EXPERIMENTS.md for the scaling discussion).
 //!
+//! Beyond the fixed-size catalog, the [`scenario`] module provides open-loop
+//! request-serving scenarios — seeded arrival streams served by a shred pool
+//! with per-request latency measurement — and [`runner::Run`] is the unified
+//! builder that executes either kind of work on any machine.
+//!
 //! # Examples
 //!
 //! ```
-//! use misp_workloads::{catalog, runner};
+//! use misp_workloads::{catalog, runner::{Machine, Run}};
 //! use misp_core::MispTopology;
 //! use misp_sim::SimConfig;
 //!
 //! let workload = catalog::by_name("dense_mvm").unwrap();
-//! let report = runner::run_on_misp(
-//!     &workload,
-//!     &MispTopology::uniprocessor(3).unwrap(),
-//!     SimConfig::default(),
-//!     4,
-//! ).unwrap();
+//! let report = Run::workload(&workload)
+//!     .machine(Machine::misp(MispTopology::uniprocessor(3).unwrap()))
+//!     .config(SimConfig::default())
+//!     .workers(4)
+//!     .execute()
+//!     .unwrap();
 //! assert!(report.total_cycles.as_u64() > 0);
 //! ```
 
@@ -40,9 +45,12 @@
 pub mod catalog;
 pub mod competitor;
 pub mod runner;
+pub mod scenario;
 
 mod params;
 mod workload;
 
 pub use params::{LocalityProfile, Suite, WorkloadParams};
+pub use runner::{Machine, Run, RunOptions};
+pub use scenario::{ArrivalModel, RequestStream, Scenario};
 pub use workload::{PortedApplication, Workload};

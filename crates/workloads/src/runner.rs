@@ -1,7 +1,23 @@
-//! Helpers that run a workload on the MISP machine, the SMP baseline, or a
-//! single sequencer.
+//! The unified run API: one builder that executes catalog workloads and
+//! open-loop scenarios on the MISP machine, the SMP baseline, or a single
+//! sequencer.
+//!
+//! # Examples
+//!
+//! ```
+//! use misp_workloads::{catalog, runner::{Machine, Run}};
+//! use misp_core::MispTopology;
+//!
+//! let w = catalog::by_name("dense_mvm").unwrap();
+//! let report = Run::workload(&w)
+//!     .machine(Machine::misp(MispTopology::uniprocessor(7).unwrap()))
+//!     .workers(8)
+//!     .execute()
+//!     .unwrap();
+//! assert!(report.total_cycles.as_u64() > 0);
+//! ```
 
-use crate::{competitor, Workload};
+use crate::{competitor, scenario::Scenario, Workload};
 use misp_core::{MispMachine, MispTopology, RingPolicy};
 use misp_isa::ProgramLibrary;
 use misp_sim::{SimConfig, SimReport};
@@ -16,7 +32,8 @@ use misp_types::Result;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOptions {
     /// Enable the Section 5.3 page pre-touch optimization (the main shred
-    /// probes every worker page during the serial region).
+    /// probes every worker page during the serial region).  Ignored for
+    /// scenario runs, which have no pre-touchable worker partitions.
     pub pretouch: bool,
     /// Override the MISP ring-transition policy (ignored on SMP).
     pub ring_policy: Option<RingPolicy>,
@@ -46,32 +63,226 @@ impl Default for RunOptions {
     }
 }
 
-impl RunOptions {
-    fn build_scheduler(
-        &self,
-        workload: &Workload,
-        library: &mut ProgramLibrary,
-        workers: usize,
-    ) -> shredlib::GangScheduler {
-        if self.pretouch {
-            workload.build_with_pretouch(library, workers)
-        } else {
-            workload.build(library, workers)
+/// The machine a [`Run`] executes on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Machine {
+    /// A MISP machine with the given topology.
+    Misp(MispTopology),
+    /// The SMP baseline with this many cores.
+    Smp {
+        /// Number of cores.
+        cores: usize,
+    },
+    /// A single MISP sequencer (the "1P" baseline Figure 4 divides by).
+    Serial,
+}
+
+impl Machine {
+    /// A MISP machine (convenience constructor mirroring the variants).
+    #[must_use]
+    pub fn misp(topology: MispTopology) -> Self {
+        Machine::Misp(topology)
+    }
+
+    /// The SMP baseline with `cores` cores.
+    #[must_use]
+    pub fn smp(cores: usize) -> Self {
+        Machine::Smp { cores }
+    }
+}
+
+/// What a [`Run`] executes: a catalog workload or an open-loop scenario.
+#[derive(Debug, Clone)]
+enum Source<'a> {
+    Workload(&'a Workload),
+    Scenario(&'a Scenario),
+}
+
+/// A single simulation run, assembled with a builder.
+///
+/// Start from [`Run::workload`] or [`Run::scenario`], chain the optional
+/// pieces — [`machine`](Run::machine), [`config`](Run::config),
+/// [`workers`](Run::workers), [`options`](Run::options),
+/// [`seed`](Run::seed) — and call [`execute`](Run::execute).
+///
+/// Defaults: a [`Machine::Serial`] run of 8 workers with
+/// [`SimConfig::default`], default [`RunOptions`], and seed 0.
+///
+/// The shredded application gets one OS thread per MISP processor (or SMP
+/// core), as in the paper's MP experiments.  With
+/// [`RunOptions::ams_span_only`] the application instead spans only the
+/// processors that have AMSs, leaving plain single-sequencer CPUs (the
+/// uneven Figure 7 configurations) to the OS for competitor processes.
+#[derive(Debug, Clone)]
+pub struct Run<'a> {
+    source: Source<'a>,
+    machine: Machine,
+    config: SimConfig,
+    workers: usize,
+    options: RunOptions,
+    seed: u64,
+}
+
+impl<'a> Run<'a> {
+    /// Starts a run of a catalog workload.
+    #[must_use]
+    pub fn workload(workload: &'a Workload) -> Self {
+        Run {
+            source: Source::Workload(workload),
+            machine: Machine::Serial,
+            config: SimConfig::default(),
+            workers: 8,
+            options: RunOptions::default(),
+            seed: 0,
+        }
+    }
+
+    /// Starts a run of an open-loop request-serving scenario.  The seed (see
+    /// [`Run::seed`]) selects the recorded customer stream; replaying the
+    /// same seed against different machines gives paired comparisons.
+    #[must_use]
+    pub fn scenario(scenario: &'a Scenario) -> Self {
+        Run {
+            source: Source::Scenario(scenario),
+            machine: Machine::Serial,
+            config: SimConfig::default(),
+            workers: 8,
+            options: RunOptions::default(),
+            seed: 0,
+        }
+    }
+
+    /// Selects the machine (default: [`Machine::Serial`]).
+    #[must_use]
+    pub fn machine(mut self, machine: Machine) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Shorthand for `.machine(Machine::Misp(topology))`.
+    #[must_use]
+    pub fn topology(self, topology: MispTopology) -> Self {
+        self.machine(Machine::Misp(topology))
+    }
+
+    /// Sets the simulation configuration (default: [`SimConfig::default`]).
+    #[must_use]
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the number of worker shreds of a workload run (default: 8).
+    /// Scenario runs size themselves from the recorded stream instead.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the run options (default: [`RunOptions::default`]).
+    #[must_use]
+    pub fn options(mut self, options: RunOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the stream seed of a scenario run (default: 0).  Ignored for
+    /// workload runs, which are fully deterministic without one.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the programs and the scheduler, assembles the machine, and
+    /// runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors (budget exhaustion, deadlock).
+    pub fn execute(self) -> Result<SimReport> {
+        let mut library = ProgramLibrary::new();
+        let (name, scheduler) = match self.source {
+            Source::Workload(w) => {
+                let scheduler = if self.options.pretouch {
+                    w.build_with_pretouch(&mut library, self.workers)
+                } else {
+                    w.build(&mut library, self.workers)
+                };
+                (w.name(), scheduler)
+            }
+            Source::Scenario(s) => (s.name(), s.build(&mut library, self.seed)),
+        };
+        let competitor_programs: Vec<_> = (0..self.options.competitors)
+            .map(|i| {
+                competitor::competitor_program(&mut library, i, self.options.competitor_cycles)
+            })
+            .collect();
+
+        match self.machine {
+            Machine::Misp(ref topology) => {
+                let mut machine = MispMachine::new(topology.clone(), self.config, library);
+                if let Some(policy) = self.options.ring_policy {
+                    machine.engine_mut().platform_mut().set_policy(policy);
+                }
+                let pid = machine.add_process(name, Box::new(scheduler), Some(0));
+                for proc_idx in 1..topology.processors().len() {
+                    if !self.options.ams_span_only
+                        || !topology.processors()[proc_idx].ams().is_empty()
+                    {
+                        machine.add_thread(pid, Some(proc_idx));
+                    }
+                }
+                for program in competitor_programs {
+                    machine.add_process(
+                        "competitor",
+                        Box::new(competitor::competitor_runtime(program)),
+                        None,
+                    );
+                }
+                if self.options.competitors > 0 {
+                    machine.set_measured(vec![pid]);
+                }
+                machine.run()
+            }
+            Machine::Smp { cores } => {
+                let mut machine = SmpMachine::new(cores, self.config, library);
+                let pid = machine.add_process(name, Box::new(scheduler), Some(0));
+                for core in 1..cores {
+                    machine.add_thread(pid, Some(core));
+                }
+                for program in competitor_programs {
+                    machine.add_process(
+                        "competitor",
+                        Box::new(competitor::competitor_runtime(program)),
+                        None,
+                    );
+                }
+                if self.options.competitors > 0 {
+                    machine.set_measured(vec![pid]);
+                }
+                machine.run()
+            }
+            Machine::Serial => {
+                let topology =
+                    MispTopology::uniprocessor(0).expect("single-sequencer topology is valid");
+                Run {
+                    machine: Machine::Misp(topology),
+                    ..self
+                }
+                .execute()
+            }
         }
     }
 }
 
 /// Runs `workload` on a MISP machine with the given topology and options.
 ///
-/// The shredded application gets one OS thread per MISP processor (as in the
-/// paper's MP experiments) and `workers` worker shreds drawn from the shared
-/// work queue.  With `options.ams_span_only` the application instead spans
-/// only the processors that have AMSs, leaving plain single-sequencer CPUs
-/// (the uneven Figure 7 configurations) to the OS for competitor processes.
-///
 /// # Errors
 ///
 /// Propagates simulation errors (budget exhaustion, deadlock).
+#[deprecated(since = "0.2.0", note = "use `Run::workload(..).topology(..)` instead")]
 pub fn run_on_misp_with(
     workload: &Workload,
     topology: &MispTopology,
@@ -79,33 +290,12 @@ pub fn run_on_misp_with(
     workers: usize,
     options: &RunOptions,
 ) -> Result<SimReport> {
-    let mut library = ProgramLibrary::new();
-    let scheduler = options.build_scheduler(workload, &mut library, workers);
-    let competitor_programs: Vec<_> = (0..options.competitors)
-        .map(|i| competitor::competitor_program(&mut library, i, options.competitor_cycles))
-        .collect();
-
-    let mut machine = MispMachine::new(topology.clone(), config, library);
-    if let Some(policy) = options.ring_policy {
-        machine.engine_mut().platform_mut().set_policy(policy);
-    }
-    let pid = machine.add_process(workload.name(), Box::new(scheduler), Some(0));
-    for proc_idx in 1..topology.processors().len() {
-        if !options.ams_span_only || !topology.processors()[proc_idx].ams().is_empty() {
-            machine.add_thread(pid, Some(proc_idx));
-        }
-    }
-    for program in competitor_programs {
-        machine.add_process(
-            "competitor",
-            Box::new(competitor::competitor_runtime(program)),
-            None,
-        );
-    }
-    if options.competitors > 0 {
-        machine.set_measured(vec![pid]);
-    }
-    machine.run()
+    Run::workload(workload)
+        .topology(topology.clone())
+        .config(config)
+        .workers(workers)
+        .options(*options)
+        .execute()
 }
 
 /// Runs `workload` on a MISP machine with the given topology and default
@@ -114,43 +304,57 @@ pub fn run_on_misp_with(
 /// # Errors
 ///
 /// Propagates simulation errors (budget exhaustion, deadlock).
+#[deprecated(since = "0.2.0", note = "use `Run::workload(..).topology(..)` instead")]
 pub fn run_on_misp(
     workload: &Workload,
     topology: &MispTopology,
     config: SimConfig,
     workers: usize,
 ) -> Result<SimReport> {
-    run_on_misp_with(workload, topology, config, workers, &RunOptions::default())
+    Run::workload(workload)
+        .topology(topology.clone())
+        .config(config)
+        .workers(workers)
+        .execute()
 }
 
 /// Runs `workload` on a MISP machine with the page pre-touch optimization of
-/// Section 5.3 enabled (the main shred probes every worker page during the
-/// serial region).
+/// Section 5.3 enabled.
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Run::workload(..)` with `RunOptions { pretouch: true, .. }` instead"
+)]
 pub fn run_on_misp_with_pretouch(
     workload: &Workload,
     topology: &MispTopology,
     config: SimConfig,
     workers: usize,
 ) -> Result<SimReport> {
-    let options = RunOptions {
-        pretouch: true,
-        ..RunOptions::default()
-    };
-    run_on_misp_with(workload, topology, config, workers, &options)
+    Run::workload(workload)
+        .topology(topology.clone())
+        .config(config)
+        .workers(workers)
+        .options(RunOptions {
+            pretouch: true,
+            ..RunOptions::default()
+        })
+        .execute()
 }
 
 /// Runs `workload` on the SMP baseline with `cores` cores and the given
-/// options.  The application gets one OS thread per core, mirroring how an
-/// OpenMP runtime would span an SMP machine.  The ring-policy option is
-/// ignored (SMP has no AMSs to suspend).
+/// options.
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Run::workload(..).machine(Machine::smp(..))` instead"
+)]
 pub fn run_on_smp_with(
     workload: &Workload,
     cores: usize,
@@ -158,28 +362,12 @@ pub fn run_on_smp_with(
     workers: usize,
     options: &RunOptions,
 ) -> Result<SimReport> {
-    let mut library = ProgramLibrary::new();
-    let scheduler = options.build_scheduler(workload, &mut library, workers);
-    let competitor_programs: Vec<_> = (0..options.competitors)
-        .map(|i| competitor::competitor_program(&mut library, i, options.competitor_cycles))
-        .collect();
-
-    let mut machine = SmpMachine::new(cores, config, library);
-    let pid = machine.add_process(workload.name(), Box::new(scheduler), Some(0));
-    for core in 1..cores {
-        machine.add_thread(pid, Some(core));
-    }
-    for program in competitor_programs {
-        machine.add_process(
-            "competitor",
-            Box::new(competitor::competitor_runtime(program)),
-            None,
-        );
-    }
-    if options.competitors > 0 {
-        machine.set_measured(vec![pid]);
-    }
-    machine.run()
+    Run::workload(workload)
+        .machine(Machine::smp(cores))
+        .config(config)
+        .workers(workers)
+        .options(*options)
+        .execute()
 }
 
 /// Runs `workload` on the SMP baseline with `cores` cores and default
@@ -188,13 +376,21 @@ pub fn run_on_smp_with(
 /// # Errors
 ///
 /// Propagates simulation errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Run::workload(..).machine(Machine::smp(..))` instead"
+)]
 pub fn run_on_smp(
     workload: &Workload,
     cores: usize,
     config: SimConfig,
     workers: usize,
 ) -> Result<SimReport> {
-    run_on_smp_with(workload, cores, config, workers, &RunOptions::default())
+    Run::workload(workload)
+        .machine(Machine::smp(cores))
+        .config(config)
+        .workers(workers)
+        .execute()
 }
 
 /// Runs `workload` on a single sequencer (the "1P" baseline Figure 4 divides
@@ -204,19 +400,21 @@ pub fn run_on_smp(
 /// # Errors
 ///
 /// Propagates simulation errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Run::workload(..)` (serial is the default machine) instead"
+)]
 pub fn run_serial(workload: &Workload, config: SimConfig, workers: usize) -> Result<SimReport> {
-    run_on_misp(
-        workload,
-        &MispTopology::uniprocessor(0).expect("single-sequencer topology is valid"),
-        config,
-        workers,
-    )
+    Run::workload(workload)
+        .config(config)
+        .workers(workers)
+        .execute()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::catalog;
+    use crate::{catalog, scenario};
     use misp_os::TimerConfig;
 
     fn quick_config() -> SimConfig {
@@ -226,18 +424,24 @@ mod tests {
         }
     }
 
+    fn misp8() -> Machine {
+        Machine::misp(MispTopology::uniprocessor(7).unwrap())
+    }
+
     #[test]
     fn dense_mvm_speeds_up_on_misp_and_smp() {
         let w = catalog::by_name("dense_mvm").unwrap();
-        let serial = run_serial(&w, quick_config(), 8).unwrap();
-        let misp = run_on_misp(
-            &w,
-            &MispTopology::uniprocessor(7).unwrap(),
-            quick_config(),
-            8,
-        )
-        .unwrap();
-        let smp = run_on_smp(&w, 8, quick_config(), 8).unwrap();
+        let serial = Run::workload(&w).config(quick_config()).execute().unwrap();
+        let misp = Run::workload(&w)
+            .machine(misp8())
+            .config(quick_config())
+            .execute()
+            .unwrap();
+        let smp = Run::workload(&w)
+            .machine(Machine::smp(8))
+            .config(quick_config())
+            .execute()
+            .unwrap();
         let misp_speedup = serial.total_cycles.as_f64() / misp.total_cycles.as_f64();
         let smp_speedup = serial.total_cycles.as_f64() / smp.total_cycles.as_f64();
         assert!(misp_speedup > 4.5, "MISP speedup {misp_speedup:.2}");
@@ -252,13 +456,11 @@ mod tests {
     #[test]
     fn worker_page_faults_become_proxy_events_on_misp() {
         let w = catalog::by_name("sparse_mvm_sym").unwrap();
-        let report = run_on_misp(
-            &w,
-            &MispTopology::uniprocessor(7).unwrap(),
-            quick_config(),
-            8,
-        )
-        .unwrap();
+        let report = Run::workload(&w)
+            .machine(misp8())
+            .config(quick_config())
+            .execute()
+            .unwrap();
         assert!(
             report.stats.ams_events.page_faults > 0,
             "workers on AMSs must fault via proxy execution"
@@ -266,7 +468,11 @@ mod tests {
         assert_eq!(report.stats.ams_events.syscalls, 0);
         assert!(report.stats.oms_events.page_faults > 0);
         // On the SMP baseline the same workload has no proxy executions.
-        let smp = run_on_smp(&w, 8, quick_config(), 8).unwrap();
+        let smp = Run::workload(&w)
+            .machine(Machine::smp(8))
+            .config(quick_config())
+            .execute()
+            .unwrap();
         assert_eq!(smp.stats.proxy_executions, 0);
     }
 
@@ -274,24 +480,26 @@ mod tests {
     fn competitors_slow_the_measured_application() {
         let w = catalog::by_name("dense_mvm").unwrap();
         let topo = MispTopology::config_uneven(3, 4);
-        let options = RunOptions {
-            competitors: 2,
-            competitor_cycles: 4_000_000_000,
-            ams_span_only: true,
-            ..RunOptions::default()
-        };
-        let loaded = run_on_misp_with(&w, &topo, quick_config(), 8, &options).unwrap();
-        let unloaded = run_on_misp_with(
-            &w,
-            &topo,
-            quick_config(),
-            8,
-            &RunOptions {
+        let loaded = Run::workload(&w)
+            .topology(topo.clone())
+            .config(quick_config())
+            .options(RunOptions {
+                competitors: 2,
+                competitor_cycles: 4_000_000_000,
                 ams_span_only: true,
                 ..RunOptions::default()
-            },
-        )
-        .unwrap();
+            })
+            .execute()
+            .unwrap();
+        let unloaded = Run::workload(&w)
+            .topology(topo)
+            .config(quick_config())
+            .options(RunOptions {
+                ams_span_only: true,
+                ..RunOptions::default()
+            })
+            .execute()
+            .unwrap();
         assert!(
             loaded.total_cycles >= unloaded.total_cycles,
             "competitor load must not speed the application up"
@@ -304,33 +512,40 @@ mod tests {
     #[test]
     fn ring_policy_option_matches_direct_platform_configuration() {
         let w = catalog::by_name("kmeans").unwrap();
-        let topo = MispTopology::uniprocessor(7).unwrap();
-        let options = RunOptions {
-            ring_policy: Some(misp_core::RingPolicy::Speculative),
-            ..RunOptions::default()
-        };
-        let via_options = run_on_misp_with(&w, &topo, quick_config(), 8, &options).unwrap();
-        let baseline = run_on_misp(&w, &topo, quick_config(), 8).unwrap();
+        let via_options = Run::workload(&w)
+            .machine(misp8())
+            .config(quick_config())
+            .options(RunOptions {
+                ring_policy: Some(misp_core::RingPolicy::Speculative),
+                ..RunOptions::default()
+            })
+            .execute()
+            .unwrap();
+        let baseline = Run::workload(&w)
+            .machine(misp8())
+            .config(quick_config())
+            .execute()
+            .unwrap();
         assert!(via_options.total_cycles <= baseline.total_cycles);
     }
 
     #[test]
     fn pretouch_eliminates_ams_page_faults() {
         let w = catalog::by_name("sparse_mvm").unwrap();
-        let base = run_on_misp(
-            &w,
-            &MispTopology::uniprocessor(7).unwrap(),
-            quick_config(),
-            8,
-        )
-        .unwrap();
-        let pretouch = run_on_misp_with_pretouch(
-            &w,
-            &MispTopology::uniprocessor(7).unwrap(),
-            quick_config(),
-            8,
-        )
-        .unwrap();
+        let base = Run::workload(&w)
+            .machine(misp8())
+            .config(quick_config())
+            .execute()
+            .unwrap();
+        let pretouch = Run::workload(&w)
+            .machine(misp8())
+            .config(quick_config())
+            .options(RunOptions {
+                pretouch: true,
+                ..RunOptions::default()
+            })
+            .execute()
+            .unwrap();
         assert!(base.stats.ams_events.page_faults > 0);
         assert_eq!(
             pretouch.stats.ams_events.page_faults, 0,
@@ -340,5 +555,76 @@ mod tests {
             pretouch.stats.oms_events.page_faults > base.stats.oms_events.page_faults,
             "the faults move to the OMS rather than disappearing"
         );
+    }
+
+    #[test]
+    fn scenario_run_reports_service_statistics() {
+        let s = scenario::by_name("poisson").unwrap().with_requests(50);
+        let report = Run::scenario(&s)
+            .machine(misp8())
+            .config(quick_config())
+            .seed(42)
+            .execute()
+            .unwrap();
+        let service = report.stats.service.as_ref().expect("service stats");
+        assert_eq!(service.admitted, 50);
+        assert_eq!(service.completed, 50);
+        assert!(service.latency.value_at_quantile(50, 100) > 0);
+    }
+
+    #[test]
+    fn crn_pairing_gives_identical_streams_across_machines() {
+        // The same seed must replay the identical customer stream on MISP
+        // and SMP: identical admission counts and identical scheduled
+        // arrivals (the paired-comparison property).
+        let s = scenario::by_name("bursty").unwrap().with_requests(40);
+        let misp = Run::scenario(&s)
+            .machine(misp8())
+            .config(quick_config())
+            .seed(7)
+            .execute()
+            .unwrap();
+        let smp = Run::scenario(&s)
+            .machine(Machine::smp(8))
+            .config(quick_config())
+            .seed(7)
+            .execute()
+            .unwrap();
+        let a = misp.stats.service.as_ref().unwrap();
+        let b = smp.stats.service.as_ref().unwrap();
+        assert_eq!(a.admitted, b.admitted);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.dropped, b.dropped);
+    }
+
+    /// The deprecated free functions must keep producing byte-identical
+    /// reports to the builder they now wrap.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_builder() {
+        let w = catalog::by_name("dense_mvm").unwrap();
+        let topo = MispTopology::uniprocessor(7).unwrap();
+        let shim = run_on_misp(&w, &topo, quick_config(), 8).unwrap();
+        let builder = Run::workload(&w)
+            .topology(topo)
+            .config(quick_config())
+            .workers(8)
+            .execute()
+            .unwrap();
+        assert_eq!(shim.total_cycles, builder.total_cycles);
+        assert_eq!(shim.stats, builder.stats);
+        assert_eq!(shim.log_digest, builder.log_digest);
+
+        let shim = run_serial(&w, quick_config(), 8).unwrap();
+        let builder = Run::workload(&w).config(quick_config()).execute().unwrap();
+        assert_eq!(shim.total_cycles, builder.total_cycles);
+
+        let shim = run_on_smp(&w, 8, quick_config(), 8).unwrap();
+        let builder = Run::workload(&w)
+            .machine(Machine::smp(8))
+            .config(quick_config())
+            .execute()
+            .unwrap();
+        assert_eq!(shim.total_cycles, builder.total_cycles);
     }
 }

@@ -24,15 +24,17 @@ fn main() {
     );
 
     // The flat-cost baseline: the default disabled cache model.
-    grid.push(RunSpec::sim("flat", SimSpec::new(WORKLOAD, MISP_1X8, 8)));
+    grid.push(RunSpec::sim(
+        "flat",
+        SimSpec::workload(WORKLOAD, MISP_1X8, 8),
+    ));
 
     let l1_points: [(&str, u32, u32); 2] = [("l1_32k", 4, 2), ("l1_64k", 8, 2)];
     let l2_points: [(&str, u32, u32); 3] =
         [("l2_128k", 16, 2), ("l2_512k", 32, 4), ("l2_2m", 64, 8)];
     for (l1_label, l1_sets, l1_ways) in l1_points {
         for (l2_label, l2_sets, l2_ways) in l2_points {
-            let mut spec = SimSpec::new(WORKLOAD, MISP_1X8, 8);
-            spec.cache = Some(
+            let spec = SimSpec::workload(WORKLOAD, MISP_1X8, 8).with_cache(
                 CacheConfig::enabled_default()
                     .with_l1(l1_sets, l1_ways)
                     .with_l2(l2_sets, l2_ways),

@@ -20,12 +20,12 @@ fn main() {
     for name in ["dense_mvm", "sparse_mvm"] {
         grid.push(RunSpec::sim(
             format!("{name}/serial"),
-            SimSpec::new(name, MachineSpec::Serial, 8),
+            SimSpec::workload(name, MachineSpec::Serial, 8),
         ));
         grid.push(
             RunSpec::sim(
                 format!("{name}/misp"),
-                SimSpec::new(
+                SimSpec::workload(
                     name,
                     MachineSpec::Misp(TopologySpec::Uniprocessor { ams: 7 }),
                     8,
@@ -36,7 +36,7 @@ fn main() {
         grid.push(
             RunSpec::sim(
                 format!("{name}/smp"),
-                SimSpec::new(name, MachineSpec::Smp { cores: 8 }, 8),
+                SimSpec::workload(name, MachineSpec::Smp { cores: 8 }, 8),
             )
             .with_baseline(format!("{name}/serial")),
         );

@@ -6,7 +6,7 @@ use misp::mem::AccessPattern;
 use misp::os::TimerConfig;
 use misp::sim::SimConfig;
 use misp::types::{CostModel, Cycles, SignalCost};
-use misp::workloads::{runner, LocalityProfile, Suite, Workload, WorkloadParams};
+use misp::workloads::{LocalityProfile, Machine, Run, RunOptions, Suite, Workload, WorkloadParams};
 
 /// A small, fast workload used by most tests below.
 fn small_workload() -> Workload {
@@ -35,13 +35,22 @@ fn config() -> SimConfig {
     }
 }
 
+/// Runs `workload` with 8 workers on `machine` under the test config.
+fn run_on(workload: &Workload, machine: Machine) -> misp::sim::SimReport {
+    Run::workload(workload)
+        .machine(machine)
+        .config(config())
+        .execute()
+        .unwrap()
+}
+
 #[test]
 fn misp_tracks_smp_within_a_few_percent() {
     let w = small_workload();
     let topo = MispTopology::uniprocessor(7).unwrap();
-    let serial = runner::run_serial(&w, config(), 8).unwrap();
-    let misp = runner::run_on_misp(&w, &topo, config(), 8).unwrap();
-    let smp = runner::run_on_smp(&w, 8, config(), 8).unwrap();
+    let serial = run_on(&w, Machine::Serial);
+    let misp = run_on(&w, Machine::Misp(topo.clone()));
+    let smp = run_on(&w, Machine::smp(8));
 
     let misp_speedup = serial.total_cycles.as_f64() / misp.total_cycles.as_f64();
     let smp_speedup = serial.total_cycles.as_f64() / smp.total_cycles.as_f64();
@@ -59,7 +68,7 @@ fn misp_tracks_smp_within_a_few_percent() {
 fn ams_faults_are_exactly_the_proxy_executions() {
     let w = small_workload();
     let topo = MispTopology::uniprocessor(7).unwrap();
-    let report = runner::run_on_misp(&w, &topo, config(), 8).unwrap();
+    let report = run_on(&w, Machine::Misp(topo.clone()));
     assert_eq!(
         report.stats.proxy_executions,
         report.stats.ams_events.total(),
@@ -67,7 +76,7 @@ fn ams_faults_are_exactly_the_proxy_executions() {
     );
     assert!(report.stats.ams_events.page_faults > 0);
     // The SMP baseline never uses proxy execution.
-    let smp = runner::run_on_smp(&w, 8, config(), 8).unwrap();
+    let smp = run_on(&w, Machine::smp(8));
     assert_eq!(smp.stats.proxy_executions, 0);
     assert_eq!(smp.stats.ams_events.total(), 0);
     assert_eq!(smp.stats.serializations, 0);
@@ -80,7 +89,7 @@ fn page_faults_are_compulsory_only() {
     // regardless of which sequencer touches it).
     let w = small_workload();
     let topo = MispTopology::uniprocessor(7).unwrap();
-    let report = runner::run_on_misp(&w, &topo, config(), 8).unwrap();
+    let report = run_on(&w, Machine::Misp(topo.clone()));
     let expected = w.params().main_pages + w.params().worker_pages * 8;
     let measured = report.stats.oms_events.page_faults + report.stats.ams_events.page_faults;
     assert_eq!(measured, expected);
@@ -90,8 +99,8 @@ fn page_faults_are_compulsory_only() {
 fn simulation_is_deterministic_across_runs() {
     let w = small_workload();
     let topo = MispTopology::uniprocessor(7).unwrap();
-    let a = runner::run_on_misp(&w, &topo, config(), 8).unwrap();
-    let b = runner::run_on_misp(&w, &topo, config(), 8).unwrap();
+    let a = run_on(&w, Machine::Misp(topo.clone()));
+    let b = run_on(&w, Machine::Misp(topo.clone()));
     assert_eq!(a.total_cycles, b.total_cycles);
     assert_eq!(a.stats.oms_events, b.stats.oms_events);
     assert_eq!(a.stats.ams_events, b.stats.ams_events);
@@ -105,7 +114,12 @@ fn signal_cost_sweep_is_monotone_and_small() {
     let topo = MispTopology::uniprocessor(7).unwrap();
     let run = |signal: SignalCost| {
         let cfg = config().with_costs(CostModel::builder().signal(signal).build());
-        runner::run_on_misp(&w, &topo, cfg, 8).unwrap().total_cycles
+        Run::workload(&w)
+            .topology(topo.clone())
+            .config(cfg)
+            .execute()
+            .unwrap()
+            .total_cycles
     };
     let ideal = run(SignalCost::Ideal);
     let c500 = run(SignalCost::Aggressive500);
@@ -120,13 +134,11 @@ fn signal_cost_sweep_is_monotone_and_small() {
     );
     // The analytic model (Equations 1-3) bounds the measured overhead from
     // above for this fault profile (it assumes no overlap between windows).
-    let baseline = runner::run_on_misp(
-        &w,
-        &topo,
-        config().with_costs(CostModel::builder().signal(SignalCost::Ideal).build()),
-        8,
-    )
-    .unwrap();
+    let baseline = Run::workload(&w)
+        .topology(topo.clone())
+        .config(config().with_costs(CostModel::builder().signal(SignalCost::Ideal).build()))
+        .execute()
+        .unwrap();
     let model = OverheadModel::new(CostModel::default());
     let analytic = model.signal_overhead(
         baseline.stats.oms_events.total(),
@@ -143,8 +155,8 @@ fn speedup_never_exceeds_sequencer_count() {
     let w = small_workload();
     for ams in [0usize, 1, 3, 7] {
         let topo = MispTopology::uniprocessor(ams).unwrap();
-        let serial = runner::run_serial(&w, config(), 8).unwrap();
-        let parallel = runner::run_on_misp(&w, &topo, config(), 8).unwrap();
+        let serial = run_on(&w, Machine::Serial);
+        let parallel = run_on(&w, Machine::Misp(topo.clone()));
         let speedup = serial.total_cycles.as_f64() / parallel.total_cycles.as_f64();
         assert!(
             speedup <= (ams + 1) as f64 + 0.01,
@@ -164,8 +176,16 @@ fn speedup_never_exceeds_sequencer_count() {
 fn pretouch_moves_faults_from_ams_to_oms() {
     let w = small_workload();
     let topo = MispTopology::uniprocessor(7).unwrap();
-    let base = runner::run_on_misp(&w, &topo, config(), 8).unwrap();
-    let pre = runner::run_on_misp_with_pretouch(&w, &topo, config(), 8).unwrap();
+    let base = run_on(&w, Machine::Misp(topo.clone()));
+    let pre = Run::workload(&w)
+        .topology(topo.clone())
+        .config(config())
+        .options(RunOptions {
+            pretouch: true,
+            ..RunOptions::default()
+        })
+        .execute()
+        .unwrap();
     assert!(base.stats.ams_events.page_faults > 0);
     assert_eq!(pre.stats.ams_events.page_faults, 0);
     let total_base = base.stats.oms_events.page_faults + base.stats.ams_events.page_faults;

@@ -17,7 +17,7 @@ use misp::mem::Tlb;
 use misp::os::TimerConfig;
 use misp::sim::SimConfig;
 use misp::types::{Cycles, PageId, SequencerId, VirtAddr, PAGE_SIZE};
-use misp::workloads::{catalog, runner};
+use misp::workloads::{catalog, Machine, Run};
 use proptest::prelude::*;
 
 /// Deterministic splitmix64 stream for deriving operation sequences from one
@@ -197,8 +197,16 @@ fn streaming_pays_a_measurable_miss_latency_over_blocked() {
     let blocked = catalog::by_name("blocked_walk").expect("cache variant");
     let topo = MispTopology::uniprocessor(7).unwrap();
     let config = quick_config().with_cache(small_cache());
-    let s = runner::run_on_misp(&stream, &topo, config, 8).unwrap();
-    let b = runner::run_on_misp(&blocked, &topo, config, 8).unwrap();
+    let s = Run::workload(&stream)
+        .topology(topo.clone())
+        .config(config)
+        .execute()
+        .unwrap();
+    let b = Run::workload(&blocked)
+        .topology(topo.clone())
+        .config(config)
+        .execute()
+        .unwrap();
     let s_cache = s.stats.cache.expect("cache stats present when enabled");
     let b_cache = b.stats.cache.expect("cache stats present when enabled");
     assert!(
@@ -219,9 +227,16 @@ fn streaming_pays_a_measurable_miss_latency_over_blocked() {
 fn shared_hot_set_pays_coherence_on_smp_but_not_inside_a_shared_l2() {
     let hotset = catalog::by_name("hotset_update").expect("cache variant");
     let config = quick_config().with_cache(small_cache());
-    let misp =
-        runner::run_on_misp(&hotset, &MispTopology::uniprocessor(7).unwrap(), config, 8).unwrap();
-    let smp = runner::run_on_smp(&hotset, 8, config, 8).unwrap();
+    let misp = Run::workload(&hotset)
+        .topology(MispTopology::uniprocessor(7).unwrap())
+        .config(config)
+        .execute()
+        .unwrap();
+    let smp = Run::workload(&hotset)
+        .machine(Machine::smp(8))
+        .config(config)
+        .execute()
+        .unwrap();
     let misp_cache = misp.stats.cache.expect("cache stats present");
     let smp_cache = smp.stats.cache.expect("cache stats present");
     assert!(misp_cache.invalidations > 0, "stores invalidate peer L1s");
@@ -239,7 +254,11 @@ fn shared_hot_set_pays_coherence_on_smp_but_not_inside_a_shared_l2() {
 fn disabled_cache_reports_no_cache_stats_but_tlb_totals_surface() {
     let w = catalog::by_name("stream_walk").expect("cache variant");
     let topo = MispTopology::uniprocessor(7).unwrap();
-    let report = runner::run_on_misp(&w, &topo, quick_config(), 8).unwrap();
+    let report = Run::workload(&w)
+        .topology(topo.clone())
+        .config(quick_config())
+        .execute()
+        .unwrap();
     assert!(
         report.stats.cache.is_none(),
         "no cache stats under the default flat-cost model"

@@ -14,7 +14,7 @@ use misp::harness::{
 use misp::os::TimerConfig;
 use misp::sim::{SimConfig, SimReport};
 use misp::types::Cycles;
-use misp::workloads::{catalog, runner};
+use misp::workloads::{catalog, Machine, Run};
 
 fn quick_config() -> SimConfig {
     SimConfig {
@@ -72,14 +72,28 @@ fn assert_reports_identical(a: &SimReport, b: &SimReport, context: &str) {
 #[test]
 fn every_workload_is_deterministic_on_both_machines() {
     let topology = MispTopology::uniprocessor(7).unwrap();
+    let on_misp = |workload: &misp::workloads::Workload| {
+        Run::workload(workload)
+            .topology(topology.clone())
+            .config(quick_config())
+            .execute()
+            .unwrap()
+    };
+    let on_smp = |workload: &misp::workloads::Workload| {
+        Run::workload(workload)
+            .machine(Machine::smp(8))
+            .config(quick_config())
+            .execute()
+            .unwrap()
+    };
     for workload in catalog::all() {
         let name = workload.name();
-        let misp_a = runner::run_on_misp(&workload, &topology, quick_config(), 8).unwrap();
-        let misp_b = runner::run_on_misp(&workload, &topology, quick_config(), 8).unwrap();
+        let misp_a = on_misp(&workload);
+        let misp_b = on_misp(&workload);
         assert_reports_identical(&misp_a, &misp_b, &format!("{name} on MISP"));
 
-        let smp_a = runner::run_on_smp(&workload, 8, quick_config(), 8).unwrap();
-        let smp_b = runner::run_on_smp(&workload, 8, quick_config(), 8).unwrap();
+        let smp_a = on_smp(&workload);
+        let smp_b = on_smp(&workload);
         assert_reports_identical(&smp_a, &smp_b, &format!("{name} on SMP"));
 
         // MISP and SMP are different platforms and must not be conflated by
@@ -101,7 +115,7 @@ fn parallel_harness_matches_serial_execution_for_every_workload() {
         let name = workload.name();
         grid.push(RunSpec::sim(
             format!("{name}/misp"),
-            SimSpec::new(
+            SimSpec::workload(
                 name,
                 MachineSpec::Misp(TopologySpec::Uniprocessor { ams: 7 }),
                 8,
@@ -109,7 +123,7 @@ fn parallel_harness_matches_serial_execution_for_every_workload() {
         ));
         grid.push(RunSpec::sim(
             format!("{name}/smp"),
-            SimSpec::new(name, MachineSpec::Smp { cores: 8 }, 8),
+            SimSpec::workload(name, MachineSpec::Smp { cores: 8 }, 8),
         ));
     }
 
@@ -144,9 +158,11 @@ fn parallel_harness_matches_serial_execution_for_every_workload() {
     let topology = MispTopology::uniprocessor(7).unwrap();
     for workload in catalog::all() {
         let name = workload.name();
-        let direct =
-            runner::run_on_misp(&workload, &topology, misp::harness::experiment_config(), 8)
-                .unwrap();
+        let direct = Run::workload(&workload)
+            .topology(topology.clone())
+            .config(misp::harness::experiment_config())
+            .execute()
+            .unwrap();
         let record = parallel.sim(&format!("{name}/misp")).unwrap();
         assert_eq!(record.total_cycles, direct.total_cycles.as_u64(), "{name}");
         assert_eq!(
@@ -160,6 +176,36 @@ fn parallel_harness_matches_serial_execution_for_every_workload() {
 /// The predefined fig4 grid — the one CI smokes — is itself reproducible
 /// end-to-end: two full sweeps at different thread counts serialize
 /// identically.
+/// The open-loop scenario grid is as reproducible as the closed-loop ones:
+/// the seeded arrival streams, queue admission and latency histograms all
+/// replay exactly, so two sweeps at different thread counts serialize
+/// identically.
+#[test]
+fn service_load_grid_sweeps_identically_at_different_thread_counts() {
+    let grid = grids::service_load();
+    let one = run_grid(
+        &grid,
+        &SweepOptions {
+            threads: 1,
+            verify: VerifyMode::Off,
+        },
+    )
+    .unwrap();
+    let eight = run_grid(
+        &grid,
+        &SweepOptions {
+            threads: 8,
+            verify: VerifyMode::Full,
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        one.to_canonical_json().unwrap(),
+        eight.to_canonical_json().unwrap(),
+        "scenario sweeps must be byte-identical across thread counts"
+    );
+}
+
 #[test]
 fn fig4_grid_sweeps_identically_at_different_thread_counts() {
     let grid = grids::fig4();

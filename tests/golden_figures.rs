@@ -95,6 +95,15 @@ fn cache_sensitivity_matches_golden_under_full_verification() {
     check_grid_with("cache_sensitivity", VerifyMode::Full);
 }
 
+/// The open-loop scenario grid gets the same strict treatment: every
+/// parallel record is re-verified serially in the sweep that is diffed
+/// against the golden.  This pins the arrival streams, queue admission,
+/// latency percentiles and the schema-v3 record fields byte-for-byte.
+#[test]
+fn service_load_matches_golden_under_full_verification() {
+    check_grid_with("service_load", VerifyMode::Full);
+}
+
 /// The goldens themselves must carry the schema version the harness emits,
 /// so a schema bump forces a deliberate regeneration of every golden.
 #[test]
@@ -106,6 +115,7 @@ fn goldens_carry_the_current_schema_version() {
         "table1",
         "table2",
         "cache_sensitivity",
+        "service_load",
     ] {
         let text = std::fs::read_to_string(golden_path(name)).expect("golden readable");
         let needle = format!("\"schema_version\": {}", misp::harness::SCHEMA_VERSION);

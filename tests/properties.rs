@@ -8,7 +8,7 @@ use misp::mem::AccessPattern;
 use misp::os::TimerConfig;
 use misp::sim::SimConfig;
 use misp::types::{CostModel, Cycles, SignalCost};
-use misp::workloads::{runner, LocalityProfile, Suite, Workload, WorkloadParams};
+use misp::workloads::{LocalityProfile, Machine, Run, Suite, Workload, WorkloadParams};
 use proptest::prelude::*;
 
 fn arbitrary_params() -> impl Strategy<Value = WorkloadParams> {
@@ -69,6 +69,25 @@ fn assert_identical(a: &misp::sim::SimReport, b: &misp::sim::SimReport, context:
     assert_eq!(a.log_digest, b.log_digest, "{context}: log digest");
 }
 
+/// Runs `workload` on `machine` with 8 workers under `config`.
+fn run(workload: &Workload, machine: Machine, config: SimConfig) -> misp::sim::SimReport {
+    Run::workload(workload)
+        .machine(machine)
+        .config(config)
+        .execute()
+        .unwrap()
+}
+
+/// Runs `workload` on `machine` with 4 workers under `config`.
+fn run4(workload: &Workload, machine: Machine, config: SimConfig) -> misp::sim::SimReport {
+    Run::workload(workload)
+        .machine(machine)
+        .config(config)
+        .workers(4)
+        .execute()
+        .unwrap()
+}
+
 /// The macro-step fast path must be invisible: every catalog workload, with
 /// the cache model off and on, produces identical statistics and event-log
 /// digests whether batching is enabled (the default) or force-disabled (the
@@ -93,16 +112,16 @@ fn macro_stepping_is_byte_identical_for_every_catalog_workload() {
                 w.name(),
                 if cache.enabled { "on" } else { "off" }
             );
-            let on = runner::run_on_misp(&w, &topo, batched, 8).unwrap();
-            let off = runner::run_on_misp(&w, &topo, reference, 8).unwrap();
+            let on = run(&w, Machine::Misp(topo.clone()), batched);
+            let off = run(&w, Machine::Misp(topo.clone()), reference);
             assert_identical(&on, &off, &format!("{context} on MISP"));
 
-            let on = runner::run_on_smp(&w, 8, batched, 8).unwrap();
-            let off = runner::run_on_smp(&w, 8, reference, 8).unwrap();
+            let on = run(&w, Machine::smp(8), batched);
+            let off = run(&w, Machine::smp(8), reference);
             assert_identical(&on, &off, &format!("{context} on SMP"));
 
-            let on = runner::run_serial(&w, batched, 8).unwrap();
-            let off = runner::run_serial(&w, reference, 8).unwrap();
+            let on = run(&w, Machine::Serial, batched);
+            let off = run(&w, Machine::Serial, reference);
             assert_identical(&on, &off, &format!("{context} serial"));
         }
     }
@@ -117,12 +136,12 @@ proptest! {
     fn random_workloads_complete_deterministically(params in arbitrary_params()) {
         let w = Workload::new("prop", Suite::Rms, params);
         let topo = MispTopology::uniprocessor(3).unwrap();
-        let a = runner::run_on_misp(&w, &topo, quick_config(), 4).unwrap();
-        let b = runner::run_on_misp(&w, &topo, quick_config(), 4).unwrap();
+        let a = run4(&w, Machine::Misp(topo.clone()), quick_config());
+        let b = run4(&w, Machine::Misp(topo.clone()), quick_config());
         prop_assert_eq!(a.total_cycles, b.total_cycles);
         prop_assert_eq!(a.stats.total_serializing_events(), b.stats.total_serializing_events());
 
-        let serial = runner::run_serial(&w, quick_config(), 4).unwrap();
+        let serial = run4(&w, Machine::Serial, quick_config());
         prop_assert!(serial.total_cycles >= a.total_cycles.saturating_sub(Cycles::new(1_000)) || serial.total_cycles >= a.total_cycles,
             "parallel must not exceed serial by more than rounding");
         let speedup = serial.total_cycles.as_f64() / a.total_cycles.as_f64();
@@ -143,15 +162,15 @@ proptest! {
         let batched = SimConfig { batch: true, ..base };
         let reference = SimConfig { batch: false, ..base };
 
-        let on = runner::run_on_misp(&w, &topo, batched, 4).unwrap();
-        let off = runner::run_on_misp(&w, &topo, reference, 4).unwrap();
+        let on = run4(&w, Machine::Misp(topo.clone()), batched);
+        let off = run4(&w, Machine::Misp(topo.clone()), reference);
         prop_assert_eq!(on.total_cycles, off.total_cycles);
         prop_assert_eq!(&on.completions, &off.completions);
         prop_assert_eq!(&on.stats, &off.stats);
         prop_assert_eq!(on.log_digest, off.log_digest);
 
-        let on = runner::run_serial(&w, batched, 4).unwrap();
-        let off = runner::run_serial(&w, reference, 4).unwrap();
+        let on = run4(&w, Machine::Serial, batched);
+        let off = run4(&w, Machine::Serial, reference);
         prop_assert_eq!(on.total_cycles, off.total_cycles);
         prop_assert_eq!(&on.stats, &off.stats);
         prop_assert_eq!(on.log_digest, off.log_digest);
@@ -163,11 +182,11 @@ proptest! {
     fn fault_count_is_exactly_the_working_set(params in arbitrary_params()) {
         let w = Workload::new("prop", Suite::Rms, params);
         let topo = MispTopology::uniprocessor(3).unwrap();
-        let report = runner::run_on_misp(&w, &topo, quick_config(), 4).unwrap();
+        let report = run4(&w, Machine::Misp(topo.clone()), quick_config());
         let expected = params.main_pages + params.worker_pages * 4;
         let measured = report.stats.oms_events.page_faults + report.stats.ams_events.page_faults;
         prop_assert_eq!(measured, expected);
-        let smp = runner::run_on_smp(&w, 4, quick_config(), 4).unwrap();
+        let smp = run4(&w, Machine::smp(4), quick_config());
         let smp_faults = smp.stats.oms_events.page_faults + smp.stats.ams_events.page_faults;
         prop_assert_eq!(smp_faults, expected);
     }
@@ -180,7 +199,7 @@ proptest! {
         let topo = MispTopology::uniprocessor(3).unwrap();
         let with_signal = |signal: SignalCost| {
             let cfg = quick_config().with_costs(CostModel::builder().signal(signal).build());
-            runner::run_on_misp(&w, &topo, cfg, 4).unwrap().total_cycles
+            run4(&w, Machine::Misp(topo.clone()), cfg).total_cycles
         };
         let ideal = with_signal(SignalCost::Ideal);
         let microcode = with_signal(SignalCost::Microcode5000);

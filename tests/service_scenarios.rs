@@ -1,0 +1,163 @@
+//! Integration tests of the open-loop request-serving scenarios: common
+//! random numbers across the sweep harness, the service-metrics section of
+//! the results schema, and order-independence of histogram merging.
+
+use misp::harness::{grids, run_grid, SweepOptions, VerifyMode};
+use misp::types::Histogram;
+use misp::workloads::scenario;
+use proptest::prelude::*;
+
+fn sweep_service_load() -> misp::harness::SweepResults {
+    run_grid(
+        &grids::service_load(),
+        &SweepOptions {
+            threads: 4,
+            verify: VerifyMode::SpotCheck,
+        },
+    )
+    .unwrap()
+}
+
+/// Every paired record of the service grid replays the identical customer
+/// stream: same scenario, same offered load, same admission/drop totals.
+/// This is the common-random-numbers contract surfaced through the harness.
+#[test]
+fn paired_service_records_share_the_customer_stream() {
+    let results = sweep_service_load();
+    let pairs: Vec<(&str, &str)> = vec![
+        ("poisson/load30/misp", "poisson/load30/smp"),
+        ("poisson/load60/misp", "poisson/load60/smp"),
+        ("poisson/load90/misp", "poisson/load90/smp"),
+        ("bursty/load60/misp", "bursty/load60/smp"),
+        ("diurnal/load60/misp", "diurnal/load60/smp"),
+        ("poisson/load10/pool7", "poisson/load10/pool1"),
+    ];
+    for (a_id, b_id) in pairs {
+        let a = results.record(a_id).unwrap();
+        let b = results.record(b_id).unwrap();
+        assert_eq!(a.scenario, b.scenario, "{a_id} vs {b_id}");
+        assert_eq!(a.offered_load, b.offered_load, "{a_id} vs {b_id}");
+        assert_eq!(a.seed, b.seed, "{a_id} vs {b_id}: paired seeds");
+        let a_svc = a.sim.as_ref().unwrap().service.as_ref().unwrap();
+        let b_svc = b.sim.as_ref().unwrap().service.as_ref().unwrap();
+        assert_eq!(
+            a_svc.admitted + a_svc.dropped,
+            b_svc.admitted + b_svc.dropped,
+            "{a_id} vs {b_id}: the offered stream must be identical"
+        );
+    }
+}
+
+/// Scenario records carry the v3 metadata and an ordered percentile ladder;
+/// closed-loop grids stay free of the service section.
+#[test]
+fn service_metrics_are_well_formed_and_scoped_to_scenarios() {
+    let results = sweep_service_load();
+    assert_eq!(results.run_count, 12);
+    for record in &results.records {
+        assert!(record.scenario.is_some(), "{}", record.id);
+        assert!(record.offered_load.is_some(), "{}", record.id);
+        assert!(record.workload.is_none(), "{}", record.id);
+        let sim = record.sim.as_ref().unwrap();
+        let svc = sim.service.as_ref().expect("scenario runs carry service");
+        assert!(svc.completed > 0, "{}", record.id);
+        assert!(
+            svc.latency_p50 <= svc.latency_p95
+                && svc.latency_p95 <= svc.latency_p99
+                && svc.latency_p99 <= svc.latency_p999,
+            "{}: percentile ladder must be ordered",
+            record.id
+        );
+        assert!(svc.throughput_per_gcycle > 0.0, "{}", record.id);
+    }
+
+    let closed_loop = run_grid(
+        &grids::table1(),
+        &SweepOptions {
+            threads: 2,
+            verify: VerifyMode::Off,
+        },
+    )
+    .unwrap();
+    for record in &closed_loop.records {
+        assert!(record.scenario.is_none(), "{}", record.id);
+        assert!(record.offered_load.is_none(), "{}", record.id);
+        if let Some(sim) = &record.sim {
+            assert!(sim.service.is_none(), "{}", record.id);
+        }
+    }
+}
+
+/// The single-gate pool pays for its shape where queueing theory says it
+/// must: with the identical lightly-loaded stream, M/M/1 tail latency
+/// dominates M/M/7.
+#[test]
+fn narrow_pool_inflates_tail_latency_on_the_same_stream() {
+    let results = sweep_service_load();
+    let wide = results.sim("poisson/load10/pool7").unwrap();
+    let narrow = results.sim("poisson/load10/pool1").unwrap();
+    let wide_svc = wide.service.as_ref().unwrap();
+    let narrow_svc = narrow.service.as_ref().unwrap();
+    assert!(
+        narrow_svc.latency_p99 > wide_svc.latency_p99,
+        "single server must queue: p99 {} vs {}",
+        narrow_svc.latency_p99,
+        wide_svc.latency_p99
+    );
+}
+
+/// The arrival generator is a pure function of (scenario parameters, seed) —
+/// rebuilding the scenario from the catalog gives the identical stream, and
+/// distinct seeds give distinct streams.
+#[test]
+fn arrival_streams_are_reproducible_from_the_catalog() {
+    for name in ["poisson", "bursty", "diurnal"] {
+        let a = scenario::by_name(name).unwrap().stream(2026);
+        let b = scenario::by_name(name).unwrap().stream(2026);
+        assert_eq!(a, b, "{name}: same seed, same stream");
+        let c = scenario::by_name(name).unwrap().stream(2027);
+        assert_ne!(a, c, "{name}: different seed, different stream");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Histogram merging is order-independent: recording all samples into
+    /// one histogram, or partitioning them arbitrarily and folding the
+    /// partial histograms in forward or reverse order, produces identical
+    /// structures.  The parallel sweep harness relies on exactly this to
+    /// keep scenario records byte-identical at any thread count.
+    #[test]
+    fn histogram_merge_is_order_independent(
+        input in (
+            proptest::collection::vec(0u64..1_000_000_000, 0..200),
+            1usize..8,
+        )
+    ) {
+        let (samples, parts) = input;
+        let mut reference = Histogram::new();
+        for &v in &samples {
+            reference.record(v);
+        }
+
+        // Partition round-robin into `parts` histograms.
+        let mut partials = vec![Histogram::new(); parts];
+        for (i, &v) in samples.iter().enumerate() {
+            partials[i % parts].record(v);
+        }
+
+        let mut forward = Histogram::new();
+        for p in &partials {
+            forward.merge(p);
+        }
+        let mut reverse = Histogram::new();
+        for p in partials.iter().rev() {
+            reverse.merge(p);
+        }
+
+        prop_assert_eq!(&forward, &reference);
+        prop_assert_eq!(&reverse, &reference);
+        prop_assert_eq!(forward.percentiles(), reference.percentiles());
+    }
+}
