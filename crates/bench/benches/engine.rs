@@ -1,14 +1,22 @@
 //! Engine wall-clock trajectory bench: times the full `fig4` sweep on one
 //! thread with the macro-step fast path enabled (the default) and with it
-//! force-disabled (the event-per-operation reference loop), and emits
-//! `BENCH_engine.json` at the repository root so the repo carries a
-//! machine-readable perf trajectory from PR to PR.
+//! force-disabled (the event-per-operation reference loop), and *appends* the
+//! measurements to `BENCH_engine.json` at the repository root so the repo
+//! carries a machine-readable perf trajectory from PR to PR.
 //!
 //! Regenerate with:
 //!
 //! ```text
-//! cargo bench -p misp-bench --bench engine
+//! MISP_BENCH_PR=<short-pr-slug> cargo bench -p misp-bench --bench engine
 //! ```
+//!
+//! Schema v2: `entries[]` accumulates across PRs, each entry tagged with the
+//! `pr` slug that measured it (`MISP_BENCH_PR`, default `"dev"`).  Re-running
+//! under the same slug replaces that slug's entries, so regeneration is
+//! idempotent.  After writing, the bench *fails* if the fresh `macro-step`
+//! ops/sec regressed more than 10% below the best previously committed entry
+//! on the same grid — set `MISP_BENCH_GATE=off` to bypass when measuring on
+//! an incomparable machine.
 //!
 //! CI's `bench-trajectory` job runs the same target with `-- --test` (one
 //! measured iteration per configuration) and uploads the emitted document as
@@ -17,17 +25,21 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use misp_harness::{grids, run_grid, GridSpec, RunKind, SweepOptions, VerifyMode};
 use misp_workloads::{catalog, Machine, Run};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::time::Instant;
 
 /// One measured configuration of the grid.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchEntry {
+    /// Short slug of the PR that measured this entry.
+    pr: String,
     /// The measured grid.
     grid: String,
     /// `"macro-step"` (batching on) or `"event-per-op"` (batching off).
     config: String,
+    /// Total simulated operations executed by one sweep of the grid.
+    total_ops: u64,
     /// Wall-clock milliseconds of one single-threaded sweep of the grid
     /// (best of the measured iterations).
     wall_ms: f64,
@@ -35,22 +47,72 @@ struct BenchEntry {
     ops_per_sec: f64,
 }
 
-/// The `BENCH_engine.json` document.
-#[derive(Debug, Serialize)]
+/// The `BENCH_engine.json` document (schema v2).
+#[derive(Debug, Serialize, Deserialize)]
 struct BenchDoc {
     schema_version: u32,
-    /// Total simulated operations executed by one sweep of the grid.
-    total_ops: u64,
+    /// Per-PR measurements, append-only (oldest first).
     entries: Vec<BenchEntry>,
-    /// `event-per-op` wall-clock divided by `macro-step` wall-clock.
+    /// Latest `event-per-op` wall-clock divided by latest `macro-step`
+    /// wall-clock.
     speedup_macro_step: f64,
     /// Wall-clock of the pre-macro-step seed engine on the same grid and
     /// machine, when known (passed via `MISP_BENCH_SEED_MS`; the seed
     /// predates this bench, so it cannot be regenerated from the current
     /// tree).  `null` in CI-regenerated documents.
     reference_seed_wall_ms: Option<f64>,
-    /// `reference_seed_wall_ms` divided by the macro-step wall-clock.
+    /// `reference_seed_wall_ms` divided by the latest macro-step wall-clock.
     speedup_vs_seed: Option<f64>,
+}
+
+/// Schema v1 (one PR per document, no `pr` tags), read for migration only.
+#[derive(Debug, Deserialize)]
+struct BenchEntryV1 {
+    grid: String,
+    config: String,
+    wall_ms: f64,
+    ops_per_sec: f64,
+}
+
+/// Schema v1 document shape; see [`BenchEntryV1`].
+#[derive(Debug, Deserialize)]
+#[allow(dead_code)]
+struct BenchDocV1 {
+    schema_version: u32,
+    total_ops: u64,
+    entries: Vec<BenchEntryV1>,
+    speedup_macro_step: f64,
+    reference_seed_wall_ms: Option<f64>,
+    speedup_vs_seed: Option<f64>,
+}
+
+/// Loads previously committed entries (plus the seed reference), migrating a
+/// v1 document by tagging its entries with the PR that committed them.
+fn load_prior(path: &PathBuf) -> (Vec<BenchEntry>, Option<f64>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return (Vec::new(), None);
+    };
+    if let Ok(doc) = serde_json::from_str::<BenchDoc>(&text) {
+        if doc.schema_version == 2 {
+            return (doc.entries, doc.reference_seed_wall_ms);
+        }
+    }
+    if let Ok(doc) = serde_json::from_str::<BenchDocV1>(&text) {
+        let entries = doc
+            .entries
+            .into_iter()
+            .map(|e| BenchEntry {
+                pr: "macro-step-hot-loop".to_string(),
+                grid: e.grid,
+                config: e.config,
+                total_ops: doc.total_ops,
+                wall_ms: e.wall_ms,
+                ops_per_sec: e.ops_per_sec,
+            })
+            .collect();
+        return (entries, doc.reference_seed_wall_ms);
+    }
+    panic!("BENCH_engine.json exists but matches neither schema v1 nor v2");
 }
 
 /// The fig4 grid with the macro-step fast path force-disabled on every
@@ -111,42 +173,72 @@ fn time_grid(grid: &GridSpec, iters: usize) -> f64 {
 
 fn emit_trajectory(test_mode: bool) {
     let iters = if test_mode { 1 } else { 12 };
+    let pr = std::env::var("MISP_BENCH_PR").unwrap_or_else(|_| "dev".to_string());
     let batched = grids::fig4();
     let reference = fig4_event_per_op();
     let on_ms = time_grid(&batched, iters);
     let off_ms = time_grid(&reference, iters);
     let total_ops = fig4_total_ops();
     let entry = |config: &str, wall_ms: f64| BenchEntry {
+        pr: pr.clone(),
         grid: "fig4".to_string(),
         config: config.to_string(),
+        total_ops,
         wall_ms: (wall_ms * 1000.0).round() / 1000.0,
         ops_per_sec: (total_ops as f64 / (wall_ms / 1e3)).round(),
     };
+
+    // crates/bench/ -> repository root.
+    let out: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_engine.json"]
+        .iter()
+        .collect();
+    let (prior, prior_seed) = load_prior(&out);
+
+    // Best previously committed macro-step throughput on this grid — the
+    // regression baseline.  Entries from the current slug are excluded (a
+    // re-run replaces them below).
+    let best_committed = prior
+        .iter()
+        .filter(|e| e.pr != pr && e.grid == "fig4" && e.config == "macro-step")
+        .map(|e| e.ops_per_sec)
+        .fold(f64::NAN, f64::max);
+
     let seed_ms = std::env::var("MISP_BENCH_SEED_MS")
         .ok()
-        .and_then(|v| v.parse::<f64>().ok());
+        .and_then(|v| v.parse::<f64>().ok())
+        .or(prior_seed);
+    let mut entries: Vec<BenchEntry> = prior.into_iter().filter(|e| e.pr != pr).collect();
+    let fresh = entry("macro-step", on_ms);
+    let fresh_ops_per_sec = fresh.ops_per_sec;
+    entries.push(fresh);
+    entries.push(entry("event-per-op", off_ms));
     let doc = BenchDoc {
-        schema_version: 1,
-        total_ops,
-        entries: vec![entry("macro-step", on_ms), entry("event-per-op", off_ms)],
+        schema_version: 2,
+        entries,
         speedup_macro_step: ((off_ms / on_ms) * 100.0).round() / 100.0,
         reference_seed_wall_ms: seed_ms,
         speedup_vs_seed: seed_ms.map(|s| ((s / on_ms) * 100.0).round() / 100.0),
     };
     let mut json = serde_json::to_string_pretty(&doc).expect("serializable");
     json.push('\n');
-
-    // crates/bench/ -> repository root.
-    let out: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_engine.json"]
-        .iter()
-        .collect();
     std::fs::write(&out, &json).expect("write BENCH_engine.json");
     println!(
-        "BENCH_engine.json: macro-step {on_ms:.2} ms, event-per-op {off_ms:.2} ms \
+        "BENCH_engine.json [{pr}]: macro-step {on_ms:.2} ms, event-per-op {off_ms:.2} ms \
          ({:.2}x), {total_ops} simulated ops -> {}",
         off_ms / on_ms,
         out.display()
     );
+
+    // Regression gate: written-then-checked so the artifact always carries
+    // the offending measurement.
+    let gate_off = std::env::var("MISP_BENCH_GATE").is_ok_and(|v| v == "off");
+    if !gate_off && best_committed.is_finite() && fresh_ops_per_sec < 0.9 * best_committed {
+        panic!(
+            "engine throughput regression: {fresh_ops_per_sec:.0} ops/sec is more than 10% \
+             below the best committed macro-step entry ({best_committed:.0} ops/sec); \
+             set MISP_BENCH_GATE=off to bypass on an incomparable machine"
+        );
+    }
 }
 
 fn bench_engine(c: &mut Criterion) {

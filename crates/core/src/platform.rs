@@ -231,7 +231,7 @@ impl MispPlatform {
             core.memory_mut()
                 .bind_sequencer(seq, pid)
                 .expect("process is registered");
-            core.sequencer_mut(seq).set_bound_thread(Some(thread));
+            core.sequencers_mut().set_bound_thread(seq, Some(thread));
         }
         let ctx = self.thread_ctx.remove(&thread).unwrap_or_default();
         core.restore_context(processor.oms(), ctx.oms, oms_at);
@@ -495,15 +495,15 @@ impl Platform for MispPlatform {
             SignalKind::ShredStart,
             now,
         );
-        let Some(thread) = core.sequencer(from).bound_thread() else {
+        let Some(thread) = core.sequencers().bound_thread(from) else {
             return now;
         };
         let Some(pid) = core.kernel().thread(thread).map(|t| t.process()) else {
             return now;
         };
         let shred = core.create_shred(pid, thread, continuation.program(), now);
-        if core.sequencer(target).is_idle() {
-            core.sequencer_mut(target).set_current_shred(Some(shred));
+        if core.sequencers().is_idle(target) {
+            core.sequencers_mut().set_current_shred(target, Some(shred));
             if let Some(s) = core.shred_mut(shred) {
                 s.set_status(ShredStatus::Running);
             }

@@ -11,7 +11,7 @@
 //! requires the OMS to have registered one — Figure 3's "Register Proxy
 //! Handler" step) and the cost of the control transfer.
 
-use misp_types::{Cycles, FxHashMap, SequencerId};
+use misp_types::{Cycles, SequencerId};
 use serde::{Deserialize, Serialize};
 
 /// The class of asynchronous event a handler responds to.
@@ -24,11 +24,26 @@ pub enum TriggerKind {
 }
 
 /// Per-sequencer registry of trigger→response mappings.
+///
+/// With two trigger kinds and dense sequencer ids the registry is a flat
+/// array indexed by `2 * sequencer + kind` — the proxy path consults it on
+/// every relayed fault, so the lookup is a bounds check rather than a hash.
 #[derive(Debug, Default, Clone)]
 pub struct TriggerResponseRegistry {
-    handlers: FxHashMap<(SequencerId, TriggerKind), u64>,
+    /// Registration count per `(sequencer, kind)` slot; 0 means unregistered.
+    handlers: Vec<u64>,
     invocations: u64,
     transfer_cost: Cycles,
+}
+
+/// The flat slot of a `(sequencer, kind)` pair.
+#[inline]
+fn slot_of(seq: SequencerId, kind: TriggerKind) -> usize {
+    seq.as_usize() * 2
+        + match kind {
+            TriggerKind::IngressSignal => 0,
+            TriggerKind::ProxyRequest => 1,
+        }
 }
 
 impl TriggerResponseRegistry {
@@ -37,7 +52,7 @@ impl TriggerResponseRegistry {
     #[must_use]
     pub fn new(transfer_cost: Cycles) -> Self {
         TriggerResponseRegistry {
-            handlers: FxHashMap::default(),
+            handlers: Vec::new(),
             invocations: 0,
             transfer_cost,
         }
@@ -45,13 +60,19 @@ impl TriggerResponseRegistry {
 
     /// Registers (or re-registers) a handler for `kind` on `seq`.
     pub fn register(&mut self, seq: SequencerId, kind: TriggerKind) {
-        *self.handlers.entry((seq, kind)).or_insert(0) += 1;
+        let slot = slot_of(seq, kind);
+        if slot >= self.handlers.len() {
+            self.handlers.resize(slot + 1, 0);
+        }
+        self.handlers[slot] += 1;
     }
 
     /// Returns `true` if `seq` has a handler registered for `kind`.
     #[must_use]
     pub fn is_registered(&self, seq: SequencerId, kind: TriggerKind) -> bool {
-        self.handlers.contains_key(&(seq, kind))
+        self.handlers
+            .get(slot_of(seq, kind))
+            .is_some_and(|&n| n > 0)
     }
 
     /// Invokes the handler for `kind` on `seq` at `now`, returning the time at

@@ -1,7 +1,7 @@
 //! The kernel model: process/thread bookkeeping and privileged service times.
 
 use crate::{OsEventCounts, OsEventKind, OsThread, Process, ThreadState};
-use misp_types::{CostModel, Cycles, MispError, OsThreadId, ProcessId, Result};
+use misp_types::{Arena, CostModel, Cycles, MispError, OsThreadId, ProcessId, Result};
 
 /// The simulated OS kernel.
 ///
@@ -16,12 +16,11 @@ use misp_types::{CostModel, Cycles, MispError, OsThreadId, ProcessId, Result};
 #[derive(Debug, Clone)]
 pub struct Kernel {
     costs: CostModel,
-    /// Process table, indexed by [`ProcessId::as_usize`] — identifiers are
-    /// handed out sequentially, so a plain vector keeps the engine's per-step
-    /// thread→process resolution at array-index cost.
-    processes: Vec<Process>,
-    /// Thread table, indexed by [`OsThreadId::as_usize`].
-    threads: Vec<OsThread>,
+    /// Process table — the arena hands out sequential [`ProcessId`]s, so the
+    /// engine's per-step thread→process resolution stays at array-index cost.
+    processes: Arena<ProcessId, Process>,
+    /// Thread table, indexed by [`OsThreadId`].
+    threads: Arena<OsThreadId, OsThread>,
     events: OsEventCounts,
 }
 
@@ -31,8 +30,8 @@ impl Kernel {
     pub fn new(costs: CostModel) -> Self {
         Kernel {
             costs,
-            processes: Vec::new(),
-            threads: Vec::new(),
+            processes: Arena::new(),
+            threads: Arena::new(),
             events: OsEventCounts::default(),
         }
     }
@@ -45,9 +44,8 @@ impl Kernel {
 
     /// Creates a new process and returns its identifier.
     pub fn spawn_process(&mut self, name: impl Into<String>) -> ProcessId {
-        let pid = ProcessId::new(self.processes.len() as u32);
-        self.processes.push(Process::new(pid, name));
-        pid
+        let pid = self.processes.next_id();
+        self.processes.alloc(Process::new(pid, name))
     }
 
     /// Creates a new thread belonging to `pid` and returns its identifier.
@@ -57,26 +55,25 @@ impl Kernel {
     /// Panics if `pid` does not name a spawned process; creating a thread in a
     /// non-existent process is a programming error in the workload setup.
     pub fn spawn_thread(&mut self, pid: ProcessId) -> OsThreadId {
-        let tid = OsThreadId::new(self.threads.len() as u32);
+        let tid = self.threads.next_id();
         let process = self
             .processes
-            .get_mut(pid.as_usize())
+            .get_mut(pid)
             .expect("cannot spawn a thread in an unknown process");
         process.add_thread(tid);
-        self.threads.push(OsThread::new(tid, pid));
-        tid
+        self.threads.alloc(OsThread::new(tid, pid))
     }
 
     /// Looks up a process.
     #[must_use]
     pub fn process(&self, pid: ProcessId) -> Option<&Process> {
-        self.processes.get(pid.as_usize())
+        self.processes.get(pid)
     }
 
     /// Looks up a thread.
     #[must_use]
     pub fn thread(&self, tid: OsThreadId) -> Option<&OsThread> {
-        self.threads.get(tid.as_usize())
+        self.threads.get(tid)
     }
 
     /// Number of processes spawned so far.
@@ -99,7 +96,7 @@ impl Kernel {
     pub fn set_thread_state(&mut self, tid: OsThreadId, state: ThreadState) -> Result<()> {
         let thread = self
             .threads
-            .get_mut(tid.as_usize())
+            .get_mut(tid)
             .ok_or_else(|| MispError::InvalidConfiguration(format!("unknown thread {tid}")))?;
         thread.set_state(state);
         Ok(())

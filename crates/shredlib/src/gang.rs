@@ -4,7 +4,7 @@ use crate::service::{Admission, ServiceState};
 use crate::{SchedulingPolicy, ServiceModel, SyncTable, WorkQueue};
 use misp_isa::{ProgramRef, RuntimeOp};
 use misp_sim::{EngineCore, Runtime, RuntimeOutcome, ShredStatus};
-use misp_types::{Cycles, FxHashMap, LockId, OsThreadId, ProcessId, SequencerId, ShredId};
+use misp_types::{ArenaMap, Cycles, LockId, OsThreadId, ProcessId, SequencerId, ShredId};
 
 /// Builder for [`GangScheduler`].
 #[derive(Debug, Default, Clone)]
@@ -101,7 +101,7 @@ impl GangSchedulerBuilder {
             initial_shreds: self.initial_shreds,
             queue: WorkQueue::new(self.policy),
             sync,
-            joiners: FxHashMap::default(),
+            joiners: ArenaMap::new(),
             process: None,
             threads: Vec::new(),
             shreds_created: 0,
@@ -129,7 +129,7 @@ pub struct GangScheduler {
     initial_shreds: Vec<ProgramRef>,
     queue: WorkQueue,
     sync: SyncTable,
-    joiners: FxHashMap<ShredId, Vec<ShredId>>,
+    joiners: ArenaMap<ShredId, Vec<ShredId>>,
     process: Option<ProcessId>,
     threads: Vec<OsThreadId>,
     shreds_created: u64,
@@ -301,7 +301,7 @@ impl Runtime for GangScheduler {
             }
             RuntimeOp::ShredExit => {
                 self.complete_request(core, shred, now);
-                let joiners = self.joiners.remove(&shred).unwrap_or_default();
+                let joiners = self.joiners.remove(shred).unwrap_or_default();
                 self.make_ready(core, &joiners, now);
                 RuntimeOutcome::Exit { cost: switch_cost }
             }
@@ -317,7 +317,9 @@ impl Runtime for GangScheduler {
                 if done {
                     RuntimeOutcome::Continue { cost: lock_cost }
                 } else {
-                    self.joiners.entry(*target).or_default().push(shred);
+                    self.joiners
+                        .get_or_insert_with(*target, Vec::new)
+                        .push(shred);
                     RuntimeOutcome::Block { cost: lock_cost }
                 }
             }
@@ -365,7 +367,7 @@ impl Runtime for GangScheduler {
         now: Cycles,
     ) {
         self.complete_request(core, shred, now);
-        let joiners = self.joiners.remove(&shred).unwrap_or_default();
+        let joiners = self.joiners.remove(shred).unwrap_or_default();
         self.make_ready(core, &joiners, now);
     }
 

@@ -24,7 +24,7 @@
 //! comparisons.
 
 use misp_sim::ServiceStats;
-use misp_types::{Cycles, FxHashMap, ShredId};
+use misp_types::{ArenaMap, Cycles, ShredId};
 
 /// Cap on the recorded queue-depth time series; recording stops (counters
 /// continue) once this many edges have been captured.
@@ -119,7 +119,7 @@ pub(crate) struct ServiceState {
     /// Index of the next arrival to admit or drop.
     next_arrival: usize,
     /// Tracked request shreds: shred → (arrival index, started service?).
-    requests: FxHashMap<ShredId, (usize, bool)>,
+    requests: ArenaMap<ShredId, (usize, bool)>,
     /// Requests currently holding a pool slot.
     in_service: usize,
     /// Requests admitted and not yet completed.
@@ -132,7 +132,7 @@ impl ServiceState {
         ServiceState {
             model,
             next_arrival: 0,
-            requests: FxHashMap::default(),
+            requests: ArenaMap::new(),
             in_service: 0,
             outstanding: 0,
             stats: ServiceStats::default(),
@@ -177,7 +177,7 @@ impl ServiceState {
     /// generator, joiners) always may; a tracked request that has not yet
     /// started must find a free pool slot.
     pub(crate) fn may_dispatch(&self, shred: ShredId) -> bool {
-        match (self.requests.get(&shred), self.model.pool_width) {
+        match (self.requests.get(shred), self.model.pool_width) {
             (Some((_, false)), Some(width)) => self.in_service < width,
             _ => true,
         }
@@ -185,7 +185,7 @@ impl ServiceState {
 
     /// Marks `shred` as dispatched (idempotent for re-dispatch after yield).
     pub(crate) fn dispatched(&mut self, shred: ShredId) {
-        if let Some((_, started)) = self.requests.get_mut(&shred) {
+        if let Some((_, started)) = self.requests.get_mut(shred) {
             if !*started {
                 *started = true;
                 self.in_service += 1;
@@ -197,7 +197,7 @@ impl ServiceState {
     /// from the scheduled arrival.  Returns `true` when a pool slot was
     /// freed (the caller should wake idle sequencers).
     pub(crate) fn complete(&mut self, shred: ShredId, now: Cycles) -> bool {
-        let Some((index, started)) = self.requests.remove(&shred) else {
+        let Some((index, started)) = self.requests.remove(shred) else {
             return false;
         };
         if started {

@@ -7,7 +7,7 @@
 //! until another shred's operation readies it again, at which point the gang
 //! scheduler puts it back on the work queue.
 
-use misp_types::{FxHashMap, LockId, MispError, Result, ShredId};
+use misp_types::{ArenaMap, LockId, MispError, Result, ShredId};
 use std::collections::VecDeque;
 
 /// The outcome of a synchronization operation.
@@ -77,9 +77,13 @@ pub enum SyncObject {
 }
 
 /// The table of all synchronization objects of one process.
+///
+/// Lock ids are small dense integers allocated by the program, so the table
+/// is an [`ArenaMap`]: lookups on the runtime-op path are an index, not a
+/// hash.
 #[derive(Debug, Default, Clone)]
 pub struct SyncTable {
-    objects: FxHashMap<LockId, SyncObject>,
+    objects: ArenaMap<LockId, SyncObject>,
     contention_events: u64,
 }
 
@@ -139,11 +143,11 @@ impl SyncTable {
     /// introspection).
     #[must_use]
     pub fn get(&self, id: LockId) -> Option<&SyncObject> {
-        self.objects.get(&id)
+        self.objects.get(id)
     }
 
     fn mutex_entry(&mut self, id: LockId) -> &mut SyncObject {
-        self.objects.entry(id).or_insert(SyncObject::Mutex {
+        self.objects.get_or_insert_with(id, || SyncObject::Mutex {
             holder: None,
             waiters: VecDeque::new(),
         })
@@ -185,7 +189,7 @@ impl SyncTable {
     /// Returns [`MispError::SynchronizationMisuse`] if the mutex is not held
     /// by `shred` or `id` is not a mutex.
     pub fn mutex_unlock(&mut self, id: LockId, shred: ShredId) -> Result<SyncOutcome> {
-        match self.objects.get_mut(&id) {
+        match self.objects.get_mut(id) {
             Some(SyncObject::Mutex { holder, waiters }) => {
                 if *holder != Some(shred) {
                     return Err(MispError::SynchronizationMisuse(format!(
@@ -213,10 +217,12 @@ impl SyncTable {
     /// Returns [`MispError::SynchronizationMisuse`] if `id` is not a
     /// semaphore.
     pub fn sem_wait(&mut self, id: LockId, shred: ShredId) -> Result<SyncOutcome> {
-        let entry = self.objects.entry(id).or_insert(SyncObject::Semaphore {
-            count: 0,
-            waiters: VecDeque::new(),
-        });
+        let entry = self
+            .objects
+            .get_or_insert_with(id, || SyncObject::Semaphore {
+                count: 0,
+                waiters: VecDeque::new(),
+            });
         match entry {
             SyncObject::Semaphore { count, waiters } => {
                 if *count > 0 {
@@ -241,10 +247,12 @@ impl SyncTable {
     /// Returns [`MispError::SynchronizationMisuse`] if `id` is not a
     /// semaphore.
     pub fn sem_post(&mut self, id: LockId) -> Result<SyncOutcome> {
-        let entry = self.objects.entry(id).or_insert(SyncObject::Semaphore {
-            count: 0,
-            waiters: VecDeque::new(),
-        });
+        let entry = self
+            .objects
+            .get_or_insert_with(id, || SyncObject::Semaphore {
+                count: 0,
+                waiters: VecDeque::new(),
+            });
         match entry {
             SyncObject::Semaphore { count, waiters } => {
                 if let Some(next) = waiters.pop_front() {
@@ -274,9 +282,11 @@ impl SyncTable {
     ) -> Result<SyncOutcome> {
         // Release the mutex first; this may wake a mutex waiter.
         let release = self.mutex_unlock(mutex, shred)?;
-        let entry = self.objects.entry(cond).or_insert(SyncObject::CondVar {
-            waiters: VecDeque::new(),
-        });
+        let entry = self
+            .objects
+            .get_or_insert_with(cond, || SyncObject::CondVar {
+                waiters: VecDeque::new(),
+            });
         match entry {
             SyncObject::CondVar { waiters } => {
                 waiters.push_back((shred, mutex));
@@ -315,7 +325,7 @@ impl SyncTable {
     }
 
     fn cond_wake(&mut self, cond: LockId, all: bool) -> Result<SyncOutcome> {
-        let woken: Vec<(ShredId, LockId)> = match self.objects.get_mut(&cond) {
+        let woken: Vec<(ShredId, LockId)> = match self.objects.get_mut(cond) {
             Some(SyncObject::CondVar { waiters }) => {
                 if all {
                     waiters.drain(..).collect()
@@ -357,7 +367,7 @@ impl SyncTable {
     /// Returns [`MispError::SynchronizationMisuse`] if the barrier was not
     /// created with [`SyncTable::create_barrier`] or `id` is not a barrier.
     pub fn barrier_wait(&mut self, id: LockId, shred: ShredId) -> Result<SyncOutcome> {
-        match self.objects.get_mut(&id) {
+        match self.objects.get_mut(id) {
             Some(SyncObject::Barrier {
                 parties,
                 arrived,
@@ -388,7 +398,7 @@ impl SyncTable {
     ///
     /// Returns [`MispError::SynchronizationMisuse`] if `id` is not an event.
     pub fn event_wait(&mut self, id: LockId, shred: ShredId) -> Result<SyncOutcome> {
-        let entry = self.objects.entry(id).or_insert(SyncObject::Event {
+        let entry = self.objects.get_or_insert_with(id, || SyncObject::Event {
             signaled: false,
             waiters: VecDeque::new(),
         });
@@ -414,7 +424,7 @@ impl SyncTable {
     ///
     /// Returns [`MispError::SynchronizationMisuse`] if `id` is not an event.
     pub fn event_set(&mut self, id: LockId) -> Result<SyncOutcome> {
-        let entry = self.objects.entry(id).or_insert(SyncObject::Event {
+        let entry = self.objects.get_or_insert_with(id, || SyncObject::Event {
             signaled: false,
             waiters: VecDeque::new(),
         });
@@ -435,7 +445,7 @@ impl SyncTable {
     ///
     /// Returns [`MispError::SynchronizationMisuse`] if `id` is not an event.
     pub fn event_reset(&mut self, id: LockId) -> Result<SyncOutcome> {
-        match self.objects.get_mut(&id) {
+        match self.objects.get_mut(id) {
             Some(SyncObject::Event { signaled, .. }) => {
                 *signaled = false;
                 Ok(SyncOutcome::proceed())

@@ -2,7 +2,7 @@
 //! runtimes.
 
 use crate::{
-    Event, EventLog, EventQueue, LogKind, SequencerState, ShredExecState, ShredPool, SimConfig,
+    Event, EventLog, EventQueue, LogKind, SequencerTable, ShredExecState, ShredPool, SimConfig,
     SimStats,
 };
 use misp_isa::{ProgramLibrary, ProgramRef};
@@ -32,7 +32,7 @@ pub struct EngineCore {
     config: SimConfig,
     now: Cycles,
     queue: EventQueue,
-    sequencers: Vec<SequencerState>,
+    sequencers: SequencerTable,
     shreds: ShredPool,
     memory: MemorySystem,
     kernel: Kernel,
@@ -56,9 +56,7 @@ impl EngineCore {
             config,
             now: Cycles::ZERO,
             queue: EventQueue::new(),
-            sequencers: (0..sequencer_count)
-                .map(|i| SequencerState::new(SequencerId::new(i as u32)))
-                .collect(),
+            sequencers: SequencerTable::new(sequencer_count),
             shreds: ShredPool::new(),
             memory: MemorySystem::new(sequencer_count, config.tlb_capacity),
             kernel: Kernel::new(config.costs),
@@ -100,23 +98,16 @@ impl EngineCore {
         self.sequencers.len()
     }
 
-    /// The state of sequencer `seq`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `seq` is out of range.
+    /// The per-sequencer state table (struct-of-arrays, keyed by
+    /// [`SequencerId`]).
     #[must_use]
-    pub fn sequencer(&self, seq: SequencerId) -> &SequencerState {
-        &self.sequencers[seq.as_usize()]
+    pub fn sequencers(&self) -> &SequencerTable {
+        &self.sequencers
     }
 
-    /// Mutable access to sequencer `seq`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `seq` is out of range.
-    pub fn sequencer_mut(&mut self, seq: SequencerId) -> &mut SequencerState {
-        &mut self.sequencers[seq.as_usize()]
+    /// Mutable access to the per-sequencer state table.
+    pub fn sequencers_mut(&mut self) -> &mut SequencerTable {
+        &mut self.sequencers
     }
 
     /// The shred pool.
@@ -256,8 +247,8 @@ impl EngineCore {
     /// Schedules the next `SeqReady` for `seq` at absolute time `at`,
     /// invalidating any previously scheduled event for that sequencer.
     pub fn schedule_ready(&mut self, seq: SequencerId, at: Cycles) {
-        let generation = self.sequencers[seq.as_usize()].bump_generation();
-        self.sequencers[seq.as_usize()].set_pending(Some(at));
+        let generation = self.sequencers.bump_generation(seq);
+        self.sequencers.set_pending(seq, Some(at));
         self.queue.push(at, Event::SeqReady { seq, generation });
     }
 
@@ -269,21 +260,17 @@ impl EngineCore {
     /// Wakes `seq` at time `now` if it is idle (no shred installed, not
     /// suspended): the sequencer will ask its runtime for work.
     pub fn wake(&mut self, seq: SequencerId, now: Cycles) {
-        if self.sequencers[seq.as_usize()].is_idle() {
+        if self.sequencers.is_idle(seq) {
             self.schedule_ready(seq, now);
         }
     }
 
     /// Wakes every idle sequencer currently bound to `thread`.
     pub fn wake_thread_sequencers(&mut self, thread: OsThreadId, now: Cycles) {
-        let ids: Vec<SequencerId> = self
-            .sequencers
-            .iter()
-            .filter(|s| s.bound_thread() == Some(thread) && s.is_idle())
-            .map(SequencerState::id)
-            .collect();
-        for id in ids {
-            self.schedule_ready(id, now);
+        for id in self.sequencers.ids() {
+            if self.sequencers.bound_thread(id) == Some(thread) && self.sequencers.is_idle(id) {
+                self.schedule_ready(id, now);
+            }
         }
     }
 
@@ -296,19 +283,17 @@ impl EngineCore {
     /// it.  Any timed stall window currently open on the sequencer is
     /// subsumed: pending stall-end events will be ignored.
     pub fn suspend(&mut self, seq: SequencerId, now: Cycles) {
-        let s = &mut self.sequencers[seq.as_usize()];
-        if !s.is_suspended() {
-            s.suspend(now);
+        if !self.sequencers.is_suspended(seq) {
+            self.sequencers.suspend(seq, now);
             self.log.record(now, seq, LogKind::Suspend, "");
         }
-        self.sequencers[seq.as_usize()].set_stall_end(None);
+        self.sequencers.set_stall_end(seq, None);
     }
 
     /// Resumes a suspended sequencer at time `at`, scheduling the completion
     /// of its interrupted operation (if any) or a work request.
     pub fn resume(&mut self, seq: SequencerId, at: Cycles) {
-        let s = &mut self.sequencers[seq.as_usize()];
-        if let Some(remaining) = s.clear_suspension() {
+        if let Some(remaining) = self.sequencers.clear_suspension(seq) {
             let resume_at = at + remaining;
             self.log.record(at, seq, LogKind::Resume, "");
             self.schedule_ready(seq, resume_at);
@@ -326,7 +311,7 @@ impl EngineCore {
         if until <= now {
             return;
         }
-        if self.sequencers[seq.as_usize()].is_suspended() {
+        if self.sequencers.is_suspended(seq) {
             self.merge_stall_window(seq, until);
             return;
         }
@@ -344,14 +329,16 @@ impl EngineCore {
         // eagerly scheduled resume must not collide with the next tick,
         // which the event-per-operation loop would have pushed first.
         if self.config.batch && self.sequencers.len() == 1 {
-            let rem = self.sequencers[seq.as_usize()]
-                .pending_at()
+            let rem = self
+                .sequencers
+                .pending_at(seq)
                 .map_or(Cycles::ZERO, |at| at.saturating_sub(now));
             let next_tick = self.config.timer.next_tick_after(now);
             if until < next_tick && until + rem != next_tick {
                 self.open_stall_window(seq, now, until);
-                let captured = self.sequencers[seq.as_usize()]
-                    .clear_suspension()
+                let captured = self
+                    .sequencers
+                    .clear_suspension(seq)
                     .expect("just suspended");
                 debug_assert_eq!(captured, rem);
                 self.log.record(until, seq, LogKind::Resume, "");
@@ -372,11 +359,10 @@ impl EngineCore {
     /// keeping the accounting in one place is what guarantees the paths stay
     /// byte-identical.
     fn open_stall_window(&mut self, seq: SequencerId, now: Cycles, until: Cycles) {
-        let s = &mut self.sequencers[seq.as_usize()];
-        s.suspend(now);
-        s.set_stall_end(Some(until));
+        self.sequencers.suspend(seq, now);
+        self.sequencers.set_stall_end(seq, Some(until));
         let lost = until - now;
-        s.add_stalled(lost);
+        self.sequencers.add_stalled(seq, lost);
         self.stats.suspension_cycles += lost;
         self.log.record(now, seq, LogKind::Suspend, "timed stall");
     }
@@ -386,14 +372,13 @@ impl EngineCore {
     /// cycles and scheduling the new end), and leaves indefinite or covering
     /// suspensions alone.
     fn merge_stall_window(&mut self, seq: SequencerId, until: Cycles) {
-        let s = &mut self.sequencers[seq.as_usize()];
-        match s.stall_end() {
+        match self.sequencers.stall_end(seq) {
             // Indefinitely suspended: the owner resumes it explicitly.
             None => {}
             Some(end) if until > end => {
                 let extra = until - end;
-                s.add_stalled(extra);
-                s.set_stall_end(Some(until));
+                self.sequencers.add_stalled(seq, extra);
+                self.sequencers.set_stall_end(seq, Some(until));
                 self.stats.suspension_cycles += extra;
                 self.queue.push(until, Event::StallEnd { seq });
             }
@@ -428,12 +413,11 @@ impl EngineCore {
         // per-sequencer loop exactly.
         let mut seg: Option<(u32, u32)> = None; // (base sequencer index, mask)
         for &seq in seqs {
-            let s = &self.sequencers[seq.as_usize()];
-            if s.is_suspended() {
+            if self.sequencers.is_suspended(seq) {
                 // An extension pushes its own StallEnd; flush the current
                 // segment first so equal-time pop order matches the
                 // per-sequencer loop's push order.
-                let extends = matches!(s.stall_end(), Some(end) if until > end);
+                let extends = matches!(self.sequencers.stall_end(seq), Some(end) if until > end);
                 if extends {
                     if let Some((base, mask)) = seg.take() {
                         self.push_stall_group(base, mask, until);
@@ -478,8 +462,10 @@ impl EngineCore {
     /// Handles the end of a timed stall window (called by the engine loop).
     /// Returns `true` if the sequencer was actually resumed.
     pub(crate) fn handle_stall_end(&mut self, seq: SequencerId, now: Cycles) -> bool {
-        let s = &self.sequencers[seq.as_usize()];
-        match (s.is_suspended(), s.stall_end()) {
+        match (
+            self.sequencers.is_suspended(seq),
+            self.sequencers.stall_end(seq),
+        ) {
             (true, Some(end)) if end <= now => {
                 self.resume(seq, now);
                 true
@@ -495,30 +481,30 @@ impl EngineCore {
     /// work captured at suspension is transferred into the saved context and
     /// the suspension is cleared (the context now owns that state).
     pub fn save_context(&mut self, seq: SequencerId, now: Cycles) -> SavedContext {
-        let s = &mut self.sequencers[seq.as_usize()];
-        let remaining = if s.is_suspended() {
-            s.clear_suspension().unwrap_or(Cycles::ZERO)
+        let remaining = if self.sequencers.is_suspended(seq) {
+            self.sequencers
+                .clear_suspension(seq)
+                .unwrap_or(Cycles::ZERO)
         } else {
-            match s.pending_at() {
+            match self.sequencers.pending_at(seq) {
                 Some(at) => at.saturating_sub(now),
                 None => Cycles::ZERO,
             }
         };
         let ctx = SavedContext {
-            current_shred: s.current_shred(),
+            current_shred: self.sequencers.current_shred(seq),
             remaining,
         };
-        s.set_current_shred(None);
-        s.set_pending(None);
-        s.bump_generation();
+        self.sequencers.set_current_shred(seq, None);
+        self.sequencers.set_pending(seq, None);
+        self.sequencers.bump_generation(seq);
         ctx
     }
 
     /// Installs a previously saved execution context on `seq`, scheduling its
     /// continuation at `at` (plus any remaining in-flight work).
     pub fn restore_context(&mut self, seq: SequencerId, ctx: SavedContext, at: Cycles) {
-        let s = &mut self.sequencers[seq.as_usize()];
-        s.set_current_shred(ctx.current_shred);
+        self.sequencers.set_current_shred(seq, ctx.current_shred);
         let resume_at = at + ctx.remaining;
         self.schedule_ready(seq, resume_at);
     }
@@ -575,9 +561,9 @@ mod tests {
         let mut core = core_with(1, 1);
         let seq = SequencerId::new(0);
         core.schedule_ready(seq, Cycles::new(10));
-        let gen1 = core.sequencer(seq).generation();
+        let gen1 = core.sequencers().generation(seq);
         core.schedule_ready(seq, Cycles::new(20));
-        let gen2 = core.sequencer(seq).generation();
+        let gen2 = core.sequencers().generation(seq);
         assert!(gen2 > gen1);
         // The superseded event was replaced in place: one live event remains,
         // carrying the latest generation and the latest time.
@@ -600,7 +586,7 @@ mod tests {
         let pid = core.kernel_mut().spawn_process("p");
         let tid = core.kernel_mut().spawn_thread(pid);
         let shred = core.create_shred(pid, tid, ProgramRef::new(0), Cycles::ZERO);
-        core.sequencer_mut(s1).set_current_shred(Some(shred));
+        core.sequencers_mut().set_current_shred(s1, Some(shred));
         core.wake(s0, Cycles::new(5));
         core.wake(s1, Cycles::new(5));
         assert_eq!(
@@ -614,10 +600,10 @@ mod tests {
     fn wake_thread_sequencers_filters_by_binding() {
         let mut core = core_with(1, 3);
         let t = OsThreadId::new(0);
-        core.sequencer_mut(SequencerId::new(0))
-            .set_bound_thread(Some(t));
-        core.sequencer_mut(SequencerId::new(1))
-            .set_bound_thread(Some(OsThreadId::new(1)));
+        core.sequencers_mut()
+            .set_bound_thread(SequencerId::new(0), Some(t));
+        core.sequencers_mut()
+            .set_bound_thread(SequencerId::new(1), Some(OsThreadId::new(1)));
         core.wake_thread_sequencers(t, Cycles::ZERO);
         assert_eq!(core.queue_mut().len(), 1);
     }
@@ -641,15 +627,15 @@ mod tests {
         // Pretend an op completes at t=100.
         core.schedule_ready(seq, Cycles::new(100));
         core.stall(seq, Cycles::new(40), Cycles::new(90));
-        assert_eq!(core.sequencer(seq).stalled(), Cycles::new(50));
+        assert_eq!(core.sequencers().stalled(seq), Cycles::new(50));
         assert_eq!(core.stats().suspension_cycles, Cycles::new(50));
-        assert!(core.sequencer(seq).is_suspended());
-        assert_eq!(core.sequencer(seq).stall_end(), Some(Cycles::new(90)));
+        assert!(core.sequencers().is_suspended(seq));
+        assert_eq!(core.sequencers().stall_end(seq), Some(Cycles::new(90)));
         // Processing the stall end resumes the sequencer and re-schedules the
         // interrupted completion at 90 + (100 - 40) = 150.
         assert!(core.handle_stall_end(seq, Cycles::new(90)));
-        assert!(!core.sequencer(seq).is_suspended());
-        assert_eq!(core.sequencer(seq).pending_at(), Some(Cycles::new(150)));
+        assert!(!core.sequencers().is_suspended(seq));
+        assert_eq!(core.sequencers().pending_at(seq), Some(Cycles::new(150)));
     }
 
     #[test]
@@ -662,14 +648,14 @@ mod tests {
         core.stall(seq, Cycles::new(150), Cycles::new(300));
         // A shorter overlapping window changes nothing.
         core.stall(seq, Cycles::new(160), Cycles::new(250));
-        assert_eq!(core.sequencer(seq).stalled(), Cycles::new(200));
-        assert_eq!(core.sequencer(seq).stall_end(), Some(Cycles::new(300)));
+        assert_eq!(core.sequencers().stalled(seq), Cycles::new(200));
+        assert_eq!(core.sequencers().stall_end(seq), Some(Cycles::new(300)));
         // The first stall-end event (at 200) must not resume the sequencer.
         assert!(!core.handle_stall_end(seq, Cycles::new(200)));
-        assert!(core.sequencer(seq).is_suspended());
+        assert!(core.sequencers().is_suspended(seq));
         assert!(core.handle_stall_end(seq, Cycles::new(300)));
         // Remaining work was captured at the first suspension (1000 - 100).
-        assert_eq!(core.sequencer(seq).pending_at(), Some(Cycles::new(1_200)));
+        assert_eq!(core.sequencers().pending_at(seq), Some(Cycles::new(1_200)));
     }
 
     #[test]
@@ -683,14 +669,14 @@ mod tests {
         core.schedule_ready(seq, Cycles::new(100));
         core.stall(seq, Cycles::new(40), Cycles::new(90));
         assert!(
-            !core.sequencer(seq).is_suspended(),
+            !core.sequencers().is_suspended(seq),
             "eager path resumes immediately"
         );
-        assert_eq!(core.sequencer(seq).stalled(), Cycles::new(50));
+        assert_eq!(core.sequencers().stalled(seq), Cycles::new(50));
         assert_eq!(core.stats().suspension_cycles, Cycles::new(50));
         // 90 (window end) + 60 (remaining work) — exactly where the queued
         // path's StallEnd-then-resume would land.
-        assert_eq!(core.sequencer(seq).pending_at(), Some(Cycles::new(150)));
+        assert_eq!(core.sequencers().pending_at(seq), Some(Cycles::new(150)));
         assert_eq!(core.log().count(LogKind::Suspend), 1);
         assert_eq!(core.log().count(LogKind::Resume), 1);
         // Only the rescheduled SeqReady is queued; no StallEnd round trip.
@@ -705,8 +691,8 @@ mod tests {
         let mut core = core_with(1, 1);
         let seq = SequencerId::new(0);
         core.stall(seq, Cycles::new(10), Cycles::new(10));
-        assert_eq!(core.sequencer(seq).stalled(), Cycles::ZERO);
-        assert!(!core.sequencer(seq).is_suspended());
+        assert_eq!(core.sequencers().stalled(seq), Cycles::ZERO);
+        assert!(!core.sequencers().is_suspended(seq));
     }
 
     #[test]
@@ -716,7 +702,7 @@ mod tests {
         core.suspend(seq, Cycles::new(10));
         // A stall while already suspended must not resume the sequencer.
         core.stall(seq, Cycles::new(20), Cycles::new(30));
-        assert!(core.sequencer(seq).is_suspended());
+        assert!(core.sequencers().is_suspended(seq));
     }
 
     #[test]
@@ -726,15 +712,15 @@ mod tests {
         let pid = core.kernel_mut().spawn_process("p");
         let tid = core.kernel_mut().spawn_thread(pid);
         let shred = core.create_shred(pid, tid, ProgramRef::new(0), Cycles::ZERO);
-        core.sequencer_mut(seq).set_current_shred(Some(shred));
+        core.sequencers_mut().set_current_shred(seq, Some(shred));
         core.schedule_ready(seq, Cycles::new(100));
         let ctx = core.save_context(seq, Cycles::new(30));
         assert_eq!(ctx.current_shred, Some(shred));
         assert_eq!(ctx.remaining, Cycles::new(70));
-        assert_eq!(core.sequencer(seq).current_shred(), None);
+        assert_eq!(core.sequencers().current_shred(seq), None);
         core.restore_context(seq, ctx, Cycles::new(500));
-        assert_eq!(core.sequencer(seq).current_shred(), Some(shred));
-        assert_eq!(core.sequencer(seq).pending_at(), Some(Cycles::new(570)));
+        assert_eq!(core.sequencers().current_shred(seq), Some(shred));
+        assert_eq!(core.sequencers().pending_at(seq), Some(Cycles::new(570)));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::core::EngineCore;
 use crate::{Event, LogKind, Platform, Runtime, RuntimeOutcome, ShredStatus, SimConfig, SimStats};
 use misp_isa::{Op, ProgramLibrary};
 use misp_os::OsEventKind;
-use misp_types::{Cycles, MispError, OsThreadId, ProcessId, Result, SequencerId};
+use misp_types::{ArenaMap, Cycles, MispError, OsThreadId, ProcessId, Result, SequencerId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The outcome of a completed simulation run.
@@ -54,7 +54,10 @@ struct StepParams {
 pub struct Engine<P: Platform> {
     core: EngineCore,
     platform: P,
-    runtimes: BTreeMap<u32, Box<dyn Runtime>>,
+    /// One runtime per simulated process, keyed by [`ProcessId`]: process
+    /// ids are small and dense, so the step path resolves a runtime with an
+    /// index instead of a tree walk.
+    runtimes: ArenaMap<ProcessId, Box<dyn Runtime>>,
     measured: Vec<ProcessId>,
 }
 
@@ -70,7 +73,7 @@ impl<P: Platform> Engine<P> {
         Engine {
             core: EngineCore::new(config, sequencer_count, library),
             platform,
-            runtimes: BTreeMap::new(),
+            runtimes: ArenaMap::new(),
             measured: Vec::new(),
         }
     }
@@ -100,7 +103,7 @@ impl<P: Platform> Engine<P> {
 
     /// Attaches the user-level runtime serving `process`.
     pub fn add_runtime(&mut self, process: ProcessId, runtime: Box<dyn Runtime>) {
-        self.runtimes.insert(process.index(), runtime);
+        self.runtimes.insert(process, runtime);
     }
 
     /// Restricts the completion criterion to the given processes.  By default
@@ -135,23 +138,22 @@ impl<P: Platform> Engine<P> {
 
         // Start every OS thread of every process that has a runtime, in
         // process/thread creation order for determinism.
-        let mut startups: Vec<(u32, OsThreadId)> = Vec::new();
-        for &pid_idx in self.runtimes.keys() {
-            let pid = ProcessId::new(pid_idx);
+        let mut startups: Vec<(ProcessId, OsThreadId)> = Vec::new();
+        for (pid, _) in self.runtimes.iter() {
             if let Some(process) = self.core.kernel().process(pid) {
                 for &tid in process.threads() {
-                    startups.push((pid_idx, tid));
+                    startups.push((pid, tid));
                 }
             }
         }
-        for (pid_idx, tid) in startups {
-            if let Some(rt) = self.runtimes.get_mut(&pid_idx) {
+        for (pid, tid) in startups {
+            if let Some(rt) = self.runtimes.get_mut(pid) {
                 rt.on_thread_start(&mut self.core, tid, Cycles::ZERO);
             }
         }
 
         let measured: Vec<ProcessId> = if self.measured.is_empty() {
-            self.runtimes.keys().map(|&i| ProcessId::new(i)).collect()
+            self.runtimes.ids().collect()
         } else {
             self.measured.clone()
         };
@@ -160,7 +162,10 @@ impl<P: Platform> Engine<P> {
         // A process whose work is already complete at startup (e.g. an empty
         // workload) must not hang the loop.
         remaining.retain(|&pid_idx| {
-            let rt = &self.runtimes[&pid_idx];
+            let rt = self
+                .runtimes
+                .get(ProcessId::new(pid_idx))
+                .expect("measured process has a runtime");
             if rt.is_finished(&self.core) {
                 self.core
                     .stats_mut()
@@ -192,11 +197,11 @@ impl<P: Platform> Engine<P> {
             let mut check_completion = false;
             match ev.event {
                 Event::SeqReady { seq, generation } => {
-                    if generation != self.core.sequencer(seq).generation() {
+                    if generation != self.core.sequencers().generation(seq) {
                         continue; // stale event
                     }
-                    self.core.sequencer_mut(seq).set_pending(None);
-                    if self.core.sequencer(seq).is_suspended() {
+                    self.core.sequencers_mut().set_pending(seq, None);
+                    if self.core.sequencers().is_suspended(seq) {
                         continue; // will be resumed explicitly by the platform
                     }
                     check_completion = self.step_sequencer(seq, ev.time, &params)?;
@@ -225,7 +230,11 @@ impl<P: Platform> Engine<P> {
                 let finished: Vec<u32> = remaining
                     .iter()
                     .copied()
-                    .filter(|pid_idx| self.runtimes[pid_idx].is_finished(&self.core))
+                    .filter(|&pid_idx| {
+                        self.runtimes
+                            .get(ProcessId::new(pid_idx))
+                            .is_some_and(|rt| rt.is_finished(&self.core))
+                    })
                     .collect();
                 for pid_idx in finished {
                     self.core
@@ -258,11 +267,11 @@ impl<P: Platform> Engine<P> {
     fn report(&mut self, measured: &[ProcessId]) -> SimReport {
         // Fold per-sequencer counters into the statistics snapshot.
         for i in 0..self.core.sequencer_count() {
-            let seq = self.core.sequencer(SequencerId::new(i as u32));
+            let seq = SequencerId::new(i as u32);
             let util = crate::SeqUtilization {
-                busy: seq.busy(),
-                stalled: seq.stalled(),
-                ops: seq.ops_executed(),
+                busy: self.core.sequencers().busy(seq),
+                stalled: self.core.sequencers().stalled(seq),
+                ops: self.core.sequencers().ops_executed(seq),
             };
             self.core.stats_mut().per_sequencer[i] = util;
         }
@@ -290,8 +299,8 @@ impl<P: Platform> Engine<P> {
         // process-index order (the BTreeMap iteration order), so the merged
         // queue-depth series is deterministic.
         let mut service: Option<crate::ServiceStats> = None;
-        for (pid_idx, rt) in &self.runtimes {
-            if !measured.iter().any(|p| p.index() == *pid_idx) {
+        for (pid, rt) in self.runtimes.iter() {
+            if !measured.contains(&pid) {
                 continue;
             }
             if let Some(s) = rt.service_stats() {
@@ -333,7 +342,7 @@ impl<P: Platform> Engine<P> {
         now: Cycles,
         params: &StepParams,
     ) -> Result<bool> {
-        let Some(thread) = self.core.sequencer(seq).bound_thread() else {
+        let Some(thread) = self.core.sequencers().bound_thread(seq) else {
             return Ok(false); // unbound sequencer: nothing to do
         };
         let Some(pid) = self.core.kernel().thread(thread).map(|t| t.process()) else {
@@ -350,13 +359,15 @@ impl<P: Platform> Engine<P> {
 
         // Install a shred if none is running.
         let mut install_cost = Cycles::ZERO;
-        if self.core.sequencer(seq).current_shred().is_none() {
-            let Some(runtime) = self.runtimes.get_mut(&pid.index()) else {
+        if self.core.sequencers().current_shred(seq).is_none() {
+            let Some(runtime) = self.runtimes.get_mut(pid) else {
                 return Ok(false);
             };
             match runtime.next_shred(&mut self.core, seq, thread, now) {
                 Some(shred) => {
-                    self.core.sequencer_mut(seq).set_current_shred(Some(shred));
+                    self.core
+                        .sequencers_mut()
+                        .set_current_shred(seq, Some(shred));
                     if let Some(s) = self.core.shred_mut(shred) {
                         s.set_status(ShredStatus::Running);
                     }
@@ -369,8 +380,8 @@ impl<P: Platform> Engine<P> {
         }
         let shred_id = self
             .core
-            .sequencer(seq)
-            .current_shred()
+            .sequencers()
+            .current_shred(seq)
             .expect("just installed");
 
         // The macro-step loop.  `now` advances to each inline operation's
@@ -378,6 +389,15 @@ impl<P: Platform> Engine<P> {
         // the shred) and return, exactly as the event-per-operation loop
         // did.
         let mut now = now;
+        // The batch horizon — the earliest queued event — is invariant over
+        // the whole macro-step: the inline path below never touches the
+        // queue (every queue-mutating arm schedules and returns), so it is
+        // read once here instead of once per inline operation.
+        let horizon = if batch {
+            self.core.next_event_time().unwrap_or(Cycles::MAX)
+        } else {
+            Cycles::MAX
+        };
         loop {
             let op = self
                 .core
@@ -385,13 +405,13 @@ impl<P: Platform> Engine<P> {
                 .expect("installed shred exists")
                 .cursor_mut()
                 .next_op();
-            self.core.sequencer_mut(seq).count_op();
+            self.core.sequencers_mut().count_op(seq);
 
             // Local operations fall through with their completion time; every
             // other arm schedules and returns.
             let next_ready = match op {
                 Op::Compute(c) => {
-                    self.core.sequencer_mut(seq).add_busy(c);
+                    self.core.sequencers_mut().add_busy(seq, c);
                     now + install_cost + c
                 }
                 Op::Touch { addr, kind } => {
@@ -408,7 +428,7 @@ impl<P: Platform> Engine<P> {
                     if !outcome.tlb_hit {
                         cost += tlb_walk;
                     }
-                    self.core.sequencer_mut(seq).add_busy(cost);
+                    self.core.sequencers_mut().add_busy(seq, cost);
                     if outcome.page_fault {
                         let resume = self.platform.on_priv_event(
                             &mut self.core,
@@ -449,12 +469,12 @@ impl<P: Platform> Engine<P> {
                 Op::Runtime(rop) => {
                     let runtime = self
                         .runtimes
-                        .get_mut(&pid.index())
+                        .get_mut(pid)
                         .expect("runtime exists for running shred");
                     let outcome = runtime.on_runtime_op(&mut self.core, seq, shred_id, &rop, now);
                     return Ok(match outcome {
                         RuntimeOutcome::Continue { cost } => {
-                            self.core.sequencer_mut(seq).add_busy(cost);
+                            self.core.sequencers_mut().add_busy(seq, cost);
                             self.core.schedule_ready(seq, now + install_cost + cost);
                             false
                         }
@@ -464,7 +484,7 @@ impl<P: Platform> Engine<P> {
                                     s.set_status(ShredStatus::Blocked);
                                 }
                             }
-                            self.core.sequencer_mut(seq).set_current_shred(None);
+                            self.core.sequencers_mut().set_current_shred(seq, None);
                             self.core.schedule_ready(
                                 seq,
                                 now + install_cost + cost + shred_context_switch,
@@ -477,7 +497,7 @@ impl<P: Platform> Engine<P> {
                                     s.set_status(ShredStatus::Ready);
                                 }
                             }
-                            self.core.sequencer_mut(seq).set_current_shred(None);
+                            self.core.sequencers_mut().set_current_shred(seq, None);
                             self.core.schedule_ready(
                                 seq,
                                 now + install_cost + cost + shred_context_switch,
@@ -491,7 +511,7 @@ impl<P: Platform> Engine<P> {
                             self.core.log_event_with(seq, LogKind::ShredEnd, || {
                                 format!("{shred_id} exited")
                             });
-                            self.core.sequencer_mut(seq).set_current_shred(None);
+                            self.core.sequencers_mut().set_current_shred(seq, None);
                             self.core.schedule_ready(
                                 seq,
                                 now + install_cost + cost + shred_context_switch,
@@ -503,7 +523,7 @@ impl<P: Platform> Engine<P> {
                 Op::Halt => {
                     let runtime = self
                         .runtimes
-                        .get_mut(&pid.index())
+                        .get_mut(pid)
                         .expect("runtime exists for running shred");
                     runtime.on_shred_halt(&mut self.core, seq, shred_id, now);
                     if let Some(s) = self.core.shred_mut(shred_id) {
@@ -511,7 +531,7 @@ impl<P: Platform> Engine<P> {
                     }
                     self.core
                         .log_event_with(seq, LogKind::ShredEnd, || format!("{shred_id} halted"));
-                    self.core.sequencer_mut(seq).set_current_shred(None);
+                    self.core.sequencers_mut().set_current_shred(seq, None);
                     self.core.schedule_ready(seq, now + shred_context_switch);
                     return Ok(true);
                 }
@@ -524,51 +544,48 @@ impl<P: Platform> Engine<P> {
             // is not exhausted (the event loop would have errored when popping
             // the elided `SeqReady`), and (d) the peeked next operation is
             // itself executable inline.
-            if batch {
-                let horizon = self.core.next_event_time().unwrap_or(Cycles::MAX);
-                if next_ready < horizon {
-                    if next_ready > budget {
-                        return Err(MispError::CycleBudgetExhausted {
-                            budget: budget.as_u64(),
-                        });
-                    }
-                    let (class, peeked_addr) = {
-                        let peeked = self
-                            .core
-                            .shred_mut(shred_id)
-                            .expect("installed shred exists")
-                            .cursor_mut()
-                            .peek_op();
-                        let addr = match peeked {
-                            Op::Touch { addr, .. } => Some(*addr),
-                            _ => None,
-                        };
-                        (peeked.classify(), addr)
+            if batch && next_ready < horizon {
+                if next_ready > budget {
+                    return Err(MispError::CycleBudgetExhausted {
+                        budget: budget.as_u64(),
+                    });
+                }
+                let (class, peeked_addr) = {
+                    let peeked = self
+                        .core
+                        .shred_mut(shred_id)
+                        .expect("installed shred exists")
+                        .cursor_mut()
+                        .peek_op();
+                    let addr = match peeked {
+                        Op::Touch { addr, .. } => Some(*addr),
+                        _ => None,
                     };
-                    let inline = match class {
-                        misp_isa::OpClass::Local => true,
-                        // A memory access is chargeable mid-batch only under
-                        // the flat memory model and only when it will not
-                        // page-fault; with the cache hierarchy modeled every
-                        // access is a boundary (its outcome feeds coherence
-                        // state other sequencers observe).
-                        misp_isa::OpClass::Memory => {
-                            !cache_on
-                                && self.core.memory().bound_process(seq).is_some_and(|p| {
-                                    !self
-                                        .core
-                                        .memory()
-                                        .would_fault(p, peeked_addr.expect("memory op has address"))
-                                })
-                        }
-                        misp_isa::OpClass::Boundary => false,
-                    };
-                    if inline {
-                        now = next_ready;
-                        install_cost = Cycles::ZERO;
-                        self.core.set_now(now);
-                        continue;
+                    (peeked.classify(), addr)
+                };
+                let inline = match class {
+                    misp_isa::OpClass::Local => true,
+                    // A memory access is chargeable mid-batch only under
+                    // the flat memory model and only when it will not
+                    // page-fault; with the cache hierarchy modeled every
+                    // access is a boundary (its outcome feeds coherence
+                    // state other sequencers observe).
+                    misp_isa::OpClass::Memory => {
+                        !cache_on
+                            && self.core.memory().bound_process(seq).is_some_and(|p| {
+                                !self
+                                    .core
+                                    .memory()
+                                    .would_fault(p, peeked_addr.expect("memory op has address"))
+                            })
                     }
+                    misp_isa::OpClass::Boundary => false,
+                };
+                if inline {
+                    now = next_ready;
+                    install_cost = Cycles::ZERO;
+                    self.core.set_now(now);
+                    continue;
                 }
             }
             self.core.schedule_ready(seq, next_ready);

@@ -73,58 +73,134 @@ impl PartialOrd for ScheduledEvent {
     }
 }
 
-/// Marks the absence of a heap position in the slot index.
-const NO_POS: u32 = u32::MAX;
+/// Marks the absence of a queue position in the slot index.
+const NO_POS: u64 = u64::MAX;
 /// Marks an event kind that has no replacement slot.
 const NO_SLOT: u32 = u32::MAX;
+/// One bucket per possible length of the common bit-prefix with `last`
+/// (64-bit keys ⇒ prefix lengths 0..=64 ⇒ 65 buckets).
+const BUCKETS: usize = 65;
 
 /// A deterministic time-ordered event queue.
 ///
-/// Ties in time are broken by insertion order, so runs are reproducible
-/// regardless of heap internals.  Implemented as a hand-rolled 4-ary min-heap
-/// keyed on `(time, seqno)`: the engine pushes and pops an event for nearly
-/// every simulated operation, and the flatter tree roughly halves the sift
-/// depth of a binary heap on the small queues (tens of entries) a machine
-/// produces.  Every key is unique (seqnos are), so any correct heap pops the
-/// exact same sequence — the layout is unobservable.
+/// # Total order
 ///
-/// The heap is *indexed* for the two event kinds the engine supersedes:
+/// Events pop in ascending `(time, seqno)` order, nothing else.  Every event —
+/// timer ticks included — draws its `seqno` from the single shared counter at
+/// push time, so the pair is globally unique and the order is *total*: an
+/// event's kind never participates in a tie-break, and two events at the same
+/// time pop in the order they were pushed, whatever mix of kinds they are.
+/// (Earlier revisions kept timer ticks in a side array scanned separately
+/// from the heap, which left the tick-vs-heap tie at equal `(time, seqno)`
+/// formally unspecified; merging both into one structure under one key makes
+/// the order a definition rather than a coincidence of scan order.)
+///
+/// # Monotone radix heap
+///
+/// Simulation time never goes backwards: every push is at a time `>=` the
+/// last popped event's time (asserted).  That monotonicity admits a *radix
+/// heap* — cheaper than a comparison heap because entries are only examined
+/// when time actually advances past them:
+///
+/// * `last` is the time of the most recently popped event; every queued
+///   entry's time is `>= last`.
+/// * Entry `t` lives in bucket `64 - leading_zeros(t XOR last)`: bucket 0
+///   holds entries with `t == last` (due now), bucket `b >= 1` holds entries
+///   whose highest bit of difference from `last` is bit `b - 1`.  Buckets are
+///   ordered: every entry in a lower bucket precedes every entry in a higher
+///   one, so the global minimum always lives in the first non-empty bucket.
+/// * Push appends to the entry's bucket: O(1), no sifting.
+/// * Pop removes the minimum from the first non-empty bucket `b`.  When
+///   `b > 0`, time advances (`last` becomes the popped time) and the
+///   remaining entries of bucket `b` are redistributed; each lands in a
+///   strictly lower bucket (their prefix agreement with the new `last`
+///   strictly grows), which is what bounds the total redistribution work —
+///   each entry can only move down through the 65 buckets, giving O(64)
+///   amortized moves per entry instead of O(log n) comparisons per
+///   operation.  Entries in buckets other than `b` are untouched: `last`
+///   only changes in bits below their differing bit, so their bucket index
+///   is unchanged.
+///
+/// The earliest entry is cached, making `peek` (the macro-step batching
+/// horizon) a field read.
+///
+/// # Supersede slot index
+///
+/// The queue is *indexed* for the two event kinds the engine supersedes:
 /// each sequencer has at most one live `SeqReady` (a reschedule invalidates
-/// the previous one) and at most one live stall window.  Pushing a new event
-/// for an occupied slot replaces the superseded entry in place — with the
-/// new event's own `(time, seqno)` key, exactly the key it would have had as
-/// a separate push — instead of leaving a stale entry to pop and discard
-/// later.  Live events therefore pop in the identical order, while stale
-/// traffic and heap depth shrink.
-#[derive(Debug, Default)]
+/// the previous one) and at most one live stall window.  `pos` maps each
+/// slot (`2 * sequencer + kind_bit`) to the bucket and in-bucket index of its
+/// live entry.  Pushing a new event for an occupied slot removes the
+/// superseded entry and inserts the successor under its own fresh
+/// `(time, seqno)` key — exactly the key it would have had as a separate
+/// push — so live events pop in the identical order while stale traffic
+/// disappears.  Removal restores the slot to `NO_POS` before the successor
+/// claims it (asserted), so a stale position can never alias a live entry.
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: Vec<ScheduledEvent>,
-    /// Heap position of each slot's live entry (`NO_POS` when absent),
-    /// indexed by `2 * sequencer + kind_bit`; see [`EventQueue::slot_of`].
-    pos: Vec<u32>,
-    /// Pending timer ticks, kept out of the heap: each OS-visible CPU has at
-    /// most one outstanding tick, so this stays a handful of entries and a
-    /// linear scan beats heap maintenance for a third of all event traffic.
-    /// Entries carry ordinary seqnos from the shared counter, and `pop`
-    /// compares `(time, seqno)` across both stores, so the global pop order
-    /// is exactly that of a single heap.
-    ticks: Vec<ScheduledEvent>,
-    /// Cached index of the earliest entry in `ticks` (`peek` runs on the
-    /// macro-step hot path).
-    tick_min: Option<usize>,
+    /// `buckets[b]` holds entries whose common bit-prefix with `last` is
+    /// `64 - b` bits long; order within a bucket is arbitrary.
+    buckets: Vec<Vec<ScheduledEvent>>,
+    /// Bit `b` set iff `buckets[b]` is non-empty (`trailing_zeros` finds the
+    /// first non-empty bucket in one instruction).
+    occupied: u128,
+    /// Queue position of each slot's live entry, packed as
+    /// `(bucket << 32) | in-bucket index`, or `NO_POS` when absent; indexed
+    /// by `2 * sequencer + kind_bit`, see [`EventQueue::slot_of`].
+    pos: Vec<u64>,
+    /// Cached copy of the earliest entry (the minimum `(time, seqno)`).
+    min: Option<ScheduledEvent>,
+    /// Time of the most recently popped event; the floor for every push.
+    last: u64,
+    /// Scratch space for bucket redistribution, retained across pops so the
+    /// steady-state step path never allocates.
+    scratch: Vec<ScheduledEvent>,
+    /// Number of queued entries.
+    len: usize,
     next_seqno: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[inline]
+fn pack(bucket: usize, idx: usize) -> u64 {
+    ((bucket as u64) << 32) | idx as u64
+}
+
+#[inline]
+fn unpack(p: u64) -> (usize, usize) {
+    ((p >> 32) as usize, (p & u32::MAX as u64) as usize)
 }
 
 impl EventQueue {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue::default()
+        EventQueue {
+            buckets: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: 0,
+            pos: Vec::new(),
+            min: None,
+            last: 0,
+            scratch: Vec::new(),
+            len: 0,
+            next_seqno: 0,
+        }
     }
 
     #[inline]
     fn precedes(a: &ScheduledEvent, b: &ScheduledEvent) -> bool {
         (a.time, a.seqno) < (b.time, b.seqno)
+    }
+
+    /// The bucket `time` lives in, relative to the current `last`.
+    #[inline]
+    fn bucket_index(&self, time: Cycles) -> usize {
+        (64 - (time.as_u64() ^ self.last).leading_zeros()) as usize
     }
 
     /// The replacement slot of an event: `SeqReady` and `StallEnd` events are
@@ -139,176 +215,169 @@ impl EventQueue {
         }
     }
 
-    /// Records `i` as the heap position of the slot of `heap[i]`, if any.
+    /// Records `(bucket, idx)` as the position of `event`'s slot, if any.
     #[inline]
-    fn note_pos(&mut self, i: usize) {
-        let slot = Self::slot_of(&self.heap[i].event);
+    fn note_pos(&mut self, event: &Event, bucket: usize, idx: usize) {
+        let slot = Self::slot_of(event);
         if slot != NO_SLOT {
-            self.pos[slot as usize] = i as u32;
+            self.pos[slot as usize] = pack(bucket, idx);
         }
     }
 
+    /// Appends `ev` to its bucket, maintaining the slot index and occupancy
+    /// mask.  Does not touch `len` or the cached minimum.
+    #[inline]
+    fn place(&mut self, ev: ScheduledEvent) {
+        let b = self.bucket_index(ev.time);
+        let idx = self.buckets[b].len();
+        self.buckets[b].push(ev);
+        self.occupied |= 1 << b;
+        self.note_pos(&ev.event, b, idx);
+    }
+
+    /// Removes and returns the entry at `(bucket, idx)`, fixing up the slot
+    /// index for both the removed entry and the entry `swap_remove` moved
+    /// into its place.
+    fn remove_at(&mut self, bucket: usize, idx: usize) -> ScheduledEvent {
+        let removed = self.buckets[bucket].swap_remove(idx);
+        let slot = Self::slot_of(&removed.event);
+        if slot != NO_SLOT {
+            self.pos[slot as usize] = NO_POS;
+        }
+        if idx < self.buckets[bucket].len() {
+            let moved = self.buckets[bucket][idx];
+            self.note_pos(&moved.event, bucket, idx);
+        }
+        if self.buckets[bucket].is_empty() {
+            self.occupied &= !(1u128 << bucket);
+        }
+        self.len -= 1;
+        removed
+    }
+
+    /// The minimum `(time, seqno)` entry, found by scanning the first
+    /// non-empty bucket (buckets are ordered by time, so the minimum cannot
+    /// live anywhere else).
+    fn scan_min(&self) -> Option<ScheduledEvent> {
+        if self.occupied == 0 {
+            return None;
+        }
+        let b = self.occupied.trailing_zeros() as usize;
+        let mut best = self.buckets[b][0];
+        for e in &self.buckets[b][1..] {
+            if Self::precedes(e, &best) {
+                best = *e;
+            }
+        }
+        Some(best)
+    }
+
     /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the most recently popped event's time: the
+    /// radix layout relies on simulation time being monotone non-decreasing.
     pub fn push(&mut self, time: Cycles, event: Event) {
+        assert!(
+            time.as_u64() >= self.last,
+            "event at {time} scheduled before already-popped time {}",
+            self.last
+        );
         let seqno = self.next_seqno;
         self.next_seqno += 1;
         let slot = Self::slot_of(&event);
-        let ev = ScheduledEvent { time, seqno, event };
-        if matches!(event, Event::TimerTick { .. }) {
-            let i = self.ticks.len();
-            self.ticks.push(ev);
-            match self.tick_min {
-                Some(m) if !Self::precedes(&ev, &self.ticks[m]) => {}
-                _ => self.tick_min = Some(i),
-            }
-            return;
-        }
+        let mut lost_min = false;
         if slot != NO_SLOT {
             if slot as usize >= self.pos.len() {
                 self.pos.resize(slot as usize + 1, NO_POS);
             }
             let p = self.pos[slot as usize];
             if p != NO_POS {
-                // Replace the superseded entry in place: a queued event for
-                // this slot can never fire (the engine discards it on pop),
-                // so swapping in the successor — under the successor's own
-                // key — preserves the live-event pop order exactly.
-                let p = p as usize;
-                self.heap[p] = ev;
-                if self.sift_up(p) == p {
-                    self.sift_down(p);
-                }
-                return;
-            }
-        }
-        let i = self.heap.len();
-        self.heap.push(ev);
-        if slot != NO_SLOT {
-            self.pos[slot as usize] = i as u32;
-        }
-        self.sift_up(i);
-    }
-
-    /// Moves `heap[i]` toward the root until its parent precedes it; returns
-    /// the final position.  Hole-based: the sifted element is held in a local
-    /// and displaced parents move down, one write per level.
-    fn sift_up(&mut self, mut i: usize) -> usize {
-        let ev = self.heap[i];
-        while i > 0 {
-            let parent = (i - 1) / 4;
-            if Self::precedes(&ev, &self.heap[parent]) {
-                self.heap[i] = self.heap[parent];
-                self.note_pos(i);
-                i = parent;
-            } else {
-                break;
-            }
-        }
-        self.heap[i] = ev;
-        self.note_pos(i);
-        i
-    }
-
-    /// Moves `heap[i]` toward the leaves until it precedes all its children;
-    /// returns the final position.  Hole-based, like [`EventQueue::sift_up`].
-    fn sift_down(&mut self, mut i: usize) -> usize {
-        let ev = self.heap[i];
-        let len = self.heap.len();
-        loop {
-            let first_child = 4 * i + 1;
-            if first_child >= len {
-                break;
-            }
-            let mut min = first_child;
-            let last_child = (first_child + 3).min(len - 1);
-            for c in (first_child + 1)..=last_child {
-                if Self::precedes(&self.heap[c], &self.heap[min]) {
-                    min = c;
+                // Supersede: drop the queued entry for this slot (it can
+                // never fire — the engine would discard it on pop) and let
+                // the successor claim the slot under its own fresh key.
+                let (b, i) = unpack(p);
+                let removed = self.remove_at(b, i);
+                debug_assert_eq!(Self::slot_of(&removed.event), slot);
+                assert_eq!(
+                    self.pos[slot as usize], NO_POS,
+                    "superseded slot must be cleared before its successor lands"
+                );
+                if self.min == Some(removed) {
+                    lost_min = true;
                 }
             }
-            if Self::precedes(&self.heap[min], &ev) {
-                self.heap[i] = self.heap[min];
-                self.note_pos(i);
-                i = min;
-            } else {
-                break;
-            }
         }
-        self.heap[i] = ev;
-        self.note_pos(i);
-        i
-    }
-
-    /// Recomputes the cached index of the earliest pending tick.
-    fn refresh_min_tick(&mut self) {
-        let mut best: Option<usize> = None;
-        for (i, t) in self.ticks.iter().enumerate() {
-            if best.is_none_or(|b| Self::precedes(t, &self.ticks[b])) {
-                best = Some(i);
-            }
+        let ev = ScheduledEvent { time, seqno, event };
+        self.place(ev);
+        self.len += 1;
+        if lost_min {
+            // The superseded entry was the cached minimum; recompute from
+            // the (possibly different) first non-empty bucket.
+            self.min = self.scan_min();
+        } else if self.min.is_none_or(|m| Self::precedes(&ev, &m)) {
+            self.min = Some(ev);
         }
-        self.tick_min = best;
     }
 
-    /// Index of the earliest pending tick, by `(time, seqno)`.
-    #[inline]
-    fn min_tick(&self) -> Option<usize> {
-        self.tick_min
-    }
-
-    /// Removes and returns the earliest event.
+    /// Removes and returns the earliest event (minimum `(time, seqno)`).
     pub fn pop(&mut self) -> Option<ScheduledEvent> {
-        let tick = self.min_tick();
-        let take_tick = match (tick, self.heap.first()) {
-            (Some(t), Some(root)) => Self::precedes(&self.ticks[t], root),
-            (Some(_), None) => true,
-            (None, _) => false,
+        let m = self.min?;
+        let b = self.bucket_index(m.time);
+        // Locate the minimum inside its bucket: O(1) via the slot index for
+        // superseded kinds, a scan for unique seqno otherwise.
+        let slot = Self::slot_of(&m.event);
+        let idx = if slot != NO_SLOT {
+            unpack(self.pos[slot as usize]).1
+        } else {
+            self.buckets[b]
+                .iter()
+                .position(|e| e.seqno == m.seqno)
+                .expect("cached minimum must be queued")
         };
-        if take_tick {
-            let popped = self.ticks.swap_remove(tick.expect("checked above"));
-            self.refresh_min_tick();
-            return Some(popped);
+        let popped = self.remove_at(b, idx);
+        debug_assert_eq!(popped, m);
+        if b != 0 {
+            // Time advances: re-anchor the radix layout on the popped time
+            // and redistribute the minimum's former bucket.  Each remaining
+            // entry agrees with the new `last` on strictly more leading bits
+            // than it did with the old one (both share the old prefix up to
+            // bit b-1, and the entry agrees with the popped minimum at bit
+            // b-1 too), so each lands in a strictly lower bucket.  All other
+            // buckets are unaffected.
+            self.last = m.time.as_u64();
+            if !self.buckets[b].is_empty() {
+                std::mem::swap(&mut self.buckets[b], &mut self.scratch);
+                self.occupied &= !(1u128 << b);
+                for i in 0..self.scratch.len() {
+                    let ev = self.scratch[i];
+                    debug_assert!(self.bucket_index(ev.time) < b);
+                    self.place(ev);
+                }
+                self.scratch.clear();
+            }
         }
-        if self.heap.is_empty() {
-            return None;
-        }
-        let top = self.heap.swap_remove(0);
-        let slot = Self::slot_of(&top.event);
-        if slot != NO_SLOT {
-            self.pos[slot as usize] = NO_POS;
-        }
-        if !self.heap.is_empty() {
-            self.sift_down(0);
-        }
-        Some(top)
+        self.min = self.scan_min();
+        Some(popped)
     }
 
     /// Peeks at the earliest event without removing it.
     #[must_use]
     pub fn peek(&self) -> Option<&ScheduledEvent> {
-        match (self.min_tick(), self.heap.first()) {
-            (Some(t), Some(root)) => {
-                if Self::precedes(&self.ticks[t], root) {
-                    self.ticks.get(t)
-                } else {
-                    self.heap.first()
-                }
-            }
-            (Some(t), None) => self.ticks.get(t),
-            (None, _) => self.heap.first(),
-        }
+        self.min.as_ref()
     }
 
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len() + self.ticks.len()
+        self.len
     }
 
     /// Returns `true` when no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty() && self.ticks.is_empty()
+        self.len == 0
     }
 }
 
@@ -320,6 +389,13 @@ mod tests {
         Event::SeqReady {
             seq: SequencerId::new(seq),
             generation: 0,
+        }
+    }
+
+    fn tick(cpu: u32, n: u64) -> Event {
+        Event::TimerTick {
+            cpu: SequencerId::new(cpu),
+            tick: n,
         }
     }
 
@@ -364,15 +440,112 @@ mod tests {
     #[test]
     fn timer_and_ready_interleave_correctly() {
         let mut q = EventQueue::new();
-        q.push(
-            Cycles::new(50),
-            Event::TimerTick {
-                cpu: SequencerId::new(0),
-                tick: 1,
-            },
-        );
+        q.push(Cycles::new(50), tick(0, 1));
         q.push(Cycles::new(25), ready(2));
         assert!(matches!(q.pop().unwrap().event, Event::SeqReady { .. }));
         assert!(matches!(q.pop().unwrap().event, Event::TimerTick { .. }));
+    }
+
+    #[test]
+    fn equal_time_tick_and_ready_pop_in_push_order_both_ways() {
+        // The tie-break satellite: a timer tick and a heap event at the same
+        // time must have one pinned total order — `(time, seqno)`, i.e. push
+        // order — regardless of which kind was pushed first.
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(100), tick(0, 1));
+        q.push(Cycles::new(100), ready(1));
+        assert!(matches!(q.pop().unwrap().event, Event::TimerTick { .. }));
+        assert!(matches!(q.pop().unwrap().event, Event::SeqReady { .. }));
+        assert!(q.is_empty());
+
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(100), ready(1));
+        q.push(Cycles::new(100), tick(0, 1));
+        assert!(matches!(q.pop().unwrap().event, Event::SeqReady { .. }));
+        assert!(matches!(q.pop().unwrap().event, Event::TimerTick { .. }));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn supersede_replaces_queued_entry_with_fresh_key() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(10), ready(0));
+        q.push(Cycles::new(30), ready(1));
+        // Supersede sequencer 0's ready: the old t=10 entry must vanish.
+        q.push(Cycles::new(20), ready(0));
+        assert_eq!(q.len(), 2);
+        let a = q.pop().unwrap();
+        assert_eq!(a.time, Cycles::new(20));
+        assert!(matches!(a.event, Event::SeqReady { seq, .. } if seq.index() == 0));
+        let b = q.pop().unwrap();
+        assert_eq!(b.time, Cycles::new(30));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn supersede_keeps_slot_index_coherent_under_churn() {
+        // Regression for slot-index staleness: supersede entries repeatedly,
+        // interleaved with unrelated traffic that forces bucket compaction
+        // (swap_remove) and redistribution, then verify the queue still pops
+        // exactly the live set in `(time, seqno)` order.
+        let mut q = EventQueue::new();
+        let mut now = 0u64;
+        let mut expected: Vec<u64> = Vec::new();
+        for round in 0..50u64 {
+            let t = now + 1 + (round * 7919) % 97;
+            q.push(Cycles::new(t), ready((round % 4) as u32));
+            q.push(Cycles::new(t + 3), tick(0, round + 1));
+            // Supersede the same sequencer immediately: only the second
+            // event survives.
+            q.push(Cycles::new(t + 1), ready((round % 4) as u32));
+            expected.push(t + 1);
+            expected.push(t + 3);
+            // Drain both live events, advancing time.
+            let a = q.pop().unwrap();
+            let b = q.pop().unwrap();
+            now = b.time.as_u64();
+            assert!(a.time <= b.time);
+            assert!(q.is_empty(), "stale superseded entries must not linger");
+        }
+        assert_eq!(expected.len(), 100);
+    }
+
+    #[test]
+    fn stall_end_and_seq_ready_slots_are_independent() {
+        let mut q = EventQueue::new();
+        let seq = SequencerId::new(3);
+        q.push(Cycles::new(10), Event::SeqReady { seq, generation: 1 });
+        q.push(Cycles::new(20), Event::StallEnd { seq });
+        // Superseding the stall window must not disturb the SeqReady entry.
+        q.push(Cycles::new(15), Event::StallEnd { seq });
+        assert_eq!(q.len(), 2);
+        assert!(matches!(q.pop().unwrap().event, Event::SeqReady { .. }));
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, Cycles::new(15));
+        assert!(matches!(e.event, Event::StallEnd { .. }));
+    }
+
+    #[test]
+    fn monotone_pop_across_wide_time_range() {
+        // Exercise refills across many radix buckets: times spanning from
+        // single cycles up past 2^40.
+        let mut q = EventQueue::new();
+        let mut times: Vec<u64> = (0..60).map(|i| 1u64 << i).collect();
+        times.extend([3, 5, 1000, 999_999, (1 << 40) + 12345]);
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Cycles::new(t), tick((i % 3) as u32, i as u64 + 1));
+        }
+        times.sort_unstable();
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.time.as_u64())).collect();
+        assert_eq!(popped, times);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled before")]
+    fn pushing_into_the_past_is_rejected() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(100), ready(0));
+        q.pop();
+        q.push(Cycles::new(99), ready(0));
     }
 }

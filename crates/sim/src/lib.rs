@@ -70,6 +70,6 @@ pub use local::LocalPlatform;
 pub use log::{EventLog, LogKind, LogRecord};
 pub use platform::Platform;
 pub use runtime::{Runtime, RuntimeOutcome, SingleShredRuntime};
-pub use sequencer::SequencerState;
+pub use sequencer::SequencerTable;
 pub use shred::{ShredExecState, ShredPool, ShredStatus};
 pub use stats::{SeqUtilization, ServiceStats, SimStats};

@@ -72,7 +72,7 @@ impl Platform for LocalPlatform {
             core.memory_mut()
                 .bind_sequencer(seq, pid)
                 .expect("binding a registered process cannot fail");
-            core.sequencer_mut(seq).set_bound_thread(Some(thread));
+            core.sequencers_mut().set_bound_thread(seq, Some(thread));
             if self.timer_enabled {
                 let first = core.config().timer.next_tick_after(Cycles::ZERO);
                 core.schedule_timer(seq, first, 1);

@@ -1,196 +1,236 @@
-//! Per-sequencer execution state.
+//! Per-sequencer execution state, stored struct-of-arrays.
+//!
+//! A sequencer is either *idle* (no shred installed), *running* (a shred is
+//! installed and a completion event is pending), or *suspended* (execution
+//! paused by the platform — e.g. an AMS suspended while its OMS executes in
+//! Ring 0, or a thread context-switched away).  Suspension is orthogonal to
+//! having a shred installed: a suspended sequencer remembers how much of its
+//! in-flight operation remained so it can be resumed precisely.
+//!
+//! The state lives in a [`SequencerTable`] — one parallel `Vec` per field,
+//! indexed by [`SequencerId`] — rather than a `Vec` of per-sequencer structs.
+//! The step path touches only a couple of fields per operation (`generation`
+//! and `pending_at` to schedule, `busy`/`ops_executed` to account), so the
+//! struct-of-arrays layout keeps each access inside a small, densely-packed
+//! array instead of striding over the full per-sequencer record, and the
+//! hottest columns of every sequencer share cache lines.
 
 use misp_types::{Cycles, OsThreadId, SequencerId, ShredId};
 
-/// The execution state of one simulated sequencer.
-///
-/// A sequencer is either *idle* (no shred installed), *running* (a shred is
-/// installed and a completion event is pending), or *suspended* (execution
-/// paused by the platform — e.g. an AMS suspended while its OMS executes in
-/// Ring 0, or a thread context-switched away).  Suspension is orthogonal to
-/// having a shred installed: a suspended sequencer remembers how much of its
-/// in-flight operation remained so it can be resumed precisely.
-#[derive(Debug, Clone)]
-pub struct SequencerState {
-    id: SequencerId,
-    /// The shred currently installed on this sequencer, if any.
-    current_shred: Option<ShredId>,
-    /// The OS thread whose context this sequencer is currently serving.
-    bound_thread: Option<OsThreadId>,
-    suspended: bool,
+/// The execution state of every sequencer in the machine, struct-of-arrays:
+/// field `f` of sequencer `s` lives at `f[s.index()]`.  All methods take the
+/// [`SequencerId`] they operate on.
+#[derive(Debug, Clone, Default)]
+pub struct SequencerTable {
+    /// The shred currently installed on each sequencer, if any.
+    current_shred: Vec<Option<ShredId>>,
+    /// The OS thread whose context each sequencer is currently serving.
+    bound_thread: Vec<Option<OsThreadId>>,
+    suspended: Vec<bool>,
     /// Remaining cycles of the in-flight operation captured at suspension.
-    remaining: Cycles,
+    remaining: Vec<Cycles>,
     /// End of the current timed stall window, if the suspension is timed.
     /// `None` while suspended means the suspension is indefinite (e.g. the
     /// owning thread was context-switched away) and must be cleared explicitly.
-    stall_end: Option<Cycles>,
+    stall_end: Vec<Option<Cycles>>,
     /// Generation counter: stale `SeqReady` events are ignored.
-    generation: u64,
+    generation: Vec<u64>,
     /// Absolute time of the currently pending completion event, if running.
-    pending_at: Option<Cycles>,
+    pending_at: Vec<Option<Cycles>>,
     // --- statistics ---
-    busy: Cycles,
-    stalled: Cycles,
-    ops_executed: u64,
+    busy: Vec<Cycles>,
+    stalled: Vec<Cycles>,
+    ops_executed: Vec<u64>,
 }
 
-impl SequencerState {
-    /// Creates an idle sequencer.
+impl SequencerTable {
+    /// Creates a table of `count` idle sequencers.
     #[must_use]
-    pub fn new(id: SequencerId) -> Self {
-        SequencerState {
-            id,
-            current_shred: None,
-            bound_thread: None,
-            suspended: false,
-            remaining: Cycles::ZERO,
-            stall_end: None,
-            generation: 0,
-            pending_at: None,
-            busy: Cycles::ZERO,
-            stalled: Cycles::ZERO,
-            ops_executed: 0,
+    pub fn new(count: usize) -> Self {
+        SequencerTable {
+            current_shred: vec![None; count],
+            bound_thread: vec![None; count],
+            suspended: vec![false; count],
+            remaining: vec![Cycles::ZERO; count],
+            stall_end: vec![None; count],
+            generation: vec![0; count],
+            pending_at: vec![None; count],
+            busy: vec![Cycles::ZERO; count],
+            stalled: vec![Cycles::ZERO; count],
+            ops_executed: vec![0; count],
         }
     }
 
-    /// The sequencer identifier.
+    /// Number of sequencers in the table.
     #[must_use]
-    pub fn id(&self) -> SequencerId {
-        self.id
+    pub fn len(&self) -> usize {
+        self.generation.len()
     }
 
-    /// The shred currently installed, if any.
+    /// Returns `true` when the table has no sequencers.
     #[must_use]
-    pub fn current_shred(&self) -> Option<ShredId> {
-        self.current_shred
+    pub fn is_empty(&self) -> bool {
+        self.generation.is_empty()
     }
 
-    /// Installs or clears the current shred.
-    pub fn set_current_shred(&mut self, shred: Option<ShredId>) {
-        self.current_shred = shred;
+    /// All sequencer ids, in index order.
+    pub fn ids(&self) -> impl Iterator<Item = SequencerId> {
+        (0..self.len() as u32).map(SequencerId::new)
     }
 
-    /// The OS thread bound to this sequencer, if any.
+    /// The shred currently installed on `seq`, if any.
+    #[inline]
     #[must_use]
-    pub fn bound_thread(&self) -> Option<OsThreadId> {
-        self.bound_thread
+    pub fn current_shred(&self, seq: SequencerId) -> Option<ShredId> {
+        self.current_shred[seq.as_usize()]
     }
 
-    /// Binds (or unbinds) the OS thread served by this sequencer.
-    pub fn set_bound_thread(&mut self, thread: Option<OsThreadId>) {
-        self.bound_thread = thread;
+    /// Installs or clears the current shred of `seq`.
+    #[inline]
+    pub fn set_current_shred(&mut self, seq: SequencerId, shred: Option<ShredId>) {
+        self.current_shred[seq.as_usize()] = shred;
     }
 
-    /// Returns `true` while the sequencer is suspended by the platform.
+    /// The OS thread bound to `seq`, if any.
+    #[inline]
     #[must_use]
-    pub fn is_suspended(&self) -> bool {
-        self.suspended
+    pub fn bound_thread(&self, seq: SequencerId) -> Option<OsThreadId> {
+        self.bound_thread[seq.as_usize()]
     }
 
-    /// Returns `true` when the sequencer has no shred installed and is not
-    /// suspended (i.e. it can accept work immediately).
+    /// Binds (or unbinds) the OS thread served by `seq`.
+    #[inline]
+    pub fn set_bound_thread(&mut self, seq: SequencerId, thread: Option<OsThreadId>) {
+        self.bound_thread[seq.as_usize()] = thread;
+    }
+
+    /// Returns `true` while `seq` is suspended by the platform.
+    #[inline]
     #[must_use]
-    pub fn is_idle(&self) -> bool {
-        !self.suspended && self.current_shred.is_none()
+    pub fn is_suspended(&self, seq: SequencerId) -> bool {
+        self.suspended[seq.as_usize()]
     }
 
-    /// The current generation (for validating `SeqReady` events).
+    /// Returns `true` when `seq` has no shred installed and is not suspended
+    /// (i.e. it can accept work immediately).
+    #[inline]
     #[must_use]
-    pub fn generation(&self) -> u64 {
-        self.generation
+    pub fn is_idle(&self, seq: SequencerId) -> bool {
+        !self.suspended[seq.as_usize()] && self.current_shred[seq.as_usize()].is_none()
     }
 
-    /// Invalidates any outstanding `SeqReady` event and returns the new
-    /// generation to use for the next scheduled event.
-    pub fn bump_generation(&mut self) -> u64 {
-        self.generation += 1;
-        self.generation
-    }
-
-    /// Records that a completion event was scheduled at `at`.
-    pub fn set_pending(&mut self, at: Option<Cycles>) {
-        self.pending_at = at;
-    }
-
-    /// The absolute time of the pending completion event, if any.
+    /// The current generation of `seq` (for validating `SeqReady` events).
+    #[inline]
     #[must_use]
-    pub fn pending_at(&self) -> Option<Cycles> {
-        self.pending_at
+    pub fn generation(&self, seq: SequencerId) -> u64 {
+        self.generation[seq.as_usize()]
     }
 
-    /// Marks the sequencer suspended at time `now`, capturing the remaining
-    /// portion of its in-flight operation.  Idempotent: re-suspending keeps
-    /// the first capture.
-    pub fn suspend(&mut self, now: Cycles) {
-        if self.suspended {
+    /// Invalidates any outstanding `SeqReady` event for `seq` and returns the
+    /// new generation to use for the next scheduled event.
+    #[inline]
+    pub fn bump_generation(&mut self, seq: SequencerId) -> u64 {
+        let g = &mut self.generation[seq.as_usize()];
+        *g += 1;
+        *g
+    }
+
+    /// Records that a completion event for `seq` was scheduled at `at`.
+    #[inline]
+    pub fn set_pending(&mut self, seq: SequencerId, at: Option<Cycles>) {
+        self.pending_at[seq.as_usize()] = at;
+    }
+
+    /// The absolute time of `seq`'s pending completion event, if any.
+    #[inline]
+    #[must_use]
+    pub fn pending_at(&self, seq: SequencerId) -> Option<Cycles> {
+        self.pending_at[seq.as_usize()]
+    }
+
+    /// Marks `seq` suspended at time `now`, capturing the remaining portion
+    /// of its in-flight operation.  Idempotent: re-suspending keeps the first
+    /// capture.
+    pub fn suspend(&mut self, seq: SequencerId, now: Cycles) {
+        let i = seq.as_usize();
+        if self.suspended[i] {
             return;
         }
-        self.suspended = true;
-        self.remaining = match self.pending_at {
+        self.suspended[i] = true;
+        self.remaining[i] = match self.pending_at[i] {
             Some(at) => at.saturating_sub(now),
             None => Cycles::ZERO,
         };
-        self.pending_at = None;
-        self.bump_generation();
+        self.pending_at[i] = None;
+        self.bump_generation(seq);
     }
 
-    /// Clears the suspension, returning the captured remaining work so the
-    /// caller can schedule the continuation.  Returns `None` if the sequencer
-    /// was not suspended.
-    pub fn clear_suspension(&mut self) -> Option<Cycles> {
-        if !self.suspended {
+    /// Clears the suspension of `seq`, returning the captured remaining work
+    /// so the caller can schedule the continuation.  Returns `None` if the
+    /// sequencer was not suspended.
+    pub fn clear_suspension(&mut self, seq: SequencerId) -> Option<Cycles> {
+        let i = seq.as_usize();
+        if !self.suspended[i] {
             return None;
         }
-        self.suspended = false;
-        self.stall_end = None;
-        let r = self.remaining;
-        self.remaining = Cycles::ZERO;
+        self.suspended[i] = false;
+        self.stall_end[i] = None;
+        let r = self.remaining[i];
+        self.remaining[i] = Cycles::ZERO;
         Some(r)
     }
 
-    /// The end of the current timed stall window, if any.
+    /// The end of `seq`'s current timed stall window, if any.
+    #[inline]
     #[must_use]
-    pub fn stall_end(&self) -> Option<Cycles> {
-        self.stall_end
+    pub fn stall_end(&self, seq: SequencerId) -> Option<Cycles> {
+        self.stall_end[seq.as_usize()]
     }
 
-    /// Sets (or clears) the timed stall window end.
-    pub fn set_stall_end(&mut self, end: Option<Cycles>) {
-        self.stall_end = end;
+    /// Sets (or clears) the timed stall window end of `seq`.
+    #[inline]
+    pub fn set_stall_end(&mut self, seq: SequencerId, end: Option<Cycles>) {
+        self.stall_end[seq.as_usize()] = end;
     }
 
-    /// Adds `cycles` of useful execution to the busy counter.
-    pub fn add_busy(&mut self, cycles: Cycles) {
-        self.busy += cycles;
+    /// Adds `cycles` of useful execution to `seq`'s busy counter.
+    #[inline]
+    pub fn add_busy(&mut self, seq: SequencerId, cycles: Cycles) {
+        self.busy[seq.as_usize()] += cycles;
     }
 
-    /// Adds `cycles` of platform-imposed stall to the stall counter.
-    pub fn add_stalled(&mut self, cycles: Cycles) {
-        self.stalled += cycles;
+    /// Adds `cycles` of platform-imposed stall to `seq`'s stall counter.
+    #[inline]
+    pub fn add_stalled(&mut self, seq: SequencerId, cycles: Cycles) {
+        self.stalled[seq.as_usize()] += cycles;
     }
 
-    /// Increments the executed-operation counter.
-    pub fn count_op(&mut self) {
-        self.ops_executed += 1;
+    /// Increments `seq`'s executed-operation counter.
+    #[inline]
+    pub fn count_op(&mut self, seq: SequencerId) {
+        self.ops_executed[seq.as_usize()] += 1;
     }
 
-    /// Cycles spent doing useful work.
+    /// Cycles `seq` spent doing useful work.
+    #[inline]
     #[must_use]
-    pub fn busy(&self) -> Cycles {
-        self.busy
+    pub fn busy(&self, seq: SequencerId) -> Cycles {
+        self.busy[seq.as_usize()]
     }
 
-    /// Cycles lost to platform-imposed stalls (serialization, proxy waits,
-    /// context-switch suspension).
+    /// Cycles `seq` lost to platform-imposed stalls (serialization, proxy
+    /// waits, context-switch suspension).
+    #[inline]
     #[must_use]
-    pub fn stalled(&self) -> Cycles {
-        self.stalled
+    pub fn stalled(&self, seq: SequencerId) -> Cycles {
+        self.stalled[seq.as_usize()]
     }
 
-    /// Number of operations executed.
+    /// Number of operations `seq` executed.
+    #[inline]
     #[must_use]
-    pub fn ops_executed(&self) -> u64 {
-        self.ops_executed
+    pub fn ops_executed(&self, seq: SequencerId) -> u64 {
+        self.ops_executed[seq.as_usize()]
     }
 }
 
@@ -198,78 +238,88 @@ impl SequencerState {
 mod tests {
     use super::*;
 
+    const SEQ: SequencerId = SequencerId::new(0);
+
     #[test]
-    fn new_sequencer_is_idle() {
-        let s = SequencerState::new(SequencerId::new(2));
-        assert_eq!(s.id(), SequencerId::new(2));
-        assert!(s.is_idle());
-        assert!(!s.is_suspended());
-        assert_eq!(s.current_shred(), None);
-        assert_eq!(s.bound_thread(), None);
-        assert_eq!(s.generation(), 0);
+    fn new_sequencers_are_idle() {
+        let t = SequencerTable::new(3);
+        assert_eq!(t.len(), 3);
+        let s = SequencerId::new(2);
+        assert!(t.is_idle(s));
+        assert!(!t.is_suspended(s));
+        assert_eq!(t.current_shred(s), None);
+        assert_eq!(t.bound_thread(s), None);
+        assert_eq!(t.generation(s), 0);
+        assert_eq!(t.ids().collect::<Vec<_>>().len(), 3);
     }
 
     #[test]
     fn installing_a_shred_clears_idle() {
-        let mut s = SequencerState::new(SequencerId::new(0));
-        s.set_current_shred(Some(ShredId::new(5)));
-        assert!(!s.is_idle());
-        assert_eq!(s.current_shred(), Some(ShredId::new(5)));
-        s.set_current_shred(None);
-        assert!(s.is_idle());
+        let mut t = SequencerTable::new(1);
+        t.set_current_shred(SEQ, Some(ShredId::new(5)));
+        assert!(!t.is_idle(SEQ));
+        assert_eq!(t.current_shred(SEQ), Some(ShredId::new(5)));
+        t.set_current_shred(SEQ, None);
+        assert!(t.is_idle(SEQ));
     }
 
     #[test]
     fn suspend_captures_remaining_work() {
-        let mut s = SequencerState::new(SequencerId::new(0));
-        s.set_current_shred(Some(ShredId::new(1)));
-        s.set_pending(Some(Cycles::new(1_000)));
-        let gen_before = s.generation();
-        s.suspend(Cycles::new(400));
-        assert!(s.is_suspended());
-        assert!(s.generation() > gen_before, "suspension invalidates events");
-        assert_eq!(s.pending_at(), None);
-        assert_eq!(s.clear_suspension(), Some(Cycles::new(600)));
-        assert!(!s.is_suspended());
+        let mut t = SequencerTable::new(1);
+        t.set_current_shred(SEQ, Some(ShredId::new(1)));
+        t.set_pending(SEQ, Some(Cycles::new(1_000)));
+        let gen_before = t.generation(SEQ);
+        t.suspend(SEQ, Cycles::new(400));
+        assert!(t.is_suspended(SEQ));
+        assert!(
+            t.generation(SEQ) > gen_before,
+            "suspension invalidates events"
+        );
+        assert_eq!(t.pending_at(SEQ), None);
+        assert_eq!(t.clear_suspension(SEQ), Some(Cycles::new(600)));
+        assert!(!t.is_suspended(SEQ));
     }
 
     #[test]
     fn suspend_is_idempotent() {
-        let mut s = SequencerState::new(SequencerId::new(0));
-        s.set_pending(Some(Cycles::new(100)));
-        s.suspend(Cycles::new(40));
+        let mut t = SequencerTable::new(1);
+        t.set_pending(SEQ, Some(Cycles::new(100)));
+        t.suspend(SEQ, Cycles::new(40));
         // Second suspension later must not overwrite the first capture.
-        s.suspend(Cycles::new(90));
-        assert_eq!(s.clear_suspension(), Some(Cycles::new(60)));
+        t.suspend(SEQ, Cycles::new(90));
+        assert_eq!(t.clear_suspension(SEQ), Some(Cycles::new(60)));
     }
 
     #[test]
     fn suspend_without_pending_captures_zero() {
-        let mut s = SequencerState::new(SequencerId::new(0));
-        s.suspend(Cycles::new(10));
-        assert_eq!(s.clear_suspension(), Some(Cycles::ZERO));
-        assert_eq!(s.clear_suspension(), None, "already cleared");
+        let mut t = SequencerTable::new(1);
+        t.suspend(SEQ, Cycles::new(10));
+        assert_eq!(t.clear_suspension(SEQ), Some(Cycles::ZERO));
+        assert_eq!(t.clear_suspension(SEQ), None, "already cleared");
     }
 
     #[test]
-    fn counters_accumulate() {
-        let mut s = SequencerState::new(SequencerId::new(0));
-        s.add_busy(Cycles::new(10));
-        s.add_busy(Cycles::new(5));
-        s.add_stalled(Cycles::new(3));
-        s.count_op();
-        s.count_op();
-        assert_eq!(s.busy(), Cycles::new(15));
-        assert_eq!(s.stalled(), Cycles::new(3));
-        assert_eq!(s.ops_executed(), 2);
+    fn counters_accumulate_per_sequencer() {
+        let mut t = SequencerTable::new(2);
+        let other = SequencerId::new(1);
+        t.add_busy(SEQ, Cycles::new(10));
+        t.add_busy(SEQ, Cycles::new(5));
+        t.add_stalled(SEQ, Cycles::new(3));
+        t.count_op(SEQ);
+        t.count_op(SEQ);
+        assert_eq!(t.busy(SEQ), Cycles::new(15));
+        assert_eq!(t.stalled(SEQ), Cycles::new(3));
+        assert_eq!(t.ops_executed(SEQ), 2);
+        assert_eq!(t.busy(other), Cycles::ZERO, "columns are independent");
+        assert_eq!(t.ops_executed(other), 0);
     }
 
     #[test]
     fn thread_binding() {
-        let mut s = SequencerState::new(SequencerId::new(0));
-        s.set_bound_thread(Some(OsThreadId::new(4)));
-        assert_eq!(s.bound_thread(), Some(OsThreadId::new(4)));
-        s.set_bound_thread(None);
-        assert_eq!(s.bound_thread(), None);
+        let mut t = SequencerTable::new(1);
+        t.set_bound_thread(SEQ, Some(OsThreadId::new(4)));
+        assert_eq!(t.bound_thread(SEQ), Some(OsThreadId::new(4)));
+        t.set_bound_thread(SEQ, None);
+        assert_eq!(t.bound_thread(SEQ), None);
     }
 }

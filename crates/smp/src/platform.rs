@@ -87,7 +87,7 @@ impl SmpPlatform {
         core.memory_mut()
             .bind_sequencer(seq, pid)
             .expect("process is registered");
-        core.sequencer_mut(seq).set_bound_thread(Some(thread));
+        core.sequencers_mut().set_bound_thread(seq, Some(thread));
         let ctx = self.thread_ctx.remove(&thread).unwrap_or_default();
         core.restore_context(seq, ctx, at);
         let _ = core

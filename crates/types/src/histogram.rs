@@ -172,14 +172,27 @@ impl Histogram {
     /// The value at quantile `numer / denom` (e.g. `(999, 1000)` for p999),
     /// computed entirely in integers: the upper bound of the bucket holding
     /// the sample of rank `ceil(count * numer / denom)`, clamped to the exact
-    /// observed maximum.  Returns 0 for an empty histogram.
+    /// observed maximum.  Returns 0 for an empty histogram or a zero `denom`
+    /// (an undefined quantile is reported as "no latency", never a panic or
+    /// a divide-by-zero).
+    ///
+    /// Boundary convention: when the rank lands exactly on a cumulative-count
+    /// boundary (the rank-th sample is the *last* sample of its bucket), the
+    /// reported value is that bucket's upper bound — never the next bucket's.
+    /// In the exact range (< 64) this means e.g. p50 over the 50 uniform
+    /// values `1..=50` is exactly 25, not 26.
     ///
     /// # Panics
     ///
-    /// Panics if `denom` is zero or `numer > denom`.
+    /// Panics if `numer > denom` (a quantile above 1 is a caller bug, unlike
+    /// an empty denominator which legitimately arises from "percentile of
+    /// zero completed requests").
     #[must_use]
     pub fn value_at_quantile(&self, numer: u64, denom: u64) -> u64 {
-        assert!(denom > 0 && numer <= denom, "quantile {numer}/{denom}");
+        if denom == 0 {
+            return 0;
+        }
+        assert!(numer <= denom, "quantile {numer}/{denom}");
         if self.count == 0 {
             return 0;
         }
@@ -187,6 +200,8 @@ impl Histogram {
         let mut seen = 0u64;
         for (&bucket, &n) in &self.buckets {
             seen += n;
+            // `>=` keeps the exact-boundary case (`seen == rank`) in the
+            // current bucket; `>` would skate past it to the next one.
             if seen >= rank {
                 return bucket_upper_bound(bucket).min(self.max);
             }
@@ -317,6 +332,45 @@ mod tests {
         assert_eq!(p95, 777_777);
         assert_eq!(p99, 777_777);
         assert_eq!(p999, 777_777);
+    }
+
+    #[test]
+    fn zero_denominator_is_reported_as_zero() {
+        // "p50 of zero completed requests" must not panic or divide by zero.
+        let mut h = Histogram::new();
+        assert_eq!(h.value_at_quantile(50, 0), 0);
+        h.record(42);
+        assert_eq!(h.value_at_quantile(50, 0), 0);
+        assert_eq!(h.value_at_quantile(0, 0), 0);
+    }
+
+    #[test]
+    fn exact_value_quantiles_respect_cumulative_boundaries() {
+        // 50 uniform values in the exact (< 64) range: every sample has its
+        // own bucket, so quantile ranks land exactly on cumulative-count
+        // boundaries.  The rank-th sample's own bucket must be reported, not
+        // the next bucket up.
+        let mut h = Histogram::new();
+        for v in 1..=50u64 {
+            h.record(v);
+        }
+        // rank(p50) = ceil(50 * 50 / 100) = 25 → the 25th smallest value.
+        assert_eq!(h.value_at_quantile(50, 100), 25);
+        // rank(p999) = ceil(50 * 999 / 1000) = 50 → the maximum.
+        assert_eq!(h.value_at_quantile(999, 1000), 50);
+        // Odd count: rank(p50) = ceil(49 * 50 / 100) = 25 as well.
+        let mut odd = Histogram::new();
+        for v in 1..=49u64 {
+            odd.record(v);
+        }
+        assert_eq!(odd.value_at_quantile(50, 100), 25);
+        assert_eq!(odd.value_at_quantile(999, 1000), 49);
+        // Duplicated exact values: boundary lands mid-run of equal samples.
+        let mut dup = Histogram::new();
+        dup.record_n(10, 5);
+        dup.record_n(20, 5);
+        assert_eq!(dup.value_at_quantile(50, 100), 10, "rank 5 is still a 10");
+        assert_eq!(dup.value_at_quantile(51, 100), 20, "rank 6 is the first 20");
     }
 
     #[test]

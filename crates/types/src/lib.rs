@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arena;
 mod cost;
 mod cycles;
 mod error;
@@ -35,6 +36,7 @@ mod ids;
 mod ring;
 mod rng;
 
+pub use arena::{Arena, ArenaId, ArenaMap};
 pub use cost::{CacheCostModel, CostModel, CostModelBuilder, SignalCost};
 pub use cycles::{Cycles, Duration};
 pub use error::{MispError, Result};

@@ -168,9 +168,12 @@ impl Workload {
         let mut worker_refs = Vec::with_capacity(workers);
         for w in 0..workers {
             let mut b = ProgramBuilder::new(format!("{}-worker{}", self.name, w));
-            if let Some(set) = self.worker_set(w) {
+            // Built once per worker: constructing the set formats its name,
+            // and the chunk loop below consults it every iteration.
+            let set = self.worker_set(w);
+            if let Some(set) = set.as_ref() {
                 // First-touch the worker's partition in the configured order.
-                for addr in p.access_pattern.addresses(&set) {
+                for addr in p.access_pattern.addresses(set) {
                     b = b.op(Op::load(addr));
                 }
             }
@@ -189,7 +192,7 @@ impl Workload {
                 // Steady-state accesses of this iteration, per the locality
                 // profile (the default revisits one already-resident page:
                 // TLB traffic, no new faults).
-                b = Self::chunk_accesses(b, p.locality, self.worker_set(w).as_ref(), c);
+                b = Self::chunk_accesses(b, p.locality, set.as_ref(), c);
                 if syscall_period > 0
                     && issued_syscalls < p.worker_syscalls
                     && (c + 1) % syscall_period == 0

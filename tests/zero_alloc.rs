@@ -1,0 +1,108 @@
+//! Allocation audit of the engine's steady-state hot loop.
+//!
+//! A counting global allocator wraps the system allocator.  The workload and
+//! machine are fully constructed *before* counting starts, so the measurement
+//! covers only `MispMachine::run` — the event loop and `step_sequencer`.  We
+//! run the same machine shape twice, with the second run executing twice the
+//! operations; if anything on the per-operation path allocated, the second
+//! run would allocate more by an amount proportional to the extra operations
+//! (hundreds of thousands).  A small fixed tolerance covers amortized
+//! container growth (a retained buffer doubling once more in the longer run
+//! is O(log n) events per run, not O(ops)).
+
+use misp::core::{MispMachine, MispTopology};
+use misp::isa::ProgramLibrary;
+use misp::os::TimerConfig;
+use misp::sim::SimConfig;
+use misp::types::Cycles;
+use misp::workloads::{LocalityProfile, Suite, Workload, WorkloadParams};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn params(chunks: u64) -> WorkloadParams {
+    WorkloadParams {
+        total_work: 200_000_000,
+        serial_fraction: 0.05,
+        main_pages: 16,
+        worker_pages: 8,
+        chunks_per_worker: chunks,
+        main_syscalls: 2,
+        worker_syscalls: 0,
+        access_pattern: misp::mem::AccessPattern::Sequential,
+        lock_contention: false,
+        locality: LocalityProfile::Revisit,
+    }
+}
+
+/// Builds the machine outside the measurement, then runs it and returns
+/// (allocations during the run only, executed ops).
+fn measured_run(chunks: u64) -> (u64, u64) {
+    let workload = Workload::new("alloc-audit", Suite::Rms, params(chunks));
+    let topo = MispTopology::uniprocessor(3).unwrap();
+    let config = SimConfig {
+        timer: TimerConfig::new(Cycles::new(3_000_000), 10),
+        ..SimConfig::default()
+    };
+    let mut library = ProgramLibrary::new();
+    let scheduler = workload.build(&mut library, 4);
+    let mut machine = MispMachine::new(topo, config, library);
+    machine.add_process(workload.name(), Box::new(scheduler), Some(0));
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let report = machine.run().unwrap();
+    let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    let ops = report.stats.per_sequencer.iter().map(|s| s.ops).sum();
+    (during, ops)
+}
+
+#[test]
+fn steady_state_step_loop_does_not_allocate() {
+    // Warm up allocator internals and any lazily-initialized state so both
+    // measured runs start from the same baseline.
+    let _ = measured_run(1_000);
+
+    let (alloc_1x, ops_1x) = measured_run(100_000);
+    let (alloc_2x, ops_2x) = measured_run(200_000);
+
+    assert!(
+        ops_2x > ops_1x + 100_000,
+        "doubling the chunks must add real operations (got {ops_1x} vs {ops_2x})"
+    );
+    // Allocations may not scale with operations.  The slack absorbs one-off
+    // amortized growth (a retained Vec doubling once more in the longer run);
+    // a single allocation per operation would blow past it ten-thousand-fold.
+    let delta = alloc_2x.abs_diff(alloc_1x);
+    assert!(
+        delta <= 64,
+        "steady-state hot loop allocated: {alloc_1x} allocations for {ops_1x} ops vs \
+         {alloc_2x} for {ops_2x} ops (delta {delta})"
+    );
+}
