@@ -99,3 +99,18 @@ impl Value {
         }
     }
 }
+
+// A `Value` serializes and deserializes as itself, so callers can parse
+// arbitrary JSON into the value tree (`serde_json::from_str::<Value>`) the
+// way real serde_json allows.
+impl crate::Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}

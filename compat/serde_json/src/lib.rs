@@ -8,9 +8,10 @@
 
 #![forbid(unsafe_code)]
 
-use serde::{Deserialize, Number, Serialize, Value};
+use serde::{Deserialize, Number, Serialize};
 
 pub use serde::Error;
+pub use serde::Value;
 
 /// Serializes `value` to a compact JSON string.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -24,6 +25,70 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0)?;
     Ok(out)
+}
+
+/// Incremental writer of line-delimited JSON (JSONL / NDJSON).
+///
+/// Serializes one value per [`write`](LineWriter::write) call, terminated by
+/// a single `\n`, directly into the underlying [`std::io::Write`] — the
+/// document is never buffered as a whole, so a stream of millions of records
+/// costs only the largest single line.  The internal line buffer is reused
+/// across calls; after the warm-up line, steady-state writes allocate only
+/// when a line outgrows every previous one.
+///
+/// ```
+/// let mut out = Vec::new();
+/// let mut w = serde_json::LineWriter::new(&mut out);
+/// w.write(&1u32).unwrap();
+/// w.write(&vec![2u32, 3]).unwrap();
+/// assert_eq!(out, b"1\n[2,3]\n");
+/// ```
+#[derive(Debug)]
+pub struct LineWriter<W: std::io::Write> {
+    writer: W,
+    buf: String,
+}
+
+impl<W: std::io::Write> LineWriter<W> {
+    /// Wraps `writer` for line-delimited output.
+    pub fn new(writer: W) -> Self {
+        LineWriter {
+            writer,
+            buf: String::new(),
+        }
+    }
+
+    /// Serializes `value` compactly and writes it as one `\n`-terminated
+    /// line.
+    ///
+    /// # Errors
+    ///
+    /// Returns serialization failures (e.g. non-finite floats) and I/O errors
+    /// from the underlying writer, both as [`Error`].
+    pub fn write<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.buf.clear();
+        write_value(&mut self.buf, &value.to_value(), None, 0)?;
+        self.buf.push('\n');
+        self.writer
+            .write_all(self.buf.as_bytes())
+            .map_err(|e| Error::custom(format!("I/O error writing JSONL line: {e}")))
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer as [`Error`].
+    pub fn flush(&mut self) -> Result<(), Error> {
+        self.writer
+            .flush()
+            .map_err(|e| Error::custom(format!("I/O error flushing JSONL writer: {e}")))
+    }
+
+    /// Unwraps the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
 }
 
 /// Deserializes a `T` from a JSON string.
@@ -449,6 +514,37 @@ mod tests {
             to_string_pretty(&v).unwrap(),
             "[\n  [\n    1\n  ],\n  []\n]"
         );
+    }
+
+    #[test]
+    fn line_writer_streams_one_compact_line_per_value() {
+        let mut out = Vec::new();
+        let mut w = LineWriter::new(&mut out);
+        w.write(&42u64).unwrap();
+        w.write("a\nb").unwrap();
+        w.write(&vec![1u32, 2]).unwrap();
+        w.flush().unwrap();
+        assert_eq!(out, b"42\n\"a\\nb\"\n[1,2]\n");
+    }
+
+    #[test]
+    fn line_writer_reports_serialization_and_io_errors() {
+        struct Full;
+        impl std::io::Write for Full {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = LineWriter::new(Full);
+        assert!(w.write(&f64::NAN).unwrap_err().to_string().contains("NaN"));
+        assert!(w
+            .write(&1u32)
+            .unwrap_err()
+            .to_string()
+            .contains("disk full"));
     }
 
     #[test]

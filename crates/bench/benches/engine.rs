@@ -23,7 +23,10 @@
 //! an artifact next to the sweep-smoke results.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use misp_harness::{grids, run_grid, GridSpec, RunKind, SweepOptions, VerifyMode};
+use misp_harness::{
+    grids, run_grid, run_grid_with_artifacts, GridSpec, RunKind, SweepOptions, VerifyMode,
+};
+use misp_sim::QueueProfile;
 use misp_workloads::{catalog, Machine, Run};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -45,6 +48,17 @@ struct BenchEntry {
     wall_ms: f64,
     /// Simulated operations retired per wall-clock second at that speed.
     ops_per_sec: f64,
+    /// Largest simultaneous event-queue occupancy seen across the sweep's
+    /// radix heaps.  `None` in entries measured before self-profiling landed.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    heap_max_len: Option<u64>,
+    /// Total bucket redistributions performed by the sweep's radix heaps.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    heap_redistributions: Option<u64>,
+    /// Total superseded-slot replacements absorbed by the sweep's radix
+    /// heaps.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    heap_supersessions: Option<u64>,
 }
 
 /// The `BENCH_engine.json` document (schema v2).
@@ -108,6 +122,9 @@ fn load_prior(path: &PathBuf) -> (Vec<BenchEntry>, Option<f64>) {
                 total_ops: doc.total_ops,
                 wall_ms: e.wall_ms,
                 ops_per_sec: e.ops_per_sec,
+                heap_max_len: None,
+                heap_redistributions: None,
+                heap_supersessions: None,
             })
             .collect();
         return (entries, doc.reference_seed_wall_ms);
@@ -156,6 +173,23 @@ fn fig4_total_ops() -> u64 {
     total
 }
 
+/// Aggregates the radix-heap self-profile over one single-threaded sweep of
+/// `grid`: max occupancy, bucket redistributions, and superseded-slot
+/// replacements summed across every simulation point.  Runs outside the
+/// timed iterations so harvesting never skews the wall-clock numbers.
+fn heap_profile(grid: &GridSpec) -> QueueProfile {
+    let options = SweepOptions {
+        threads: 1,
+        verify: VerifyMode::Off,
+    };
+    let (_, artifacts) = run_grid_with_artifacts(grid, &options).expect("fig4 sweeps cleanly");
+    let mut total = QueueProfile::default();
+    for profile in artifacts.iter().filter_map(|a| a.queue.as_ref()) {
+        total.absorb(profile);
+    }
+    total
+}
+
 /// Times one single-threaded sweep of `grid`, best of `iters` runs.
 fn time_grid(grid: &GridSpec, iters: usize) -> f64 {
     let options = SweepOptions {
@@ -179,13 +213,16 @@ fn emit_trajectory(test_mode: bool) {
     let on_ms = time_grid(&batched, iters);
     let off_ms = time_grid(&reference, iters);
     let total_ops = fig4_total_ops();
-    let entry = |config: &str, wall_ms: f64| BenchEntry {
+    let entry = |config: &str, wall_ms: f64, heap: QueueProfile| BenchEntry {
         pr: pr.clone(),
         grid: "fig4".to_string(),
         config: config.to_string(),
         total_ops,
         wall_ms: (wall_ms * 1000.0).round() / 1000.0,
         ops_per_sec: (total_ops as f64 / (wall_ms / 1e3)).round(),
+        heap_max_len: Some(heap.max_len),
+        heap_redistributions: Some(heap.redistributions),
+        heap_supersessions: Some(heap.supersessions),
     };
 
     // crates/bench/ -> repository root.
@@ -208,10 +245,10 @@ fn emit_trajectory(test_mode: bool) {
         .and_then(|v| v.parse::<f64>().ok())
         .or(prior_seed);
     let mut entries: Vec<BenchEntry> = prior.into_iter().filter(|e| e.pr != pr).collect();
-    let fresh = entry("macro-step", on_ms);
+    let fresh = entry("macro-step", on_ms, heap_profile(&batched));
     let fresh_ops_per_sec = fresh.ops_per_sec;
     entries.push(fresh);
-    entries.push(entry("event-per-op", off_ms));
+    entries.push(entry("event-per-op", off_ms, heap_profile(&reference)));
     let doc = BenchDoc {
         schema_version: 2,
         entries,

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! sweep <grid> [--threads N] [--out PATH] [--verify off|spot|full] [--stdout]
-//!              [--offered-load PCT]
+//!              [--offered-load PCT] [--trace] [--metrics-interval CYCLES]
+//!              [--profile]
 //! sweep --list
 //! ```
 //!
@@ -14,13 +15,63 @@
 //! collapses every load axis of the grid to the given percentage of pool
 //! capacity.  Naming it with any other grid is a usage error.
 //!
+//! Observability flags (both require `--out`, because their artifacts are
+//! named after the results file):
+//!
+//! * `--trace` records a structured trace of every simulation run and writes
+//!   one Chrome-trace/Perfetto JSON file per run under `<stem>-trace/`.
+//! * `--metrics-interval CYCLES` samples interval metrics every `CYCLES`
+//!   simulated cycles and streams them — one JSON object per line, in grid
+//!   order — to `<stem>-metrics.jsonl`.
+//! * `--profile` prints simulator self-profiling to stderr: wall-clock phase
+//!   timers, aggregated event-queue statistics and allocator totals.  It
+//!   changes nothing about the results document.
+//!
 //! The aggregated results document is deterministic: running the same grid
-//! with any `--threads` value writes byte-identical JSON.  Golden files under
-//! `tests/goldens/` are regenerated with `--out`.
+//! with any `--threads` value writes byte-identical JSON — and so are the
+//! trace and metrics artifacts.  Golden files under `tests/goldens/` are
+//! regenerated with `--out`.
 
-use misp_harness::{grids, run_grid, SweepOptions, VerifyMode};
+use misp_harness::{artifacts, grids, run_grid_with_artifacts, SweepOptions, VerifyMode};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counting wrapper around the system allocator, feeding the `--profile`
+/// allocator totals.  Two relaxed atomic adds per allocation — noise next to
+/// the allocation itself — so it is unconditionally installed.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 #[derive(Debug)]
 struct Args {
@@ -30,12 +81,17 @@ struct Args {
     verify: VerifyMode,
     stdout: bool,
     offered_load: Option<u32>,
+    trace: bool,
+    metrics_interval: Option<u64>,
+    profile: bool,
 }
 
 fn usage() -> String {
     format!(
         "usage: sweep <grid> [--threads N] [--out PATH] [--verify off|spot|full] [--stdout]\n\
          \u{20}            [--offered-load PCT]   (service_load grid only)\n\
+         \u{20}            [--trace] [--metrics-interval CYCLES]   (both need --out)\n\
+         \u{20}            [--profile]\n\
          \u{20}      sweep --list\n\
          grids: {}",
         grids::all_names().join(", ")
@@ -69,6 +125,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, St
     let mut verify = VerifyMode::SpotCheck;
     let mut stdout = false;
     let mut offered_load = None;
+    let mut trace = false;
+    let mut metrics_interval = None;
+    let mut profile = false;
 
     let mut verify_set = false;
     while let Some(arg) = argv.next() {
@@ -131,6 +190,39 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, St
                 }
                 offered_load = Some(pct);
             }
+            "--trace" => {
+                if trace {
+                    return Err(format!("--trace given more than once\n{}", usage()));
+                }
+                trace = true;
+            }
+            "--metrics-interval" => {
+                if metrics_interval.is_some() {
+                    return Err(format!(
+                        "--metrics-interval given more than once\n{}",
+                        usage()
+                    ));
+                }
+                let value = argv
+                    .next()
+                    .ok_or("--metrics-interval needs a cycle count")?;
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid metrics interval {value:?}"))?;
+                if n == 0 {
+                    return Err(format!(
+                        "--metrics-interval must be at least 1\n{}",
+                        usage()
+                    ));
+                }
+                metrics_interval = Some(n);
+            }
+            "--profile" => {
+                if profile {
+                    return Err(format!("--profile given more than once\n{}", usage()));
+                }
+                profile = true;
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(None);
@@ -156,6 +248,20 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, St
             usage()
         ));
     }
+    if trace && out.is_none() {
+        return Err(format!(
+            "--trace needs --out PATH (trace artifacts are named after the \
+             results file)\n{}",
+            usage()
+        ));
+    }
+    if metrics_interval.is_some() && out.is_none() {
+        return Err(format!(
+            "--metrics-interval needs --out PATH (the JSONL stream is named \
+             after the results file)\n{}",
+            usage()
+        ));
+    }
     Ok(Some(Args {
         grid,
         threads,
@@ -163,7 +269,19 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Option<Args>, St
         verify,
         stdout,
         offered_load,
+        trace,
+        metrics_interval,
+        profile,
     }))
+}
+
+/// `results/fig4.json` + `-metrics.jsonl` → `results/fig4-metrics.jsonl`.
+fn artifact_sibling(out: &std::path::Path, suffix: &str) -> PathBuf {
+    let stem = out
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("results");
+    out.with_file_name(format!("{stem}{suffix}"))
 }
 
 fn main() -> ExitCode {
@@ -189,6 +307,16 @@ fn main() -> ExitCode {
         // grid, so this rebuild cannot change any other grid.
         grid = grids::service_load_at(Some(pct));
     }
+    // Observability knobs apply to every simulation grid point uniformly.
+    if args.trace || args.metrics_interval.is_some() {
+        let interval = args.metrics_interval.unwrap_or(0);
+        for run in &mut grid.runs {
+            if let misp_harness::RunKind::Sim(sim) = &mut run.kind {
+                sim.trace = args.trace;
+                sim.metrics_interval = interval;
+            }
+        }
+    }
 
     let mut options = SweepOptions::from_env();
     if let Some(threads) = args.threads {
@@ -197,15 +325,16 @@ fn main() -> ExitCode {
     options.verify = args.verify;
 
     let started = std::time::Instant::now();
-    let results = match run_grid(&grid, &options) {
-        Ok(results) => results,
+    let (results, run_artifacts) = match run_grid_with_artifacts(&grid, &options) {
+        Ok(pair) => pair,
         Err(e) => {
             eprintln!("sweep {} failed: {e}", grid.name);
             return ExitCode::FAILURE;
         }
     };
-    let elapsed = started.elapsed();
+    let run_elapsed = started.elapsed();
 
+    let serialize_started = std::time::Instant::now();
     let json = match results.to_canonical_json() {
         Ok(json) => json,
         Err(e) => {
@@ -213,15 +342,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let serialize_elapsed = serialize_started.elapsed();
 
     eprintln!(
         "sweep {}: {} runs on {} thread(s) in {:.2}s",
         results.grid,
         results.run_count,
         options.threads,
-        elapsed.as_secs_f64()
+        run_elapsed.as_secs_f64()
     );
 
+    let write_started = std::time::Instant::now();
     // With no sink selected the document would be computed and discarded, so
     // default to stdout.
     if args.stdout || args.out.is_none() {
@@ -241,6 +372,91 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("results written to {}", path.display());
+
+        if args.metrics_interval.is_some() {
+            let metrics_path = artifact_sibling(path, "-metrics.jsonl");
+            let file = match std::fs::File::create(&metrics_path) {
+                Ok(file) => file,
+                Err(e) => {
+                    eprintln!("could not create {}: {e}", metrics_path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Incremental: one line hits the disk per sample — the stream is
+            // never buffered as a whole document.
+            let mut writer = serde_json::LineWriter::new(std::io::BufWriter::new(file));
+            for (record, artifact) in results.records.iter().zip(&run_artifacts) {
+                if let Some(metrics) = &artifact.metrics {
+                    if let Err(e) =
+                        artifacts::append_metrics_jsonl(&mut writer, &record.id, metrics)
+                    {
+                        eprintln!("could not write {}: {e}", metrics_path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if let Err(e) = writer.flush() {
+                eprintln!("could not write {}: {e}", metrics_path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("interval metrics written to {}", metrics_path.display());
+        }
+
+        if args.trace {
+            let trace_dir = artifact_sibling(path, "-trace");
+            if let Err(e) = std::fs::create_dir_all(&trace_dir) {
+                eprintln!("could not create {}: {e}", trace_dir.display());
+                return ExitCode::FAILURE;
+            }
+            let mut written = 0u64;
+            for (record, artifact) in results.records.iter().zip(&run_artifacts) {
+                if let Some(trace) = &artifact.trace {
+                    let file = trace_dir.join(format!(
+                        "{}.trace.json",
+                        artifacts::sanitize_run_id(&record.id)
+                    ));
+                    if let Err(e) = std::fs::write(&file, artifacts::trace_json(trace)) {
+                        eprintln!("could not write {}: {e}", file.display());
+                        return ExitCode::FAILURE;
+                    }
+                    written += 1;
+                }
+            }
+            eprintln!(
+                "{written} trace file(s) written to {} (open in ui.perfetto.dev \
+                 or chrome://tracing)",
+                trace_dir.display()
+            );
+        }
+    }
+    let write_elapsed = write_started.elapsed();
+
+    if args.profile {
+        let mut queue = misp_sim::QueueProfile::default();
+        for artifact in &run_artifacts {
+            if let Some(profile) = artifact.queue {
+                queue.absorb(&profile);
+            }
+        }
+        eprintln!("profile: phases");
+        eprintln!("  run        {:>10.3}s", run_elapsed.as_secs_f64());
+        eprintln!("  serialize  {:>10.3}s", serialize_elapsed.as_secs_f64());
+        eprintln!("  write      {:>10.3}s", write_elapsed.as_secs_f64());
+        eprintln!("profile: event queue (all runs)");
+        eprintln!("  pushes           {:>14}", queue.pushes);
+        eprintln!("  pops             {:>14}", queue.pops);
+        eprintln!("  max occupancy    {:>14}", queue.max_len);
+        eprintln!("  redistributions  {:>14}", queue.redistributions);
+        eprintln!("  supersessions    {:>14}", queue.supersessions);
+        eprintln!("profile: allocator (whole process)");
+        eprintln!(
+            "  allocations      {:>14}",
+            ALLOCATIONS.load(Ordering::Relaxed)
+        );
+        eprintln!(
+            "  bytes requested  {:>14}",
+            ALLOCATED_BYTES.load(Ordering::Relaxed)
+        );
     }
     ExitCode::SUCCESS
 }
@@ -328,6 +544,75 @@ mod tests {
         assert!(err.contains("more than once"), "{err}");
         let err = parse(&["service_load", "--offered-load", "lots"]).unwrap_err();
         assert!(err.contains("invalid offered load"), "{err}");
+    }
+
+    #[test]
+    fn trace_and_metrics_parse_with_an_out_path() {
+        let args = parse(&[
+            "fig4",
+            "--out",
+            "results/fig4.json",
+            "--trace",
+            "--metrics-interval",
+            "250000",
+        ])
+        .unwrap()
+        .expect("parsed");
+        assert!(args.trace);
+        assert_eq!(args.metrics_interval, Some(250_000));
+        assert!(!args.profile);
+        let args = parse(&["fig4", "--profile"]).unwrap().expect("parsed");
+        assert!(args.profile, "--profile needs no --out");
+    }
+
+    #[test]
+    fn trace_and_metrics_require_an_out_path() {
+        let err = parse(&["fig4", "--trace"]).unwrap_err();
+        assert!(err.contains("--trace needs --out"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+        let err = parse(&["fig4", "--metrics-interval", "1000"]).unwrap_err();
+        assert!(err.contains("--metrics-interval needs --out"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+    }
+
+    #[test]
+    fn metrics_interval_rejects_zero_junk_and_duplicates() {
+        let err = parse(&["fig4", "--out", "o.json", "--metrics-interval", "0"]).unwrap_err();
+        assert!(
+            err.contains("--metrics-interval must be at least 1"),
+            "{err}"
+        );
+        assert!(err.contains("usage:"), "{err}");
+        let err = parse(&["fig4", "--out", "o.json", "--metrics-interval", "often"]).unwrap_err();
+        assert!(err.contains("invalid metrics interval"), "{err}");
+        let err = parse(&[
+            "fig4",
+            "--out",
+            "o.json",
+            "--metrics-interval",
+            "10",
+            "--metrics-interval",
+            "20",
+        ])
+        .unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+        let err = parse(&["fig4", "--out", "o.json", "--trace", "--trace"]).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+        let err = parse(&["fig4", "--profile", "--profile"]).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn artifact_siblings_are_named_after_the_results_stem() {
+        let out = PathBuf::from("results/fig4.json");
+        assert_eq!(
+            artifact_sibling(&out, "-metrics.jsonl"),
+            PathBuf::from("results/fig4-metrics.jsonl")
+        );
+        assert_eq!(
+            artifact_sibling(&out, "-trace"),
+            PathBuf::from("results/fig4-trace")
+        );
     }
 
     #[test]

@@ -4,10 +4,37 @@ use crate::results::{PortMetrics, RunRecord, SimMetrics, TopologyMetrics};
 use crate::spec::{MachineSpec, RunKind, RunSpec, SimSpec, TopologySpec, WorkSource};
 use misp_core::RingPolicy;
 use misp_os::TimerConfig;
-use misp_sim::SimConfig;
+use misp_sim::{SimConfig, SimReport, TraceConfig};
+use misp_trace::{MetricsReport, QueueProfile, TraceReport};
 use misp_types::{CostModel, Cycles, MispError, Result, SignalCost};
 use misp_workloads::{catalog, scenario, Machine, Run, RunOptions};
 use shredlib::compat;
+
+/// The observability by-products of one grid point, kept *outside* the
+/// aggregated [`RunRecord`] so the versioned results schema stays free of
+/// bulk data.  Simulation runs always carry the queue profile; the trace and
+/// metrics sections are present exactly when the spec enabled them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunArtifacts {
+    /// The full trace ring, when [`SimSpec::trace`] was set.
+    pub trace: Option<TraceReport>,
+    /// The interval-metrics samples, when [`SimSpec::metrics_interval`] was
+    /// non-zero.
+    pub metrics: Option<MetricsReport>,
+    /// Event-queue self-profiling counters (simulation runs only).
+    pub queue: Option<QueueProfile>,
+}
+
+impl RunArtifacts {
+    /// Moves the observability sections out of a finished report.
+    fn from_report(report: &mut SimReport) -> Self {
+        RunArtifacts {
+            trace: report.trace.take(),
+            metrics: report.metrics.take(),
+            queue: Some(report.queue),
+        }
+    }
+}
 
 /// The simulation configuration shared by all paper experiments: the paper's
 /// 5000-cycle microcode signal estimate and a 1 ms (at 3 GHz) timer tick.
@@ -66,7 +93,7 @@ fn build_machine(spec: &MachineSpec) -> Machine {
     }
 }
 
-fn execute_sim(index: usize, spec: &RunSpec, sim: &SimSpec) -> Result<RunRecord> {
+fn execute_sim(index: usize, spec: &RunSpec, sim: &SimSpec) -> Result<(RunRecord, RunArtifacts)> {
     let mut config = match sim.signal {
         Some(signal) => config_with_signal(signal),
         None => experiment_config(),
@@ -75,6 +102,13 @@ fn execute_sim(index: usize, spec: &RunSpec, sim: &SimSpec) -> Result<RunRecord>
         config = config.with_cache(cache);
     }
     config.batch = sim.batch;
+    if sim.trace || sim.metrics_interval > 0 {
+        config.trace = TraceConfig {
+            enabled: sim.trace,
+            metrics_interval: sim.metrics_interval,
+            ..TraceConfig::default()
+        };
+    }
     let options = RunOptions {
         pretouch: sim.pretouch,
         ring_policy: sim.ring_policy,
@@ -93,7 +127,7 @@ fn execute_sim(index: usize, spec: &RunSpec, sim: &SimSpec) -> Result<RunRecord>
     record.ams_span_only = sim.ams_span_only;
     record.cache = sim.cache.filter(|c| c.enabled).map(|c| c.label());
 
-    let report = match &sim.source {
+    let mut report = match &sim.source {
         WorkSource::Workload(name) => {
             let workload = catalog::by_name(name).ok_or_else(|| {
                 MispError::InvalidConfiguration(format!(
@@ -141,7 +175,7 @@ fn execute_sim(index: usize, spec: &RunSpec, sim: &SimSpec) -> Result<RunRecord>
     };
 
     record.sim = Some(SimMetrics::from_report(&report));
-    Ok(record)
+    Ok((record, RunArtifacts::from_report(&mut report)))
 }
 
 fn execute_topology(index: usize, spec: &RunSpec, topo: TopologySpec) -> RunRecord {
@@ -200,10 +234,29 @@ fn execute_port_analysis(index: usize, spec: &RunSpec, application: &str) -> Res
 /// application, or if the simulation itself fails (budget exhaustion,
 /// deadlock).
 pub fn execute_run(index: usize, spec: &RunSpec) -> Result<RunRecord> {
+    execute_run_with_artifacts(index, spec).map(|(record, _)| record)
+}
+
+/// [`execute_run`] plus the run's observability by-products (trace ring,
+/// interval-metrics samples, queue profile).  Non-simulation grid points
+/// return empty artifacts.
+///
+/// # Errors
+///
+/// Same failure modes as [`execute_run`].
+pub fn execute_run_with_artifacts(
+    index: usize,
+    spec: &RunSpec,
+) -> Result<(RunRecord, RunArtifacts)> {
     match &spec.kind {
         RunKind::Sim(sim) => execute_sim(index, spec, sim),
-        RunKind::Topology(topo) => Ok(execute_topology(index, spec, *topo)),
-        RunKind::PortAnalysis { application } => execute_port_analysis(index, spec, application),
+        RunKind::Topology(topo) => Ok((
+            execute_topology(index, spec, *topo),
+            RunArtifacts::default(),
+        )),
+        RunKind::PortAnalysis { application } => {
+            execute_port_analysis(index, spec, application).map(|r| (r, RunArtifacts::default()))
+        }
     }
 }
 
@@ -368,5 +421,47 @@ mod tests {
         let a = execute_run(0, &spec).unwrap();
         let b = execute_run(0, &spec).unwrap();
         assert_eq!(a, b);
+    }
+
+    /// Tracing and interval metrics are pure observers: enabling both leaves
+    /// every simulation result (cycles, event-log digest) untouched, and the
+    /// artifacts appear exactly when requested.
+    #[test]
+    fn tracing_and_metrics_are_observers_not_participants() {
+        let plain = RunSpec::sim(
+            "kmeans/smp",
+            SimSpec::workload("kmeans", MachineSpec::Smp { cores: 4 }, 4),
+        );
+        let traced = RunSpec::sim(
+            "kmeans/smp",
+            SimSpec::workload("kmeans", MachineSpec::Smp { cores: 4 }, 4)
+                .with_trace(true)
+                .with_metrics_interval(100_000),
+        );
+        let (a, art_a) = execute_run_with_artifacts(0, &plain).unwrap();
+        let (b, art_b) = execute_run_with_artifacts(0, &traced).unwrap();
+        assert!(art_a.trace.is_none(), "no trace unless requested");
+        assert!(art_a.metrics.is_none(), "no samples unless requested");
+        assert!(art_a.queue.is_some(), "queue profile is always on");
+        let trace = art_b.trace.as_ref().expect("trace ring");
+        assert!(!trace.events.is_empty());
+        let metrics = art_b.metrics.as_ref().expect("interval samples");
+        assert!(!metrics.samples.is_empty());
+        assert_eq!(metrics.interval, 100_000);
+        let sa = a.sim.expect("sim metrics");
+        let sb = b.sim.expect("sim metrics");
+        assert_eq!(sa.total_cycles, sb.total_cycles);
+        assert_eq!(
+            sa.log_digest, sb.log_digest,
+            "tracing must not perturb the run"
+        );
+    }
+
+    /// Non-simulation grid points return empty artifacts.
+    #[test]
+    fn non_sim_points_carry_no_artifacts() {
+        let spec = RunSpec::topology("4x2", crate::TopologySpec::Quad2);
+        let (_, artifacts) = execute_run_with_artifacts(0, &spec).unwrap();
+        assert_eq!(artifacts, RunArtifacts::default());
     }
 }

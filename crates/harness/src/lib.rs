@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 mod exec;
 mod results;
 pub mod scheduler;
@@ -44,10 +45,12 @@ mod spec;
 
 pub mod grids;
 
-pub use exec::{config_with_signal, execute_run, experiment_config};
+pub use exec::{
+    config_with_signal, execute_run, execute_run_with_artifacts, experiment_config, RunArtifacts,
+};
 pub use results::{
-    PortMetrics, RunRecord, ServiceMetrics, SimMetrics, SweepResults, TopologyMetrics,
-    SCHEMA_VERSION,
+    IntervalMetricsSummary, PortMetrics, RunRecord, ServiceMetrics, SimMetrics, SweepResults,
+    TopologyMetrics, TraceMetrics, SCHEMA_VERSION,
 };
 pub use spec::{
     GridSpec, MachineSpec, RunKind, RunSpec, ScenarioSpec, SimSpec, TopologySpec, WorkSource,
@@ -125,13 +128,39 @@ impl SweepOptions {
 /// Panics if the grid is malformed (duplicate ids, dangling baselines) or if
 /// the determinism re-check fails — both are bugs, not input errors.
 pub fn run_grid(grid: &GridSpec, options: &SweepOptions) -> Result<SweepResults> {
+    run_grid_with_artifacts(grid, options).map(|(results, _)| results)
+}
+
+/// [`run_grid`] plus one [`RunArtifacts`] per grid point, in grid order.
+///
+/// The artifacts ride outside the [`SweepResults`] document: the results
+/// schema stays free of bulk data, while callers that asked for tracing or
+/// interval metrics can stream the by-products to sidecar files (see
+/// [`artifacts`]).  Because each record lands in its grid slot regardless of
+/// which worker produced it and every run is internally single-threaded, the
+/// artifacts — like the records — are byte-identical for any thread count.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_grid`].
+///
+/// # Panics
+///
+/// Same panic conditions as [`run_grid`].
+pub fn run_grid_with_artifacts(
+    grid: &GridSpec,
+    options: &SweepOptions,
+) -> Result<(SweepResults, Vec<RunArtifacts>)> {
     grid.validate();
     let outcomes = scheduler::run_batch(grid.runs.len(), options.threads, |index| {
-        execute_run(index, &grid.runs[index])
+        execute_run_with_artifacts(index, &grid.runs[index])
     });
     let mut records = Vec::with_capacity(outcomes.len());
+    let mut artifacts = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
-        records.push(outcome?);
+        let (record, artifact) = outcome?;
+        records.push(record);
+        artifacts.push(artifact);
     }
 
     if options.threads > 1 && !records.is_empty() {
@@ -167,13 +196,16 @@ pub fn run_grid(grid: &GridSpec, options: &SweepOptions) -> Result<SweepResults>
         }
     }
 
-    Ok(SweepResults {
-        schema_version: SCHEMA_VERSION,
-        grid: grid.name.clone(),
-        description: grid.description.clone(),
-        run_count: records.len() as u64,
-        records,
-    })
+    Ok((
+        SweepResults {
+            schema_version: SCHEMA_VERSION,
+            grid: grid.name.clone(),
+            description: grid.description.clone(),
+            run_count: records.len() as u64,
+            records,
+        },
+        artifacts,
+    ))
 }
 
 /// Re-executes grid point `index` serially and asserts the parallel record

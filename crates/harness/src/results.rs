@@ -27,7 +27,15 @@ use serde::Serialize;
 ///   metadata gained `scenario` and `offered_load` fields.  All three are
 ///   *omitted* — not serialized as `null` — when absent, so every version-2
 ///   field of a pre-existing record re-serializes byte-identically.
-pub const SCHEMA_VERSION: u32 = 3;
+/// * **4** — observability: simulation metrics gained a `trace` summary
+///   (event count, overwrite count, ring digest — present exactly when the
+///   run was traced) and an `interval_metrics` summary (sampling period,
+///   sample count, stream digest — present exactly when the sampler ran).
+///   Like the version-3 additions both are *omitted* when absent, so a
+///   default sweep re-serializes every version-3 field byte-identically; the
+///   bulk data itself (trace events, JSONL samples) is written to sidecar
+///   artifact files, never into this document.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Request-serving metrics of one scenario run, flattened from
 /// [`misp_sim::ServiceStats`].  Latencies are in cycles from *scheduled*
@@ -84,6 +92,56 @@ impl ServiceMetrics {
     }
 }
 
+/// Summary of the trace ring of one traced run.  The events themselves live
+/// in the sidecar trace artifact; the record keeps just enough to check that
+/// an artifact matches its run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceMetrics {
+    /// Events retained in the ring at the end of the run.
+    pub events: u64,
+    /// Events overwritten after the ring filled (0 means the ring saw
+    /// everything).
+    pub dropped: u64,
+    /// Hex-encoded deterministic digest of the retained events.
+    pub digest: String,
+}
+
+impl TraceMetrics {
+    /// Summarizes a trace report.
+    #[must_use]
+    pub fn from_report(report: &misp_sim::TraceReport) -> Self {
+        TraceMetrics {
+            events: report.events.len() as u64,
+            dropped: report.dropped,
+            digest: format!("{:016x}", report.digest),
+        }
+    }
+}
+
+/// Summary of the interval-metrics stream of one sampled run.  The samples
+/// themselves live in the sidecar JSONL artifact.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct IntervalMetricsSummary {
+    /// Sampling period, in simulated cycles.
+    pub interval: u64,
+    /// Number of samples taken.
+    pub samples: u64,
+    /// Hex-encoded deterministic digest of the sample stream.
+    pub digest: String,
+}
+
+impl IntervalMetricsSummary {
+    /// Summarizes a metrics report.
+    #[must_use]
+    pub fn from_report(report: &misp_sim::MetricsReport) -> Self {
+        IntervalMetricsSummary {
+            interval: report.interval,
+            samples: report.samples.len() as u64,
+            digest: format!("{:016x}", report.digest),
+        }
+    }
+}
+
 /// Metrics of one simulation run, flattened from the [`SimReport`].
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SimMetrics {
@@ -129,6 +187,14 @@ pub struct SimMetrics {
     /// open-loop scenario (omitted from the JSON otherwise).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub service: Option<ServiceMetrics>,
+    /// Trace-ring summary; present exactly when the run was traced (omitted
+    /// from the JSON otherwise).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub trace: Option<TraceMetrics>,
+    /// Interval-metrics summary; present exactly when the sampler ran
+    /// (omitted from the JSON otherwise).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub interval_metrics: Option<IntervalMetricsSummary>,
 }
 
 impl SimMetrics {
@@ -183,6 +249,11 @@ impl SimMetrics {
                 .service
                 .as_ref()
                 .map(|svc| ServiceMetrics::from_stats(svc, report.total_cycles.as_u64())),
+            trace: report.trace.as_ref().map(TraceMetrics::from_report),
+            interval_metrics: report
+                .metrics
+                .as_ref()
+                .map(IntervalMetricsSummary::from_report),
         }
     }
 
@@ -398,7 +469,7 @@ mod tests {
         let b = results.to_canonical_json().unwrap();
         assert_eq!(a, b);
         assert!(a.ends_with('\n'));
-        assert!(a.contains("\"schema_version\": 3"));
+        assert!(a.contains("\"schema_version\": 4"));
     }
 
     /// Version-2 compatibility: the fields added in version 3 are omitted
@@ -412,6 +483,52 @@ mod tests {
         assert!(!json.contains("service"), "{json}");
         // Pre-existing optional fields keep their null representation.
         assert!(json.contains("\"workload\":null"), "{json}");
+    }
+
+    /// Version-3 compatibility: the observability summaries added in
+    /// version 4 are omitted when the run was not traced or sampled, so a
+    /// default sweep's metrics serialize without any mention of them.
+    #[test]
+    fn absent_v4_fields_are_omitted_not_null() {
+        let report = misp_sim::SimReport {
+            total_cycles: misp_types::Cycles::new(1),
+            completions: std::collections::BTreeMap::new(),
+            stats: misp_sim::SimStats::default(),
+            log_digest: 0,
+            trace: None,
+            metrics: None,
+            queue: misp_sim::QueueProfile::default(),
+        };
+        let metrics = SimMetrics::from_report(&report);
+        let json = serde_json::to_string(&metrics).unwrap();
+        assert!(!json.contains("\"trace\""), "{json}");
+        assert!(!json.contains("interval_metrics"), "{json}");
+    }
+
+    #[test]
+    fn observability_summaries_flatten_counts_and_hex_digests() {
+        let trace = misp_sim::TraceReport {
+            events: vec![misp_sim::TraceEvent {
+                time: 7,
+                seq: 0,
+                kind: misp_sim::TraceKind::ShredStart,
+            }],
+            dropped: 3,
+            digest: 0xabc,
+        };
+        let t = TraceMetrics::from_report(&trace);
+        assert_eq!(t.events, 1);
+        assert_eq!(t.dropped, 3);
+        assert_eq!(t.digest, "0000000000000abc");
+        let metrics = misp_sim::MetricsReport {
+            interval: 500,
+            samples: vec![misp_sim::IntervalSample::default(); 2],
+            digest: 0x1f,
+        };
+        let m = IntervalMetricsSummary::from_report(&metrics);
+        assert_eq!(m.interval, 500);
+        assert_eq!(m.samples, 2);
+        assert_eq!(m.digest, "000000000000001f");
     }
 
     #[test]

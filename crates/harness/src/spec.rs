@@ -212,6 +212,13 @@ pub struct SimSpec {
     /// event-per-operation engine and is deliberately not recorded in the
     /// results schema.
     pub batch: bool,
+    /// Record a structured trace ring during the run
+    /// ([`misp_sim::TraceConfig::enabled`]).  Off by default; tracing never
+    /// changes simulation results, only the artifacts attached to the run.
+    pub trace: bool,
+    /// Interval-metrics sampling period in simulated cycles; `0` (the
+    /// default) disables the sampler.
+    pub metrics_interval: u64,
 }
 
 impl SimSpec {
@@ -227,6 +234,8 @@ impl SimSpec {
             ams_span_only: false,
             cache: None,
             batch: true,
+            trace: false,
+            metrics_interval: 0,
         }
     }
 
@@ -303,6 +312,21 @@ impl SimSpec {
     #[must_use]
     pub fn with_batch(mut self, batch: bool) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Records a structured trace ring during the run (off by default).
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Samples interval metrics every `interval` simulated cycles (`0`
+    /// disables the sampler, the default).
+    #[must_use]
+    pub fn with_metrics_interval(mut self, interval: u64) -> Self {
+        self.metrics_interval = interval;
         self
     }
 }
@@ -504,7 +528,9 @@ mod tests {
             .with_ring_policy(RingPolicy::Speculative)
             .with_competitors(2)
             .with_ams_span_only()
-            .with_batch(false);
+            .with_batch(false)
+            .with_trace(true)
+            .with_metrics_interval(10_000);
         assert_eq!(spec.source, WorkSource::Workload("dense_mvm".to_string()));
         assert_eq!(spec.signal, Some(SignalCost::Ideal));
         assert!(spec.pretouch);
@@ -513,6 +539,11 @@ mod tests {
         assert!(spec.ams_span_only);
         assert!(!spec.batch);
         assert!(spec.cache.is_none());
+        assert!(spec.trace);
+        assert_eq!(spec.metrics_interval, 10_000);
+        let plain = SimSpec::workload("dense_mvm", MachineSpec::Serial, 4);
+        assert!(!plain.trace, "tracing is off by default");
+        assert_eq!(plain.metrics_interval, 0, "sampler is off by default");
     }
 
     #[test]

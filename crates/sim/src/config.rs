@@ -2,6 +2,7 @@
 
 use misp_cache::CacheConfig;
 use misp_os::TimerConfig;
+use misp_trace::TraceConfig;
 use misp_types::{CostModel, Cycles};
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +34,11 @@ pub struct SimConfig {
     /// event-per-operation loop, which the determinism property tests use as
     /// the reference.  On by default.
     pub batch: bool,
+    /// Observability configuration: the structured trace ring and the
+    /// interval metrics sampler.  Fully off by default; when off the engine
+    /// performs no tracing work beyond a single branch per coarse-log record
+    /// and results are byte-identical to a build without the trace layer.
+    pub trace: TraceConfig,
 }
 
 impl SimConfig {
@@ -58,6 +64,14 @@ impl SimConfig {
         self.cache = cache;
         self
     }
+
+    /// Returns a configuration identical to `self` but with a different
+    /// observability configuration (trace ring and metrics sampler).
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -71,6 +85,7 @@ impl Default for SimConfig {
             cycle_budget: Cycles::new(50_000_000_000),
             fine_log: false,
             batch: true,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -107,6 +122,21 @@ mod tests {
         assert_eq!(modified.costs.signal, SignalCost::Ideal);
         assert_eq!(modified.tlb_capacity, base.tlb_capacity);
         assert_eq!(modified.timer, base.timer);
+    }
+
+    #[test]
+    fn trace_is_off_by_default_and_with_trace_replaces_only_it() {
+        let base = SimConfig::default();
+        assert!(base.trace.is_off(), "observability is opt-in");
+        let on = base.with_trace(TraceConfig {
+            enabled: true,
+            metrics_interval: 1_000,
+            ..TraceConfig::default()
+        });
+        assert!(on.trace.enabled);
+        assert_eq!(on.trace.metrics_interval, 1_000);
+        assert_eq!(on.costs, base.costs);
+        assert_eq!(on.batch, base.batch);
     }
 
     #[test]

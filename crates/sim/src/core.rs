@@ -47,6 +47,11 @@ impl EngineCore {
     pub fn new(config: SimConfig, sequencer_count: usize, library: ProgramLibrary) -> Self {
         let mut log = EventLog::new(config.fine_log);
         log.set_cap(EventLog::DEFAULT_CAP);
+        if config.trace.enabled {
+            // The whole ring is allocated here, before the run starts, so an
+            // enabled trace preserves the zero-alloc steady state.
+            log.enable_trace(config.trace.capacity);
+        }
         // The cache hierarchy is deliberately NOT built here: its clustering
         // (which sequencers share an L2) is the platform's knowledge, so
         // every platform's `init` must call `MemorySystem::configure_caches`
@@ -233,6 +238,37 @@ impl EngineCore {
 
     pub(crate) fn pop_event(&mut self) -> Option<crate::ScheduledEvent> {
         self.queue.pop()
+    }
+
+    /// Current event-queue occupancy (the sampler's queue-depth gauge).
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The event queue's self-profiling counters accumulated so far.
+    #[must_use]
+    pub fn queue_profile(&self) -> misp_trace::QueueProfile {
+        self.queue.profile()
+    }
+
+    /// Schedules the interval metrics sampler to fire at `at`.  Sampler
+    /// events have no supersede slot and draw their `seqno` from the shared
+    /// counter like every other event.
+    pub(crate) fn schedule_sample(&mut self, at: Cycles) {
+        self.queue.push(at, Event::Sample);
+    }
+
+    /// Records a trace-only instant (TLB/cache miss) at the current
+    /// simulation time.  A no-op while tracing is off.
+    pub(crate) fn trace_instant(&mut self, seq: SequencerId, kind: misp_trace::TraceKind) {
+        let now = self.now;
+        self.log.trace_instant(now, seq, kind);
+    }
+
+    /// Removes and returns the trace ring for end-of-run reporting.
+    pub(crate) fn take_trace(&mut self) -> Option<Box<misp_trace::TraceBuffer>> {
+        self.log.take_trace()
     }
 
     /// The time of the earliest pending event, if any.  This is the engine's

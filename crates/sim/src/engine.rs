@@ -4,6 +4,7 @@ use crate::core::EngineCore;
 use crate::{Event, LogKind, Platform, Runtime, RuntimeOutcome, ShredStatus, SimConfig, SimStats};
 use misp_isa::{Op, ProgramLibrary};
 use misp_os::OsEventKind;
+use misp_trace::{CounterSnapshot, MetricsRecorder, MetricsReport, QueueProfile, TraceReport};
 use misp_types::{ArenaMap, Cycles, MispError, OsThreadId, ProcessId, Result, SequencerId};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -22,6 +23,22 @@ pub struct SimReport {
     /// produce equal digests, which the sweep harness and the determinism
     /// tests rely on.
     pub log_digest: u64,
+    /// Structured trace events, present iff `SimConfig::trace.enabled`.  The
+    /// trace contents are deterministic for a fixed configuration — the same
+    /// events, in the same order, with the same digest, on every execution.
+    pub trace: Option<TraceReport>,
+    /// Interval metrics samples, present iff
+    /// `SimConfig::trace.metrics_interval` is non-zero.  Deterministic like
+    /// the trace; note the `queue_len` gauge observes the *simulator's*
+    /// queue, so samples differ between the macro-step and
+    /// event-per-operation engines even though simulation results are
+    /// byte-identical.
+    pub metrics: Option<MetricsReport>,
+    /// Event-queue self-profiling counters for the run (always collected;
+    /// they cost integer adds on paths that already write adjacent fields).
+    /// Simulator diagnostics, not simulation results — they differ between
+    /// batch modes and are never folded into results JSON.
+    pub queue: QueueProfile,
 }
 
 impl SimReport {
@@ -42,6 +59,7 @@ struct StepParams {
     shred_context_switch: Cycles,
     tlb_walk: Cycles,
     cache_on: bool,
+    trace_on: bool,
 }
 
 /// The discrete-event simulation engine.
@@ -59,6 +77,10 @@ pub struct Engine<P: Platform> {
     /// index instead of a tree walk.
     runtimes: ArenaMap<ProcessId, Box<dyn Runtime>>,
     measured: Vec<ProcessId>,
+    /// Interval metrics recorder, present iff
+    /// `SimConfig::trace.metrics_interval` is non-zero.  Boxed so the
+    /// common metrics-off engine carries one pointer of overhead.
+    metrics: Option<Box<MetricsRecorder>>,
 }
 
 impl<P: Platform> Engine<P> {
@@ -70,11 +92,14 @@ impl<P: Platform> Engine<P> {
         library: ProgramLibrary,
         platform: P,
     ) -> Self {
+        let metrics = (config.trace.metrics_interval > 0)
+            .then(|| Box::new(MetricsRecorder::new(config.trace.metrics_interval)));
         Engine {
             core: EngineCore::new(config, sequencer_count, library),
             platform,
             runtimes: ArenaMap::new(),
             measured: Vec::new(),
+            metrics,
         }
     }
 
@@ -186,7 +211,19 @@ impl<P: Platform> Engine<P> {
             shred_context_switch: self.core.config().costs.shred_context_switch,
             tlb_walk: self.core.config().costs.tlb_walk,
             cache_on: self.core.memory().cache_enabled(),
+            trace_on: self.core.log().trace_enabled(),
         };
+        // Schedule the first interval sample inside the queue's total order.
+        // Firings past the cycle budget are never scheduled: popping an event
+        // beyond the budget aborts the run, and the sampler must not turn a
+        // run that finishes within budget into a budget error.
+        if self.metrics.is_some() {
+            let interval = self.core.config().trace.metrics_interval;
+            let first = Cycles::new(interval);
+            if first <= budget {
+                self.core.schedule_sample(first);
+            }
+        }
         while let Some(ev) = self.core.pop_event() {
             if ev.time > budget {
                 return Err(MispError::CycleBudgetExhausted {
@@ -222,6 +259,21 @@ impl<P: Platform> Engine<P> {
                         self.core
                             .handle_stall_end(SequencerId::new(base + i), ev.time);
                         m &= m - 1;
+                    }
+                }
+                Event::Sample => {
+                    // Read-only with respect to simulation state: the sample
+                    // is recorded and the next firing scheduled, nothing
+                    // else — so results and log digests are invariant under
+                    // the sampler.  No reschedule once the queue is empty
+                    // (the run is ending or deadlocked either way) or past
+                    // the budget.
+                    self.record_sample(ev.time);
+                    if self.core.queue_len() > 0 {
+                        let next = ev.time + Cycles::new(self.core.config().trace.metrics_interval);
+                        if next <= budget {
+                            self.core.schedule_sample(next);
+                        }
                     }
                 }
             }
@@ -262,6 +314,59 @@ impl<P: Platform> Engine<P> {
                 ),
             })
         }
+    }
+
+    /// Records one interval metrics sample at `now`.
+    ///
+    /// Strictly read-only with respect to simulation state: it snapshots
+    /// cumulative machine counters and instantaneous depth gauges.  Nothing
+    /// here writes the event log, statistics or any sequencer, which is what
+    /// keeps results and log digests invariant under the sampler.
+    fn record_sample(&mut self, now: Cycles) {
+        let Some(metrics) = self.metrics.as_deref_mut() else {
+            return;
+        };
+        let core = &self.core;
+        let mut snapshot = CounterSnapshot::default();
+        let cache_on = core.memory().cache_enabled();
+        for i in 0..core.sequencer_count() {
+            let seq = SequencerId::new(i as u32);
+            snapshot.busy += core.sequencers().busy(seq).as_u64();
+            snapshot.stalled += core.sequencers().stalled(seq).as_u64();
+            snapshot.ops += core.sequencers().ops_executed(seq);
+            let tlb = core.memory().tlb_stats(seq).unwrap_or_default();
+            snapshot.tlb_hits += tlb.hits;
+            snapshot.tlb_misses += tlb.misses;
+            if cache_on {
+                snapshot.cache_misses += core
+                    .memory()
+                    .cache_stats(seq)
+                    .unwrap_or_default()
+                    .total_misses();
+            }
+        }
+        let ready_shreds = core
+            .shreds()
+            .iter()
+            .filter(|s| s.status() == ShredStatus::Ready)
+            .count() as u64;
+        let service_outstanding: u64 = self
+            .runtimes
+            .iter()
+            .filter_map(|(_, rt)| rt.service_stats())
+            .map(|s| {
+                s.admitted
+                    .saturating_sub(s.completed)
+                    .saturating_sub(s.dropped)
+            })
+            .sum();
+        metrics.record(
+            now.as_u64(),
+            snapshot,
+            core.queue_len() as u64,
+            ready_shreds,
+            service_outstanding,
+        );
     }
 
     fn report(&mut self, measured: &[ProcessId]) -> SimReport {
@@ -319,6 +424,9 @@ impl<P: Platform> Engine<P> {
             completions,
             stats,
             log_digest: self.core.log().digest(),
+            trace: self.core.take_trace().map(|t| t.into_report()),
+            metrics: self.metrics.take().map(|m| m.into_report()),
+            queue: self.core.queue_profile(),
         }
     }
 
@@ -355,6 +463,7 @@ impl<P: Platform> Engine<P> {
             shred_context_switch,
             tlb_walk,
             cache_on,
+            trace_on,
         } = params;
 
         // Install a shred if none is running.
@@ -417,6 +526,20 @@ impl<P: Platform> Engine<P> {
                 Op::Touch { addr, kind } => {
                     let store = kind == misp_isa::AccessKind::Store;
                     let outcome = self.core.memory_mut().access(seq, addr, store);
+                    if trace_on {
+                        // Trace-only instants: `core.now` equals this
+                        // operation's start time even on the inline batched
+                        // path (set_now runs before each inline iteration),
+                        // so the timestamps are batch-mode invariant.
+                        if !outcome.tlb_hit {
+                            self.core.trace_instant(seq, misp_trace::TraceKind::TlbMiss);
+                        }
+                        if matches!(&outcome.cache, Some(c) if c.level == misp_cache::HitLevel::Memory)
+                        {
+                            self.core
+                                .trace_instant(seq, misp_trace::TraceKind::CacheMiss);
+                        }
+                    }
                     // The cache model *refines* the flat access cost into
                     // per-level latencies, so its latency replaces
                     // `access_cost` rather than stacking on it (an all-L1-hit

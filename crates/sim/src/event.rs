@@ -1,5 +1,6 @@
 //! The discrete-event queue.
 
+use misp_trace::QueueProfile;
 use misp_types::{Cycles, SequencerId};
 use std::cmp::Ordering;
 
@@ -42,6 +43,13 @@ pub enum Event {
         /// Bit `i` covers sequencer `base + i`.
         mask: u32,
     },
+    /// The interval metrics sampler fires: the engine records one
+    /// [`misp_trace::IntervalSample`] and (conditionally) reschedules the
+    /// next firing.  Scheduled only when `SimConfig::trace.metrics_interval`
+    /// is non-zero, and drawing its `seqno` from the same shared counter as
+    /// every other event, so samples land at deterministic points of the
+    /// queue's total order.
+    Sample,
 }
 
 /// An event tagged with its scheduled time and a monotonic tie-breaker.
@@ -158,6 +166,9 @@ pub struct EventQueue {
     /// Number of queued entries.
     len: usize,
     next_seqno: u64,
+    /// Always-on self-profiling counters (plain integer adds on paths that
+    /// already write adjacent fields); read out via [`EventQueue::profile`].
+    profile: QueueProfile,
 }
 
 impl Default for EventQueue {
@@ -189,6 +200,7 @@ impl EventQueue {
             scratch: Vec::new(),
             len: 0,
             next_seqno: 0,
+            profile: QueueProfile::default(),
         }
     }
 
@@ -211,7 +223,7 @@ impl EventQueue {
         match event {
             Event::SeqReady { seq, .. } => seq.index() * 2,
             Event::StallEnd { seq } => seq.index() * 2 + 1,
-            Event::TimerTick { .. } | Event::StallEndGroup { .. } => NO_SLOT,
+            Event::TimerTick { .. } | Event::StallEndGroup { .. } | Event::Sample => NO_SLOT,
         }
     }
 
@@ -294,6 +306,7 @@ impl EventQueue {
             }
             let p = self.pos[slot as usize];
             if p != NO_POS {
+                self.profile.supersessions += 1;
                 // Supersede: drop the queued entry for this slot (it can
                 // never fire — the engine would discard it on pop) and let
                 // the successor claim the slot under its own fresh key.
@@ -312,6 +325,8 @@ impl EventQueue {
         let ev = ScheduledEvent { time, seqno, event };
         self.place(ev);
         self.len += 1;
+        self.profile.pushes += 1;
+        self.profile.max_len = self.profile.max_len.max(self.len as u64);
         if lost_min {
             // The superseded entry was the cached minimum; recompute from
             // the (possibly different) first non-empty bucket.
@@ -338,6 +353,7 @@ impl EventQueue {
         };
         let popped = self.remove_at(b, idx);
         debug_assert_eq!(popped, m);
+        self.profile.pops += 1;
         if b != 0 {
             // Time advances: re-anchor the radix layout on the popped time
             // and redistribute the minimum's former bucket.  Each remaining
@@ -350,6 +366,7 @@ impl EventQueue {
             if !self.buckets[b].is_empty() {
                 std::mem::swap(&mut self.buckets[b], &mut self.scratch);
                 self.occupied &= !(1u128 << b);
+                self.profile.redistributions += self.scratch.len() as u64;
                 for i in 0..self.scratch.len() {
                     let ev = self.scratch[i];
                     debug_assert!(self.bucket_index(ev.time) < b);
@@ -378,6 +395,19 @@ impl EventQueue {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Self-profiling counters accumulated so far: pushes, pops, high-water
+    /// occupancy, redistribution moves and superseded-slot replacements.
+    ///
+    /// These describe the *simulator's* data structure, not the simulation:
+    /// they are deterministic for a fixed configuration but differ between
+    /// the macro-step and event-per-operation engines, so they are surfaced
+    /// via `sweep --profile` and the engine bench rather than the results
+    /// schema.
+    #[must_use]
+    pub fn profile(&self) -> QueueProfile {
+        self.profile
     }
 }
 
@@ -538,6 +568,46 @@ mod tests {
         times.sort_unstable();
         let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.time.as_u64())).collect();
         assert_eq!(popped, times);
+    }
+
+    #[test]
+    fn profile_counts_pushes_pops_supersessions_and_high_water() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(10), ready(0));
+        q.push(Cycles::new(30), ready(1));
+        // Supersede sequencer 0's entry: counted, and len stays at 2.
+        q.push(Cycles::new(20), ready(0));
+        while q.pop().is_some() {}
+        let p = q.profile();
+        assert_eq!(p.pushes, 3);
+        assert_eq!(p.pops, 2, "the superseded entry is never popped");
+        assert_eq!(p.supersessions, 1);
+        assert_eq!(p.max_len, 2);
+    }
+
+    #[test]
+    fn profile_counts_redistribution_moves() {
+        // Two entries far from `last` share a high bucket; popping the first
+        // advances time and must redistribute the second downward.
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(1 << 20), tick(0, 1));
+        q.push(Cycles::new((1 << 20) + 1), tick(0, 2));
+        q.pop();
+        assert_eq!(q.profile().redistributions, 1);
+        q.pop();
+        assert_eq!(q.profile().pops, 2);
+    }
+
+    #[test]
+    fn sample_events_have_no_slot_and_pop_in_push_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(100), Event::Sample);
+        q.push(Cycles::new(100), Event::Sample);
+        q.push(Cycles::new(100), ready(0));
+        assert_eq!(q.len(), 3, "samples are never superseded");
+        assert!(matches!(q.pop().unwrap().event, Event::Sample));
+        assert!(matches!(q.pop().unwrap().event, Event::Sample));
+        assert!(matches!(q.pop().unwrap().event, Event::SeqReady { .. }));
     }
 
     #[test]

@@ -73,3 +73,10 @@ pub use runtime::{Runtime, RuntimeOutcome, SingleShredRuntime};
 pub use sequencer::SequencerTable;
 pub use shred::{ShredExecState, ShredPool, ShredStatus};
 pub use stats::{SeqUtilization, ServiceStats, SimStats};
+
+// Observability vocabulary re-exported from `misp-trace`, so engine users can
+// configure tracing and consume reports without a separate dependency.
+pub use misp_trace::{
+    chrome_trace_json, IntervalSample, MetricsReport, QueueProfile, TraceConfig, TraceEvent,
+    TraceKind, TraceReport,
+};

@@ -7,6 +7,7 @@
 //! the simulated platform did.
 
 use core::fmt;
+use misp_trace::{TraceBuffer, TraceEvent, TraceKind};
 use misp_types::{Cycles, SequencerId};
 use serde::Serialize;
 
@@ -83,6 +84,30 @@ impl LogKind {
             LogKind::TimerTick => 11,
         }
     }
+
+    /// The structured-trace kind mirroring this log kind.
+    ///
+    /// The first twelve [`TraceKind`] variants are defined in the same
+    /// canonical order as [`LogKind::ALL`], so every coarse-log emission site
+    /// doubles as a trace emission site with no per-kind mapping table; the
+    /// `trace_kinds_mirror_log_kinds` test pins the correspondence.
+    #[must_use]
+    pub const fn trace_kind(self) -> TraceKind {
+        match self {
+            LogKind::RingEnter => TraceKind::RingEnter,
+            LogKind::RingExit => TraceKind::RingExit,
+            LogKind::ProxyRequest => TraceKind::ProxyRequest,
+            LogKind::ProxyStart => TraceKind::ProxyStart,
+            LogKind::ProxyDone => TraceKind::ProxyDone,
+            LogKind::Suspend => TraceKind::Suspend,
+            LogKind::Resume => TraceKind::Resume,
+            LogKind::ShredStart => TraceKind::ShredStart,
+            LogKind::ShredEnd => TraceKind::ShredEnd,
+            LogKind::ContextSwitch => TraceKind::ContextSwitch,
+            LogKind::SignalSent => TraceKind::SignalSent,
+            LogKind::TimerTick => TraceKind::TimerTick,
+        }
+    }
 }
 
 /// One fine-grained log record.
@@ -124,6 +149,11 @@ pub struct EventLog {
     /// Coarse per-kind counts, indexed by [`LogKind::canonical_index`].  A
     /// plain array keeps the hot `record` path free of hashing.
     counts: [u64; LogKind::ALL.len()],
+    /// Structured trace ring, present only when tracing is enabled.  Hosted
+    /// here so every coarse-log emission site feeds the trace automatically;
+    /// `None` (the default) costs one discriminant test per record.  The
+    /// trace never contributes to [`EventLog::digest`] or the coarse counts.
+    trace: Option<Box<TraceBuffer>>,
 }
 
 impl EventLog {
@@ -140,12 +170,44 @@ impl EventLog {
             records: Vec::new(),
             dropped: 0,
             counts: [0; LogKind::ALL.len()],
+            trace: None,
         }
     }
 
     /// Overrides the fine-grained record cap.
     pub fn set_cap(&mut self, cap: usize) {
         self.cap = cap;
+    }
+
+    /// Turns on the structured trace ring with the given capacity.  The full
+    /// ring is allocated here, so enabling tracing before the measured run
+    /// preserves the engine's zero-alloc steady state.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Box::new(TraceBuffer::new(capacity)));
+    }
+
+    /// Returns `true` when the structured trace ring is collecting.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Records a trace-only instant (e.g. a TLB or cache miss) that has no
+    /// coarse-log counterpart: the coarse counts, fine records and
+    /// [`EventLog::digest`] are untouched.  A no-op while tracing is off.
+    pub fn trace_instant(&mut self, time: Cycles, seq: SequencerId, kind: TraceKind) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                time: time.as_u64(),
+                seq: seq.index(),
+                kind,
+            });
+        }
+    }
+
+    /// Removes and returns the trace ring (for end-of-run reporting).
+    pub fn take_trace(&mut self) -> Option<Box<TraceBuffer>> {
+        self.trace.take()
     }
 
     /// Records an event.
@@ -170,6 +232,13 @@ impl EventLog {
         detail: F,
     ) {
         self.counts[kind.canonical_index()] += 1;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                time: time.as_u64(),
+                seq: seq.index(),
+                kind: kind.trace_kind(),
+            });
+        }
         if self.fine_enabled {
             if self.records.len() < self.cap {
                 self.records.push(LogRecord {
@@ -316,6 +385,48 @@ mod tests {
         for (i, kind) in LogKind::ALL.iter().enumerate() {
             assert_eq!(kind.canonical_index(), i, "{kind:?} out of order");
         }
+    }
+
+    #[test]
+    fn trace_kinds_mirror_log_kinds() {
+        // The first twelve TraceKind variants share the canonical LogKind
+        // order, which is what lets record_with map kinds with a plain match.
+        for kind in LogKind::ALL {
+            assert_eq!(
+                kind.trace_kind().canonical_index(),
+                kind.canonical_index(),
+                "{kind:?} maps to a different canonical index"
+            );
+        }
+        assert_eq!(TraceKind::ALL.len(), LogKind::ALL.len() + 2);
+    }
+
+    #[test]
+    fn trace_ring_collects_log_records_without_touching_the_digest() {
+        let mut plain = EventLog::new(false);
+        let mut traced = EventLog::new(false);
+        traced.enable_trace(16);
+        assert!(traced.trace_enabled());
+        for log in [&mut plain, &mut traced] {
+            log.record(Cycles::new(3), SequencerId::new(1), LogKind::ShredStart, "");
+        }
+        // Trace-only instants bypass counts and digest entirely.
+        traced.trace_instant(Cycles::new(5), SequencerId::new(1), TraceKind::TlbMiss);
+        for log in [&mut plain, &mut traced] {
+            log.record(Cycles::new(9), SequencerId::new(1), LogKind::ShredEnd, "");
+        }
+        assert_eq!(plain.digest(), traced.digest());
+        assert_eq!(plain.count(LogKind::ShredStart), 1);
+
+        let trace = traced.take_trace().expect("ring present");
+        let events = trace.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, TraceKind::ShredStart);
+        assert_eq!(events[1].kind, TraceKind::TlbMiss);
+        assert_eq!(events[2].kind, TraceKind::ShredEnd);
+        assert_eq!(events[2].time, 9);
+        assert_eq!(events[2].seq, 1);
+        assert!(!traced.trace_enabled(), "take_trace disables the ring");
     }
 
     #[test]

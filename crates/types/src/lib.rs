@@ -30,6 +30,7 @@ mod arena;
 mod cost;
 mod cycles;
 mod error;
+mod fnv;
 mod fxhash;
 mod histogram;
 mod ids;
@@ -40,6 +41,7 @@ pub use arena::{Arena, ArenaId, ArenaMap};
 pub use cost::{CacheCostModel, CostModel, CostModelBuilder, SignalCost};
 pub use cycles::{Cycles, Duration};
 pub use error::{MispError, Result};
+pub use fnv::Fnv64;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use histogram::Histogram;
 pub use ids::{

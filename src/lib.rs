@@ -17,6 +17,7 @@
 //! | [`cache`] | `misp-cache` | the coherent cache hierarchy: per-sequencer L1s, per-processor shared L2s, MESI-lite coherence (disabled by default) |
 //! | [`mem`] | `misp-mem` | address spaces, TLBs, working sets, access patterns |
 //! | [`os`] | `misp-os` | the OS model: kernel services, scheduler, timer |
+//! | [`trace`] | `misp-trace` | deterministic trace ring, interval metrics sampler, queue self-profiling, Perfetto exporter |
 //! | [`sim`] | `misp-sim` | the discrete-event execution engine and its extension traits |
 //! | [`core`] | `misp-core` | **the MISP architecture**: sequencers, SIGNAL, proxy execution, serialization, the overhead model |
 //! | [`smp`] | `misp-smp` | the SMP baseline machine |
@@ -91,6 +92,7 @@ pub use misp_mem as mem;
 pub use misp_os as os;
 pub use misp_sim as sim;
 pub use misp_smp as smp;
+pub use misp_trace as trace;
 pub use misp_types as types;
 pub use misp_workloads as workloads;
 pub use shredlib;

@@ -8,8 +8,8 @@
 
 use misp::core::MispTopology;
 use misp::harness::{
-    grids, run_grid, GridSpec, MachineSpec, RunSpec, SimSpec, SweepOptions, TopologySpec,
-    VerifyMode,
+    artifacts, grids, run_grid, run_grid_with_artifacts, GridSpec, MachineSpec, RunSpec, SimSpec,
+    SweepOptions, TopologySpec, VerifyMode,
 };
 use misp::os::TimerConfig;
 use misp::sim::{SimConfig, SimReport};
@@ -203,6 +203,82 @@ fn service_load_grid_sweeps_identically_at_different_thread_counts() {
         one.to_canonical_json().unwrap(),
         eight.to_canonical_json().unwrap(),
         "scenario sweeps must be byte-identical across thread counts"
+    );
+}
+
+/// Observability artifacts obey the same thread-count invariance as the
+/// results document: a traced, sampled grid swept serially and with 8-way
+/// fan-out produces byte-identical trace exports, trace digests and
+/// interval-metrics JSONL streams.
+#[test]
+fn trace_and_metrics_artifacts_are_identical_at_any_thread_count() {
+    let mut grid = GridSpec::new("traced", "observability determinism grid");
+    for (name, workers) in [("dense_mvm", 4), ("kmeans", 4)] {
+        grid.push(RunSpec::sim(
+            format!("{name}/misp"),
+            SimSpec::workload(
+                name,
+                MachineSpec::Misp(TopologySpec::Uniprocessor { ams: 3 }),
+                workers,
+            )
+            .with_trace(true)
+            .with_metrics_interval(250_000),
+        ));
+        grid.push(RunSpec::sim(
+            format!("{name}/smp"),
+            SimSpec::workload(name, MachineSpec::Smp { cores: 4 }, workers)
+                .with_trace(true)
+                .with_metrics_interval(250_000),
+        ));
+    }
+
+    let (serial, serial_artifacts) = run_grid_with_artifacts(
+        &grid,
+        &SweepOptions {
+            threads: 1,
+            verify: VerifyMode::Off,
+        },
+    )
+    .unwrap();
+    let (parallel, parallel_artifacts) = run_grid_with_artifacts(
+        &grid,
+        &SweepOptions {
+            threads: 8,
+            verify: VerifyMode::Full,
+        },
+    )
+    .unwrap();
+
+    assert_eq!(
+        serial.to_canonical_json().unwrap(),
+        parallel.to_canonical_json().unwrap(),
+        "results with observability summaries must stay byte-identical"
+    );
+    for (record, (a, b)) in serial
+        .records
+        .iter()
+        .zip(serial_artifacts.iter().zip(&parallel_artifacts))
+    {
+        let id = &record.id;
+        let ta = a.trace.as_ref().expect("serial trace");
+        let tb = b.trace.as_ref().expect("parallel trace");
+        assert_eq!(ta.digest, tb.digest, "{id}: trace digest");
+        assert_eq!(ta.events, tb.events, "{id}: trace events");
+        assert_eq!(
+            artifacts::trace_json(ta),
+            artifacts::trace_json(tb),
+            "{id}: Perfetto export bytes"
+        );
+        let ma = a.metrics.as_ref().expect("serial metrics");
+        let mb = b.metrics.as_ref().expect("parallel metrics");
+        assert_eq!(ma.digest, mb.digest, "{id}: metrics digest");
+        assert_eq!(ma.samples, mb.samples, "{id}: metrics samples");
+        assert!(!ma.samples.is_empty(), "{id}: sampler must have fired");
+    }
+    assert_eq!(
+        artifacts::metrics_jsonl(&serial.records, &serial_artifacts).unwrap(),
+        artifacts::metrics_jsonl(&parallel.records, &parallel_artifacts).unwrap(),
+        "interval-metrics JSONL stream must be byte-identical across thread counts"
     );
 }
 

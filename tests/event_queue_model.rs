@@ -27,7 +27,7 @@ impl ModelQueue {
         match event {
             Event::SeqReady { seq, .. } => Some((0, seq.as_usize() as u32)),
             Event::StallEnd { seq } => Some((1, seq.as_usize() as u32)),
-            Event::TimerTick { .. } | Event::StallEndGroup { .. } => None,
+            Event::TimerTick { .. } | Event::StallEndGroup { .. } | Event::Sample => None,
         }
     }
 
@@ -77,6 +77,7 @@ fn apply(
             base: seq as u32,
             mask: (extra as u32) | 1,
         },
+        6 => Event::Sample,
         _ => {
             // Pop from both; the popped entries must be identical and time
             // must never go backwards.
@@ -106,7 +107,7 @@ proptest! {
     #[test]
     fn radix_heap_matches_binary_heap_reference(
         ops in proptest::collection::vec(
-            (0u64..8, 0u64..(1 << 40), 0u64..6, 0u64..64),
+            (0u64..9, 0u64..(1 << 40), 0u64..6, 0u64..64),
             0..200,
         )
     ) {

@@ -13,7 +13,7 @@
 use misp::core::{MispMachine, MispTopology};
 use misp::isa::ProgramLibrary;
 use misp::os::TimerConfig;
-use misp::sim::SimConfig;
+use misp::sim::{SimConfig, TraceConfig};
 use misp::types::Cycles;
 use misp::workloads::{LocalityProfile, Suite, Workload, WorkloadParams};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -65,10 +65,15 @@ fn params(chunks: u64) -> WorkloadParams {
 /// Builds the machine outside the measurement, then runs it and returns
 /// (allocations during the run only, executed ops).
 fn measured_run(chunks: u64) -> (u64, u64) {
+    measured_run_with_trace(chunks, TraceConfig::default())
+}
+
+fn measured_run_with_trace(chunks: u64, trace: TraceConfig) -> (u64, u64) {
     let workload = Workload::new("alloc-audit", Suite::Rms, params(chunks));
     let topo = MispTopology::uniprocessor(3).unwrap();
     let config = SimConfig {
         timer: TimerConfig::new(Cycles::new(3_000_000), 10),
+        trace,
         ..SimConfig::default()
     };
     let mut library = ProgramLibrary::new();
@@ -86,7 +91,13 @@ fn measured_run(chunks: u64) -> (u64, u64) {
 #[test]
 fn steady_state_step_loop_does_not_allocate() {
     // Warm up allocator internals and any lazily-initialized state so both
-    // measured runs start from the same baseline.
+    // measured runs start from the same baseline.  The default config has
+    // tracing compiled in but disabled — the configuration every figure and
+    // golden run uses — so this audit also pins the "off means free" claim.
+    assert!(
+        TraceConfig::default().is_off(),
+        "the audited default must be the tracing-off configuration"
+    );
     let _ = measured_run(1_000);
 
     let (alloc_1x, ops_1x) = measured_run(100_000);
@@ -103,6 +114,32 @@ fn steady_state_step_loop_does_not_allocate() {
     assert!(
         delta <= 64,
         "steady-state hot loop allocated: {alloc_1x} allocations for {ops_1x} ops vs \
+         {alloc_2x} for {ops_2x} ops (delta {delta})"
+    );
+}
+
+/// The same audit with the trace ring *enabled*: the ring is preallocated at
+/// machine construction and records by overwriting its oldest slot, so even
+/// a traced run must not allocate per operation or per trace event.
+#[test]
+fn steady_state_step_loop_does_not_allocate_while_tracing() {
+    let traced = TraceConfig {
+        enabled: true,
+        ..TraceConfig::default()
+    };
+    let _ = measured_run_with_trace(1_000, traced);
+
+    let (alloc_1x, ops_1x) = measured_run_with_trace(100_000, traced);
+    let (alloc_2x, ops_2x) = measured_run_with_trace(200_000, traced);
+
+    assert!(
+        ops_2x > ops_1x + 100_000,
+        "doubling the chunks must add real operations (got {ops_1x} vs {ops_2x})"
+    );
+    let delta = alloc_2x.abs_diff(alloc_1x);
+    assert!(
+        delta <= 64,
+        "traced hot loop allocated: {alloc_1x} allocations for {ops_1x} ops vs \
          {alloc_2x} for {ops_2x} ops (delta {delta})"
     );
 }
