@@ -1,8 +1,10 @@
 //! Engine wall-clock trajectory bench: times the full `fig4` sweep on one
 //! thread with the macro-step fast path enabled (the default) and with it
-//! force-disabled (the event-per-operation reference loop), and *appends* the
-//! measurements to `BENCH_engine.json` at the repository root so the repo
-//! carries a machine-readable perf trajectory from PR to PR.
+//! force-disabled (the event-per-operation reference loop), plus the
+//! `fleet_service` sweep (the conservatively-synchronized multi-machine
+//! path), and *appends* the measurements to `BENCH_engine.json` at the
+//! repository root so the repo carries a machine-readable perf trajectory
+//! from PR to PR.
 //!
 //! Regenerate with:
 //!
@@ -23,11 +25,12 @@
 //! an artifact next to the sweep-smoke results.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use misp_core::{FleetTopology, LoadBalancerPolicy};
 use misp_harness::{
     grids, run_grid, run_grid_with_artifacts, GridSpec, RunKind, SweepOptions, VerifyMode,
 };
 use misp_sim::QueueProfile;
-use misp_workloads::{catalog, Machine, Run};
+use misp_workloads::{catalog, scenario, Machine, Run};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -173,6 +176,44 @@ fn fig4_total_ops() -> u64 {
     total
 }
 
+/// Counts the simulated operations of one fleet_service sweep by re-running
+/// its (fleet size × policy × load × machine) matrix through the direct
+/// fleet runner, mirroring `grids::fleet_service`.
+fn fleet_service_total_ops() -> u64 {
+    let config = misp_harness::experiment_config();
+    let topo = misp_core::MispTopology::uniprocessor(7).expect("1 OMS + 7 AMS");
+    let mut points: Vec<(usize, LoadBalancerPolicy, u32)> = Vec::new();
+    for machines in grids::fleet_machine_points() {
+        for policy in LoadBalancerPolicy::all() {
+            points.push((machines, policy, 60));
+        }
+    }
+    points.push((16, LoadBalancerPolicy::RoundRobin, 90));
+
+    let mut total = 0u64;
+    for (machines, policy, load) in points {
+        let s = scenario::by_name("poisson")
+            .expect("catalog scenario")
+            .with_offered_load(load);
+        let fleet = FleetTopology::new(machines, policy).expect("valid fleet");
+        for machine in [Machine::Misp(topo.clone()), Machine::smp(8)] {
+            let report = Run::scenario(&s)
+                .machine(machine)
+                .config(config)
+                .seed(grids::SERVICE_SEED)
+                .execute_fleet(&fleet)
+                .expect("fleet_service point runs");
+            total += report
+                .reports
+                .iter()
+                .flat_map(|r| r.stats.per_sequencer.iter())
+                .map(|s| s.ops)
+                .sum::<u64>();
+        }
+    }
+    total
+}
+
 /// Aggregates the radix-heap self-profile over one single-threaded sweep of
 /// `grid`: max occupancy, bucket redistributions, and superseded-slot
 /// replacements summed across every simulation point.  Runs outside the
@@ -210,16 +251,19 @@ fn emit_trajectory(test_mode: bool) {
     let pr = std::env::var("MISP_BENCH_PR").unwrap_or_else(|_| "dev".to_string());
     let batched = grids::fig4();
     let reference = fig4_event_per_op();
+    let fleet_grid = grids::fleet_service();
     let on_ms = time_grid(&batched, iters);
     let off_ms = time_grid(&reference, iters);
+    let fleet_ms = time_grid(&fleet_grid, iters);
     let total_ops = fig4_total_ops();
-    let entry = |config: &str, wall_ms: f64, heap: QueueProfile| BenchEntry {
+    let fleet_ops = fleet_service_total_ops();
+    let entry = |grid: &str, config: &str, ops: u64, wall_ms: f64, heap: QueueProfile| BenchEntry {
         pr: pr.clone(),
-        grid: "fig4".to_string(),
+        grid: grid.to_string(),
         config: config.to_string(),
-        total_ops,
+        total_ops: ops,
         wall_ms: (wall_ms * 1000.0).round() / 1000.0,
-        ops_per_sec: (total_ops as f64 / (wall_ms / 1e3)).round(),
+        ops_per_sec: (ops as f64 / (wall_ms / 1e3)).round(),
         heap_max_len: Some(heap.max_len),
         heap_redistributions: Some(heap.redistributions),
         heap_supersessions: Some(heap.supersessions),
@@ -245,10 +289,31 @@ fn emit_trajectory(test_mode: bool) {
         .and_then(|v| v.parse::<f64>().ok())
         .or(prior_seed);
     let mut entries: Vec<BenchEntry> = prior.into_iter().filter(|e| e.pr != pr).collect();
-    let fresh = entry("macro-step", on_ms, heap_profile(&batched));
+    let fresh = entry(
+        "fig4",
+        "macro-step",
+        total_ops,
+        on_ms,
+        heap_profile(&batched),
+    );
     let fresh_ops_per_sec = fresh.ops_per_sec;
     entries.push(fresh);
-    entries.push(entry("event-per-op", off_ms, heap_profile(&reference)));
+    entries.push(entry(
+        "fig4",
+        "event-per-op",
+        total_ops,
+        off_ms,
+        heap_profile(&reference),
+    ));
+    // The fleet case rides along for trajectory visibility; the regression
+    // gate below stays anchored on the fig4 macro-step entry.
+    entries.push(entry(
+        "fleet_service",
+        "fleet",
+        fleet_ops,
+        fleet_ms,
+        heap_profile(&fleet_grid),
+    ));
     let doc = BenchDoc {
         schema_version: 2,
         entries,
@@ -261,7 +326,8 @@ fn emit_trajectory(test_mode: bool) {
     std::fs::write(&out, &json).expect("write BENCH_engine.json");
     println!(
         "BENCH_engine.json [{pr}]: macro-step {on_ms:.2} ms, event-per-op {off_ms:.2} ms \
-         ({:.2}x), {total_ops} simulated ops -> {}",
+         ({:.2}x), {total_ops} simulated ops; fleet_service {fleet_ms:.2} ms, \
+         {fleet_ops} ops -> {}",
         off_ms / on_ms,
         out.display()
     );
@@ -295,6 +361,20 @@ fn bench_engine(c: &mut Criterion) {
             black_box(
                 run_grid(&grid, &options)
                     .expect("fig4 sweeps cleanly")
+                    .run_count,
+            )
+        });
+    });
+    group.bench_function("fleet_service_sweep", |b| {
+        let grid = grids::fleet_service();
+        let options = SweepOptions {
+            threads: 1,
+            verify: VerifyMode::Off,
+        };
+        b.iter(|| {
+            black_box(
+                run_grid(&grid, &options)
+                    .expect("fleet_service sweeps cleanly")
                     .run_count,
             )
         });

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod fleet;
 mod machine;
 mod overhead;
 mod platform;
@@ -46,6 +47,7 @@ mod signal;
 mod topology;
 mod yield_cond;
 
+pub use fleet::{FleetTopology, LoadBalancerPolicy};
 pub use machine::MispMachine;
 pub use overhead::OverheadModel;
 pub use platform::{MispPlatform, RingPolicy};

@@ -97,6 +97,13 @@ impl MispMachine {
         &mut self.engine
     }
 
+    /// Surrenders the assembled machine so it can join a multi-machine
+    /// [`misp_sim::FleetEngine`].
+    #[must_use]
+    pub fn into_sim_machine(self) -> misp_sim::Machine<MispPlatform> {
+        self.engine.into_machine()
+    }
+
     /// Runs the simulation to completion.
     ///
     /// # Errors

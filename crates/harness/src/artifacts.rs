@@ -194,6 +194,7 @@ mod tests {
                 port: None,
                 scenario: None,
                 offered_load: None,
+                fleet: None,
             };
             records.push(record);
             artifacts.push(RunArtifacts {

@@ -1,13 +1,16 @@
 //! Execution of individual grid points.
 
-use crate::results::{PortMetrics, RunRecord, SimMetrics, TopologyMetrics};
-use crate::spec::{MachineSpec, RunKind, RunSpec, SimSpec, TopologySpec, WorkSource};
+use crate::results::{
+    FleetMetrics, IntervalMetricsSummary, MachineMetrics, PortMetrics, RunRecord, ServiceMetrics,
+    SimMetrics, TopologyMetrics, TraceMetrics,
+};
+use crate::spec::{FleetSpec, MachineSpec, RunKind, RunSpec, SimSpec, TopologySpec, WorkSource};
 use misp_core::RingPolicy;
 use misp_os::TimerConfig;
-use misp_sim::{SimConfig, SimReport, TraceConfig};
-use misp_trace::{MetricsReport, QueueProfile, TraceReport};
+use misp_sim::{FleetReport, SimConfig, SimReport, TraceConfig};
+use misp_trace::{merge_machine_traces, metrics_digest, MetricsReport, QueueProfile, TraceReport};
 use misp_types::{CostModel, Cycles, MispError, Result, SignalCost};
-use misp_workloads::{catalog, scenario, Machine, Run, RunOptions};
+use misp_workloads::{catalog, scenario, Machine, Run, RunOptions, Scenario};
 use shredlib::compat;
 
 /// The observability by-products of one grid point, kept *outside* the
@@ -81,6 +84,7 @@ fn empty_record(index: usize, spec: &RunSpec, kind: &str) -> RunRecord {
         port: None,
         scenario: None,
         offered_load: None,
+        fleet: None,
     }
 }
 
@@ -91,6 +95,153 @@ fn build_machine(spec: &MachineSpec) -> Machine {
         MachineSpec::Misp(topo) => Machine::Misp(topo.build()),
         MachineSpec::Smp { cores } => Machine::smp(*cores),
     }
+}
+
+/// Per-machine sequencer count — the track stride that keeps every fleet
+/// machine's sequencers on distinct Perfetto process tracks when merging
+/// traces.
+fn sequencer_stride(machine: &Machine) -> u32 {
+    match machine {
+        Machine::Serial => 1,
+        Machine::Misp(topology) => topology.total_sequencers() as u32,
+        Machine::Smp { cores } => *cores as u32,
+    }
+}
+
+/// Folds a fleet's per-machine reports into the record's aggregate `sim`
+/// section: counters sum, the cycle count is the fleet's end-to-end span,
+/// the digest is the fleet digest, and service percentiles merge across
+/// machines.  The observability summaries are filled in by the caller from
+/// the merged artifacts.
+fn fleet_sim_metrics(report: &FleetReport) -> SimMetrics {
+    let total_cycles = report.total_cycles().as_u64();
+    let mut agg: Option<SimMetrics> = None;
+    let mut cache: Option<misp_cache::CacheStats> = None;
+    for machine in &report.reports {
+        let m = SimMetrics::from_report(machine);
+        if let Some(c) = machine.stats.cache {
+            match &mut cache {
+                Some(acc) => acc.merge(&c),
+                None => cache = Some(c),
+            }
+        }
+        match &mut agg {
+            None => agg = Some(m),
+            Some(a) => {
+                a.oms_syscalls += m.oms_syscalls;
+                a.oms_page_faults += m.oms_page_faults;
+                a.oms_timer += m.oms_timer;
+                a.oms_other_interrupts += m.oms_other_interrupts;
+                a.ams_syscalls += m.ams_syscalls;
+                a.ams_page_faults += m.ams_page_faults;
+                a.proxy_executions += m.proxy_executions;
+                a.serializations += m.serializations;
+                a.context_switches += m.context_switches;
+                a.signals_sent += m.signals_sent;
+                a.suspension_cycles += m.suspension_cycles;
+                a.tlb_hits += m.tlb_hits;
+                a.tlb_misses += m.tlb_misses;
+                a.tlb_flushes += m.tlb_flushes;
+            }
+        }
+    }
+    let mut a = agg.expect("a fleet report carries at least one machine");
+    a.total_cycles = total_cycles;
+    a.log_digest = format!("{:016x}", report.fleet_digest);
+    a.cache = cache;
+    a.speedup_vs_baseline = None;
+    a.service = report
+        .aggregate_service()
+        .map(|svc| ServiceMetrics::from_stats(&svc, total_cycles));
+    a.trace = None;
+    a.interval_metrics = None;
+    a
+}
+
+/// Executes a fleet scenario grid point: one co-simulated machine per fleet
+/// slot, the aggregate `sim` section, the per-machine `fleet` section, and
+/// merged observability artifacts (fleet traces keep one track per
+/// machine×sequencer pair; interval samples concatenate in machine order).
+#[allow(clippy::too_many_arguments)]
+fn execute_fleet_sim(
+    mut record: RunRecord,
+    s: &Scenario,
+    fleet_spec: FleetSpec,
+    machine: Machine,
+    config: SimConfig,
+    options: RunOptions,
+    seed: u64,
+) -> Result<(RunRecord, RunArtifacts)> {
+    let fleet = fleet_spec.build();
+    let stride = sequencer_stride(&machine);
+    let mut report = Run::scenario(s)
+        .machine(machine)
+        .config(config)
+        .options(options)
+        .seed(seed)
+        .execute_fleet(&fleet)?;
+    // The balancer is a pure function of (scenario, seed, fleet shape), so
+    // re-deriving the dispatch here replays the decisions the run used.
+    let dispatch = s.fleet_streams(seed, &fleet).dispatch_counts();
+
+    let mut traces = Vec::new();
+    let mut samples = Vec::new();
+    let mut interval = 0;
+    let mut queue = QueueProfile::default();
+    for machine_report in &mut report.reports {
+        if let Some(t) = machine_report.trace.take() {
+            traces.push(t);
+        }
+        if let Some(m) = machine_report.metrics.take() {
+            interval = m.interval;
+            samples.extend(m.samples);
+        }
+        queue.absorb(&machine_report.queue);
+    }
+    let trace = (!traces.is_empty()).then(|| merge_machine_traces(&traces, stride));
+    let metrics = (interval > 0).then(|| {
+        let digest = metrics_digest(&samples);
+        MetricsReport {
+            interval,
+            samples,
+            digest,
+        }
+    });
+
+    let mut sim_metrics = fleet_sim_metrics(&report);
+    sim_metrics.trace = trace.as_ref().map(TraceMetrics::from_report);
+    sim_metrics.interval_metrics = metrics.as_ref().map(IntervalMetricsSummary::from_report);
+    record.sim = Some(sim_metrics);
+    record.fleet = Some(FleetMetrics {
+        machines: fleet.machines() as u64,
+        network_latency: fleet.network_latency().as_u64(),
+        policy: fleet.policy().label().to_string(),
+        fleet_digest: format!("{:016x}", report.fleet_digest),
+        per_machine: report
+            .reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| MachineMetrics {
+                machine: i as u64,
+                total_cycles: r.total_cycles.as_u64(),
+                log_digest: format!("{:016x}", r.log_digest),
+                requests_dispatched: dispatch[i] as u64,
+                service: r
+                    .stats
+                    .service
+                    .as_ref()
+                    .map(|svc| ServiceMetrics::from_stats(svc, r.total_cycles.as_u64())),
+            })
+            .collect(),
+    });
+    Ok((
+        record,
+        RunArtifacts {
+            trace,
+            metrics,
+            queue: Some(queue),
+        },
+    ))
 }
 
 fn execute_sim(index: usize, spec: &RunSpec, sim: &SimSpec) -> Result<(RunRecord, RunArtifacts)> {
@@ -135,6 +286,12 @@ fn execute_sim(index: usize, spec: &RunSpec, sim: &SimSpec) -> Result<(RunRecord
                     spec.id
                 ))
             })?;
+            if sim.fleet.is_some() {
+                return Err(MispError::InvalidConfiguration(format!(
+                    "grid point {}: fleet runs serve request scenarios, not catalog workloads",
+                    spec.id
+                )));
+            }
             record.workload = Some(name.clone());
             record.workers = Some(sim.workers as u64);
             Run::workload(&workload)
@@ -165,6 +322,11 @@ fn execute_sim(index: usize, spec: &RunSpec, sim: &SimSpec) -> Result<(RunRecord
             }
             record.scenario = Some(sc.name.clone());
             record.offered_load = Some(s.offered_load_pct());
+            if let Some(fleet_spec) = sim.fleet {
+                return execute_fleet_sim(
+                    record, &s, fleet_spec, machine, config, options, spec.seed,
+                );
+            }
             Run::scenario(&s)
                 .machine(machine)
                 .config(config)

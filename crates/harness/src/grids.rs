@@ -1,9 +1,9 @@
 //! The named experiment grids: one per figure/table of the paper plus the
 //! two ablations, exactly the sweeps the `misp-bench` binaries render.
 
-use crate::spec::{GridSpec, MachineSpec, RunSpec, ScenarioSpec, SimSpec, TopologySpec};
+use crate::spec::{FleetSpec, GridSpec, MachineSpec, RunSpec, ScenarioSpec, SimSpec, TopologySpec};
 use misp_cache::CacheConfig;
-use misp_core::RingPolicy;
+use misp_core::{LoadBalancerPolicy, RingPolicy};
 use misp_types::SignalCost;
 use misp_workloads::catalog;
 
@@ -420,6 +420,71 @@ pub fn service_load_at(offered_load: Option<u32>) -> GridSpec {
     grid
 }
 
+/// The fleet sizes the `fleet_service` grid sweeps.
+#[must_use]
+pub fn fleet_machine_points() -> Vec<usize> {
+    vec![4, 16]
+}
+
+/// Fleet service — the multi-machine request-serving study: a poisson
+/// stream offered to a fleet of identical boxes through a seeded load
+/// balancer, swept over fleet size × balancing policy × machine type at
+/// nominal load, plus a 16-machine saturation pair at 90%.
+///
+/// Every point replays the same central customer stream
+/// ([`SERVICE_SEED`]; the stream rate scales with the fleet so per-machine
+/// load is held constant), so policies and machine types are compared under
+/// common random numbers.  Per point the SMP run is baselined on the paired
+/// MISP run, exactly as in [`service_load`].
+#[must_use]
+pub fn fleet_service() -> GridSpec {
+    let mut grid = GridSpec::new(
+        "fleet_service",
+        "Fleet service: latency percentiles vs. fleet size x LB policy x MISP/SMP, \
+         load-balanced poisson stream on common random numbers",
+    )
+    .with_family("scenarios");
+    let machines = || {
+        [
+            ("misp", MachineSpec::Misp(MISP_UP)),
+            ("smp", MachineSpec::Smp { cores: SEQUENCERS }),
+        ]
+    };
+    let push_pair = |grid: &mut GridSpec, fleet: FleetSpec, load: u32| {
+        let prefix = format!(
+            "fleet{}/{}/load{load}",
+            fleet.machines,
+            fleet.policy.label()
+        );
+        let misp_id = format!("{prefix}/misp");
+        for (label, machine) in machines() {
+            let spec = SimSpec::scenario(
+                ScenarioSpec::new("poisson").with_offered_load(load),
+                machine,
+            )
+            .with_fleet(fleet);
+            let mut run = RunSpec::sim(format!("{prefix}/{label}"), spec).with_seed(SERVICE_SEED);
+            if label == "smp" {
+                run = run.with_baseline(misp_id.clone());
+            }
+            grid.push(run);
+        }
+    };
+
+    for machines in fleet_machine_points() {
+        for policy in LoadBalancerPolicy::all() {
+            push_pair(&mut grid, FleetSpec::new(machines, policy), 60);
+        }
+    }
+    // The saturation point: the largest fleet under round-robin at 90%.
+    push_pair(
+        &mut grid,
+        FleetSpec::new(16, LoadBalancerPolicy::RoundRobin),
+        90,
+    );
+    grid
+}
+
 /// The names of every predefined grid, in a stable order.
 #[must_use]
 pub fn all_names() -> Vec<&'static str> {
@@ -434,6 +499,7 @@ pub fn all_names() -> Vec<&'static str> {
         "ablation_pretouch",
         "cache_sensitivity",
         "service_load",
+        "fleet_service",
     ]
 }
 
@@ -451,6 +517,7 @@ pub fn by_name(name: &str) -> Option<GridSpec> {
         "ablation_pretouch" => Some(ablation_pretouch()),
         "cache_sensitivity" => Some(cache_sensitivity()),
         "service_load" => Some(service_load()),
+        "fleet_service" => Some(fleet_service()),
         _ => None,
     }
 }
@@ -490,6 +557,11 @@ mod tests {
         assert_eq!(
             service_load().runs.len(),
             service_load_points().len() * 2 + 2 * 2 + 2
+        );
+        // fleet sizes x policies x 2 machines + the saturation pair.
+        assert_eq!(
+            fleet_service().runs.len(),
+            fleet_machine_points().len() * LoadBalancerPolicy::all().len() * 2 + 2
         );
     }
 
@@ -541,6 +613,27 @@ mod tests {
             };
             assert_eq!(sc.offered_load, Some(75), "{}", run.id);
         }
+        grid.validate();
+    }
+
+    #[test]
+    fn fleet_service_pairs_share_the_stream_seed_and_cover_a_16_machine_fleet() {
+        let grid = fleet_service();
+        let mut saw_16 = false;
+        for run in &grid.runs {
+            assert_eq!(run.seed, SERVICE_SEED, "{}: CRN requires one seed", run.id);
+            let crate::RunKind::Sim(spec) = &run.kind else {
+                panic!("fleet grid holds only simulations");
+            };
+            let fleet = spec.fleet.expect("every point declares its fleet");
+            assert!(run.id.starts_with(&format!("fleet{}/", fleet.machines)));
+            saw_16 |= fleet.machines >= 16;
+            if run.id.ends_with("/smp") {
+                let baseline = run.baseline.as_deref().expect("smp pairs with misp");
+                assert!(baseline.ends_with("/misp"), "{} -> {baseline}", run.id);
+            }
+        }
+        assert!(saw_16, "the grid exercises a 16-machine fleet");
         grid.validate();
     }
 

@@ -49,11 +49,12 @@ pub use exec::{
     config_with_signal, execute_run, execute_run_with_artifacts, experiment_config, RunArtifacts,
 };
 pub use results::{
-    IntervalMetricsSummary, PortMetrics, RunRecord, ServiceMetrics, SimMetrics, SweepResults,
-    TopologyMetrics, TraceMetrics, SCHEMA_VERSION,
+    FleetMetrics, IntervalMetricsSummary, MachineMetrics, PortMetrics, RunRecord, ServiceMetrics,
+    SimMetrics, SweepResults, TopologyMetrics, TraceMetrics, SCHEMA_VERSION,
 };
 pub use spec::{
-    GridSpec, MachineSpec, RunKind, RunSpec, ScenarioSpec, SimSpec, TopologySpec, WorkSource,
+    FleetSpec, GridSpec, MachineSpec, RunKind, RunSpec, ScenarioSpec, SimSpec, TopologySpec,
+    WorkSource,
 };
 
 use misp_types::Result;

@@ -35,7 +35,15 @@ use serde::Serialize;
 ///   default sweep re-serializes every version-3 field byte-identically; the
 ///   bulk data itself (trace events, JSONL samples) is written to sidecar
 ///   artifact files, never into this document.
-pub const SCHEMA_VERSION: u32 = 4;
+/// * **5** — fleet simulation: records of fleet scenario runs gained a
+///   `fleet` section (machine count, network latency, load-balancer policy,
+///   fleet digest, and one per-machine entry with cycles, event-log digest,
+///   dispatch count and service metrics); the top-level `sim` section of such
+///   a record aggregates the whole fleet (max cycles, summed counters, merged
+///   service percentiles, fleet digest as `log_digest`).  The section is
+///   *omitted* for single-machine runs, so every version-4 record
+///   re-serializes byte-identically.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Request-serving metrics of one scenario run, flattened from
 /// [`misp_sim::ServiceStats`].  Latencies are in cycles from *scheduled*
@@ -269,6 +277,39 @@ impl SimMetrics {
     }
 }
 
+/// One machine's slice of a fleet record.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MachineMetrics {
+    /// Machine index within the fleet (dispatch order).
+    pub machine: u64,
+    /// End-to-end cycles of this machine's measured process.
+    pub total_cycles: u64,
+    /// Hex-encoded deterministic digest of this machine's event log.
+    pub log_digest: String,
+    /// Requests the load balancer dispatched to this machine.
+    pub requests_dispatched: u64,
+    /// This machine's request-serving metrics; omitted when the machine's
+    /// run carried no service model.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub service: Option<ServiceMetrics>,
+}
+
+/// Fleet-level metrics of one fleet scenario run (schema version 5).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FleetMetrics {
+    /// Number of machines in the fleet.
+    pub machines: u64,
+    /// Cross-machine network latency, in cycles.
+    pub network_latency: u64,
+    /// Load-balancer policy label (`"rr"`, `"random"`, `"least"`).
+    pub policy: String,
+    /// Hex-encoded digest over every machine's event-log digest in machine
+    /// order: the one number that proves two fleet runs identical.
+    pub fleet_digest: String,
+    /// One entry per machine, in machine order.
+    pub per_machine: Vec<MachineMetrics>,
+}
+
 /// Structural metrics of one topology grid point (Figure 6).
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TopologyMetrics {
@@ -357,6 +398,10 @@ pub struct RunRecord {
     /// only; omitted from the JSON otherwise).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub offered_load: Option<u32>,
+    /// Fleet metrics (fleet scenario records only; omitted from the JSON
+    /// otherwise).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub fleet: Option<FleetMetrics>,
 }
 
 /// The aggregated results of one grid sweep.
@@ -425,6 +470,7 @@ mod tests {
             port: None,
             scenario: None,
             offered_load: None,
+            fleet: None,
         }
     }
 
@@ -469,7 +515,7 @@ mod tests {
         let b = results.to_canonical_json().unwrap();
         assert_eq!(a, b);
         assert!(a.ends_with('\n'));
-        assert!(a.contains("\"schema_version\": 4"));
+        assert!(a.contains("\"schema_version\": 5"));
     }
 
     /// Version-2 compatibility: the fields added in version 3 are omitted
@@ -529,6 +575,34 @@ mod tests {
         assert_eq!(m.interval, 500);
         assert_eq!(m.samples, 2);
         assert_eq!(m.digest, "000000000000001f");
+    }
+
+    /// Version-4 compatibility: the fleet section added in version 5 is
+    /// omitted from single-machine records, so they serialize without any
+    /// mention of it.
+    #[test]
+    fn absent_v5_fields_are_omitted_not_null() {
+        let json = serde_json::to_string(&record("a")).unwrap();
+        assert!(!json.contains("\"fleet\""), "{json}");
+        let fleet = FleetMetrics {
+            machines: 2,
+            network_latency: 200_000,
+            policy: "rr".to_string(),
+            fleet_digest: format!("{:016x}", 0xbeef_u64),
+            per_machine: vec![MachineMetrics {
+                machine: 0,
+                total_cycles: 10,
+                log_digest: format!("{:016x}", 1_u64),
+                requests_dispatched: 5,
+                service: None,
+            }],
+        };
+        let json = serde_json::to_string(&fleet).unwrap();
+        assert!(json.contains("\"policy\":\"rr\""), "{json}");
+        assert!(
+            !json.contains("\"service\""),
+            "per-machine service is omitted when absent: {json}"
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! makes the fan-out in [`crate::run_grid`] embarrassingly parallel.
 
 use misp_cache::CacheConfig;
-use misp_core::{MispTopology, RingPolicy};
-use misp_types::SignalCost;
+use misp_core::{FleetTopology, LoadBalancerPolicy, MispTopology, RingPolicy};
+use misp_types::{Cycles, SignalCost};
 
 /// How the machine of one grid point is built.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -166,11 +166,69 @@ impl ScenarioSpec {
     }
 }
 
+/// The fleet shape of a scenario grid point: how many identical machines the
+/// request stream is balanced across, under which policy, and how far apart
+/// they sit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// Number of identical machines in the fleet.
+    pub machines: usize,
+    /// The load-balancer policy dispatching requests to machines.
+    pub policy: LoadBalancerPolicy,
+    /// Cross-machine network latency override, in cycles; `None` keeps
+    /// [`FleetTopology::DEFAULT_NETWORK_LATENCY`].
+    pub network_latency: Option<u64>,
+}
+
+impl FleetSpec {
+    /// A fleet of `machines` boxes under `policy` with the default network
+    /// latency.
+    #[must_use]
+    pub fn new(machines: usize, policy: LoadBalancerPolicy) -> Self {
+        FleetSpec {
+            machines,
+            policy,
+            network_latency: None,
+        }
+    }
+
+    /// Overrides the cross-machine network latency, in cycles.
+    #[must_use]
+    pub fn with_network_latency(mut self, cycles: u64) -> Self {
+        self.network_latency = Some(cycles);
+        self
+    }
+
+    /// Builds the concrete fleet topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero machine count or zero latency; grid declarations are
+    /// static data, so either is a programming error, not an input error.
+    #[must_use]
+    pub fn build(&self) -> FleetTopology {
+        match self.network_latency {
+            Some(cycles) => {
+                FleetTopology::with_network_latency(self.machines, self.policy, Cycles::new(cycles))
+            }
+            None => FleetTopology::new(self.machines, self.policy),
+        }
+        .expect("valid fleet spec")
+    }
+
+    /// A short label for run ids (`"fleet16-rr"`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("fleet{}-{}", self.machines, self.policy.label())
+    }
+}
+
 /// What one grid point computes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RunKind {
-    /// A full simulation of a catalog workload on a machine.
-    Sim(SimSpec),
+    /// A full simulation of a catalog workload on a machine.  Boxed: the
+    /// spec dwarfs the other variants, and grid declarations are cold data.
+    Sim(Box<SimSpec>),
     /// A structural description of a topology (Figure 6 has no runtime
     /// component).
     Topology(TopologySpec),
@@ -219,6 +277,10 @@ pub struct SimSpec {
     /// Interval-metrics sampling period in simulated cycles; `0` (the
     /// default) disables the sampler.
     pub metrics_interval: u64,
+    /// Fleet shape for scenario runs: the request stream is balanced across
+    /// this many machines and the fleet is co-simulated under the
+    /// conservative synchronizer.  `None` (the default) runs one machine.
+    pub fleet: Option<FleetSpec>,
 }
 
 impl SimSpec {
@@ -236,6 +298,7 @@ impl SimSpec {
             batch: true,
             trace: false,
             metrics_interval: 0,
+            fleet: None,
         }
     }
 
@@ -254,14 +317,6 @@ impl SimSpec {
     #[must_use]
     pub fn scenario(scenario: ScenarioSpec, machine: MachineSpec) -> Self {
         SimSpec::with_source(WorkSource::Scenario(scenario), machine, 0)
-    }
-
-    /// A plain dedicated-machine run of `workload` on `machine` with the
-    /// standard worker count.
-    #[deprecated(since = "0.2.0", note = "use `SimSpec::workload` instead")]
-    #[must_use]
-    pub fn new(workload: impl Into<String>, machine: MachineSpec, workers: usize) -> Self {
-        SimSpec::workload(workload, machine, workers)
     }
 
     /// Sets the signal-cost override (Figure 5 sweep).
@@ -329,6 +384,15 @@ impl SimSpec {
         self.metrics_interval = interval;
         self
     }
+
+    /// Balances the scenario's request stream across a fleet of identical
+    /// machines (scenario runs only; the executor rejects fleet workload
+    /// runs).
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: FleetSpec) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
 }
 
 /// One grid point: an identifier, what to run, an optional baseline
@@ -355,7 +419,7 @@ impl RunSpec {
     pub fn sim(id: impl Into<String>, spec: SimSpec) -> Self {
         RunSpec {
             id: id.into(),
-            kind: RunKind::Sim(spec),
+            kind: RunKind::Sim(Box::new(spec)),
             baseline: None,
             seed: 0,
         }
@@ -575,14 +639,22 @@ mod tests {
         assert_eq!(GridSpec::new("h", "").family, "misc");
     }
 
-    /// The deprecated constructor must keep building the exact spec the
-    /// builder produces.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_sim_spec_new_matches_workload() {
+    fn fleet_spec_builds_and_labels_the_topology() {
+        let spec = FleetSpec::new(16, LoadBalancerPolicy::RoundRobin);
+        assert_eq!(spec.label(), "fleet16-rr");
+        let topo = spec.build();
+        assert_eq!(topo.machines(), 16);
         assert_eq!(
-            SimSpec::new("kmeans", MachineSpec::Serial, 8),
-            SimSpec::workload("kmeans", MachineSpec::Serial, 8)
+            topo.network_latency(),
+            FleetTopology::DEFAULT_NETWORK_LATENCY
         );
+        let near = FleetSpec::new(2, LoadBalancerPolicy::LeastOutstanding)
+            .with_network_latency(50_000)
+            .build();
+        assert_eq!(near.network_latency(), Cycles::new(50_000));
+        let sim = SimSpec::scenario(ScenarioSpec::new("poisson"), MachineSpec::Serial)
+            .with_fleet(FleetSpec::new(4, LoadBalancerPolicy::Random));
+        assert_eq!(sim.fleet.unwrap().machines, 4);
     }
 }

@@ -293,6 +293,18 @@ impl EngineCore {
         self.queue.push(at, Event::TimerTick { cpu, tick });
     }
 
+    /// Injects an externally-produced event (a cross-machine mailbox
+    /// delivery) into the queue at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies before an already-popped event time: external
+    /// deliveries must respect the shard's monotone clock, which the fleet's
+    /// conservative synchronizer guarantees.
+    pub fn post_event(&mut self, at: Cycles, event: Event) {
+        self.queue.push(at, event);
+    }
+
     /// Wakes `seq` at time `now` if it is idle (no shred installed, not
     /// suspended): the sequencer will ask its runtime for work.
     pub fn wake(&mut self, seq: SequencerId, now: Cycles) {

@@ -54,8 +54,10 @@ mod config;
 mod core;
 mod engine;
 mod event;
+mod fleet;
 mod local;
 mod log;
+mod machine;
 mod platform;
 mod runtime;
 mod sequencer;
@@ -64,10 +66,12 @@ mod stats;
 
 pub use config::SimConfig;
 pub use core::{EngineCore, SavedContext};
-pub use engine::{Engine, SimReport};
+pub use engine::Engine;
 pub use event::{Event, EventQueue, ScheduledEvent};
+pub use fleet::{FleetEngine, FleetMessage, FleetReport, Mailbox};
 pub use local::LocalPlatform;
 pub use log::{EventLog, LogKind, LogRecord};
+pub use machine::{Machine, MachineStatus, SimReport};
 pub use platform::Platform;
 pub use runtime::{Runtime, RuntimeOutcome, SingleShredRuntime};
 pub use sequencer::SequencerTable;

@@ -72,6 +72,13 @@ impl SmpMachine {
         &mut self.engine
     }
 
+    /// Surrenders the assembled machine so it can join a multi-machine
+    /// [`misp_sim::FleetEngine`].
+    #[must_use]
+    pub fn into_sim_machine(self) -> misp_sim::Machine<SmpPlatform> {
+        self.engine.into_machine()
+    }
+
     /// Runs the simulation to completion.
     ///
     /// # Errors

@@ -294,6 +294,51 @@ pub struct TraceReport {
     pub digest: u64,
 }
 
+/// Order-sensitive FNV-1a digest over a flat event stream plus a dropped
+/// count — the exact formula [`TraceBuffer::digest`] applies to its ring.
+pub fn trace_digest(events: &[TraceEvent], dropped: u64) -> u64 {
+    let mut h = Fnv64::new();
+    for ev in events {
+        h.write_u64(ev.time);
+        h.write_u64(u64::from(ev.seq));
+        h.write_u64(ev.kind.canonical_index() as u64);
+    }
+    h.write_u64(dropped);
+    h.finish()
+}
+
+/// Merges per-machine trace reports into one fleet-wide report.
+///
+/// Machine `m`'s sequencer `s` is renumbered to track `m * stride + s`
+/// (`stride` being the per-machine sequencer count), so
+/// [`chrome_trace_json`] renders one process track per machine×sequencer
+/// pair.  Events merge in `(time, machine, intra-machine order)` order —
+/// deterministic for deterministic inputs — dropped counts sum, and the
+/// digest is recomputed over the merged stream with [`trace_digest`].
+pub fn merge_machine_traces(machines: &[TraceReport], stride: u32) -> TraceReport {
+    let mut keyed: Vec<(u64, usize, usize, TraceEvent)> = Vec::new();
+    let mut dropped = 0u64;
+    for (m, report) in machines.iter().enumerate() {
+        dropped += report.dropped;
+        for (i, ev) in report.events.iter().enumerate() {
+            let remapped = TraceEvent {
+                time: ev.time,
+                seq: m as u32 * stride + ev.seq,
+                kind: ev.kind,
+            };
+            keyed.push((ev.time, m, i, remapped));
+        }
+    }
+    keyed.sort_unstable_by_key(|&(time, m, i, _)| (time, m, i));
+    let events: Vec<TraceEvent> = keyed.into_iter().map(|(_, _, _, ev)| ev).collect();
+    let digest = trace_digest(&events, dropped);
+    TraceReport {
+        events,
+        dropped,
+        digest,
+    }
+}
+
 /// Cumulative machine counters snapshotted by the sampler; the recorder
 /// diffs consecutive snapshots into per-interval deltas.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -680,6 +725,46 @@ mod tests {
         plain.push(ev(3, 0, TraceKind::TimerTick));
         assert_eq!(wrapped.events(), plain.events());
         assert_ne!(wrapped.digest(), plain.digest(), "dropped count differs");
+    }
+
+    #[test]
+    fn trace_digest_matches_the_ring_formula() {
+        let mut ring = TraceBuffer::new(2);
+        for t in 0..4 {
+            ring.push(ev(t, 1, TraceKind::TimerTick));
+        }
+        assert_eq!(ring.digest(), trace_digest(&ring.events(), ring.dropped()));
+    }
+
+    #[test]
+    fn fleet_merge_renumbers_tracks_and_interleaves_by_time() {
+        let a = TraceReport {
+            events: vec![
+                ev(1, 0, TraceKind::ShredStart),
+                ev(8, 1, TraceKind::ShredEnd),
+            ],
+            dropped: 2,
+            digest: 0,
+        };
+        let b = TraceReport {
+            events: vec![
+                ev(1, 0, TraceKind::RingEnter),
+                ev(5, 2, TraceKind::RingExit),
+            ],
+            dropped: 1,
+            digest: 0,
+        };
+        let merged = merge_machine_traces(&[a, b], 4);
+        assert_eq!(merged.dropped, 3);
+        let view: Vec<(u64, u32)> = merged.events.iter().map(|e| (e.time, e.seq)).collect();
+        // Equal times order by machine; machine 1's sequencers shift by the
+        // stride.
+        assert_eq!(view, vec![(1, 0), (1, 4), (5, 6), (8, 1)]);
+        assert_eq!(merged.digest, trace_digest(&merged.events, 3));
+        let json = chrome_trace_json(&merged.events);
+        assert!(json.contains("\"SEQ0\""));
+        assert!(json.contains("\"SEQ4\""), "machine 1, sequencer 0: {json}");
+        assert!(json.contains("\"SEQ6\""), "machine 1, sequencer 2: {json}");
     }
 
     #[test]

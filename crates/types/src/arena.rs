@@ -76,6 +76,7 @@ arena_id!(
     crate::OsThreadId,
     crate::ShredId,
     crate::ProcessId,
+    crate::MachineId,
     crate::LockId,
 );
 
@@ -173,6 +174,12 @@ impl<I: ArenaId, T> Arena<I, T> {
     #[must_use]
     pub fn as_slice(&self) -> &[T] {
         &self.items
+    }
+
+    /// Consumes the arena, returning the entries in allocation order.
+    #[must_use]
+    pub fn into_items(self) -> Vec<T> {
+        self.items
     }
 }
 

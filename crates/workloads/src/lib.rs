@@ -52,5 +52,5 @@ mod workload;
 
 pub use params::{LocalityProfile, Suite, WorkloadParams};
 pub use runner::{Machine, Run, RunOptions};
-pub use scenario::{ArrivalModel, RequestStream, Scenario};
+pub use scenario::{ArrivalModel, FleetStreams, RequestStream, Scenario};
 pub use workload::{PortedApplication, Workload};

@@ -18,11 +18,11 @@
 //! ```
 
 use crate::{competitor, scenario::Scenario, Workload};
-use misp_core::{MispMachine, MispTopology, RingPolicy};
+use misp_core::{FleetTopology, MispMachine, MispTopology, RingPolicy};
 use misp_isa::ProgramLibrary;
-use misp_sim::{SimConfig, SimReport};
+use misp_sim::{FleetEngine, FleetReport, SimConfig, SimReport};
 use misp_smp::SmpMachine;
-use misp_types::Result;
+use misp_types::{MispError, Result};
 
 /// Options that select the non-default variants of a workload run: the page
 /// pre-touch optimization, the ring-transition policy ablation, and the
@@ -275,140 +275,89 @@ impl<'a> Run<'a> {
             }
         }
     }
-}
 
-/// Runs `workload` on a MISP machine with the given topology and options.
-///
-/// # Errors
-///
-/// Propagates simulation errors (budget exhaustion, deadlock).
-#[deprecated(since = "0.2.0", note = "use `Run::workload(..).topology(..)` instead")]
-pub fn run_on_misp_with(
-    workload: &Workload,
-    topology: &MispTopology,
-    config: SimConfig,
-    workers: usize,
-    options: &RunOptions,
-) -> Result<SimReport> {
-    Run::workload(workload)
-        .topology(topology.clone())
-        .config(config)
-        .workers(workers)
-        .options(*options)
-        .execute()
-}
+    /// Runs the scenario against a whole fleet: the central customer stream
+    /// is recorded at the fleet's aggregate arrival rate, dispatched across
+    /// `fleet.machines()` identical copies of the selected machine by the
+    /// topology's load-balancer policy, and the machines are co-simulated
+    /// under the conservative synchronizer with the topology's network
+    /// latency as lookahead.
+    ///
+    /// Each machine runs its own generator replaying its slice of the
+    /// stream (machine-local arrivals include the dispatch network hop), so
+    /// per-machine service statistics and the fleet aggregate both come out
+    /// of one deterministic co-simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`MispError::InvalidConfiguration`] if the run's source is a catalog
+    /// workload rather than a scenario, or if competitor processes were
+    /// requested (fleet machines serve only their request stream).
+    /// Propagates simulation errors (budget exhaustion, deadlock).
+    pub fn execute_fleet(self, fleet: &FleetTopology) -> Result<FleetReport> {
+        let scenario = match self.source {
+            Source::Scenario(s) => s,
+            Source::Workload(_) => {
+                return Err(MispError::InvalidConfiguration(
+                    "fleet runs serve request scenarios; catalog workloads run on one machine"
+                        .to_string(),
+                ));
+            }
+        };
+        if self.options.competitors > 0 {
+            return Err(MispError::InvalidConfiguration(
+                "competitor processes are not supported on fleet runs".to_string(),
+            ));
+        }
+        let streams = scenario.fleet_streams(self.seed, fleet);
 
-/// Runs `workload` on a MISP machine with the given topology and default
-/// options.
-///
-/// # Errors
-///
-/// Propagates simulation errors (budget exhaustion, deadlock).
-#[deprecated(since = "0.2.0", note = "use `Run::workload(..).topology(..)` instead")]
-pub fn run_on_misp(
-    workload: &Workload,
-    topology: &MispTopology,
-    config: SimConfig,
-    workers: usize,
-) -> Result<SimReport> {
-    Run::workload(workload)
-        .topology(topology.clone())
-        .config(config)
-        .workers(workers)
-        .execute()
-}
-
-/// Runs `workload` on a MISP machine with the page pre-touch optimization of
-/// Section 5.3 enabled.
-///
-/// # Errors
-///
-/// Propagates simulation errors.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Run::workload(..)` with `RunOptions { pretouch: true, .. }` instead"
-)]
-pub fn run_on_misp_with_pretouch(
-    workload: &Workload,
-    topology: &MispTopology,
-    config: SimConfig,
-    workers: usize,
-) -> Result<SimReport> {
-    Run::workload(workload)
-        .topology(topology.clone())
-        .config(config)
-        .workers(workers)
-        .options(RunOptions {
-            pretouch: true,
-            ..RunOptions::default()
-        })
-        .execute()
-}
-
-/// Runs `workload` on the SMP baseline with `cores` cores and the given
-/// options.
-///
-/// # Errors
-///
-/// Propagates simulation errors.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Run::workload(..).machine(Machine::smp(..))` instead"
-)]
-pub fn run_on_smp_with(
-    workload: &Workload,
-    cores: usize,
-    config: SimConfig,
-    workers: usize,
-    options: &RunOptions,
-) -> Result<SimReport> {
-    Run::workload(workload)
-        .machine(Machine::smp(cores))
-        .config(config)
-        .workers(workers)
-        .options(*options)
-        .execute()
-}
-
-/// Runs `workload` on the SMP baseline with `cores` cores and default
-/// options.
-///
-/// # Errors
-///
-/// Propagates simulation errors.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Run::workload(..).machine(Machine::smp(..))` instead"
-)]
-pub fn run_on_smp(
-    workload: &Workload,
-    cores: usize,
-    config: SimConfig,
-    workers: usize,
-) -> Result<SimReport> {
-    Run::workload(workload)
-        .machine(Machine::smp(cores))
-        .config(config)
-        .workers(workers)
-        .execute()
-}
-
-/// Runs `workload` on a single sequencer (the "1P" baseline Figure 4 divides
-/// by).  The same `workers`-way shredded program is used; everything simply
-/// time-multiplexes on one sequencer.
-///
-/// # Errors
-///
-/// Propagates simulation errors.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Run::workload(..)` (serial is the default machine) instead"
-)]
-pub fn run_serial(workload: &Workload, config: SimConfig, workers: usize) -> Result<SimReport> {
-    Run::workload(workload)
-        .config(config)
-        .workers(workers)
-        .execute()
+        match self.machine {
+            Machine::Misp(ref topology) => {
+                let mut engine = FleetEngine::new(fleet.network_latency());
+                for stream in &streams.per_machine {
+                    let mut library = ProgramLibrary::new();
+                    let scheduler = scenario.build_from_stream(&mut library, stream);
+                    let mut machine = MispMachine::new(topology.clone(), self.config, library);
+                    if let Some(policy) = self.options.ring_policy {
+                        machine.engine_mut().platform_mut().set_policy(policy);
+                    }
+                    let pid = machine.add_process(scenario.name(), Box::new(scheduler), Some(0));
+                    for proc_idx in 1..topology.processors().len() {
+                        if !self.options.ams_span_only
+                            || !topology.processors()[proc_idx].ams().is_empty()
+                        {
+                            machine.add_thread(pid, Some(proc_idx));
+                        }
+                    }
+                    engine.add_machine(machine.into_sim_machine());
+                }
+                engine.run_fleet()
+            }
+            Machine::Smp { cores } => {
+                let mut engine = FleetEngine::new(fleet.network_latency());
+                for stream in &streams.per_machine {
+                    let mut library = ProgramLibrary::new();
+                    let scheduler = scenario.build_from_stream(&mut library, stream);
+                    let mut machine = SmpMachine::new(cores, self.config, library);
+                    let pid = machine.add_process(scenario.name(), Box::new(scheduler), Some(0));
+                    for core in 1..cores {
+                        machine.add_thread(pid, Some(core));
+                    }
+                    engine.add_machine(machine.into_sim_machine());
+                }
+                engine.run_fleet()
+            }
+            Machine::Serial => {
+                let topology =
+                    MispTopology::uniprocessor(0).expect("single-sequencer topology is valid");
+                Run {
+                    machine: Machine::Misp(topology),
+                    ..self
+                }
+                .execute_fleet(fleet)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -597,34 +546,75 @@ mod tests {
         assert_eq!(a.dropped, b.dropped);
     }
 
-    /// The deprecated free functions must keep producing byte-identical
-    /// reports to the builder they now wrap.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_builder() {
-        let w = catalog::by_name("dense_mvm").unwrap();
-        let topo = MispTopology::uniprocessor(7).unwrap();
-        let shim = run_on_misp(&w, &topo, quick_config(), 8).unwrap();
-        let builder = Run::workload(&w)
-            .topology(topo)
+    fn fleet_run_serves_every_dispatched_request() {
+        let s = scenario::by_name("poisson").unwrap().with_requests(60);
+        let fleet =
+            misp_core::FleetTopology::new(4, misp_core::LoadBalancerPolicy::RoundRobin).unwrap();
+        let report = Run::scenario(&s)
+            .machine(misp8())
             .config(quick_config())
-            .workers(8)
-            .execute()
+            .seed(11)
+            .execute_fleet(&fleet)
             .unwrap();
-        assert_eq!(shim.total_cycles, builder.total_cycles);
-        assert_eq!(shim.stats, builder.stats);
-        assert_eq!(shim.log_digest, builder.log_digest);
+        assert_eq!(report.reports.len(), 4);
+        let aggregate = report.aggregate_service().expect("service stats");
+        assert_eq!(aggregate.admitted, 60);
+        assert_eq!(aggregate.completed, 60);
+        assert_eq!(aggregate.dropped, 0);
+        for machine in &report.reports {
+            let service = machine.stats.service.as_ref().expect("per-machine stats");
+            assert_eq!(service.admitted, 15, "round robin splits 60 four ways");
+        }
+    }
 
-        let shim = run_serial(&w, quick_config(), 8).unwrap();
-        let builder = Run::workload(&w).config(quick_config()).execute().unwrap();
-        assert_eq!(shim.total_cycles, builder.total_cycles);
-
-        let shim = run_on_smp(&w, 8, quick_config(), 8).unwrap();
-        let builder = Run::workload(&w)
+    #[test]
+    fn fleet_runs_are_deterministic_and_paired_across_machine_types() {
+        let s = scenario::by_name("bursty").unwrap().with_requests(40);
+        let fleet =
+            misp_core::FleetTopology::new(2, misp_core::LoadBalancerPolicy::Random).unwrap();
+        let misp_a = Run::scenario(&s)
+            .machine(misp8())
+            .config(quick_config())
+            .seed(3)
+            .execute_fleet(&fleet)
+            .unwrap();
+        let misp_b = Run::scenario(&s)
+            .machine(misp8())
+            .config(quick_config())
+            .seed(3)
+            .execute_fleet(&fleet)
+            .unwrap();
+        assert_eq!(misp_a.fleet_digest, misp_b.fleet_digest);
+        // Common random numbers: the SMP fleet under the same seed serves
+        // the identical dispatch, machine by machine.
+        let smp = Run::scenario(&s)
             .machine(Machine::smp(8))
             .config(quick_config())
-            .execute()
+            .seed(3)
+            .execute_fleet(&fleet)
             .unwrap();
-        assert_eq!(shim.total_cycles, builder.total_cycles);
+        for (m, (a, b)) in misp_a.reports.iter().zip(&smp.reports).enumerate() {
+            let a = a.stats.service.as_ref().unwrap();
+            let b = b.stats.service.as_ref().unwrap();
+            assert_eq!(a.admitted, b.admitted, "machine {m}");
+            assert_eq!(a.dropped, b.dropped, "machine {m}");
+        }
+    }
+
+    #[test]
+    fn fleet_rejects_workload_sources_and_competitors() {
+        let w = catalog::by_name("dense_mvm").unwrap();
+        let fleet =
+            misp_core::FleetTopology::new(2, misp_core::LoadBalancerPolicy::RoundRobin).unwrap();
+        assert!(Run::workload(&w).execute_fleet(&fleet).is_err());
+        let s = scenario::by_name("poisson").unwrap().with_requests(10);
+        let denied = Run::scenario(&s)
+            .options(RunOptions {
+                competitors: 1,
+                ..RunOptions::default()
+            })
+            .execute_fleet(&fleet);
+        assert!(denied.is_err());
     }
 }

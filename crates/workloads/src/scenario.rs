@@ -34,9 +34,12 @@
 //! assert_eq!(a.arrivals.len(), s.requests());
 //! ```
 
+use misp_core::{FleetTopology, LoadBalancerPolicy};
 use misp_isa::{Op, ProgramBuilder, ProgramLibrary, SyscallKind};
 use misp_types::{Cycles, SplitMix64, VirtAddr, PAGE_SIZE};
 use shredlib::{GangScheduler, SchedulingPolicy, ServiceModel};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Base virtual address of the session working set shared by all requests.
 const SESSION_BASE: u64 = 0xA000_0000;
@@ -214,13 +217,23 @@ impl Scenario {
     /// seeds give bit-identical streams on every platform.
     #[must_use]
     pub fn stream(&self, seed: u64) -> RequestStream {
+        self.stream_scaled(seed, 1)
+    }
+
+    /// Records the stream for `seed` with the arrival rate scaled up by
+    /// `machines`: the central stream a fleet's load balancer partitions.
+    /// The effective nominal pool is `nominal_pool x machines`, so each
+    /// machine of a balanced fleet sees roughly the scenario's offered load.
+    fn stream_scaled(&self, seed: u64, machines: usize) -> RequestStream {
         let mut rng = SplitMix64::new(seed);
         let mut arrival_rng = rng.fork();
         let mut service_rng = rng.fork();
         // The bursty state machine draws from its own stream so that adding
         // state transitions never perturbs the gap samples.
         let mut state_rng = rng.fork();
-        let mean_gap = self.mean_gap();
+        // Division by 1.0 is exact, so a fleet of one replays the
+        // single-machine stream bit for bit.
+        let mean_gap = self.mean_gap() / machines as f64;
 
         let mut arrivals = Vec::with_capacity(self.requests);
         let mut service = Vec::with_capacity(self.requests);
@@ -311,6 +324,98 @@ impl Scenario {
             .main_program(generator_ref)
             .service(model)
             .build()
+    }
+
+    /// Records the central customer stream for `seed` at the fleet's
+    /// aggregate arrival rate and dispatches it across the fleet's machines
+    /// with the topology's load-balancer policy.
+    ///
+    /// Machine-local arrival cycles include the dispatch hop: each request
+    /// reaches its machine one network latency after its central arrival.
+    /// Dispatch decisions draw from a dedicated fork of the seed chain, so
+    /// the recorded arrivals and service demands are identical across
+    /// policies and machine types (common random numbers); only the
+    /// partition changes.
+    #[must_use]
+    pub fn fleet_streams(&self, seed: u64, fleet: &FleetTopology) -> FleetStreams {
+        let machines = fleet.machines();
+        let central = self.stream_scaled(seed, machines);
+        let latency = fleet.network_latency();
+        // The balancer draws from the fourth fork of the seed chain — after
+        // the arrival, service and burst-state forks — so dispatch never
+        // perturbs the stream itself.
+        let mut root = SplitMix64::new(seed);
+        let _arrivals = root.fork();
+        let _service = root.fork();
+        let _state = root.fork();
+        let mut lb_rng = root.fork();
+
+        // LeastOutstanding's analytic model: the modeled completion (arrival
+        // + network hop + service demand) of every request dispatched to
+        // each machine so far, kept as min-heaps so expired entries pop off
+        // the top.
+        let mut outstanding: Vec<BinaryHeap<Reverse<u64>>> = vec![BinaryHeap::new(); machines];
+        let mut assignments = Vec::with_capacity(central.arrivals.len());
+        for (i, (&at, &demand)) in central.arrivals.iter().zip(&central.service).enumerate() {
+            let m = match fleet.policy() {
+                LoadBalancerPolicy::RoundRobin => i % machines,
+                LoadBalancerPolicy::Random => (lb_rng.next_u64() % machines as u64) as usize,
+                LoadBalancerPolicy::LeastOutstanding => {
+                    for heap in &mut outstanding {
+                        while heap.peek().is_some_and(|&Reverse(c)| c <= at.as_u64()) {
+                            heap.pop();
+                        }
+                    }
+                    (0..machines)
+                        .min_by_key(|&m| (outstanding[m].len(), m))
+                        .expect("fleet has at least one machine")
+                }
+            };
+            outstanding[m].push(Reverse(at.as_u64() + latency.as_u64() + demand.as_u64()));
+            assignments.push(m);
+        }
+
+        let mut per_machine = vec![
+            RequestStream {
+                arrivals: Vec::new(),
+                service: Vec::new(),
+            };
+            machines
+        ];
+        for (i, &m) in assignments.iter().enumerate() {
+            per_machine[m]
+                .arrivals
+                .push(Cycles::new(central.arrivals[i].as_u64() + latency.as_u64()));
+            per_machine[m].service.push(central.service[i]);
+        }
+        FleetStreams {
+            per_machine,
+            assignments,
+        }
+    }
+}
+
+/// The load balancer's output: one replayable stream per fleet machine plus
+/// the dispatch decisions that produced them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetStreams {
+    /// The recorded stream each machine replays.  Arrival cycles already
+    /// include the dispatch network hop.
+    pub per_machine: Vec<RequestStream>,
+    /// The machine index each central request was dispatched to, in central
+    /// arrival order.
+    pub assignments: Vec<usize>,
+}
+
+impl FleetStreams {
+    /// Number of requests dispatched to each machine.
+    #[must_use]
+    pub fn dispatch_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.per_machine.len()];
+        for &m in &self.assignments {
+            counts[m] += 1;
+        }
+        counts
     }
 }
 
@@ -411,6 +516,76 @@ mod tests {
         let sched = s.build(&mut lib, 9);
         assert_eq!(lib.len(), 11, "10 requests + 1 generator");
         assert_eq!(sched.policy(), SchedulingPolicy::Fifo);
+    }
+
+    #[test]
+    fn fleet_of_one_replays_the_single_machine_stream_shifted_by_the_hop() {
+        let s = by_name("poisson").unwrap().with_requests(50);
+        let fleet =
+            FleetTopology::with_network_latency(1, LoadBalancerPolicy::RoundRobin, Cycles::new(1))
+                .unwrap();
+        let single = s.stream(13);
+        let streams = s.fleet_streams(13, &fleet);
+        assert_eq!(streams.per_machine.len(), 1);
+        assert_eq!(streams.per_machine[0].service, single.service);
+        let shifted: Vec<Cycles> = single
+            .arrivals
+            .iter()
+            .map(|a| Cycles::new(a.as_u64() + 1))
+            .collect();
+        assert_eq!(streams.per_machine[0].arrivals, shifted);
+    }
+
+    #[test]
+    fn every_policy_partitions_the_same_central_stream() {
+        let s = by_name("bursty").unwrap().with_requests(120);
+        for policy in LoadBalancerPolicy::all() {
+            let fleet = FleetTopology::new(4, policy).unwrap();
+            let streams = s.fleet_streams(21, &fleet);
+            assert_eq!(streams.assignments.len(), 120, "{}", policy.label());
+            assert_eq!(streams.dispatch_counts().iter().sum::<usize>(), 120);
+            // Reassembling the partition in central order recovers one
+            // stream: every request went somewhere exactly once.
+            let total: usize = streams.per_machine.iter().map(|m| m.arrivals.len()).sum();
+            assert_eq!(total, 120, "{}", policy.label());
+            // Per-machine arrivals stay strictly increasing (subsequence of
+            // a strictly increasing stream plus a constant hop).
+            for m in &streams.per_machine {
+                for w in m.arrivals.windows(2) {
+                    assert!(w[0] < w[1], "{}", policy.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_dispatch_is_even_and_least_outstanding_never_starves() {
+        let s = by_name("poisson").unwrap().with_requests(100);
+        let rr = s.fleet_streams(
+            5,
+            &FleetTopology::new(4, LoadBalancerPolicy::RoundRobin).unwrap(),
+        );
+        let counts = rr.dispatch_counts();
+        assert!(counts.iter().all(|&c| c == 25), "{counts:?}");
+        let least = s.fleet_streams(
+            5,
+            &FleetTopology::new(4, LoadBalancerPolicy::LeastOutstanding).unwrap(),
+        );
+        assert!(
+            least.dispatch_counts().iter().all(|&c| c > 0),
+            "the analytic balancer must spread load across all machines"
+        );
+    }
+
+    #[test]
+    fn fleet_dispatch_is_a_pure_function_of_seed_and_shape() {
+        let s = by_name("diurnal").unwrap().with_requests(80);
+        let fleet = FleetTopology::new(3, LoadBalancerPolicy::Random).unwrap();
+        assert_eq!(s.fleet_streams(9, &fleet), s.fleet_streams(9, &fleet));
+        assert_ne!(
+            s.fleet_streams(9, &fleet).assignments,
+            s.fleet_streams(10, &fleet).assignments
+        );
     }
 
     #[test]

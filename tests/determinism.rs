@@ -206,6 +206,36 @@ fn service_load_grid_sweeps_identically_at_different_thread_counts() {
     );
 }
 
+/// The fleet grid is byte-identical across thread counts too: conservative
+/// cross-machine synchronization makes every machine's event order a pure
+/// function of the spec, so the per-machine records, fleet digests and
+/// merged latency histograms all replay exactly under 8-way fan-out.
+#[test]
+fn fleet_service_grid_sweeps_identically_at_different_thread_counts() {
+    let grid = grids::fleet_service();
+    let one = run_grid(
+        &grid,
+        &SweepOptions {
+            threads: 1,
+            verify: VerifyMode::Off,
+        },
+    )
+    .unwrap();
+    let eight = run_grid(
+        &grid,
+        &SweepOptions {
+            threads: 8,
+            verify: VerifyMode::Full,
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        one.to_canonical_json().unwrap(),
+        eight.to_canonical_json().unwrap(),
+        "fleet sweeps must be byte-identical across thread counts"
+    );
+}
+
 /// Observability artifacts obey the same thread-count invariance as the
 /// results document: a traced, sampled grid swept serially and with 8-way
 /// fan-out produces byte-identical trace exports, trace digests and

@@ -104,6 +104,15 @@ fn service_load_matches_golden_under_full_verification() {
     check_grid_with("service_load", VerifyMode::Full);
 }
 
+/// The fleet grid — conservative multi-machine synchronization, the seeded
+/// load balancer and the schema-v5 per-machine records — is pinned under
+/// full verification: every parallel record re-verified serially in the
+/// sweep that is diffed against the golden.
+#[test]
+fn fleet_service_matches_golden_under_full_verification() {
+    check_grid_with("fleet_service", VerifyMode::Full);
+}
+
 /// The goldens themselves must carry the schema version the harness emits,
 /// so a schema bump forces a deliberate regeneration of every golden.
 #[test]
@@ -116,6 +125,7 @@ fn goldens_carry_the_current_schema_version() {
         "table2",
         "cache_sensitivity",
         "service_load",
+        "fleet_service",
     ] {
         let text = std::fs::read_to_string(golden_path(name)).expect("golden readable");
         let needle = format!("\"schema_version\": {}", misp::harness::SCHEMA_VERSION);

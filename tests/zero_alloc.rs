@@ -13,8 +13,8 @@
 use misp::core::{MispMachine, MispTopology};
 use misp::isa::ProgramLibrary;
 use misp::os::TimerConfig;
-use misp::sim::{SimConfig, TraceConfig};
-use misp::types::Cycles;
+use misp::sim::{Event, FleetEngine, Mailbox, SimConfig, TraceConfig};
+use misp::types::{Cycles, MachineId};
 use misp::workloads::{LocalityProfile, Suite, Workload, WorkloadParams};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -115,6 +115,100 @@ fn steady_state_step_loop_does_not_allocate() {
         delta <= 64,
         "steady-state hot loop allocated: {alloc_1x} allocations for {ops_1x} ops vs \
          {alloc_2x} for {ops_2x} ops (delta {delta})"
+    );
+}
+
+/// Builds a 2-machine fleet outside the measurement, runs it under
+/// conservative synchronization and returns (allocations during the run
+/// only, executed ops across the fleet).
+fn measured_fleet_run(chunks: u64) -> (u64, u64) {
+    let topo = MispTopology::uniprocessor(3).unwrap();
+    let config = SimConfig {
+        timer: TimerConfig::new(Cycles::new(3_000_000), 10),
+        ..SimConfig::default()
+    };
+    let mut fleet = FleetEngine::new(Cycles::new(1_000));
+    for _ in 0..2 {
+        let workload = Workload::new("alloc-audit", Suite::Rms, params(chunks));
+        let mut library = ProgramLibrary::new();
+        let scheduler = workload.build(&mut library, 4);
+        let mut machine = MispMachine::new(topo.clone(), config, library);
+        machine.add_process(workload.name(), Box::new(scheduler), Some(0));
+        fleet.add_machine(machine.into_sim_machine());
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let report = fleet.run_fleet().unwrap();
+    let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    let ops = report
+        .reports
+        .iter()
+        .flat_map(|r| r.stats.per_sequencer.iter())
+        .map(|s| s.ops)
+        .sum();
+    (during, ops)
+}
+
+/// The fleet steady state is as allocation-free as the solo engine: each
+/// shard steps through its preallocated queue, and the synchronizer's
+/// per-window bookkeeping (horizon scan, due-mail buffer) reuses fixed
+/// storage.  Doubling every machine's work must not move the allocation
+/// count by more than the amortized-growth slack.
+#[test]
+fn fleet_steady_state_step_loop_does_not_allocate() {
+    let _ = measured_fleet_run(1_000);
+
+    let (alloc_1x, ops_1x) = measured_fleet_run(100_000);
+    let (alloc_2x, ops_2x) = measured_fleet_run(200_000);
+
+    assert!(
+        ops_2x > ops_1x + 200_000,
+        "doubling the chunks must add real operations on both shards \
+         (got {ops_1x} vs {ops_2x})"
+    );
+    let delta = alloc_2x.abs_diff(alloc_1x);
+    assert!(
+        delta <= 64,
+        "fleet steady-state loop allocated: {alloc_1x} allocations for {ops_1x} ops vs \
+         {alloc_2x} for {ops_2x} ops (delta {delta})"
+    );
+}
+
+/// Posting into the cross-machine mailbox within its preallocated capacity
+/// is allocation-free, and so is draining through a caller-reused buffer —
+/// the properties the fleet's per-window delivery path relies on.
+#[test]
+fn mailbox_posting_and_draining_do_not_allocate_within_capacity() {
+    let mut mailbox = Mailbox::with_capacity(256);
+    let mut buffer = Vec::with_capacity(256);
+    // Warm both buffers past their first use.
+    mailbox.post(
+        MachineId::new(0),
+        MachineId::new(1),
+        Cycles::new(1),
+        Event::Sample,
+    );
+    mailbox.take_due(MachineId::new(1), None, &mut buffer);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for round in 0..8u64 {
+        for i in 0..200u64 {
+            mailbox.post(
+                MachineId::new(0),
+                MachineId::new((i % 2) as u32),
+                Cycles::new(round * 1_000 + i),
+                Event::Sample,
+            );
+        }
+        for machine in 0..2u32 {
+            mailbox.take_due(MachineId::new(machine), None, &mut buffer);
+        }
+    }
+    let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(mailbox.is_empty());
+    assert_eq!(
+        during, 0,
+        "mailbox traffic within capacity must not allocate ({during} allocations)"
     );
 }
 
