@@ -232,6 +232,9 @@ fn heap_profile(grid: &GridSpec) -> QueueProfile {
 }
 
 /// Times one single-threaded sweep of `grid`, best of `iters` runs.
+// Wall-clock timing is allowed here (clippy.toml + lint.toml): this is the
+// bench harness measuring host runtime around whole deterministic runs.
+#[allow(clippy::disallowed_methods)]
 fn time_grid(grid: &GridSpec, iters: usize) -> f64 {
     let options = SweepOptions {
         threads: 1,

@@ -7,6 +7,8 @@
 //!
 //! Regenerate with `cargo run --release -p misp-bench --bin fig4`.
 
+#![forbid(unsafe_code)]
+
 use misp_bench::{format_table, sim_metrics, write_json};
 use misp_harness::{grids, run_grid, SweepOptions};
 use misp_workloads::catalog;

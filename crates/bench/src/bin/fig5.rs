@@ -10,6 +10,8 @@
 //!
 //! Regenerate with `cargo run --release -p misp-bench --bin fig5`.
 
+#![forbid(unsafe_code)]
+
 use misp_bench::{format_table, sim_metrics, write_json};
 use misp_core::OverheadModel;
 use misp_harness::{grids, run_grid, SweepOptions};

@@ -10,6 +10,8 @@
 //!
 //! Regenerate with `cargo run --release -p misp-bench --bin fig_service`.
 
+#![forbid(unsafe_code)]
+
 use misp_bench::{format_table, write_json};
 use misp_harness::{grids, run_grid, SweepOptions};
 use serde::Serialize;

@@ -5,9 +5,8 @@ use crate::{MispTopology, SignalFabric, SignalKind, TriggerKind, TriggerResponse
 use misp_isa::Continuation;
 use misp_os::{OsEventKind, PlacementPolicy, SystemScheduler};
 use misp_sim::{EngineCore, LogKind, Platform, SavedContext, ShredStatus};
-use misp_types::{Cycles, OsThreadId, SequencerId};
+use misp_types::{Cycles, FxHashMap, OsThreadId, SequencerId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// How the machine treats AMSs while an OMS executes in Ring 0
 /// (Section 2.3).
@@ -56,7 +55,7 @@ pub struct MispPlatform {
     registry: Option<TriggerResponseRegistry>,
     scheduler: Option<SystemScheduler>,
     oms_busy_until: Vec<Cycles>,
-    thread_ctx: HashMap<OsThreadId, ThreadCtx>,
+    thread_ctx: FxHashMap<OsThreadId, ThreadCtx>,
     pinned: Vec<(OsThreadId, usize)>,
     auto_place: Vec<OsThreadId>,
     /// Reused target buffer for serialization windows, so the per-transition
@@ -91,7 +90,7 @@ impl MispPlatform {
             registry: None,
             scheduler: None,
             oms_busy_until: vec![Cycles::ZERO; processors],
-            thread_ctx: HashMap::new(),
+            thread_ctx: FxHashMap::default(),
             pinned: Vec::new(),
             auto_place: Vec::new(),
             serialize_scratch: Vec::new(),

@@ -46,25 +46,33 @@ struct CountingAllocator;
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates to `System` unchanged after bumping two
+// relaxed atomics, so `GlobalAlloc`'s layout/aliasing contract is exactly
+// `System`'s own.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwards the caller's layout to `System.alloc` untouched.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: forwards the caller's layout to `System.alloc_zeroed` untouched.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: forwards the caller's pointer/layout/size to `System.realloc`
+    // untouched, so the caller's obligations transfer verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: forwards the caller's pointer and layout to `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
@@ -284,6 +292,9 @@ fn artifact_sibling(out: &std::path::Path, suffix: &str) -> PathBuf {
     out.with_file_name(format!("{stem}{suffix}"))
 }
 
+// Wall-clock phase timers are allowed here (clippy.toml + lint.toml): they
+// report host throughput and never feed simulated state or digests.
+#[allow(clippy::disallowed_methods)]
 fn main() -> ExitCode {
     let args = match parse_args(std::env::args()) {
         Ok(Some(args)) => args,

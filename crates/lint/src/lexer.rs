@@ -1,0 +1,496 @@
+//! A line/comment/string-aware Rust lexer.
+//!
+//! The lint rules work on token streams, never on raw text, so a `HashMap`
+//! inside a string literal or a doc comment can never trip the determinism
+//! rule.  The lexer handles everything the workspace's sources actually
+//! contain: nested block comments, raw strings (`r"…"`, `r#"…"#`), byte and
+//! raw-byte strings, char literals vs. lifetimes, raw identifiers
+//! (`r#ident`), numeric literals with suffixes, and multi-byte UTF-8 text.
+//!
+//! It is intentionally *not* a full Rust lexer: tokens the rules never
+//! inspect (shebangs, frontmatter, …) are simply skipped or folded into
+//! punctuation, and no token carries more structure than the rules need.
+
+/// What kind of token a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `fn`, `r#type`, …).
+    Ident,
+    /// A numeric literal (`0`, `1.5`, `0xFF`, `1_000u64`).
+    Number,
+    /// A string, raw-string, byte-string or char literal (contents opaque).
+    Literal,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation byte (`.`, `:`, `(`, `[`, `!`, …).
+    Punct,
+    /// A `//…` line comment, text without the newline.
+    LineComment,
+    /// A `/* … */` block comment (possibly nested), full text.
+    BlockComment,
+}
+
+/// One lexed token: kind, source slice and 1-based line number of its first
+/// character.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    /// Token kind.
+    pub kind: TokKind,
+    /// The token's text, borrowed from the source.
+    pub text: &'a str,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl<'a> Tok<'a> {
+    /// Whether this token is the punctuation byte `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// Whether this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is a comment (line or block).
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens, comments included.
+///
+/// The lexer never fails: malformed trailing input (an unterminated string or
+/// comment) is folded into one final token so the rules still see everything
+/// before the error point.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Counts the newlines inside src[start..end] into `line`.
+    fn advance_lines(b: &[u8], start: usize, end: usize, line: &mut u32) {
+        for &c in &b[start..end] {
+            if c == b'\n' {
+                *line += 1;
+            }
+        }
+    }
+
+    while i < b.len() {
+        let start = i;
+        let start_line = line;
+        let c = b[i];
+
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            if c == b'\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == b'/' && i + 1 < b.len() {
+            match b[i + 1] {
+                b'/' => {
+                    while i < b.len() && b[i] != b'\n' {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::LineComment,
+                        text: &src[start..i],
+                        line: start_line,
+                    });
+                    continue;
+                }
+                b'*' => {
+                    let mut depth = 1u32;
+                    i += 2;
+                    while i < b.len() && depth > 0 {
+                        if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                            depth += 1;
+                            i += 2;
+                        } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    advance_lines(b, start, i, &mut line);
+                    toks.push(Tok {
+                        kind: TokKind::BlockComment,
+                        text: &src[start..i],
+                        line: start_line,
+                    });
+                    continue;
+                }
+                _ => {}
+            }
+        }
+
+        // Raw strings / raw identifiers / byte strings: r"…", r#"…"#,
+        // r#ident, b"…", br#"…"#, b'…'.
+        if (c == b'r' || c == b'b') && i + 1 < b.len() {
+            let (prefix_len, rest) = if c == b'b' && i + 1 < b.len() && b[i + 1] == b'r' {
+                (2usize, &b[i + 2..])
+            } else {
+                (1usize, &b[i + 1..])
+            };
+            let mut hashes = 0usize;
+            while hashes < rest.len() && rest[hashes] == b'#' {
+                hashes += 1;
+            }
+            let quote_next = hashes < rest.len() && rest[hashes] == b'"';
+            // r"…", r#"…"#, br"…", br#"…"#, b"…" — everything but a plain
+            // b"…" may carry hashes.
+            let is_raw_string =
+                quote_next && (c == b'r' || prefix_len == 2 || (c == b'b' && hashes == 0));
+            if is_raw_string {
+                // Scan for `"` followed by `hashes` hashes.  Escapes are
+                // active only without an `r` in the prefix (b"…" has them,
+                // r"…"/br"…" do not).
+                let escapes = c == b'b' && prefix_len == 1;
+                let mut j = i + prefix_len + hashes + 1;
+                'scan: while j < b.len() {
+                    if escapes && b[j] == b'\\' {
+                        j += 2;
+                        continue 'scan;
+                    }
+                    if b[j] == b'"' {
+                        let mut k = 0usize;
+                        while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == b'#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break 'scan;
+                        }
+                    }
+                    j += 1;
+                }
+                let j = j.min(b.len());
+                advance_lines(b, start, j, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: &src[start..j],
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            if c == b'r' && hashes > 0 && hashes < rest.len() && is_ident_start(rest[hashes]) {
+                // Raw identifier r#ident: token text excludes the r# prefix
+                // so `r#unsafe` (an ident, not the keyword) never matches
+                // rule keywords — the `#` distinction is deliberate.
+                let mut j = i + 1 + hashes;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: &src[i + 1 + hashes..j],
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            if c == b'b' && i + 1 < b.len() && b[i + 1] == b'\'' {
+                // Byte char literal b'…'.
+                let mut j = i + 2;
+                while j < b.len() {
+                    if b[j] == b'\\' {
+                        j += 2;
+                    } else if b[j] == b'\'' {
+                        j += 1;
+                        break;
+                    } else {
+                        j += 1;
+                    }
+                }
+                advance_lines(b, start, j.min(b.len()), &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: &src[start..j.min(b.len())],
+                    line: start_line,
+                });
+                i = j.min(b.len());
+                continue;
+            }
+            // Fall through: plain ident starting with r/b.
+        }
+
+        // Strings.
+        if c == b'"' {
+            let mut j = i + 1;
+            while j < b.len() {
+                if b[j] == b'\\' {
+                    j += 2;
+                } else if b[j] == b'"' {
+                    j += 1;
+                    break;
+                } else {
+                    j += 1;
+                }
+            }
+            let j = j.min(b.len());
+            advance_lines(b, start, j, &mut line);
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                text: &src[start..j],
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Char literal vs. lifetime.
+        if c == b'\'' {
+            let next = b.get(i + 1).copied().unwrap_or(0);
+            let after = b.get(i + 2).copied().unwrap_or(0);
+            if next == b'\\' || (after == b'\'' && next != b'\'') {
+                // Char literal: '\n' or 'x'.
+                let mut j = i + 1;
+                while j < b.len() {
+                    if b[j] == b'\\' {
+                        j += 2;
+                    } else if b[j] == b'\'' {
+                        j += 1;
+                        break;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let j = j.min(b.len());
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: &src[start..j],
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            if is_ident_start(next) {
+                // Lifetime 'a / 'static / '_.
+                let mut j = i + 1;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: &src[start..j],
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            // Lone quote (malformed): punctuation.
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: &src[i..i + 1],
+                line: start_line,
+            });
+            i += 1;
+            continue;
+        }
+
+        // Numbers (incl. 0x…, 1_000u64, 1.5; `1..2` stops before the range).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < b.len() {
+                let d = b[j];
+                let in_number = d.is_ascii_alphanumeric()
+                    || d == b'_'
+                    // A decimal point glues only when digits follow and the
+                    // literal has none yet (`1..2` stops before the range).
+                    || (d == b'.'
+                        && j + 1 < b.len()
+                        && b[j + 1].is_ascii_digit()
+                        && !src[i..j].contains('.'));
+                if in_number {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Number,
+                text: &src[i..j],
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: &src[i..j],
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Everything else: one punctuation byte.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: &src[i..i + 1],
+            line: start_line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Returns the tokens of `toks` with comments removed, preserving order.
+#[must_use]
+pub fn code_tokens<'a>(toks: &[Tok<'a>]) -> Vec<Tok<'a>> {
+    toks.iter().filter(|t| !t.is_comment()).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_punct() {
+        let got = kinds("let x = 42;");
+        assert_eq!(
+            got,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Number, "42".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn banned_words_inside_strings_and_comments_are_not_idents() {
+        let src = r#"
+            // HashMap in a comment
+            /* Instant in a block /* nested */ comment */
+            let s = "HashMap::new()";
+        "#;
+        let idents: Vec<&str> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(idents, vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let x = r#"HashMap "quoted" inside"#; y"##;
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Literal));
+        assert!(toks.iter().any(|t| t.is_ident("y")));
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "'x'"));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let src = "a\nb\n\nc";
+        let toks = lex(src);
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn line_numbers_cross_block_comments_and_strings() {
+        let src = "/* one\ntwo */ x\n\"a\nb\" y";
+        let toks = lex(src);
+        let x = toks.iter().find(|t| t.is_ident("x")).unwrap();
+        let y = toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(x.line, 2);
+        assert_eq!(y.line, 4);
+    }
+
+    #[test]
+    fn tuple_field_access_lexes_as_dot_number() {
+        let got = kinds("id.0");
+        assert_eq!(
+            got,
+            vec![
+                (TokKind::Ident, "id".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Number, "0".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn float_literals_stay_whole() {
+        let got = kinds("1.5 0.0 1..3 1.max(2)");
+        let nums: Vec<String> = got
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Number)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(nums, vec!["1.5", "0.0", "1", "3", "1", "2"]);
+    }
+
+    #[test]
+    fn raw_identifier_drops_prefix() {
+        let toks = lex("r#type");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokKind::Ident);
+        assert_eq!(toks[0].text, "type");
+    }
+
+    #[test]
+    fn byte_strings_and_chars() {
+        let toks = lex(r##"b"bytes" b'x' br#"raw"# ident"##);
+        assert!(toks.iter().any(|t| t.is_ident("ident")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            3
+        );
+    }
+}

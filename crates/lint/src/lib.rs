@@ -1,0 +1,172 @@
+//! misp-lint — workspace-wide determinism & hot-path static analysis.
+//!
+//! The simulator's headline guarantees — byte-identical digests at any
+//! thread count, zero steady-state allocations on the step path, opaque
+//! arena-typed indices — are invariants of the *source*, not just of any one
+//! test run.  This crate enforces them as named, suppressible lint rules
+//! over a hand-rolled comment/string-aware Rust lexer (no external deps, in
+//! the spirit of the `compat/` stand-ins):
+//!
+//! | rule | meaning |
+//! |------|---------|
+//! | `determinism` | no `HashMap`/`HashSet`/`RandomState` in sim-path crates; no `Instant`/`SystemTime`/rand anywhere linted |
+//! | `unordered-iteration` | hash-map iteration must be sorted or annotated `// lint: unordered-ok(reason)` |
+//! | `no-alloc` | fns under `// lint: no-alloc` may not allocate |
+//! | `arena-discipline` | arena-id newtypes are opaque outside `misp-types` |
+//! | `unsafe-hygiene` | `unsafe` needs `// SAFETY:`; sim-path crates forbid it |
+//!
+//! Configuration (scoping, severities, the committed allowlist) lives in
+//! `lint.toml` at the workspace root.  The binary exits non-zero on any
+//! unsuppressed error-severity finding, making it usable as a CI gate.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use config::{LintConfig, Severity};
+use rules::{FileCtx, Suppressions};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule that fired (one of [`rules::RULE_NAMES`]).
+    pub rule: &'static str,
+    /// Configured severity.
+    pub severity: Severity,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Diagnostic text.
+    pub message: String,
+}
+
+/// The result of linting a workspace.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Workspace root the walk started from.
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Unsuppressed findings (errors and warnings).
+    pub findings: Vec<Finding>,
+    /// Findings waived by `lint.toml` `[[allow]]` entries, with the reason.
+    pub allowlisted: Vec<(Finding, String)>,
+}
+
+impl LintReport {
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warn_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Whether the run should fail (any error-severity finding).
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.error_count() > 0
+    }
+}
+
+/// Lints one source file.  In-source suppressions are honoured; the
+/// `lint.toml` allowlist is **not** applied here (that is workspace-level
+/// policy, handled by [`lint_workspace`]).
+#[must_use]
+pub fn lint_source(
+    rel_path: &str,
+    crate_name: &str,
+    is_crate_root: bool,
+    src: &str,
+    cfg: &LintConfig,
+) -> Vec<Finding> {
+    let toks = lexer::lex(src);
+    let code = lexer::code_tokens(&toks);
+    let ctx = FileCtx {
+        rel_path,
+        crate_name,
+        is_sim_path: cfg.is_sim_path(crate_name),
+        is_crate_root,
+        toks: &toks,
+        code: &code,
+    };
+    let sup = Suppressions::collect(&toks);
+
+    let mut raw = Vec::new();
+    if cfg.severity_of(rules::determinism::NAME) != Severity::Off {
+        raw.extend(rules::determinism::check(&ctx, &sup));
+    }
+    if cfg.severity_of(rules::unordered::NAME) != Severity::Off && ctx.is_sim_path {
+        raw.extend(rules::unordered::check(&ctx, &sup, cfg));
+    }
+    if cfg.severity_of(rules::no_alloc::NAME) != Severity::Off {
+        raw.extend(rules::no_alloc::check(&ctx, &sup));
+    }
+    if cfg.severity_of(rules::arena::NAME) != Severity::Off
+        && ctx.is_sim_path
+        && crate_name != cfg.types_crate
+    {
+        raw.extend(rules::arena::check(&ctx, &sup, cfg));
+    }
+    if cfg.severity_of(rules::unsafe_hygiene::NAME) != Severity::Off {
+        raw.extend(rules::unsafe_hygiene::check(&ctx));
+    }
+
+    let mut out: Vec<Finding> = raw
+        .into_iter()
+        .map(|r| Finding {
+            rule: r.rule,
+            severity: cfg.severity_of(r.rule),
+            file: rel_path.to_string(),
+            line: r.line,
+            message: r.message,
+        })
+        .collect();
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Lints the whole workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the walk and file reads.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<LintReport> {
+    let files = walk::collect(root, cfg)?;
+    let mut findings = Vec::new();
+    let mut allowlisted = Vec::new();
+    let files_scanned = files.len();
+    for f in &files {
+        let src = fs::read_to_string(&f.abs)?;
+        for finding in lint_source(&f.rel, &f.crate_name, f.is_crate_root, &src, cfg) {
+            match cfg.allow_entry(finding.rule, &finding.file) {
+                Some(entry) => allowlisted.push((finding, entry.reason.clone())),
+                None => findings.push(finding),
+            }
+        }
+    }
+    Ok(LintReport {
+        root: root.display().to_string(),
+        files_scanned,
+        findings,
+        allowlisted,
+    })
+}

@@ -1,0 +1,113 @@
+//! The `misp-lint` CLI.
+//!
+//! ```text
+//! misp-lint --workspace [--root DIR] [--config FILE] [--format text|json] [--out FILE]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed error-severity findings, 2 usage or
+//! I/O error.
+
+#![forbid(unsafe_code)]
+
+use misp_lint::config::LintConfig;
+use misp_lint::{lint_workspace, report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    out: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: misp-lint --workspace [--root DIR] [--config FILE] [--format text|json] [--out FILE]"
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut args = std::env::args().skip(1);
+    let mut workspace = false;
+    let mut cli = Cli {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+        out: None,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => cli.root = PathBuf::from(args.next().ok_or("--root needs a value")?),
+            "--config" => {
+                cli.config = Some(PathBuf::from(args.next().ok_or("--config needs a value")?));
+            }
+            "--format" => match args.next().as_deref() {
+                Some("text") => cli.json = false,
+                Some("json") => cli.json = true,
+                other => return Err(format!("--format text|json, got {other:?}")),
+            },
+            "--out" => cli.out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if !workspace {
+        return Err("missing --workspace (the only supported mode)".to_string());
+    }
+    Ok(cli)
+}
+
+/// Walks up from `start` to the directory holding `lint.toml` (the
+/// workspace root), so the binary works from any subdirectory.
+fn find_root(start: PathBuf) -> PathBuf {
+    let mut dir = start.canonicalize().unwrap_or(start);
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let cli = parse_cli()?;
+    let root = find_root(cli.root);
+    let config_path = cli.config.unwrap_or_else(|| root.join("lint.toml"));
+    let cfg = if config_path.is_file() {
+        let text = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("{}: {e}", config_path.display()))?;
+        LintConfig::parse(&text).map_err(|e| format!("{}: {e}", config_path.display()))?
+    } else {
+        LintConfig::default()
+    };
+    let rep = lint_workspace(&root, &cfg).map_err(|e| format!("lint walk failed: {e}"))?;
+    let rendered = if cli.json {
+        report::render_json(&rep)
+    } else {
+        report::render_text(&rep)
+    };
+    match &cli.out {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("{}: {e}", path.display()))?
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(rep.failed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("misp-lint: {e}");
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Report rendering: human-readable text and machine-readable JSON.
+//!
+//! The JSON emitter is hand-rolled (the crate is dependency-free by design);
+//! the schema is versioned and covered by `tests/json_schema.rs`.
+
+use crate::{Finding, LintReport};
+use std::fmt::Write as _;
+
+/// Renders the report as compiler-style text diagnostics.
+#[must_use]
+pub fn render_text(r: &LintReport) -> String {
+    let mut out = String::new();
+    for f in &r.findings {
+        let _ = writeln!(
+            out,
+            "{}: [{}] {}:{}: {}",
+            f.severity.name(),
+            f.rule,
+            f.file,
+            f.line,
+            f.message
+        );
+    }
+    for (f, reason) in &r.allowlisted {
+        let _ = writeln!(
+            out,
+            "allowed: [{}] {}:{}: {} (lint.toml: {})",
+            f.rule, f.file, f.line, f.message, reason
+        );
+    }
+    let _ = writeln!(
+        out,
+        "misp-lint: {} file(s) scanned, {} error(s), {} warning(s), {} allowlisted",
+        r.files_scanned,
+        r.error_count(),
+        r.warn_count(),
+        r.allowlisted.len()
+    );
+    out
+}
+
+/// Renders the report as JSON (schema version 1).
+#[must_use]
+pub fn render_json(r: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"root\": {},", json_str(&r.root));
+    let _ = writeln!(out, "  \"files_scanned\": {},", r.files_scanned);
+    let _ = writeln!(out, "  \"errors\": {},", r.error_count());
+    let _ = writeln!(out, "  \"warnings\": {},", r.warn_count());
+    out.push_str("  \"findings\": [");
+    push_findings(&mut out, r.findings.iter().map(|f| (f, None)));
+    out.push_str("],\n");
+    out.push_str("  \"allowlisted\": [");
+    push_findings(
+        &mut out,
+        r.allowlisted
+            .iter()
+            .map(|(f, reason)| (f, Some(reason.as_str()))),
+    );
+    out.push_str("]\n}\n");
+    out
+}
+
+fn push_findings<'a, I>(out: &mut String, findings: I)
+where
+    I: Iterator<Item = (&'a Finding, Option<&'a str>)>,
+{
+    let mut first = true;
+    for (f, reason) in findings {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    {");
+        let _ = write!(
+            out,
+            "\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"message\": {}",
+            json_str(f.rule),
+            json_str(f.severity.name()),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message)
+        );
+        if let Some(reason) = reason {
+            let _ = write!(out, ", \"reason\": {}", json_str(reason));
+        }
+        out.push('}');
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

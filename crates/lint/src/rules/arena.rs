@@ -1,0 +1,97 @@
+//! Rule `arena-discipline`: arena-id newtypes are opaque outside
+//! `misp-types`.
+//!
+//! The `arena_id!` newtypes (`SequencerId`, `ShredId`, …) exist so the step
+//! path cannot mix up index spaces.  Outside the types crate, code must go
+//! through the sanctioned API — `T::new(u32)`, `.index()`, `.as_usize()` and
+//! `Arena`/`ArenaMap` indexing — never raw tuple construction, pattern
+//! destructuring, `.0` access, or `.index()` fed straight into a slice
+//! subscript (that is what `.as_usize()` spells).  The id fields are private
+//! today, so most violations also fail to compile; this rule keeps the
+//! discipline when a refactor makes a field `pub` or adds a new id type.
+
+use super::{typed_bindings, FileCtx, RawFinding, Suppressions};
+use crate::config::LintConfig;
+use crate::lexer::TokKind;
+
+/// Rule name.
+pub const NAME: &str = "arena-discipline";
+/// Suppression short-name.
+pub const SUPPRESS: &str = "arena-ok";
+
+/// Runs the rule.
+#[must_use]
+pub fn check(ctx: &FileCtx<'_>, sup: &Suppressions, cfg: &LintConfig) -> Vec<RawFinding> {
+    let code = ctx.code;
+    let ids = typed_bindings(code, &cfg.id_types);
+    let is_id_type = |s: &str| cfg.id_types.iter().any(|t| t == s);
+    let mut out = Vec::new();
+    let mut flag = |line: u32, message: String| {
+        if sup.allows(SUPPRESS, line) {
+            return;
+        }
+        out.push(RawFinding {
+            rule: NAME,
+            line,
+            message,
+        });
+    };
+    let mut bracket_depth = 0i32;
+    let mut i = 0;
+    while i < code.len() {
+        let t = &code[i];
+        if t.is_punct('[') {
+            bracket_depth += 1;
+        } else if t.is_punct(']') {
+            bracket_depth -= 1;
+        }
+        if t.kind == TokKind::Ident {
+            // (a) `SequencerId(x)` — raw construction or destructuring.
+            // Sanctioned `SequencerId::new(x)` has `::` between, not `(`.
+            if is_id_type(t.text) && i + 1 < code.len() && code[i + 1].is_punct('(') {
+                flag(
+                    t.line,
+                    format!(
+                        "raw tuple construction/destructuring of arena id `{}`; \
+                         use `{}::new(..)` / `.index()` instead",
+                        t.text, t.text
+                    ),
+                );
+            }
+            // (b) `binding.0` where `binding: SequencerId`.
+            if ids.contains(t.text)
+                && i + 2 < code.len()
+                && code[i + 1].is_punct('.')
+                && code[i + 2].kind == TokKind::Number
+                && code[i + 2].text == "0"
+            {
+                flag(
+                    code[i + 2].line,
+                    format!(
+                        "`.0` field access on arena id `{}`; use `.index()` or `.as_usize()`",
+                        t.text
+                    ),
+                );
+            }
+            // (c) `slice[id.index() as usize]`-style raw indexing: `.index()`
+            // inside a subscript.  `.as_usize()` is the sanctioned spelling
+            // and already carries the cast.
+            if bracket_depth > 0
+                && t.text == "index"
+                && i > 0
+                && code[i - 1].is_punct('.')
+                && i + 1 < code.len()
+                && code[i + 1].is_punct('(')
+            {
+                flag(
+                    t.line,
+                    "raw `.index()` inside a slice subscript; \
+                     spell hot-path indexing `.as_usize()`"
+                        .to_string(),
+                );
+            }
+        }
+        i += 1;
+    }
+    out
+}

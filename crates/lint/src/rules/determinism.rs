@@ -1,0 +1,65 @@
+//! Rule `determinism`: no nondeterminism sources in simulation code.
+//!
+//! Two classes of bans:
+//!
+//! * **Hash-randomised containers** (`HashMap`, `HashSet`, `RandomState`) in
+//!   sim-path crates.  The sanctioned spellings are `FxHashMap`/`FxHashSet`
+//!   (fixed-seed) or `BTreeMap`/`BTreeSet` (ordered).
+//! * **Wall-clock / entropy sources** (`Instant`, `SystemTime`, the
+//!   `rand`-family identifiers) in every linted crate — simulated time is the
+//!   only clock; harness/bench phase timers live on the committed allowlist
+//!   in `lint.toml`.
+
+use super::{FileCtx, RawFinding, Suppressions};
+use crate::lexer::TokKind;
+
+/// Rule name.
+pub const NAME: &str = "determinism";
+/// Suppression short-name.
+pub const SUPPRESS: &str = "determinism-ok";
+
+/// Containers with a randomised default hasher — banned on the sim path.
+const HASHED_TYPES: &[&str] = &["HashMap", "HashSet", "RandomState"];
+/// Wall-clock and entropy identifiers — banned everywhere linted.
+const CLOCK_AND_RAND: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "getrandom",
+    "StdRng",
+    "SmallRng",
+    "from_entropy",
+];
+
+/// Runs the rule.
+#[must_use]
+pub fn check(ctx: &FileCtx<'_>, sup: &Suppressions) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for t in ctx.code {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let (what, hint) = if ctx.is_sim_path && HASHED_TYPES.contains(&t.text) {
+            (
+                t.text,
+                "randomised hasher breaks replay determinism; use FxHashMap/FxHashSet or BTreeMap",
+            )
+        } else if CLOCK_AND_RAND.contains(&t.text) {
+            (
+                t.text,
+                "wall-clock/entropy source; simulated Cycles are the only clock in sim code",
+            )
+        } else {
+            continue;
+        };
+        if sup.allows(SUPPRESS, t.line) {
+            continue;
+        }
+        out.push(RawFinding {
+            rule: NAME,
+            line: t.line,
+            message: format!("`{what}` is banned here: {hint}"),
+        });
+    }
+    out
+}

@@ -1,0 +1,198 @@
+//! The lint rules.
+//!
+//! Each rule is a pure function from a lexed file to raw findings; scoping
+//! (which crates a rule applies to), severity and the committed allowlist
+//! are applied by the caller in `lib.rs`.  Rules work on token streams, so
+//! banned names inside strings or comments never trip them.
+
+pub mod arena;
+pub mod determinism;
+pub mod no_alloc;
+pub mod unordered;
+pub mod unsafe_hygiene;
+
+use crate::lexer::{Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Every rule name, in report order.  `lint.toml` sections and `[[allow]]`
+/// entries are validated against this list.
+pub const RULE_NAMES: &[&str] = &[
+    determinism::NAME,
+    unordered::NAME,
+    no_alloc::NAME,
+    arena::NAME,
+    unsafe_hygiene::NAME,
+];
+
+/// Everything a rule needs to know about one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path, `/`-separated (diagnostics and allowlist).
+    pub rel_path: &'a str,
+    /// Owning package name (e.g. `misp-sim`).
+    pub crate_name: &'a str,
+    /// Whether the owning package is on the simulation path.
+    pub is_sim_path: bool,
+    /// Whether this file is the package's library root (`src/lib.rs`).
+    pub is_crate_root: bool,
+    /// Full token stream, comments included.
+    pub toks: &'a [Tok<'a>],
+    /// Code tokens only (comments stripped).
+    pub code: &'a [Tok<'a>],
+}
+
+/// A finding before file path / severity / allowlist are attached.
+#[derive(Debug)]
+pub struct RawFinding {
+    /// Rule that fired.
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+/// In-source suppressions: `// lint: <short>-ok(reason)`.
+///
+/// A suppression covers findings on its own line and on the line directly
+/// below it, so both trailing and preceding-line placement work:
+///
+/// ```text
+/// // lint: unordered-ok(commutative count)
+/// self.sparse.values().filter(…)            // covered (line above)
+/// map.retain(|_, v| v.live); // lint: unordered-ok(pure filter)   covered
+/// ```
+pub struct Suppressions {
+    /// Comment line → suppression short-names found on it.
+    by_line: BTreeMap<u32, BTreeSet<String>>,
+}
+
+impl Suppressions {
+    /// Scans the full token stream for suppression comments.
+    #[must_use]
+    pub fn collect(toks: &[Tok<'_>]) -> Self {
+        let mut by_line: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+        for t in toks {
+            if !t.is_comment() {
+                continue;
+            }
+            let mut rest = t.text;
+            while let Some(pos) = rest.find("lint:") {
+                rest = rest[pos + "lint:".len()..].trim_start();
+                // `<short>-ok(reason)` — the reason is required syntax; an
+                // empty `()` still parses but reads as undocumented.
+                if let Some(paren) = rest.find('(') {
+                    let short = rest[..paren].trim();
+                    if short.ends_with("-ok") && !short.contains(char::is_whitespace) {
+                        by_line.entry(t.line).or_default().insert(short.to_string());
+                    }
+                }
+            }
+        }
+        Suppressions { by_line }
+    }
+
+    /// Whether a finding of suppression-class `short` at `line` is waived.
+    #[must_use]
+    pub fn allows(&self, short: &str, line: u32) -> bool {
+        let covering = [line, line.saturating_sub(1)];
+        covering
+            .iter()
+            .any(|l| self.by_line.get(l).is_some_and(|s| s.contains(short)))
+    }
+}
+
+/// Collects identifiers bound (via `name: Type` annotations, struct fields,
+/// params, struct-literal inits, or `let name = Type::…`) to one of `types`.
+///
+/// This is deliberately head-type-only: `Vec<FxHashMap<…>>` does not record
+/// the binding, because iterating the `Vec` is ordered.
+#[must_use]
+pub fn typed_bindings<'a>(code: &[Tok<'a>], types: &[String]) -> BTreeSet<&'a str> {
+    let is_target = |s: &str| types.iter().any(|t| t == s);
+    let mut out = BTreeSet::new();
+    let mut i = 0;
+    while i < code.len() {
+        // `let [mut] name = Type::…`
+        if code[i].is_ident("let") {
+            let mut j = i + 1;
+            if j < code.len() && code[j].is_ident("mut") {
+                j += 1;
+            }
+            if j + 2 < code.len()
+                && code[j].kind == TokKind::Ident
+                && code[j + 1].is_punct('=')
+                && !code[j + 2].is_punct('=')
+            {
+                if let Some(head) = path_head(code, j + 2) {
+                    if is_target(head) {
+                        out.insert(code[j].text);
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // `name : Type` — but not `::` on either side.
+        if code[i].kind == TokKind::Ident
+            && i + 2 < code.len()
+            && code[i + 1].is_punct(':')
+            && !code[i + 2].is_punct(':')
+            && (i == 0 || !code[i - 1].is_punct(':'))
+        {
+            if let Some(head) = path_head(code, i + 2) {
+                if is_target(head) {
+                    out.insert(code[i].text);
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The head type identifier of the path starting at `code[i]`, skipping
+/// leading `&`, lifetimes, `mut` and `dyn`, and following `::` segments up
+/// to (not into) any generic argument list.
+fn path_head<'a>(code: &[Tok<'a>], mut i: usize) -> Option<&'a str> {
+    while i < code.len()
+        && (code[i].is_punct('&')
+            || code[i].kind == TokKind::Lifetime
+            || code[i].is_ident("mut")
+            || code[i].is_ident("dyn"))
+    {
+        i += 1;
+    }
+    if i >= code.len() || code[i].kind != TokKind::Ident {
+        return None;
+    }
+    let mut head = code[i].text;
+    while i + 3 < code.len()
+        && code[i + 1].is_punct(':')
+        && code[i + 2].is_punct(':')
+        && code[i + 3].kind == TokKind::Ident
+    {
+        i += 3;
+        head = code[i].text;
+    }
+    Some(head)
+}
+
+/// Whether the statement containing `code[start]` (or the next one) sorts
+/// its result: scans forward past at most two `;` terminators looking for a
+/// `sort*` method or a `BTreeMap`/`BTreeSet` re-collection.
+#[must_use]
+pub fn followed_by_sort(code: &[Tok<'_>], start: usize) -> bool {
+    let mut semis = 0;
+    for t in code.iter().skip(start) {
+        if t.is_punct(';') {
+            semis += 1;
+            if semis >= 2 {
+                return false;
+            }
+        }
+        if t.kind == TokKind::Ident && (t.text.starts_with("sort") || t.text.starts_with("BTree")) {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,158 @@
+//! Rule `no-alloc`: marker-gated allocation ban.
+//!
+//! A `// lint: no-alloc` comment arms the rule for the next `fn`: its body
+//! (brace-matched) may not contain the allocating constructors and adapters
+//! below.  This is the static complement to the `CountingAllocator` audit in
+//! `tests/zero_alloc.rs` — the runtime test proves steady state allocates
+//! nothing; the marker keeps allocation from being *introduced* on the step
+//! path in the first place.  Individual sites inside a marked body (e.g. a
+//! lazily-evaluated trace closure that only runs when tracing is enabled)
+//! can be waived with `// lint: alloc-ok(reason)`.
+
+use super::{FileCtx, RawFinding, Suppressions};
+use crate::lexer::{Tok, TokKind};
+
+/// Rule name.
+pub const NAME: &str = "no-alloc";
+/// Suppression short-name.
+pub const SUPPRESS: &str = "alloc-ok";
+/// Marker comment text that arms the rule for the following `fn`.
+pub const MARKER: &str = "lint: no-alloc";
+
+/// `Type::method` paths that allocate.
+const PATH_BANS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+];
+/// Macros that allocate.
+const MACRO_BANS: &[&str] = &["vec", "format"];
+/// Method calls that allocate.
+const METHOD_BANS: &[&str] = &["to_string", "to_owned", "to_vec", "collect"];
+
+/// Runs the rule.
+#[must_use]
+pub fn check(ctx: &FileCtx<'_>, sup: &Suppressions) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (idx, t) in ctx.toks.iter().enumerate() {
+        // The marker must be the comment's entire content — prose that
+        // merely *mentions* the marker does not arm the rule.
+        let is_marker = t.is_comment()
+            && t.text
+                .trim_start_matches(['/', '*'])
+                .trim_end_matches(['/', '*'])
+                .trim()
+                == MARKER;
+        if is_marker {
+            if let Some((fn_name, body)) = marked_fn_body(ctx, idx) {
+                scan_body(ctx, fn_name, body, sup, &mut out);
+            } else {
+                out.push(RawFinding {
+                    rule: NAME,
+                    line: t.line,
+                    message: "`// lint: no-alloc` marker is not followed by a `fn`".to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Locates the `fn` following the marker at `ctx.toks[marker_idx]` and
+/// returns its name plus the code-token range of its brace-matched body.
+fn marked_fn_body<'a>(ctx: &'a FileCtx<'_>, marker_idx: usize) -> Option<(&'a str, &'a [Tok<'a>])> {
+    // Map the marker position into the code-token stream: the first code
+    // token at or after the marker's line.
+    let marker_line = ctx.toks[marker_idx].line;
+    let start = ctx.code.iter().position(|t| t.line >= marker_line)?;
+    let code = ctx.code;
+    let fn_idx = (start..code.len()).find(|&i| code[i].is_ident("fn"))?;
+    let name = code
+        .get(fn_idx + 1)
+        .filter(|t| t.kind == TokKind::Ident)?
+        .text;
+    // First `{` at bracket depth 0 after the signature opens the body
+    // (`->` return types and generic bounds contain no braces; closure or
+    // struct-expression defaults in signatures do not occur in this tree).
+    let mut depth = 0i32;
+    let mut open = None;
+    for (i, t) in code.iter().enumerate().skip(fn_idx) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_bytes()[0] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => {
+                    open = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    let open = open?;
+    let mut braces = 0i32;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            braces += 1;
+        } else if t.is_punct('}') {
+            braces -= 1;
+            if braces == 0 {
+                return Some((name, &code[open..=i]));
+            }
+        }
+    }
+    None
+}
+
+/// Flags banned allocation sites inside one marked body.
+fn scan_body(
+    ctx: &FileCtx<'_>,
+    fn_name: &str,
+    body: &[Tok<'_>],
+    sup: &Suppressions,
+    out: &mut Vec<RawFinding>,
+) {
+    let _ = ctx;
+    let mut flag = |line: u32, what: &str| {
+        if sup.allows(SUPPRESS, line) {
+            return;
+        }
+        out.push(RawFinding {
+            rule: NAME,
+            line,
+            message: format!(
+                "`{what}` allocates inside `// lint: no-alloc` fn `{fn_name}`; \
+                 preallocate, or annotate the site `// lint: alloc-ok(reason)`"
+            ),
+        });
+    };
+    let mut i = 0;
+    while i < body.len() {
+        let t = &body[i];
+        if t.kind == TokKind::Ident {
+            // `vec![…]` / `format!(…)`
+            if MACRO_BANS.contains(&t.text) && i + 1 < body.len() && body[i + 1].is_punct('!') {
+                flag(t.line, &format!("{}!", t.text));
+            }
+            // `Vec::new(…)` and friends
+            if i + 3 < body.len()
+                && body[i + 1].is_punct(':')
+                && body[i + 2].is_punct(':')
+                && body[i + 3].kind == TokKind::Ident
+                && PATH_BANS
+                    .iter()
+                    .any(|(ty, m)| *ty == t.text && *m == body[i + 3].text)
+            {
+                flag(t.line, &format!("{}::{}", t.text, body[i + 3].text));
+            }
+            // `.to_string()` / `.collect::<…>()`
+            if METHOD_BANS.contains(&t.text) && i > 0 && body[i - 1].is_punct('.') {
+                flag(t.line, &format!(".{}()", t.text));
+            }
+        }
+        i += 1;
+    }
+}

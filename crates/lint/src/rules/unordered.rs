@@ -1,0 +1,104 @@
+//! Rule `unordered-iteration`: iterating a hash map in sim-path code.
+//!
+//! Even `FxHashMap` (deterministic hasher) iterates in insertion-layout
+//! order, which shifts under refactors and capacity changes — any iteration
+//! that feeds events, stats or digests must either be sorted afterwards or
+//! carry a `// lint: unordered-ok(reason)` annotation stating why order
+//! cannot matter (commutative fold, pure filter, …).
+//!
+//! Detection is binding-based: the rule first collects every identifier the
+//! file binds to a hash-container type (fields, params, lets, struct-literal
+//! inits), then flags iteration-flavoured calls on those names and
+//! `for … in [&]name` loops.  A statement that sorts its result within the
+//! next two statements is waived automatically.
+
+use super::{followed_by_sort, typed_bindings, FileCtx, RawFinding, Suppressions};
+use crate::config::LintConfig;
+use crate::lexer::TokKind;
+
+/// Rule name.
+pub const NAME: &str = "unordered-iteration";
+/// Suppression short-name.
+pub const SUPPRESS: &str = "unordered-ok";
+
+/// Methods whose results (or visit order) depend on map layout.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Runs the rule.
+#[must_use]
+pub fn check(ctx: &FileCtx<'_>, sup: &Suppressions, cfg: &LintConfig) -> Vec<RawFinding> {
+    let maps = typed_bindings(ctx.code, &cfg.map_types);
+    if maps.is_empty() {
+        return Vec::new();
+    }
+    let code = ctx.code;
+    let mut out = Vec::new();
+    let mut flag = |line: u32, name: &str, how: &str, site: usize| {
+        if sup.allows(SUPPRESS, line) || followed_by_sort(code, site) {
+            return;
+        }
+        out.push(RawFinding {
+            rule: NAME,
+            line,
+            message: format!(
+                "{how} over hash map `{name}` has layout-dependent order; \
+                 sort the result, or annotate `// lint: unordered-ok(reason)`"
+            ),
+        });
+    };
+    let mut i = 0;
+    while i < code.len() {
+        let t = &code[i];
+        // `name.iter()` / `name.retain(…)` / …
+        if t.kind == TokKind::Ident
+            && maps.contains(t.text)
+            && i + 2 < code.len()
+            && code[i + 1].is_punct('.')
+            && code[i + 2].kind == TokKind::Ident
+            && ITER_METHODS.contains(&code[i + 2].text)
+        {
+            let how = format!("`.{}()`", code[i + 2].text);
+            flag(code[i + 2].line, t.text, &how, i);
+        }
+        // `for pat in [&[mut]] name {`
+        if t.is_ident("for") {
+            // Find the matching `in` at pattern depth 0 (tuples in the
+            // pattern contain no `in` keyword, so a bounded scan suffices).
+            let mut j = i + 1;
+            let limit = (i + 24).min(code.len());
+            while j < limit && !code[j].is_ident("in") {
+                j += 1;
+            }
+            if j < limit {
+                let mut k = j + 1;
+                while k < code.len() && (code[k].is_punct('&') || code[k].is_ident("mut")) {
+                    k += 1;
+                }
+                // `self.name` and `name` both iterate the binding `name`.
+                if k + 2 < code.len() && code[k].is_ident("self") && code[k + 1].is_punct('.') {
+                    k += 2;
+                }
+                if k + 1 < code.len()
+                    && code[k].kind == TokKind::Ident
+                    && maps.contains(code[k].text)
+                    && code[k + 1].is_punct('{')
+                {
+                    flag(code[k].line, code[k].text, "`for` loop", i);
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}

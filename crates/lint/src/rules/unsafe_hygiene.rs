@@ -1,0 +1,98 @@
+//! Rule `unsafe-hygiene`: `unsafe` needs a `// SAFETY:` comment, and
+//! sim-path crates must forbid it outright.
+//!
+//! Two checks:
+//!
+//! * every `unsafe` keyword (block, fn, impl) must have a comment containing
+//!   `SAFETY:` on its own line or within the two lines above it (one line of
+//!   slack for an interleaved attribute);
+//! * the library root (`src/lib.rs`) of every sim-path crate must carry
+//!   `#![forbid(unsafe_code)]`, so `unsafe` cannot even parse there.
+
+use super::{FileCtx, RawFinding};
+use crate::lexer::TokKind;
+use std::collections::BTreeSet;
+
+/// Rule name.
+pub const NAME: &str = "unsafe-hygiene";
+
+/// Runs the rule.
+#[must_use]
+pub fn check(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+
+    // Lines carrying a SAFETY comment, and lines carrying any comment at
+    // all (continuation lines of a multi-line SAFETY block are transparent
+    // when walking upward from an `unsafe` keyword).
+    let mut safety_lines: BTreeSet<u32> = BTreeSet::new();
+    let mut comment_lines: BTreeSet<u32> = BTreeSet::new();
+    for t in ctx.toks {
+        if t.is_comment() {
+            let lines = t.text.matches('\n').count() as u32;
+            for l in t.line..=t.line + lines {
+                comment_lines.insert(l);
+            }
+            if t.text.contains("SAFETY:") {
+                safety_lines.insert(t.line);
+            }
+        }
+    }
+    let documented = |line: u32| {
+        // Walk upward: comment lines are transparent without limit; up to
+        // two non-comment lines (an attribute, a signature continuation)
+        // may sit between the comment and the `unsafe`.
+        let mut slack = 2;
+        let mut l = line;
+        loop {
+            if safety_lines.contains(&l) {
+                return true;
+            }
+            if l == 0 {
+                return false;
+            }
+            if !comment_lines.contains(&l) && l != line {
+                if slack == 0 {
+                    return false;
+                }
+                slack -= 1;
+            }
+            l -= 1;
+        }
+    };
+
+    for t in ctx.code {
+        if t.kind == TokKind::Ident && t.text == "unsafe" && !documented(t.line) {
+            out.push(RawFinding {
+                rule: NAME,
+                line: t.line,
+                message: "`unsafe` without a preceding `// SAFETY:` comment".to_string(),
+            });
+        }
+    }
+
+    if ctx.is_sim_path && ctx.is_crate_root && !has_forbid_unsafe(ctx) {
+        out.push(RawFinding {
+            rule: NAME,
+            line: 1,
+            message: format!(
+                "sim-path crate `{}` must carry `#![forbid(unsafe_code)]` in its crate root",
+                ctx.crate_name
+            ),
+        });
+    }
+    out
+}
+
+/// Whether the token stream contains `#![forbid(unsafe_code)]` (possibly
+/// alongside other lint names in the same attribute).
+fn has_forbid_unsafe(ctx: &FileCtx<'_>) -> bool {
+    let code = ctx.code;
+    (0..code.len()).any(|i| {
+        code[i].is_ident("forbid")
+            && code[i + 1..]
+                .iter()
+                .take(16)
+                .take_while(|t| !t.is_punct(']'))
+                .any(|t| t.is_ident("unsafe_code"))
+    })
+}

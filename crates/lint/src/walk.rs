@@ -1,0 +1,139 @@
+//! Workspace discovery: which packages exist, which `.rs` files they own.
+//!
+//! The walk covers every member package's `src/`, `benches/` and
+//! `examples/` trees plus the root facade package's `src/` and the
+//! top-level `examples/`.  `tests/` directories are deliberately excluded:
+//! integration tests legitimately use reference models (std `HashMap`
+//! liveness mirrors, wall-clock watchdogs) and the lint crate's own test
+//! fixtures contain seeded violations.
+
+use crate::config::LintConfig;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One source file scheduled for linting.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Workspace-relative `/`-separated path (diagnostics, allowlist).
+    pub rel: String,
+    /// Owning package name.
+    pub crate_name: String,
+    /// Whether this file is the owning package's `src/lib.rs`.
+    pub is_crate_root: bool,
+}
+
+/// Collects every file to lint under `root`, in deterministic (sorted) order.
+///
+/// # Errors
+///
+/// Propagates I/O failures and malformed `Cargo.toml` manifests.
+pub fn collect(root: &Path, cfg: &LintConfig) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+
+    // Member packages under crates/.
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    for member in members {
+        let name = package_name(&member.join("Cargo.toml"))?;
+        for sub in ["src", "benches", "examples"] {
+            collect_rs(&member.join(sub), root, &name, cfg, &mut out)?;
+        }
+    }
+
+    // The root facade package.
+    let root_name = package_name(&root.join("Cargo.toml"))?;
+    collect_rs(&root.join("src"), root, &root_name, cfg, &mut out)?;
+    collect_rs(&root.join("examples"), root, &root_name, cfg, &mut out)?;
+
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+/// Recursively gathers `.rs` files under `dir` (if it exists).
+fn collect_rs(
+    dir: &Path,
+    root: &Path,
+    crate_name: &str,
+    cfg: &LintConfig,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&d)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for p in entries {
+            let rel = rel_path(root, &p);
+            if cfg
+                .skip_dirs
+                .iter()
+                .any(|s| rel == *s || rel.starts_with(&format!("{s}/")))
+            {
+                continue;
+            }
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                let is_crate_root = rel.ends_with("src/lib.rs");
+                out.push(SourceFile {
+                    abs: p,
+                    rel,
+                    crate_name: crate_name.to_string(),
+                    is_crate_root,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative `/`-separated form of `p`.
+fn rel_path(root: &Path, p: &Path) -> String {
+    let rel = p.strip_prefix(root).unwrap_or(p);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The `name = "…"` of the `[package]` section of a manifest.
+///
+/// A line-oriented scan is enough for this tree's manifests: `[package]` is
+/// the first section and `name` its first key.
+fn package_name(manifest: &Path) -> io::Result<String> {
+    let text = fs::read_to_string(manifest)?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(v) = line.strip_prefix("name") {
+                let v = v.trim_start();
+                if let Some(v) = v.strip_prefix('=') {
+                    let v = v.trim().trim_matches('"');
+                    return Ok(v.to_string());
+                }
+            }
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("no [package] name in {}", manifest.display()),
+    ))
+}

@@ -1,0 +1,22 @@
+//! Fixture: arena-id newtypes treated as raw tuples (linted as a sim-path
+//! crate other than misp-types).
+#![forbid(unsafe_code)]
+
+use misp_types::{SequencerId, ShredId};
+
+fn construct() -> SequencerId {
+    SequencerId(3)
+}
+
+fn destructure(id: ShredId) -> u32 {
+    let ShredId(raw) = id;
+    raw
+}
+
+fn field_access(seq: SequencerId) -> u32 {
+    seq.0
+}
+
+fn raw_subscript(table: &[u64], seq: SequencerId) -> u64 {
+    table[seq.index() as usize]
+}

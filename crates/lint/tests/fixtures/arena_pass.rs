@@ -1,0 +1,26 @@
+//! Fixture: the sanctioned arena-id API.
+#![forbid(unsafe_code)]
+
+use misp_types::{Arena, SequencerId};
+
+fn construct(raw: u32) -> SequencerId {
+    SequencerId::new(raw)
+}
+
+fn read(seq: SequencerId) -> u32 {
+    seq.index()
+}
+
+fn subscript(table: &[u64], seq: SequencerId) -> u64 {
+    table[seq.as_usize()]
+}
+
+fn arena_lookup(arena: &Arena<SequencerId, u64>, seq: SequencerId) -> u64 {
+    arena[seq]
+}
+
+fn index_outside_subscript(seq: SequencerId) -> usize {
+    // `.index()` is fine when not feeding a slice subscript directly.
+    let idx = seq.index();
+    idx as usize
+}

@@ -1,0 +1,20 @@
+//! Fixture: every determinism ban, unsuppressed.  Linted as a sim-path
+//! crate; never compiled.
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::collections::hash_map::RandomState;
+use std::time::Instant;
+use std::time::SystemTime;
+
+fn clocks() {
+    let _t = Instant::now();
+    let _w = SystemTime::now();
+}
+
+fn tables() {
+    let _m: HashMap<u32, u32> = HashMap::new();
+    let _s: HashSet<u32> = HashSet::new();
+    let _r = RandomState::new();
+}

@@ -1,0 +1,16 @@
+//! Fixture: the sanctioned spellings, plus banned names that sit only in
+//! strings and comments (the lexer must not see them as code).
+#![forbid(unsafe_code)]
+
+use misp_types::{FxHashMap, FxHashSet};
+use std::collections::BTreeMap;
+
+// A comment mentioning HashMap, Instant::now() and SystemTime is fine.
+
+fn tables() {
+    let _m: FxHashMap<u32, u32> = FxHashMap::default();
+    let _s: FxHashSet<u32> = FxHashSet::default();
+    let _b: BTreeMap<u32, u32> = BTreeMap::new();
+    let _msg = "HashMap and Instant inside a string literal are opaque";
+    let _raw = r#"SystemTime::now() in a raw string is opaque too"#;
+}

@@ -1,0 +1,5 @@
+//! Fixture: a sim-path crate root WITHOUT `#![forbid(unsafe_code)]` — the
+//! unsafe-hygiene rule must demand the attribute when this file is linted
+//! as `src/lib.rs` of a sim-path crate.
+
+pub fn safe_but_unforbidden() {}

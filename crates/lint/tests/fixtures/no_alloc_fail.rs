@@ -1,0 +1,17 @@
+//! Fixture: allocations inside a `// lint: no-alloc` fn.
+#![forbid(unsafe_code)]
+
+// lint: no-alloc
+fn hot_step(n: u32) -> usize {
+    let grown = Vec::with_capacity(n as usize);
+    let boxed = Box::new(n);
+    let owned = String::from("x");
+    let text = format!("{n}");
+    let list = vec![n; 3];
+    let echoed = n.to_string();
+    let gathered: Vec<u32> = (0..n).collect();
+    grown.len() + list.len() + text.len() + owned.len() + echoed.len() + gathered.len() + *boxed as usize
+}
+
+// A marker with no fn after it is itself a finding.
+// lint: no-alloc

@@ -1,0 +1,23 @@
+//! Fixture: a marked fn that reuses preallocated storage, a waived trace
+//! site, and an unmarked fn that may allocate freely.
+#![forbid(unsafe_code)]
+
+// lint: no-alloc
+fn hot_step(buf: &mut Vec<u32>, scratch: &mut String, n: u32) -> usize {
+    buf.push(n);
+    buf.truncate(8);
+    scratch.clear();
+    if n == u32::MAX {
+        // lint: alloc-ok(cold panic path; never taken in steady state)
+        let msg = format!("impossible value {n}");
+        panic!("{msg}");
+    }
+    buf.len()
+}
+
+fn cold_setup(n: u32) -> Vec<u32> {
+    // No marker: allocation is fine here.
+    let mut v = Vec::with_capacity(n as usize);
+    v.push(n);
+    v
+}

@@ -1,0 +1,22 @@
+//! Fixture: suppression syntax in both positions, plus lookalikes that must
+//! NOT suppress.
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap; // lint: determinism-ok(fixture: same-line suppression)
+
+// lint: determinism-ok(fixture: line-above suppression)
+use std::collections::HashSet;
+
+// lint: determinism-ok(fixture: suppression does not reach two lines down)
+
+use std::time::Instant;
+
+// lint: unordered-ok(wrong class: does not suppress a determinism finding)
+use std::time::SystemTime;
+
+fn touch() {
+    let _m: HashMap<u32, u32> = HashMap::new(); // lint: determinism-ok(fixture)
+    let _s: HashSet<u32> = HashSet::new(); // lint: determinism-ok(fixture)
+    let _t = Instant::now(); // lint: determinism-ok(fixture)
+    let _w = SystemTime::now(); // lint: determinism-ok(fixture)
+}

@@ -1,0 +1,32 @@
+//! Fixture: unordered hash-map iteration, unsuppressed and unsorted.
+#![forbid(unsafe_code)]
+
+use misp_types::FxHashMap;
+
+struct Tables {
+    by_page: FxHashMap<u64, u32>,
+}
+
+impl Tables {
+    fn digest_feed(&self) -> u64 {
+        let mut acc = 0;
+        for (k, v) in &self.by_page {
+            acc = acc * 31 + k + u64::from(*v);
+        }
+        acc
+    }
+
+    fn methods(&mut self) {
+        let _ = self.by_page.iter().next();
+        let _ = self.by_page.keys().next();
+        let _ = self.by_page.values().next();
+        self.by_page.retain(|_, v| *v != 0);
+    }
+}
+
+fn local() {
+    let table = FxHashMap::<u64, u32>::default();
+    for entry in &table {
+        let _ = entry;
+    }
+}

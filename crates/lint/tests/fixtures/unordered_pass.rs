@@ -1,0 +1,35 @@
+//! Fixture: hash-map iteration that is annotated, sorted, or ordered.
+#![forbid(unsafe_code)]
+
+use misp_types::FxHashMap;
+use std::collections::BTreeMap;
+
+struct Tables {
+    by_page: FxHashMap<u64, u32>,
+    ordered: BTreeMap<u64, u32>,
+}
+
+impl Tables {
+    fn annotated(&self) -> usize {
+        // lint: unordered-ok(commutative count; order cannot be observed)
+        self.by_page.values().filter(|v| **v != 0).count()
+    }
+
+    fn trailing(&mut self) {
+        self.by_page.retain(|_, v| *v != 0); // lint: unordered-ok(pure filter)
+    }
+
+    fn sorted(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.by_page.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    fn btree_is_ordered(&self) -> u64 {
+        let mut acc = 0;
+        for (k, _) in &self.ordered {
+            acc += k;
+        }
+        acc
+    }
+}

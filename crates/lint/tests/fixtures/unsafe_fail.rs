@@ -1,0 +1,13 @@
+//! Fixture: undocumented `unsafe` (linted as a non-sim crate so the blocks
+//! are legal but must carry SAFETY comments).
+
+fn undocumented_block() -> u8 {
+    let bytes = [1u8, 2];
+    unsafe { *bytes.as_ptr() }
+}
+
+unsafe fn undocumented_fn() {}
+
+struct Wrapper(u8);
+
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,18 @@
+//! Fixture: documented `unsafe`, including a multi-line SAFETY comment and
+//! an attribute between comment and keyword.
+
+fn documented_block() -> u8 {
+    let bytes = [1u8, 2];
+    // SAFETY: the array is non-empty, so the pointer is valid for one read.
+    unsafe { *bytes.as_ptr() }
+}
+
+// SAFETY: no invariants — the function body is empty and callers need
+// uphold nothing; the `unsafe` exists to exercise the multi-line case.
+unsafe fn documented_fn() {}
+
+struct Wrapper(u8);
+
+// SAFETY: `Wrapper` holds a plain `u8`, which is `Send`.
+#[allow(dead_code)]
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,102 @@
+//! JSON-output schema test: `--format json` output parses and carries the
+//! documented fields (schema version 1).
+
+use misp_lint::config::Severity;
+use misp_lint::{report, Finding, LintReport};
+use serde_json::Value;
+
+fn sample_report() -> LintReport {
+    LintReport {
+        root: "/tmp/ws".to_string(),
+        files_scanned: 3,
+        findings: vec![
+            Finding {
+                rule: "determinism",
+                severity: Severity::Error,
+                file: "crates/sim/src/stats.rs".to_string(),
+                line: 8,
+                message: "`HashMap` is banned here: \"quoted\"\u{1}".to_string(),
+            },
+            Finding {
+                rule: "no-alloc",
+                severity: Severity::Warn,
+                file: "crates/sim/src/machine.rs".to_string(),
+                line: 600,
+                message: "`format!` allocates".to_string(),
+            },
+        ],
+        allowlisted: vec![(
+            Finding {
+                rule: "determinism",
+                severity: Severity::Error,
+                file: "crates/harness/src/bin/sweep.rs".to_string(),
+                line: 335,
+                message: "`Instant` is banned here".to_string(),
+            },
+            "phase timers".to_string(),
+        )],
+    }
+}
+
+#[test]
+fn json_report_matches_schema() {
+    let rep = sample_report();
+    let text = report::render_json(&rep);
+    let v: Value = serde_json::from_str(&text).expect("render_json emits valid JSON");
+
+    assert_eq!(v.get("schema_version").unwrap().as_u64().unwrap(), 1);
+    assert_eq!(v.get("root").unwrap(), &Value::String("/tmp/ws".into()));
+    assert_eq!(v.get("files_scanned").unwrap().as_u64().unwrap(), 3);
+    assert_eq!(v.get("errors").unwrap().as_u64().unwrap(), 1);
+    assert_eq!(v.get("warnings").unwrap().as_u64().unwrap(), 1);
+
+    let Some(Value::Array(findings)) = v.get("findings") else {
+        panic!("findings must be an array: {v:?}");
+    };
+    assert_eq!(findings.len(), 2);
+    let f = &findings[0];
+    assert_eq!(f.get("rule").unwrap(), &Value::String("determinism".into()));
+    assert_eq!(f.get("severity").unwrap(), &Value::String("error".into()));
+    assert_eq!(
+        f.get("file").unwrap(),
+        &Value::String("crates/sim/src/stats.rs".into())
+    );
+    assert_eq!(f.get("line").unwrap().as_u64().unwrap(), 8);
+    // The escaped quote and control byte round-trip through the parser.
+    assert_eq!(
+        f.get("message").unwrap(),
+        &Value::String("`HashMap` is banned here: \"quoted\"\u{1}".into())
+    );
+    assert_eq!(
+        findings[1].get("severity").unwrap(),
+        &Value::String("warn".into())
+    );
+
+    let Some(Value::Array(allowed)) = v.get("allowlisted") else {
+        panic!("allowlisted must be an array: {v:?}");
+    };
+    assert_eq!(allowed.len(), 1);
+    assert_eq!(
+        allowed[0].get("reason").unwrap(),
+        &Value::String("phase timers".into())
+    );
+    // Regular findings carry no reason field.
+    assert!(findings[0].get("reason").is_none());
+}
+
+#[test]
+fn empty_report_is_valid_json() {
+    let rep = LintReport {
+        root: String::new(),
+        files_scanned: 0,
+        findings: Vec::new(),
+        allowlisted: Vec::new(),
+    };
+    let text = report::render_json(&rep);
+    let v: Value = serde_json::from_str(&text).expect("valid JSON");
+    let Some(Value::Array(findings)) = v.get("findings") else {
+        panic!("findings must be an array");
+    };
+    assert!(findings.is_empty());
+    assert_eq!(v.get("errors").unwrap().as_u64().unwrap(), 0);
+}

@@ -1,0 +1,218 @@
+//! Fixture-driven rule tests: one passing and one failing fixture per rule,
+//! plus the suppression-syntax contract.
+//!
+//! Fixtures live under `tests/fixtures/` (a subdirectory, so cargo never
+//! compiles them) and are linted through the library entry point exactly as
+//! the binary would.
+
+use misp_lint::config::LintConfig;
+use misp_lint::{lint_source, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// Lints a fixture as if it were a file of `crate_name`.
+fn lint_as(name: &str, crate_name: &str, is_crate_root: bool) -> Vec<Finding> {
+    let cfg = LintConfig::default();
+    lint_source(
+        &format!("crates/fixture/src/{name}"),
+        crate_name,
+        is_crate_root,
+        &fixture(name),
+        &cfg,
+    )
+}
+
+fn rules_fired(findings: &[Finding]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = findings.iter().map(|f| f.rule).collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn determinism_fail_fixture_fires() {
+    let findings = lint_as("determinism_fail.rs", "misp-sim", false);
+    assert!(
+        findings.iter().all(|f| f.rule == "determinism"),
+        "{findings:?}"
+    );
+    // 2 imports × type + RandomState import + 2 time imports + 2 clock
+    // calls + 3 constructor uses: at least one finding per banned name.
+    for name in ["HashMap", "HashSet", "RandomState", "Instant", "SystemTime"] {
+        assert!(
+            findings.iter().any(|f| f.message.contains(name)),
+            "no finding mentions {name}: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn determinism_pass_fixture_is_clean() {
+    let findings = lint_as("determinism_pass.rs", "misp-sim", false);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn determinism_type_bans_do_not_apply_off_sim_path() {
+    // The same failing fixture linted as harness code: the container bans
+    // are sim-path-scoped, the clock bans are not.
+    let findings = lint_as("determinism_fail.rs", "misp-harness", false);
+    assert!(
+        !findings.iter().any(|f| f.message.contains("HashMap")),
+        "{findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.message.contains("Instant")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn unordered_fail_fixture_fires() {
+    let findings = lint_as("unordered_fail.rs", "misp-sim", false);
+    assert_eq!(
+        rules_fired(&findings),
+        ["unordered-iteration"],
+        "{findings:?}"
+    );
+    // Two `for` loops (field via self, local) + four method sites.
+    assert_eq!(findings.len(), 6, "{findings:?}");
+}
+
+#[test]
+fn unordered_pass_fixture_is_clean() {
+    let findings = lint_as("unordered_pass.rs", "misp-sim", false);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn unordered_rule_is_sim_path_scoped() {
+    let findings = lint_as("unordered_fail.rs", "misp-harness", false);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn no_alloc_fail_fixture_fires() {
+    let findings = lint_as("no_alloc_fail.rs", "misp-sim", false);
+    assert_eq!(rules_fired(&findings), ["no-alloc"], "{findings:?}");
+    for what in [
+        "Vec::with_capacity",
+        "Box::new",
+        "String::from",
+        "format!",
+        "vec!",
+        ".to_string()",
+        ".collect()",
+    ] {
+        assert!(
+            findings.iter().any(|f| f.message.contains(what)),
+            "no finding mentions {what}: {findings:?}"
+        );
+    }
+    // The trailing fn-less marker is itself diagnosed.
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("not followed by a `fn`")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn no_alloc_pass_fixture_is_clean() {
+    let findings = lint_as("no_alloc_pass.rs", "misp-sim", false);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn arena_fail_fixture_fires() {
+    let findings = lint_as("arena_fail.rs", "misp-sim", false);
+    assert_eq!(rules_fired(&findings), ["arena-discipline"], "{findings:?}");
+    // Raw construction, destructuring, `.0`, and `.index()` in a subscript.
+    assert_eq!(findings.len(), 4, "{findings:?}");
+}
+
+#[test]
+fn arena_pass_fixture_is_clean() {
+    let findings = lint_as("arena_pass.rs", "misp-sim", false);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn arena_rule_exempts_the_types_crate() {
+    let findings = lint_as("arena_fail.rs", "misp-types", false);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn unsafe_fail_fixture_fires() {
+    let findings = lint_as("unsafe_fail.rs", "misp-harness", false);
+    assert_eq!(rules_fired(&findings), ["unsafe-hygiene"], "{findings:?}");
+    // Block, fn and impl: three undocumented `unsafe` keywords.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+}
+
+#[test]
+fn unsafe_pass_fixture_is_clean() {
+    let findings = lint_as("unsafe_pass.rs", "misp-harness", false);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn sim_path_crate_root_requires_forbid() {
+    let findings = lint_as("forbid_missing.rs", "misp-sim", true);
+    assert_eq!(rules_fired(&findings), ["unsafe-hygiene"], "{findings:?}");
+    assert!(
+        findings[0].message.contains("forbid(unsafe_code)"),
+        "{findings:?}"
+    );
+    // The same file off the crate root, or off the sim path, is fine.
+    assert!(lint_as("forbid_missing.rs", "misp-sim", false).is_empty());
+    assert!(lint_as("forbid_missing.rs", "misp-harness", true).is_empty());
+}
+
+#[test]
+fn suppression_positions_and_classes() {
+    let findings = lint_as("suppression.rs", "misp-sim", false);
+    // Same-line and line-above suppressions hold; a suppression two lines
+    // up does not, and a wrong-class suppression does not.
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings[0].message.contains("Instant"), "{findings:?}");
+    assert!(findings[1].message.contains("SystemTime"), "{findings:?}");
+}
+
+#[test]
+fn severity_off_disables_a_rule() {
+    let toml = "[rules.determinism]\nseverity = \"off\"\n";
+    let cfg = LintConfig::parse(toml).expect("parses");
+    let findings = lint_source(
+        "crates/fixture/src/determinism_fail.rs",
+        "misp-sim",
+        false,
+        &fixture("determinism_fail.rs"),
+        &cfg,
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn severity_warn_does_not_fail_the_report() {
+    let toml = "[rules.determinism]\nseverity = \"warn\"\n";
+    let cfg = LintConfig::parse(toml).expect("parses");
+    let findings = lint_source(
+        "crates/fixture/src/determinism_fail.rs",
+        "misp-sim",
+        false,
+        &fixture("determinism_fail.rs"),
+        &cfg,
+    );
+    assert!(!findings.is_empty());
+    assert!(
+        findings
+            .iter()
+            .all(|f| f.severity == misp_lint::config::Severity::Warn),
+        "{findings:?}"
+    );
+}

@@ -1,0 +1,147 @@
+//! Integration tests against the live workspace and the CI gate semantics.
+//!
+//! * The committed tree must lint clean under the committed `lint.toml`,
+//!   with nothing allowlisted beyond the documented harness/bench timing
+//!   exemptions.
+//! * A seeded violation must make the binary exit non-zero with the finding
+//!   in its JSON report — the property the blocking CI job relies on.
+
+use misp_lint::config::LintConfig;
+use misp_lint::lint_workspace;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+fn committed_config(root: &Path) -> LintConfig {
+    let text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml is committed");
+    LintConfig::parse(&text).expect("committed lint.toml parses")
+}
+
+#[test]
+fn live_workspace_lints_clean() {
+    let root = workspace_root();
+    let cfg = committed_config(&root);
+    let rep = lint_workspace(&root, &cfg).expect("walk succeeds");
+    assert!(
+        rep.files_scanned > 100,
+        "walk found {} files",
+        rep.files_scanned
+    );
+    assert!(
+        rep.findings.is_empty(),
+        "live workspace has unsuppressed findings:\n{}",
+        misp_lint::report::render_text(&rep)
+    );
+}
+
+#[test]
+fn allowlist_is_limited_to_documented_timing_exemptions() {
+    let root = workspace_root();
+    let cfg = committed_config(&root);
+    // Policy: only the harness/bench wall-clock timers may be allowlisted.
+    let documented = [
+        "crates/harness/src/bin/sweep.rs",
+        "crates/bench/benches/engine.rs",
+    ];
+    for entry in &cfg.allow {
+        assert_eq!(
+            entry.rule, "determinism",
+            "allowlist entry for unexpected rule: {entry:?}"
+        );
+        assert!(
+            documented.contains(&entry.path.as_str()),
+            "allowlist entry outside the documented timing exemptions: {entry:?}"
+        );
+        assert!(
+            !entry.reason.is_empty(),
+            "allowlist entry without a reason: {entry:?}"
+        );
+    }
+    // And everything allowlisted in the live tree is an `Instant` timer.
+    let rep = lint_workspace(&root, &cfg).expect("walk succeeds");
+    for (f, _) in &rep.allowlisted {
+        assert!(
+            f.message.contains("Instant"),
+            "allowlisted finding is not a wall-clock timer: {f:?}"
+        );
+    }
+}
+
+/// Builds a minimal throwaway workspace with one seeded violation.
+fn seed_violation(dir: &Path) {
+    let crate_dir = dir.join("crates/seeded/src");
+    std::fs::create_dir_all(&crate_dir).expect("mkdir");
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[package]\nname = \"seeded-root\"\n",
+    )
+    .expect("write root manifest");
+    std::fs::write(
+        dir.join("crates/seeded/Cargo.toml"),
+        "[package]\nname = \"misp-sim\"\n",
+    )
+    .expect("write crate manifest");
+    std::fs::write(
+        crate_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\nuse std::collections::HashMap;\n",
+    )
+    .expect("write seeded source");
+    // An empty lint.toml pins the root for --root discovery and leaves the
+    // default (all-error) policy in force.
+    std::fs::write(dir.join("lint.toml"), "# defaults\n").expect("write lint.toml");
+}
+
+#[test]
+fn seeded_violation_fails_the_binary_with_json_evidence() {
+    let dir = std::env::temp_dir().join(format!("misp-lint-seeded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    seed_violation(&dir);
+
+    let output = Command::new(env!("CARGO_BIN_EXE_misp-lint"))
+        .args(["--workspace", "--format", "json", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "seeded violation must exit 1\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let v: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&output.stdout)).expect("JSON report");
+    assert!(v.get("errors").unwrap().as_u64().unwrap() >= 1);
+
+    let clean = dir.join("crates/seeded/src/lib.rs");
+    std::fs::write(&clean, "#![forbid(unsafe_code)]\n").expect("rewrite clean");
+    let output = Command::new(env!("CARGO_BIN_EXE_misp-lint"))
+        .args(["--workspace", "--format", "json", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "clean tree must exit 0\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let output = Command::new(env!("CARGO_BIN_EXE_misp-lint"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+}

@@ -157,6 +157,7 @@ impl AddressSpace {
         dense as usize
             + self
                 .sparse
+                // lint: unordered-ok(commutative count; order cannot be observed)
                 .values()
                 .filter(|s| **s == PageState::Resident)
                 .count()
@@ -181,6 +182,7 @@ impl AddressSpace {
             })
             .chain(
                 self.sparse
+                    // lint: unordered-ok(documented arbitrary-order iterator; callers sort or count)
                     .iter()
                     .filter(|(_, s)| **s == PageState::Resident)
                     .map(|(p, _)| *p),

@@ -6,8 +6,7 @@
 //! keep per-shred state; the workload models use it to verify that the
 //! thread-to-shred mapping preserves TLS semantics.
 
-use misp_types::ShredId;
-use std::collections::HashMap;
+use misp_types::{FxHashMap, ShredId};
 
 /// A shred-local storage arena: per-shred values indexed by small integer
 /// keys, mirroring `TlsAlloc`/`TlsSetValue` and `pthread_key_create`.
@@ -29,7 +28,7 @@ use std::collections::HashMap;
 pub struct ShredLocalStorage {
     next_key: u32,
     freed: Vec<u32>,
-    values: HashMap<(ShredId, u32), u64>,
+    values: FxHashMap<(ShredId, u32), u64>,
 }
 
 impl ShredLocalStorage {
@@ -52,6 +51,7 @@ impl ShredLocalStorage {
 
     /// Frees a key, removing every shred's value stored under it.
     pub fn free_key(&mut self, key: u32) {
+        // lint: unordered-ok(pure key filter; visit order cannot be observed)
         self.values.retain(|(_, k), _| *k != key);
         self.freed.push(key);
     }
@@ -69,6 +69,7 @@ impl ShredLocalStorage {
 
     /// Removes all values belonging to `shred` (called when a shred exits).
     pub fn clear_shred(&mut self, shred: ShredId) {
+        // lint: unordered-ok(pure shred filter; visit order cannot be observed)
         self.values.retain(|(s, _), _| *s != shred);
     }
 

@@ -80,6 +80,7 @@ impl Mailbox {
 
     /// Posts a message for delivery at `deliver_at`, returning its
     /// fleet-wide sequence number.
+    // lint: no-alloc
     pub fn post(
         &mut self,
         from: MachineId,
@@ -109,6 +110,7 @@ impl Mailbox {
     /// them when `None`) into `out`, sorted by `(deliver_at, seqno)`.  `out`
     /// is cleared first and never shrunk, so a caller-reused buffer keeps
     /// the steady state allocation-free.
+    // lint: no-alloc
     pub fn take_due(
         &mut self,
         to: MachineId,
@@ -251,6 +253,7 @@ impl<P: Platform> FleetEngine<P> {
 
     /// Posts a cross-machine message sent at `send_time`: it is delivered
     /// into `to`'s queue shard at `send_time + network_latency`.
+    // lint: no-alloc
     pub fn post(&mut self, from: MachineId, to: MachineId, send_time: Cycles, event: Event) {
         self.mailbox
             .post(from, to, send_time + self.network_latency, event);

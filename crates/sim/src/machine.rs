@@ -548,6 +548,7 @@ impl<P: Platform> Machine<P> {
     /// accesses) still enters through an ordinary event pop, so platforms
     /// and runtimes observe exactly the state they would have observed in
     /// the event-per-operation loop, and all results are byte-identical.
+    // lint: no-alloc
     fn step_sequencer(
         &mut self,
         seq: SequencerId,
@@ -585,6 +586,7 @@ impl<P: Platform> Machine<P> {
                         s.set_status(ShredStatus::Running);
                     }
                     self.core
+                        // lint: alloc-ok(lazy trace closure; runs only when tracing is on)
                         .log_event_with(seq, LogKind::ShredStart, || format!("{shred} installed"));
                     install_cost = shred_context_switch;
                 }
@@ -681,6 +683,7 @@ impl<P: Platform> Machine<P> {
                 } => {
                     self.core.stats_mut().signals_sent += 1;
                     self.core
+                        // lint: alloc-ok(lazy trace closure; runs only when tracing is on)
                         .log_event_with(seq, LogKind::SignalSent, || format!("to {target}"));
                     let resume =
                         self.platform
@@ -736,6 +739,7 @@ impl<P: Platform> Machine<P> {
                                 s.finish(now);
                             }
                             self.core.log_event_with(seq, LogKind::ShredEnd, || {
+                                // lint: alloc-ok(lazy trace closure; runs only when tracing is on)
                                 format!("{shred_id} exited")
                             });
                             self.core.sequencers_mut().set_current_shred(seq, None);
@@ -757,6 +761,7 @@ impl<P: Platform> Machine<P> {
                         s.finish(now);
                     }
                     self.core
+                        // lint: alloc-ok(lazy trace closure; runs only when tracing is on)
                         .log_event_with(seq, LogKind::ShredEnd, || format!("{shred_id} halted"));
                     self.core.sequencers_mut().set_current_shred(seq, None);
                     self.core.schedule_ready(seq, now + shred_context_switch);

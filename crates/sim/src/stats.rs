@@ -5,7 +5,7 @@ use misp_mem::TlbStats;
 use misp_os::{OsEventCounts, OsEventKind};
 use misp_types::{Cycles, Histogram, ProcessId, SequencerId};
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Request-serving (open-loop scenario) statistics.
 ///
@@ -82,7 +82,7 @@ pub struct SimStats {
     /// Total cycles of AMS execution lost to suspension, summed over AMSs.
     pub suspension_cycles: Cycles,
     /// Completion time of each measured process.
-    pub process_completion: HashMap<u32, Cycles>,
+    pub process_completion: BTreeMap<u32, Cycles>,
     /// Per-sequencer utilization, indexed by sequencer.
     pub per_sequencer: Vec<SeqUtilization>,
     /// Per-sequencer privileged-event counts, indexed by sequencer.

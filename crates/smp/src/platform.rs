@@ -2,7 +2,7 @@
 
 use misp_os::{OsEventKind, PlacementPolicy, SystemScheduler};
 use misp_sim::{EngineCore, LogKind, Platform};
-use misp_types::{Cycles, OsThreadId, SequencerId};
+use misp_types::{Cycles, FxHashMap, OsThreadId, SequencerId};
 
 /// A symmetric multiprocessor: every sequencer is an OS-visible core that
 /// services its own privileged events.
@@ -15,7 +15,7 @@ pub struct SmpPlatform {
     cores: usize,
     quantum_ticks: u64,
     scheduler: Option<SystemScheduler>,
-    thread_ctx: std::collections::HashMap<OsThreadId, misp_sim::SavedContext>,
+    thread_ctx: FxHashMap<OsThreadId, misp_sim::SavedContext>,
     pinned: Vec<(OsThreadId, usize)>,
     auto_place: Vec<OsThreadId>,
 }
@@ -33,7 +33,7 @@ impl SmpPlatform {
             cores,
             quantum_ticks: 1,
             scheduler: None,
-            thread_ctx: std::collections::HashMap::new(),
+            thread_ctx: FxHashMap::default(),
             pinned: Vec::new(),
             auto_place: Vec::new(),
         }

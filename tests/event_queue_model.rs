@@ -8,6 +8,11 @@
 //! byte-identical `(time, seqno, event)` sequence for any monotone schedule
 //! of pushes, supersedes and pops.
 
+// The reference model is deliberately allowed a std HashMap (clippy.toml
+// bans it in shipping code): the test never iterates it and determinism of
+// the *model* is irrelevant to the property being checked.
+#![allow(clippy::disallowed_types)]
+
 use misp::sim::{Event, EventQueue, ScheduledEvent};
 use misp::types::{Cycles, SequencerId};
 use proptest::prelude::*;
